@@ -1,0 +1,427 @@
+//! Classical online paging baselines, extended to multi-level instances.
+//!
+//! All baselines are *multi-level aware* in the minimal sense: they fetch
+//! exactly the requested copy, and when the requested page is cached at a
+//! deeper (cheaper) level than requested they replace that copy in place.
+//! Their eviction rules are the classical ones:
+//!
+//! * [`Lru`] — evict the least recently used page. `k`-competitive for
+//!   unweighted paging (Sleator–Tarjan), weight-oblivious otherwise.
+//! * [`Fifo`] — evict the page fetched longest ago.
+//! * [`Marking`] — the randomized marking algorithm of Fiat et al.,
+//!   `Θ(log k)`-competitive for unweighted paging.
+//! * [`Landlord`] — Landlord / GreedyDual (Young; Cao–Irani): cached pages
+//!   carry credit equal to their copy's weight, decremented uniformly on
+//!   faults; zero-credit pages are evicted. `k`-competitive for weighted
+//!   paging (`ℓ = 1`), a strong practical baseline in general.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::policy::{CacheTxn, OnlinePolicy};
+use wmlp_core::types::{CopyRef, PageId, Weight};
+
+/// Shared helper: ensure the requested copy is resident, handling the
+/// in-place replacement of a deeper copy of the same page. Returns `true`
+/// if a *new* slot was consumed (page was completely absent).
+fn fetch_requested(req: Request, txn: &mut CacheTxn<'_>) -> bool {
+    match txn.cache().level_of(req.page) {
+        Some(level) => {
+            debug_assert!(level > req.level, "request was already served");
+            txn.evict(CopyRef::new(req.page, level)).expect("present");
+            txn.fetch(CopyRef::new(req.page, req.level))
+                .expect("absent");
+            false
+        }
+        None => {
+            txn.fetch(CopyRef::new(req.page, req.level))
+                .expect("absent");
+            true
+        }
+    }
+}
+
+/// Least-recently-used eviction.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    k: usize,
+    clock: u64,
+    by_recency: BTreeSet<(u64, PageId)>,
+    stamp: Vec<u64>,
+}
+
+impl Lru {
+    /// New LRU policy for `inst`.
+    pub fn new(inst: &MlInstance) -> Self {
+        Lru {
+            k: inst.k(),
+            clock: 0,
+            by_recency: BTreeSet::new(),
+            stamp: vec![0; inst.n()],
+        }
+    }
+
+    fn touch(&mut self, page: PageId) {
+        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
+        if old != 0 {
+            self.by_recency.remove(&(old, page));
+        }
+        self.clock += 1;
+        self.stamp[page as usize] = self.clock;
+        self.by_recency.insert((self.clock, page));
+    }
+
+    fn drop_page(&mut self, page: PageId) {
+        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
+        debug_assert!(old != 0);
+        self.by_recency.remove(&(old, page));
+    }
+}
+
+impl OnlinePolicy for Lru {
+    fn name(&self) -> String {
+        "lru".into()
+    }
+
+    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        if txn.cache().serves(req) {
+            self.touch(req.page);
+            return;
+        }
+        fetch_requested(req, txn);
+        self.touch(req.page);
+        if txn.cache().occupancy() > self.k {
+            let (_, victim) = self
+                .by_recency
+                .iter()
+                .find(|&&(_, q)| q != req.page)
+                .copied()
+                .expect("another page is cached");
+            let level = txn.cache().level_of(victim).expect("victim cached");
+            txn.evict(CopyRef::new(victim, level)).expect("present");
+            self.drop_page(victim);
+        }
+    }
+}
+
+/// First-in-first-out eviction: recency is assigned at fetch time only.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    k: usize,
+    clock: u64,
+    queue: BTreeSet<(u64, PageId)>,
+    stamp: Vec<u64>,
+}
+
+impl Fifo {
+    /// New FIFO policy for `inst`.
+    pub fn new(inst: &MlInstance) -> Self {
+        Fifo {
+            k: inst.k(),
+            clock: 0,
+            queue: BTreeSet::new(),
+            stamp: vec![0; inst.n()],
+        }
+    }
+
+    fn enqueue(&mut self, page: PageId) {
+        self.clock += 1;
+        debug_assert_eq!(self.stamp[page as usize], 0);
+        self.stamp[page as usize] = self.clock;
+        self.queue.insert((self.clock, page));
+    }
+
+    fn drop_page(&mut self, page: PageId) {
+        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
+        debug_assert!(old != 0);
+        self.queue.remove(&(old, page));
+    }
+}
+
+impl OnlinePolicy for Fifo {
+    fn name(&self) -> String {
+        "fifo".into()
+    }
+
+    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        if txn.cache().serves(req) {
+            return;
+        }
+        if !fetch_requested(req, txn) {
+            // In-place replacement keeps the page's queue position.
+            if txn.cache().occupancy() <= self.k {
+                return;
+            }
+        } else {
+            self.enqueue(req.page);
+        }
+        if txn.cache().occupancy() > self.k {
+            let (_, victim) = self
+                .queue
+                .iter()
+                .find(|&&(_, q)| q != req.page)
+                .copied()
+                .expect("another page is cached");
+            let level = txn.cache().level_of(victim).expect("victim cached");
+            txn.evict(CopyRef::new(victim, level)).expect("present");
+            self.drop_page(victim);
+        }
+    }
+}
+
+/// The randomized marking algorithm (Fiat et al. 1991).
+#[derive(Debug, Clone)]
+pub struct Marking {
+    k: usize,
+    marked: Vec<bool>,
+    rng: StdRng,
+}
+
+impl Marking {
+    /// New marking policy with the given RNG seed.
+    pub fn new(inst: &MlInstance, seed: u64) -> Self {
+        Marking {
+            k: inst.k(),
+            marked: vec![false; inst.n()],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OnlinePolicy for Marking {
+    fn name(&self) -> String {
+        "marking".into()
+    }
+
+    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        if txn.cache().serves(req) {
+            self.marked[req.page as usize] = true;
+            return;
+        }
+        fetch_requested(req, txn);
+        self.marked[req.page as usize] = true;
+        if txn.cache().occupancy() > self.k {
+            let unmarked: Vec<PageId> = txn
+                .cache()
+                .iter()
+                .map(|c| c.page)
+                .filter(|&q| q != req.page && !self.marked[q as usize])
+                .collect();
+            let pool = if unmarked.is_empty() {
+                // Phase ends: unmark everything except the requested page.
+                for (q, m) in self.marked.iter_mut().enumerate() {
+                    *m = q as PageId == req.page;
+                }
+                txn.cache()
+                    .iter()
+                    .map(|c| c.page)
+                    .filter(|&q| q != req.page)
+                    .collect()
+            } else {
+                unmarked
+            };
+            let victim = pool[self.rng.gen_range(0..pool.len())];
+            let level = txn.cache().level_of(victim).expect("victim cached");
+            txn.evict(CopyRef::new(victim, level)).expect("present");
+        }
+    }
+}
+
+/// Landlord / GreedyDual: each cached page carries credit equal to its
+/// copy's weight, refreshed on hits; on a fault with a full cache all
+/// credits drop by the minimum credit and a zero-credit page is evicted.
+///
+/// Implemented with a global debt clock: a page fetched (or refreshed) at
+/// debt `D` with weight `w` has *expiry* `D + w`; the victim is the minimum
+/// expiry, and the debt advances to it. Ties are broken LRU-style (least
+/// recently touched first), so on unweighted instances Landlord coincides
+/// with LRU.
+#[derive(Debug, Clone)]
+pub struct Landlord {
+    inst: MlInstance,
+    debt: Weight,
+    clock: u64,
+    expiries: BTreeSet<(Weight, u64, PageId)>,
+    key_of: Vec<Option<(Weight, u64)>>,
+}
+
+impl Landlord {
+    /// New Landlord policy for `inst`.
+    pub fn new(inst: &MlInstance) -> Self {
+        Landlord {
+            debt: 0,
+            clock: 0,
+            expiries: BTreeSet::new(),
+            key_of: vec![None; inst.n()],
+            inst: inst.clone(),
+        }
+    }
+
+    fn set_expiry(&mut self, page: PageId, expiry: Weight) {
+        self.clock += 1;
+        let old = self.key_of[page as usize].replace((expiry, self.clock));
+        if let Some((e, s)) = old {
+            self.expiries.remove(&(e, s, page));
+        }
+        self.expiries.insert((expiry, self.clock, page));
+    }
+
+    fn drop_page(&mut self, page: PageId) {
+        let (e, s) = self.key_of[page as usize].take().expect("page tracked");
+        self.expiries.remove(&(e, s, page));
+    }
+}
+
+impl OnlinePolicy for Landlord {
+    fn name(&self) -> String {
+        "landlord".into()
+    }
+
+    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        if txn.cache().serves(req) {
+            // Refresh credit to the full weight of the cached copy.
+            let level = txn.cache().level_of(req.page).expect("served");
+            let w = self.inst.weight(req.page, level);
+            self.set_expiry(req.page, self.debt + w);
+            return;
+        }
+        fetch_requested(req, txn);
+        if txn.cache().occupancy() > self.inst.k() {
+            let (expiry, _, victim) = self
+                .expiries
+                .iter()
+                .find(|&&(_, _, q)| q != req.page)
+                .copied()
+                .expect("another page is cached");
+            self.debt = self.debt.max(expiry);
+            let level = txn.cache().level_of(victim).expect("victim cached");
+            txn.evict(CopyRef::new(victim, level)).expect("present");
+            self.drop_page(victim);
+        }
+        self.set_expiry(req.page, self.debt + self.inst.weight(req.page, req.level));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_core::cost::CostModel;
+    use wmlp_sim::engine::run_policy;
+    use wmlp_workloads::{zipf_trace, LevelDist};
+
+    fn inst(k: usize) -> MlInstance {
+        MlInstance::from_rows(k, (0..8).map(|p| vec![4 * (p + 1), p + 1]).collect()).unwrap()
+    }
+
+    fn smoke(policy: &mut dyn OnlinePolicy) {
+        let inst = inst(3);
+        let trace = zipf_trace(&inst, 0.9, 800, LevelDist::TopProb(0.3), 7);
+        let res = run_policy(&inst, &trace, policy, false).unwrap();
+        assert!(res.ledger.total(CostModel::Fetch) > 0);
+        assert!(res.final_cache.occupancy() <= inst.k());
+    }
+
+    #[test]
+    fn all_baselines_feasible_on_zipf() {
+        let inst = inst(3);
+        smoke(&mut Lru::new(&inst));
+        smoke(&mut Fifo::new(&inst));
+        smoke(&mut Marking::new(&inst, 42));
+        smoke(&mut Landlord::new(&inst));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let inst = MlInstance::unweighted_paging(2, 3).unwrap();
+        let trace = vec![
+            Request::top(0),
+            Request::top(1),
+            Request::top(0),
+            Request::top(2), // should evict 1 (page 0 was touched later)
+            Request::top(0), // hit
+        ];
+        let mut lru = Lru::new(&inst);
+        let res = run_policy(&inst, &trace, &mut lru, true).unwrap();
+        let steps = res.steps.unwrap();
+        assert_eq!(
+            steps[3].evictions().collect::<Vec<_>>(),
+            vec![CopyRef::new(1, 1)]
+        );
+        assert!(steps[4].actions.is_empty());
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let inst = MlInstance::unweighted_paging(2, 3).unwrap();
+        let trace = vec![
+            Request::top(0),
+            Request::top(1),
+            Request::top(0), // hit: does not refresh 0's queue position
+            Request::top(2), // evicts 0, the oldest fetch
+        ];
+        let mut fifo = Fifo::new(&inst);
+        let res = run_policy(&inst, &trace, &mut fifo, true).unwrap();
+        let steps = res.steps.unwrap();
+        assert_eq!(
+            steps[3].evictions().collect::<Vec<_>>(),
+            vec![CopyRef::new(0, 1)]
+        );
+    }
+
+    #[test]
+    fn marking_never_evicts_marked_while_unmarked_exist() {
+        let inst = MlInstance::unweighted_paging(3, 6).unwrap();
+        let trace = vec![
+            Request::top(0),
+            Request::top(1),
+            Request::top(2),
+            // New phase content: 0,1,2 marked; requesting 3 must evict one
+            // of the unmarked... all are marked, so a new phase starts.
+            Request::top(3),
+            Request::top(3),
+            Request::top(4), // 3 marked; victims must be among {0,1,2}
+        ];
+        for seed in 0..20 {
+            let mut m = Marking::new(&inst, seed);
+            let res = run_policy(&inst, &trace, &mut m, true).unwrap();
+            let steps = res.steps.unwrap();
+            let victim = steps[5].evictions().next().unwrap();
+            assert!(victim.page <= 2, "evicted marked page {}", victim.page);
+        }
+    }
+
+    #[test]
+    fn landlord_prefers_cheap_victims() {
+        let inst = MlInstance::weighted_paging(2, vec![100, 1, 100]).unwrap();
+        let trace = vec![Request::top(0), Request::top(1), Request::top(2)];
+        let mut ll = Landlord::new(&inst);
+        let res = run_policy(&inst, &trace, &mut ll, true).unwrap();
+        let steps = res.steps.unwrap();
+        assert_eq!(
+            steps[2].evictions().collect::<Vec<_>>(),
+            vec![CopyRef::new(1, 1)]
+        );
+    }
+
+    #[test]
+    fn landlord_hit_refresh_protects_pages() {
+        // k = 2, weights equal. Fetch 0, fetch 1, hit 0 (refresh), request
+        // 2: Landlord evicts 1 (lower expiry after 0's refresh).
+        let inst = MlInstance::weighted_paging(2, vec![5, 5, 5]).unwrap();
+        let trace = vec![
+            Request::top(0),
+            Request::top(1),
+            Request::top(0),
+            Request::top(2),
+        ];
+        let mut ll = Landlord::new(&inst);
+        let res = run_policy(&inst, &trace, &mut ll, true).unwrap();
+        let steps = res.steps.unwrap();
+        assert_eq!(
+            steps[3].evictions().collect::<Vec<_>>(),
+            vec![CopyRef::new(1, 1)]
+        );
+    }
+}

@@ -1,0 +1,357 @@
+//! The deterministic fractional algorithm (Section 4.2 of the paper),
+//! `O(log k)`-competitive for weighted multi-level paging.
+//!
+//! On a request `(p_t, i_t)` the algorithm
+//!
+//! 1. sets `u(p_t, j) = 0` for `j ≥ i_t` (evicts deeper copies of `p_t` and
+//!    fetches enough of `(p_t, i_t)` to hold one full unit in the prefix),
+//!    then
+//! 2. while the cache is over-full (`Σ_q u(q, ℓ_q) < n − k`), evicts mass
+//!    from every other page `q` with cache presence, decreasing its deepest
+//!    positive copy `y(q, i_q)` at rate `(u(q, i_q) + η)/w(q, i_q)` with
+//!    `η = 1/k`.
+//!
+//! **Event-driven integration.** Writing `a_q = u(q, i_q)`, the continuous
+//! rule is `da_q/dτ = (a_q + η)/w_q`, with closed form
+//! `a_q(τ) = (a_q(0) + η)·e^{τ/w_q} − η`. The evolution is integrated
+//! exactly from breakpoint to breakpoint: an *event* occurs when some
+//! `y(q, i_q)` hits zero (`a_q` reaches `u(q, i_q − 1)`), after which that
+//! page's active level moves up (or the page runs out of mass). Within a
+//! segment the stopping time for the capacity constraint is found by
+//! bisection on the (monotone) total evicted mass.
+
+use wmlp_core::fractional::EPS;
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::policy::{FracDelta, FractionalPolicy};
+use wmlp_core::types::{Level, PageId};
+
+/// The fractional multiplicative-update algorithm.
+#[derive(Debug, Clone)]
+pub struct FracMultiplicative {
+    inst: MlInstance,
+    /// The paper's `η` (default `1/k`); configurable for the E10 ablation.
+    eta: f64,
+    /// `y[q][j-1]` = fraction of copy `(q, j)` in the cache.
+    y: Vec<Vec<f64>>,
+    /// Total cache mass of page `q` (`Σ_j y(q,j) = 1 − u(q, ℓ_q)`).
+    mass: Vec<f64>,
+    /// Total cache mass over all pages.
+    total_mass: f64,
+}
+
+/// Integration state for one page during the eviction phase.
+struct ActivePage {
+    q: PageId,
+    /// Active level `i_q` (deepest level with positive `y`).
+    i: Level,
+    /// `a = u(q, i_q)` (equals `u(q, j)` for all `j ≥ i_q`).
+    a: f64,
+    /// Segment ceiling `b = u(q, i_q − 1)`; the event `y(q,i_q) = 0` fires
+    /// when `a` reaches `b`.
+    b: f64,
+    /// `w(q, i_q)`.
+    w: f64,
+    /// `a` at the start of this request's eviction phase, for delta output.
+    a_start: f64,
+    /// Deepest level index that was active at the start, for delta output.
+    i_start: Level,
+}
+
+impl ActivePage {
+    /// Time for `a` to reach the segment ceiling `b`.
+    fn time_to_event(&self, eta: f64) -> f64 {
+        if self.b - self.a <= 0.0 {
+            0.0
+        } else {
+            self.w * (((self.b + eta) / (self.a + eta)).ln())
+        }
+    }
+
+    /// Value of `a` after integrating for time `tau` within the segment.
+    fn a_at(&self, tau: f64, eta: f64) -> f64 {
+        ((self.a + eta) * (tau / self.w).exp() - eta).min(self.b)
+    }
+}
+
+impl FracMultiplicative {
+    /// New fractional algorithm with the paper's `η = 1/k`.
+    pub fn new(inst: &MlInstance) -> Self {
+        Self::with_eta(inst, 1.0 / inst.k() as f64)
+    }
+
+    /// New fractional algorithm with an explicit `η` (ablation E10).
+    pub fn with_eta(inst: &MlInstance, eta: f64) -> Self {
+        assert!(eta > 0.0, "eta must be positive");
+        FracMultiplicative {
+            eta,
+            y: (0..inst.n())
+                .map(|p| vec![0.0; inst.levels(p as PageId) as usize])
+                .collect(),
+            mass: vec![0.0; inst.n()],
+            total_mass: 0.0,
+            inst: inst.clone(),
+        }
+    }
+
+    /// `u(q, j) = 1 − Σ_{h ≤ j} y(q, h)`.
+    fn compute_u(&self, q: PageId, j: Level) -> f64 {
+        let row = &self.y[q as usize];
+        let s: f64 = row[..j as usize].iter().sum();
+        (1.0 - s).clamp(0.0, 1.0)
+    }
+
+    /// Deepest level of `q` with positive `y`, if any.
+    fn active_level(&self, q: PageId) -> Option<Level> {
+        let row = &self.y[q as usize];
+        row.iter()
+            .rposition(|&v| v > EPS)
+            .map(|idx| (idx + 1) as Level)
+    }
+
+    fn set_y(&mut self, q: PageId, j: Level, v: f64) {
+        let slot = &mut self.y[q as usize][j as usize - 1];
+        let dv = v - *slot;
+        *slot = v;
+        self.mass[q as usize] += dv;
+        self.total_mass += dv;
+    }
+
+    /// Build the [`ActivePage`] record for `q`, or `None` if massless.
+    fn activate(&self, q: PageId) -> Option<ActivePage> {
+        let i = self.active_level(q)?;
+        let a = self.compute_u(q, i);
+        let b = self.compute_u(q, i - 1);
+        Some(ActivePage {
+            q,
+            i,
+            a,
+            b,
+            w: self.inst.weight(q, i) as f64,
+            a_start: a,
+            i_start: i,
+        })
+    }
+
+    /// Step 2: evict `needed` total mass from all pages except `p_t`,
+    /// appending the resulting `u` deltas to `out`.
+    fn evict_phase(&mut self, p_t: PageId, mut needed: f64, out: &mut Vec<FracDelta>) {
+        let mut active: Vec<ActivePage> = (0..self.inst.n() as PageId)
+            .filter(|&q| q != p_t)
+            .filter_map(|q| self.activate(q))
+            .collect();
+
+        while needed > EPS && !active.is_empty() {
+            // Time until the first event (some y(q, i_q) hitting zero).
+            let tau_event = active
+                .iter()
+                .map(|ap| ap.time_to_event(self.eta))
+                .fold(f64::INFINITY, f64::min);
+
+            let gain_at = |tau: f64, pages: &[ActivePage]| -> f64 {
+                pages
+                    .iter()
+                    .map(|ap| ap.a_at(tau, self.eta) - ap.a)
+                    .sum::<f64>()
+            };
+
+            let tau = if gain_at(tau_event, &active) >= needed {
+                // The capacity constraint is met inside this segment: find
+                // the exact stopping time by bisection (gain is monotone).
+                let (mut lo, mut hi) = (0.0f64, tau_event);
+                for _ in 0..70 {
+                    let mid = 0.5 * (lo + hi);
+                    if gain_at(mid, &active) >= needed {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                hi
+            } else {
+                tau_event
+            };
+
+            // Advance every active page by tau and materialize into y.
+            for ap in &mut active {
+                let new_a = ap.a_at(tau, self.eta);
+                needed -= new_a - ap.a;
+                ap.a = new_a;
+            }
+            for ap in &active {
+                self.set_y(ap.q, ap.i, (ap.b - ap.a).max(0.0));
+            }
+
+            // Process events: pages whose segment finished move their
+            // active level up or drop out.
+            let mut next_active = Vec::with_capacity(active.len());
+            for mut ap in active {
+                if ap.b - ap.a > EPS {
+                    next_active.push(ap);
+                    continue;
+                }
+                // y(q, i) hit zero exactly.
+                self.set_y(ap.q, ap.i, 0.0);
+                match self.active_level(ap.q) {
+                    Some(i_new) => {
+                        ap.i = i_new;
+                        ap.a = self.compute_u(ap.q, i_new);
+                        ap.b = self.compute_u(ap.q, i_new - 1);
+                        ap.w = self.inst.weight(ap.q, i_new) as f64;
+                        next_active.push(ap);
+                    }
+                    None => {
+                        // Page fully evicted: flush its deltas now.
+                        emit_page_deltas(&self.inst, ap.q, 1, 1.0, out);
+                    }
+                }
+            }
+            active = next_active;
+        }
+
+        // Flush deltas for pages that still hold mass: all levels from the
+        // final active level to ℓ now hold u = a.
+        for ap in &active {
+            if ap.a > ap.a_start || ap.i < ap.i_start {
+                emit_page_deltas(&self.inst, ap.q, ap.i, ap.a, out);
+            }
+        }
+    }
+}
+
+/// Emit `u(q, j) = value` for all `j` in `from..=ℓ_q`.
+fn emit_page_deltas(
+    inst: &MlInstance,
+    q: PageId,
+    from: Level,
+    value: f64,
+    out: &mut Vec<FracDelta>,
+) {
+    for j in from..=inst.levels(q) {
+        out.push(FracDelta {
+            page: q,
+            level: j,
+            new_u: value,
+        });
+    }
+}
+
+impl FractionalPolicy for FracMultiplicative {
+    fn name(&self) -> String {
+        "frac-multiplicative".into()
+    }
+
+    fn on_request(&mut self, _t: usize, req: Request, out: &mut Vec<FracDelta>) {
+        let (p, i) = (req.page, req.level);
+        let deficit = self.compute_u(p, i);
+
+        // Step 1: u(p_t, j) = 0 for j >= i_t. Equivalently, evict copies
+        // deeper than i_t and fill copy i_t up to one unit of prefix mass.
+        if deficit > 0.0 || self.active_level(p).is_some_and(|l| l > i) {
+            for j in (i + 1)..=self.inst.levels(p) {
+                self.set_y(p, j, 0.0);
+            }
+            let prefix_below: f64 = self.y[p as usize][..i as usize - 1].iter().sum();
+            self.set_y(p, i, 1.0 - prefix_below);
+            emit_page_deltas(&self.inst, p, i, 0.0, out);
+        }
+
+        // Step 2: restore the capacity constraint.
+        let needed = self.total_mass - self.inst.k() as f64;
+        if needed > EPS {
+            self.evict_phase(p, needed, out);
+        }
+    }
+
+    fn u(&self, page: PageId, level: Level) -> f64 {
+        self.compute_u(page, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_sim::frac_engine::run_fractional;
+    use wmlp_workloads::{zipf_trace, LevelDist};
+
+    #[test]
+    fn fills_cache_before_evicting() {
+        let inst = MlInstance::weighted_paging(2, vec![4, 4, 4]).unwrap();
+        let trace = vec![Request::top(0), Request::top(1)];
+        let mut alg = FracMultiplicative::new(&inst);
+        let res = run_fractional(&inst, &trace, &mut alg, 1, None).unwrap();
+        assert_eq!(res.cost, 0.0, "no eviction needed below capacity");
+        assert!((res.final_state.occupancy() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_is_proportionally_shared() {
+        // Symmetric pages: requesting a third page must evict 0.5 from each
+        // of the two residents (equal weights, equal u + eta rates).
+        let inst = MlInstance::weighted_paging(2, vec![8, 8, 8]).unwrap();
+        let trace = vec![Request::top(0), Request::top(1), Request::top(2)];
+        let mut alg = FracMultiplicative::new(&inst);
+        run_fractional(&inst, &trace, &mut alg, 1, None).unwrap();
+        let u0 = alg.u(0, 1);
+        let u1 = alg.u(1, 1);
+        assert!((u0 - u1).abs() < 1e-6, "u0={u0} u1={u1}");
+        assert!((u0 - 0.5).abs() < 1e-6, "u0={u0}");
+        assert!(alg.u(2, 1) < 1e-9);
+    }
+
+    #[test]
+    fn heavier_pages_lose_less_mass() {
+        let inst = MlInstance::weighted_paging(2, vec![100, 1, 10]).unwrap();
+        let trace = vec![Request::top(0), Request::top(1), Request::top(2)];
+        let mut alg = FracMultiplicative::new(&inst);
+        run_fractional(&inst, &trace, &mut alg, 1, None).unwrap();
+        assert!(
+            alg.u(0, 1) < alg.u(1, 1),
+            "heavy page kept more: u0={} u1={}",
+            alg.u(0, 1),
+            alg.u(1, 1)
+        );
+    }
+
+    #[test]
+    fn multilevel_request_clears_deeper_copies() {
+        let inst = MlInstance::from_rows(1, vec![vec![8, 2], vec![8, 2]]).unwrap();
+        // Read page 0 (level 2), then write it (level 1): the write must
+        // move all of page 0's mass to the prefix {1}.
+        let trace = vec![Request::new(0, 2), Request::new(0, 1)];
+        let mut alg = FracMultiplicative::new(&inst);
+        let res = run_fractional(&inst, &trace, &mut alg, 1, None).unwrap();
+        assert!(alg.u(0, 1) < 1e-9);
+        assert!((alg.compute_u(0, 2)) < 1e-9);
+        // y(0,2) must now be zero: the full unit sits at level 1.
+        assert!((res.final_state.y(0, 1) - 1.0).abs() < 1e-9);
+        assert!(res.final_state.y(0, 2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasible_on_zipf_multilevel() {
+        let inst =
+            MlInstance::from_rows(4, (0..12).map(|_| vec![64, 16, 4, 1]).collect::<Vec<_>>())
+                .unwrap();
+        let trace = zipf_trace(&inst, 1.0, 600, LevelDist::Uniform, 3);
+        let mut alg = FracMultiplicative::new(&inst);
+        let res = run_fractional(&inst, &trace, &mut alg, 1, None).unwrap();
+        assert!(res.cost > 0.0);
+        assert!(res.final_state.occupancy() <= inst.k() as f64 + 1e-6);
+    }
+
+    #[test]
+    fn eta_ablation_changes_cost() {
+        let inst = MlInstance::weighted_paging(3, vec![16, 8, 4, 2, 1, 32]).unwrap();
+        let trace = zipf_trace(&inst, 0.8, 400, LevelDist::Top, 5);
+        let cost = |eta: f64| {
+            let mut alg = FracMultiplicative::with_eta(&inst, eta);
+            run_fractional(&inst, &trace, &mut alg, 8, None)
+                .unwrap()
+                .cost
+        };
+        let c_small = cost(1e-3);
+        let c_large = cost(10.0);
+        assert!(c_small > 0.0 && c_large > 0.0);
+        assert!(c_small != c_large);
+    }
+}

@@ -1,0 +1,246 @@
+//! The deterministic water-filling algorithm (Section 4.1 of the paper).
+//!
+//! For each cached copy `(p, i)` the algorithm maintains a water level
+//! `f(p,i) ∈ [0, w(p,i)]`, set to 0 at fetch time. When the cache
+//! overflows, the water levels of all cached copies (other than the
+//! requested page's) rise at unit rate until one reaches its weight; that
+//! copy is evicted. Theorem 4.1: with weights satisfying
+//! `w(p,i) ≥ 2·w(p,i+1)` the algorithm is `2k`-competitive, hence `O(k)`
+//! for arbitrary weights after level normalization.
+//!
+//! **Implementation.** Rather than simulating the continuous rise, observe
+//! that `f` is only ever reset (to 0, at fetch) and raised uniformly for
+//! all candidates. Keeping a global water clock `L` that accumulates the
+//! total rise, the copy evicted by the water-filling step is always
+//! `argmin_q (L_fetch(q) + w(q, i_q))` — its *deadline* — after which `L`
+//! jumps to the winning deadline. All arithmetic stays in `u64` and each
+//! request costs `O(log k)` time via an ordered set of deadlines.
+//!
+//! A subtlety: copies fetched at different times have different `L_fetch`,
+//! and a copy that is replaced in step 2(a) (a higher-level copy of the
+//! requested page being displaced by the requested one) resets its
+//! deadline. Hits change nothing — the algorithm intentionally has no
+//! recency component.
+
+use std::collections::BTreeSet;
+
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::policy::{CacheTxn, OnlinePolicy};
+use wmlp_core::types::{CopyRef, PageId, Weight};
+
+/// The water-filling deterministic online algorithm.
+///
+/// ```
+/// use wmlp_core::cost::CostModel;
+/// use wmlp_core::instance::{MlInstance, Request};
+/// use wmlp_algos::WaterFill;
+/// use wmlp_sim::engine::run_policy;
+///
+/// let inst = MlInstance::rw_paging(2, vec![(8, 2); 6]).unwrap();
+/// let trace: Vec<Request> =
+///     [(0, 2), (1, 1), (2, 2), (0, 1)].map(|(p, l)| Request::new(p, l)).into();
+/// let mut alg = WaterFill::new(&inst);
+/// let run = run_policy(&inst, &trace, &mut alg, false).unwrap();
+/// assert!(run.ledger.total(CostModel::Eviction) > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WaterFill {
+    inst: MlInstance,
+    /// Global water clock: total rise applied so far.
+    clock: Weight,
+    /// `(deadline, page)` for each cached page's copy; the page's current
+    /// level is read from the simulator's cache state, but we also mirror
+    /// it in `deadline_of` for O(log k) updates.
+    deadlines: BTreeSet<(Weight, PageId)>,
+    /// Per-page deadline (0 = not cached). Deadlines are strictly positive
+    /// because `w ≥ 1` and the clock never exceeds the smallest deadline.
+    deadline_of: Vec<Weight>,
+}
+
+impl WaterFill {
+    /// New instance of the algorithm for `inst`.
+    pub fn new(inst: &MlInstance) -> Self {
+        WaterFill {
+            clock: 0,
+            deadlines: BTreeSet::new(),
+            deadline_of: vec![0; inst.n()],
+            inst: inst.clone(),
+        }
+    }
+
+    fn insert_deadline(&mut self, page: PageId, deadline: Weight) {
+        debug_assert_eq!(self.deadline_of[page as usize], 0);
+        self.deadline_of[page as usize] = deadline;
+        self.deadlines.insert((deadline, page));
+    }
+
+    fn remove_deadline(&mut self, page: PageId) {
+        let d = std::mem::replace(&mut self.deadline_of[page as usize], 0);
+        debug_assert!(d != 0);
+        let removed = self.deadlines.remove(&(d, page));
+        debug_assert!(removed);
+    }
+}
+
+impl WaterFill {
+    /// The global water clock `L` (total accumulated rise). Exposed for
+    /// the potential-function audit of Theorem 4.1.
+    pub fn clock(&self) -> Weight {
+        self.clock
+    }
+
+    /// The *remaining credit* `w(p, i_p) − f(p, i_p) = deadline − L` of the
+    /// cached copy of `page`, or `None` if the page is not cached. The
+    /// water level itself is `f = w − remaining_credit`, always in
+    /// `[0, w(p, i_p)]`.
+    pub fn remaining_credit(&self, page: PageId) -> Option<Weight> {
+        let d = self.deadline_of[page as usize];
+        (d != 0).then(|| {
+            debug_assert!(d >= self.clock);
+            d - self.clock
+        })
+    }
+}
+
+impl OnlinePolicy for WaterFill {
+    fn name(&self) -> String {
+        "waterfill".into()
+    }
+
+    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        // Step 1: already satisfied — do nothing (no recency update).
+        if txn.cache().serves(req) {
+            return;
+        }
+        // Step 2: fetch (p_t, i_t) with f = 0, i.e. deadline = clock + w.
+        let fetched = CopyRef::new(req.page, req.level);
+        if let Some(level) = txn.cache().level_of(req.page) {
+            // Step 2(a): a lower-level copy (p_t, j), j > i_t, is displaced.
+            debug_assert!(level > req.level);
+            txn.evict(CopyRef::new(req.page, level)).expect("present");
+            self.remove_deadline(req.page);
+            txn.fetch(fetched).expect("page now absent");
+            self.insert_deadline(req.page, self.clock + self.inst.weight(req.page, req.level));
+            return;
+        }
+        txn.fetch(fetched).expect("page absent");
+
+        // Step 2(b): if the cache now overflows, raise water on all cached
+        // copies except the requested page until one fills: evict the
+        // minimum deadline and advance the clock to it. The requested page
+        // is excluded from the rise (its deadline is inserted only after
+        // the clock has advanced, so its water level stays 0 this step).
+        if txn.cache().occupancy() > self.inst.k() {
+            let (deadline, q) = self
+                .deadlines
+                .first()
+                .copied()
+                .expect("cache overflow implies another cached page");
+            debug_assert_ne!(q, req.page, "requested page has no deadline yet");
+            self.clock = deadline;
+            let level = txn.cache().level_of(q).expect("victim cached");
+            txn.evict(CopyRef::new(q, level)).expect("present");
+            self.remove_deadline(q);
+        }
+        self.insert_deadline(req.page, self.clock + self.inst.weight(req.page, req.level));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_core::cost::CostModel;
+    use wmlp_sim::engine::run_policy;
+
+    #[test]
+    fn serves_everything_and_respects_capacity() {
+        let inst = MlInstance::from_rows(2, vec![vec![8, 2], vec![16, 4], vec![4, 1], vec![32, 8]])
+            .unwrap();
+        let trace: Vec<Request> = [
+            (0, 2),
+            (1, 1),
+            (2, 2),
+            (3, 1),
+            (0, 1),
+            (2, 1),
+            (1, 2),
+            (3, 2),
+            (0, 2),
+        ]
+        .iter()
+        .map(|&(p, l)| Request::new(p, l))
+        .collect();
+        let mut alg = WaterFill::new(&inst);
+        let res = run_policy(&inst, &trace, &mut alg, true).unwrap();
+        assert!(res.ledger.total(CostModel::Fetch) > 0);
+    }
+
+    #[test]
+    fn no_eviction_until_cache_full() {
+        let inst = MlInstance::weighted_paging(3, vec![5, 5, 5, 5]).unwrap();
+        let trace = vec![Request::top(0), Request::top(1), Request::top(2)];
+        let mut alg = WaterFill::new(&inst);
+        let res = run_policy(&inst, &trace, &mut alg, false).unwrap();
+        assert_eq!(res.ledger.evictions, 0);
+        assert_eq!(res.ledger.fetches, 3);
+    }
+
+    #[test]
+    fn evicts_cheapest_first_from_cold_start() {
+        // All fetched at clock 0: deadlines equal weights, so the cheapest
+        // page is flooded first.
+        let inst = MlInstance::weighted_paging(2, vec![10, 1, 10]).unwrap();
+        let trace = vec![Request::top(0), Request::top(1), Request::top(2)];
+        let mut alg = WaterFill::new(&inst);
+        let res = run_policy(&inst, &trace, &mut alg, true).unwrap();
+        let steps = res.steps.unwrap();
+        let evicted: Vec<_> = steps[2].evictions().collect();
+        assert_eq!(evicted, vec![CopyRef::new(1, 1)]);
+    }
+
+    #[test]
+    fn water_accumulates_across_evictions() {
+        // k = 1. Fetch p0 (w=3, deadline 3). Request p1 (w=3): evict p0,
+        // clock -> 3, p1 deadline 6. Request p0: evict p1 at clock 6.
+        // Deadlines grow with the clock, so a heavier page fetched later is
+        // preferred over re-flooding from zero.
+        let inst = MlInstance::weighted_paging(1, vec![3, 3]).unwrap();
+        let trace = vec![Request::top(0), Request::top(1), Request::top(0)];
+        let mut alg = WaterFill::new(&inst);
+        run_policy(&inst, &trace, &mut alg, false).unwrap();
+        assert_eq!(alg.clock, 6);
+    }
+
+    #[test]
+    fn displaced_lower_level_copy_is_replaced_in_place() {
+        // Cache holds (0,2); request (0,1) displaces it without touching
+        // other pages even when the cache is full.
+        let inst = MlInstance::from_rows(2, vec![vec![8, 2], vec![4, 1], vec![4, 1]]).unwrap();
+        let trace = vec![Request::new(0, 2), Request::new(1, 2), Request::new(0, 1)];
+        let mut alg = WaterFill::new(&inst);
+        let res = run_policy(&inst, &trace, &mut alg, true).unwrap();
+        let steps = res.steps.unwrap();
+        assert_eq!(
+            steps[2].evictions().collect::<Vec<_>>(),
+            vec![CopyRef::new(0, 2)]
+        );
+        assert_eq!(
+            steps[2].fetches().collect::<Vec<_>>(),
+            vec![CopyRef::new(0, 1)]
+        );
+        // Page 1 was untouched.
+        assert!(res.final_cache.contains(CopyRef::new(1, 2)));
+    }
+
+    #[test]
+    fn cyclic_adversary_faults_most_rounds() {
+        // n = k+1 cyclic requests: a deterministic algorithm must fault on
+        // a constant fraction of requests (water-filling is not LRU and
+        // does get occasional hits, but must still fault heavily).
+        let inst = MlInstance::unweighted_paging(3, 4).unwrap();
+        let trace: Vec<Request> = (0..40).map(|t| Request::top((t % 4) as u32)).collect();
+        let mut alg = WaterFill::new(&inst);
+        let res = run_policy(&inst, &trace, &mut alg, false).unwrap();
+        assert!(res.ledger.fetches >= 20, "fetches = {}", res.ledger.fetches);
+    }
+}

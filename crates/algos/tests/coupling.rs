@@ -1,0 +1,186 @@
+//! Statistical validation of the coupling argument (Lemma 4.9).
+//!
+//! The rounding analysis couples the cache distribution `E(t)` with the
+//! product distribution `D(t)` of marginals `1 − y_p(t)` such that the
+//! cache is always a *subset* of the coupled product sample. A directly
+//! testable consequence: at every time `t` and for every page `p`,
+//!
+//! ```text
+//! Pr[p ∈ C(t)]  ≤  1 − y_p(t)   where  y_p = min(β·x_p, 1).
+//! ```
+//!
+//! These tests estimate the left side over many independent seeds and
+//! check the inequality up to binomial sampling error.
+
+use wmlp_algos::rounding::{default_beta, RoundingML, RoundingWP};
+use wmlp_algos::FracMultiplicative;
+use wmlp_core::cache::CacheState;
+use wmlp_core::instance::MlInstance;
+use wmlp_core::policy::{CacheTxn, FracDelta, FractionalPolicy};
+use wmlp_core::types::PageId;
+use wmlp_workloads::{zipf_trace, LevelDist};
+
+const SEEDS: u64 = 400;
+
+/// Binomial 4-sigma slack for `SEEDS` samples.
+fn slack(p: f64) -> f64 {
+    4.0 * (p * (1.0 - p) / SEEDS as f64).sqrt() + 1e-9
+}
+
+#[test]
+fn wp_cache_marginals_dominated_by_amplified_fractional() {
+    let inst = MlInstance::weighted_paging(4, vec![1, 2, 4, 8, 16, 32, 5, 9]).unwrap();
+    let trace = zipf_trace(&inst, 1.0, 200, LevelDist::Top, 3);
+    let beta = default_beta(inst.k());
+
+    // The fractional stream is deterministic: replay it once to get the
+    // final x values, and once per seed for the rounding.
+    let mut frac = FracMultiplicative::new(&inst);
+    let mut all_deltas: Vec<Vec<FracDelta>> = Vec::with_capacity(trace.len());
+    for (t, &req) in trace.iter().enumerate() {
+        let mut d = Vec::new();
+        frac.on_request(t, req, &mut d);
+        all_deltas.push(d);
+    }
+
+    let mut present = vec![0u64; inst.n()];
+    for seed in 0..SEEDS {
+        let mut rounding = RoundingWP::new(&inst, beta, seed);
+        let mut cache = CacheState::empty(inst.n());
+        for (t, &req) in trace.iter().enumerate() {
+            let mut txn = CacheTxn::new(&mut cache);
+            rounding.on_step(req, &all_deltas[t], &mut txn);
+            txn.finish();
+        }
+        for c in cache.iter() {
+            present[c.page as usize] += 1;
+        }
+    }
+
+    let last = *trace.last().unwrap();
+    for p in 0..inst.n() as PageId {
+        let x = frac.u(p, 1);
+        let y = (beta * x).min(1.0);
+        let bound = 1.0 - y;
+        let est = present[p as usize] as f64 / SEEDS as f64;
+        // The requested page is deterministically cached; the bound holds
+        // for it trivially since x = 0 there.
+        let tol = if p == last.page {
+            1e-9
+        } else {
+            slack(bound.clamp(0.01, 0.99))
+        };
+        assert!(
+            est <= bound + tol,
+            "page {p}: Pr[cached] = {est:.3} > 1 - y = {bound:.3}"
+        );
+    }
+}
+
+#[test]
+fn ml_prefix_marginals_dominated_by_amplified_fractional() {
+    // Multi-level version: for every prefix (p, 1..=i), the probability
+    // that the cache holds a copy in the prefix is at most 1 - v(p,i)
+    // where v = min(beta * u, 1).
+    let inst = MlInstance::from_rows(3, (0..8).map(|_| vec![16, 4, 1]).collect()).unwrap();
+    let trace = zipf_trace(&inst, 1.0, 150, LevelDist::Uniform, 5);
+    let beta = default_beta(inst.k());
+
+    let mut frac = FracMultiplicative::new(&inst);
+    let mut all_deltas: Vec<Vec<FracDelta>> = Vec::with_capacity(trace.len());
+    for (t, &req) in trace.iter().enumerate() {
+        let mut d = Vec::new();
+        frac.on_request(t, req, &mut d);
+        all_deltas.push(d);
+    }
+
+    // prefix_present[p][i-1] = # seeds whose final cache has (p, j<=i).
+    let mut prefix_present = vec![[0u64; 3]; inst.n()];
+    for seed in 0..SEEDS {
+        let mut rounding = RoundingML::new(&inst, beta, seed);
+        let mut cache = CacheState::empty(inst.n());
+        for (t, &req) in trace.iter().enumerate() {
+            let mut txn = CacheTxn::new(&mut cache);
+            rounding.on_step(req, &all_deltas[t], &mut txn);
+            txn.finish();
+        }
+        for c in cache.iter() {
+            for i in c.level..=3 {
+                prefix_present[c.page as usize][i as usize - 1] += 1;
+            }
+        }
+    }
+
+    let last = *trace.last().unwrap();
+    for p in 0..inst.n() as PageId {
+        for i in 1..=3u8 {
+            let u = frac.u(p, i);
+            let v = (beta * u).min(1.0);
+            let bound = 1.0 - v;
+            let est = prefix_present[p as usize][i as usize - 1] as f64 / SEEDS as f64;
+            let tol = if p == last.page && i >= last.level {
+                1e-9
+            } else {
+                slack(bound.clamp(0.01, 0.99))
+            };
+            assert!(
+                est <= bound + tol,
+                "prefix ({p},{i}): Pr = {est:.3} > 1 - v = {bound:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn local_rule_eviction_probability_matches_formula() {
+    // Micro-check of the Algorithm 1 local rule in isolation: one page,
+    // one fractional jump from x=0.1 to x=0.2 with beta=2 must evict a
+    // cached page with probability (0.4-0.2)/(1-0.2) = 0.25.
+    let inst = MlInstance::weighted_paging(1, vec![4, 4, 4]).unwrap();
+    let beta = 2.0;
+    let mut evicted = 0u64;
+    let trials = 4000u64;
+    for seed in 0..trials {
+        let mut rounding = RoundingWP::new(&inst, beta, seed);
+        let mut cache = CacheState::empty(inst.n());
+        // Step 1: fetch page 0 (x_0: 1 -> 0.1? — x is set by deltas).
+        let d0 = vec![FracDelta {
+            page: 0,
+            level: 1,
+            new_u: 0.1,
+        }];
+        let mut txn = CacheTxn::new(&mut cache);
+        // Request page 0 so it gets cached; its own delta is committed.
+        rounding.on_step(wmlp_core::instance::Request::top(0), &d0, &mut txn);
+        txn.finish();
+        assert!(cache.contains_page(0));
+        // Step 2: request page 1; page 0's x rises 0.1 -> 0.2.
+        let d1 = vec![
+            FracDelta {
+                page: 1,
+                level: 1,
+                new_u: 0.0,
+            },
+            FracDelta {
+                page: 0,
+                level: 1,
+                new_u: 0.2,
+            },
+        ];
+        let mut txn = CacheTxn::new(&mut cache);
+        rounding.on_step(wmlp_core::instance::Request::top(1), &d1, &mut txn);
+        txn.finish();
+        if !cache.contains_page(0) {
+            evicted += 1;
+        }
+    }
+    let est = evicted as f64 / trials as f64;
+    // Expected 0.25; allow 4 sigma of binomial noise. Note: the reset
+    // step may add evictions when the cache exceeds the class budget —
+    // k_geq here is 1 - 0.2 + 1 = 1.8, ceil 2, and |C| = 2, so no reset.
+    let sigma = (0.25 * 0.75 / trials as f64).sqrt();
+    assert!(
+        (est - 0.25).abs() < 4.0 * sigma + 1e-3,
+        "eviction probability {est} != 0.25"
+    );
+}

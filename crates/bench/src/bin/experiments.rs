@@ -1,0 +1,41 @@
+//! The `experiments` binary: regenerates the E1–E10 evaluation tables.
+//!
+//! ```text
+//! cargo run -p wmlp-bench --release --bin experiments -- all
+//! cargo run -p wmlp-bench --release --bin experiments -- e3 e9
+//! ```
+//!
+//! Tables are printed to stdout and written as CSV under
+//! `target/experiments/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wmlp_bench::experiments::{run_experiment, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    let csv_dir = PathBuf::from("target/experiments");
+    for id in &ids {
+        let start = Instant::now();
+        let tables = run_experiment(id);
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            let slug = if tables.len() == 1 {
+                id.clone()
+            } else {
+                format!("{id}_{}", (b'a' + i as u8) as char)
+            };
+            match table.write_csv(&csv_dir, &slug) {
+                Ok(path) => println!("[csv] {}", path.display()),
+                Err(e) => eprintln!("[csv] failed to write {slug}: {e}"),
+            }
+        }
+        println!("[{id}] completed in {:.1?}\n", start.elapsed());
+    }
+}

@@ -1,0 +1,176 @@
+//! `simulate` — run paging algorithms over instances and traces from the
+//! command line.
+//!
+//! ```text
+//! # Generate a synthetic workload, write it out, and simulate:
+//! simulate gen --k 16 --pages 128 --levels 2 --len 10000 --seed 7 \
+//!              --out-instance /tmp/i.wmlp --out-trace /tmp/t.wmlp
+//! simulate run --instance /tmp/i.wmlp --trace /tmp/t.wmlp \
+//!              --alg lru,landlord,waterfill,randomized --seed 1 --opt
+//! ```
+//!
+//! Files use the `wmlp-core::codec` text format. `--opt` additionally
+//! computes the exact offline optimum (flow for 1-level instances, DP for
+//! small multi-level ones) and prints competitive ratios.
+
+use std::process::ExitCode;
+
+use wmlp_core::codec;
+use wmlp_core::cost::CostModel;
+use wmlp_core::instance::MlInstance;
+use wmlp_core::policy::OnlinePolicy;
+use wmlp_sim::engine::run_policy;
+use wmlp_workloads::{ml_rows_geometric, zipf_trace, LevelDist};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("gen") => gen(&args[1..]),
+        Some("run") => run(&args[1..]),
+        _ => {
+            eprintln!("usage: simulate <gen|run> [flags]  (see module docs)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+use wmlp_bench::cli::{flag, flag_parse, switch};
+
+fn gen(args: &[String]) -> ExitCode {
+    let k = flag_parse(args, "--k", 16usize);
+    let pages = flag_parse(args, "--pages", 128usize);
+    let levels = flag_parse(args, "--levels", 1u8);
+    let len = flag_parse(args, "--len", 10_000usize);
+    let seed = flag_parse(args, "--seed", 0u64);
+    let alpha = flag_parse(args, "--alpha", 1.0f64);
+
+    let rows = ml_rows_geometric(pages, levels, 16, 256, 4, seed);
+    let inst = match MlInstance::from_rows(k, rows) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("invalid parameters: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dist = if levels == 1 {
+        LevelDist::Top
+    } else {
+        LevelDist::Uniform
+    };
+    let trace = zipf_trace(&inst, alpha, len, dist, seed.wrapping_add(1));
+
+    let write = |path: Option<&str>, content: String, what: &str| -> bool {
+        match path {
+            Some(p) => std::fs::write(p, content)
+                .map_err(|e| eprintln!("cannot write {what} to {p}: {e}"))
+                .is_ok(),
+            None => {
+                println!("{content}");
+                true
+            }
+        }
+    };
+    let ok = write(
+        flag(args, "--out-instance"),
+        codec::write_instance(&inst),
+        "instance",
+    ) && write(
+        flag(args, "--out-trace"),
+        codec::write_trace(&trace),
+        "trace",
+    );
+    if ok {
+        eprintln!("generated: k={k} pages={pages} levels={levels} len={len}");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let (Some(inst_path), Some(trace_path)) = (flag(args, "--instance"), flag(args, "--trace"))
+    else {
+        eprintln!("run requires --instance and --trace");
+        return ExitCode::FAILURE;
+    };
+    let inst = match std::fs::read_to_string(inst_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| codec::parse_instance(&t).map_err(|e| e.to_string()))
+    {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("cannot load instance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match std::fs::read_to_string(trace_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| codec::parse_trace(&t).map_err(|e| e.to_string()))
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(i) = inst.validate_trace(&trace) {
+        eprintln!("trace request {i} is invalid for this instance");
+        return ExitCode::FAILURE;
+    }
+    let seed = flag_parse(args, "--seed", 0u64);
+    let names = flag(args, "--alg").unwrap_or("lru,landlord,waterfill,randomized");
+
+    let opt = if switch(args, "--opt") {
+        if inst.max_levels() == 1 {
+            Some(wmlp_flow::weighted_paging_opt(&inst, &trace))
+        } else if inst.n() <= 12 && inst.max_levels() <= 3 {
+            Some(
+                wmlp_offline::opt_multilevel(&inst, &trace, wmlp_offline::DpLimits::default())
+                    .fetch_cost,
+            )
+        } else {
+            eprintln!("--opt: instance too large for exact optimum; skipping");
+            None
+        }
+    } else {
+        None
+    };
+    if let Some(o) = opt {
+        println!("{:>14}: {o}", "OPT(fetch)");
+    }
+
+    for name in names.split(',') {
+        let mut alg: Box<dyn OnlinePolicy> = match name {
+            "lru" => Box::new(wmlp_algos::Lru::new(&inst)),
+            "fifo" => Box::new(wmlp_algos::Fifo::new(&inst)),
+            "marking" => Box::new(wmlp_algos::Marking::new(&inst, seed)),
+            "landlord" => Box::new(wmlp_algos::Landlord::new(&inst)),
+            "waterfill" => Box::new(wmlp_algos::WaterFill::new(&inst)),
+            "randomized" => Box::new(wmlp_algos::RandomizedMlPaging::with_default_beta(
+                &inst, seed,
+            )),
+            other => {
+                eprintln!("unknown algorithm {other:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match run_policy(&inst, &trace, alg.as_mut(), false) {
+            Ok(res) => {
+                let cost = res.ledger.total(CostModel::Fetch);
+                match opt {
+                    Some(o) => println!(
+                        "{:>14}: {cost}  (ratio {:.3})",
+                        name,
+                        cost as f64 / o as f64
+                    ),
+                    None => println!("{:>14}: {cost}", name),
+                }
+            }
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

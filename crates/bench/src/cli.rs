@@ -1,0 +1,61 @@
+//! Minimal flag parsing shared by the `experiments` and `simulate`
+//! binaries (kept dependency-free on purpose).
+
+/// The value following `name` in `args`, if present.
+pub fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// Parse the value following `name`, falling back to `default` when the
+/// flag is absent or unparsable.
+pub fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Is the bare switch `name` present?
+pub fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_returns_following_value() {
+        let a = args(&["--k", "16", "--alg", "lru"]);
+        assert_eq!(flag(&a, "--k"), Some("16"));
+        assert_eq!(flag(&a, "--alg"), Some("lru"));
+        assert_eq!(flag(&a, "--missing"), None);
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_none() {
+        let a = args(&["--k"]);
+        assert_eq!(flag(&a, "--k"), None);
+    }
+
+    #[test]
+    fn flag_parse_falls_back_on_garbage() {
+        let a = args(&["--k", "sixteen", "--n", "32"]);
+        assert_eq!(flag_parse(&a, "--k", 7usize), 7);
+        assert_eq!(flag_parse(&a, "--n", 7usize), 32);
+        assert_eq!(flag_parse(&a, "--absent", 1.5f64), 1.5);
+    }
+
+    #[test]
+    fn switch_detection() {
+        let a = args(&["run", "--opt"]);
+        assert!(switch(&a, "--opt"));
+        assert!(!switch(&a, "--verbose"));
+    }
+}

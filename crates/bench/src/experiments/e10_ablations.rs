@@ -1,0 +1,166 @@
+//! **E10 — ablations of the paper's parameter choices.**
+//!
+//! (a) The rounding amplification `β` (paper: `4 log k`). Small `β` makes
+//! the local rule too timid, shifting work onto reset evictions (whose
+//! expected cost Lemma 4.12 bounds only when `β = Ω(log k)`); large `β`
+//! over-evicts. Expected shape: reset share falls monotonically in `β`;
+//! total cost has a shallow optimum around the paper's choice.
+//!
+//! (b) The fractional update's additive term `η` (paper: `1/k`). Small
+//! `η` freezes fully-evicted... i.e. barely-present pages (slow to evict
+//! cold pages), large `η` evicts aggressively regardless of presence,
+//! hurting heavy pages. Expected shape: cost is minimized near `η = 1/k`
+//! within a modest factor.
+
+use wmlp_algos::rounding::default_beta;
+use wmlp_algos::{FracMultiplicative, RandomizedWeightedPaging};
+use wmlp_core::cost::CostModel;
+use wmlp_core::instance::MlInstance;
+use wmlp_sim::engine::run_policy;
+use wmlp_sim::frac_engine::run_fractional;
+use wmlp_sim::sweep::mean_and_stdev;
+use wmlp_workloads::{weights_pow2_classes, zipf_trace, LevelDist};
+
+use crate::table::{fr, Table};
+
+/// Run E10.
+pub fn run() -> Vec<Table> {
+    vec![beta_ablation(), eta_ablation(), quantization_ablation()]
+}
+
+/// Lemma 4.5: quantizing the fractional stream to multiples of `δ` should
+/// cost at most a factor 2, for `δ` down to the paper's `1/(4k)`.
+fn quantization_ablation() -> Table {
+    use wmlp_algos::Quantized;
+    let mut t = Table::new(
+        "E10c: quantization ablation (Lemma 4.5; paper delta = 1/(4k))",
+        &["delta", "frac cost", "quantized", "ratio"],
+    );
+    let k = 16;
+    let inst = MlInstance::weighted_paging(k, weights_pow2_classes(64, 5, 13)).unwrap();
+    let trace = zipf_trace(&inst, 1.0, 4000, LevelDist::Top, 31);
+    let raw = {
+        let mut alg = FracMultiplicative::new(&inst);
+        run_fractional(&inst, &trace, &mut alg, 256, None)
+            .expect("feasible")
+            .cost
+    };
+    for delta in [
+        1.0 / (64.0 * k as f64),
+        1.0 / (4.0 * k as f64),
+        1.0 / k as f64,
+        0.25,
+    ] {
+        let mut alg = Quantized::with_delta(&inst, FracMultiplicative::new(&inst), delta);
+        let cost = run_fractional(&inst, &trace, &mut alg, 256, None)
+            .expect("feasible")
+            .cost;
+        t.row(vec![fr(delta), fr(raw), fr(cost), fr(cost / raw)]);
+    }
+    t
+}
+
+fn beta_ablation() -> Table {
+    let mut t = Table::new(
+        "E10a: beta ablation (k=16, l=1 Zipf; paper beta = 4 ln k)",
+        &[
+            "beta/beta0",
+            "beta",
+            "rnd(mean)",
+            "rnd(sd)",
+            "resets",
+            "reset share",
+        ],
+    );
+    let k = 16;
+    let inst = MlInstance::weighted_paging(k, weights_pow2_classes(64, 5, 13)).unwrap();
+    let trace = zipf_trace(&inst, 1.0, 4000, LevelDist::Top, 31);
+    let beta0 = default_beta(k);
+    for mult in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let beta = (beta0 * mult).max(1.01);
+        let seeds: Vec<u64> = (0..6).collect();
+        let runs: Vec<(f64, f64, f64)> = wmlp_sim::sweep::par_seeds(&seeds, |s| {
+            let mut alg = RandomizedWeightedPaging::new(&inst, 1.0 / k as f64, beta, s);
+            let res = run_policy(&inst, &trace, &mut alg, false).expect("feasible");
+            let (resets, reset_cost) = alg.reset_stats();
+            (
+                res.ledger.total(CostModel::Fetch) as f64,
+                resets as f64,
+                reset_cost as f64,
+            )
+        });
+        let (mean, sd) = mean_and_stdev(&runs.iter().map(|r| r.0).collect::<Vec<_>>());
+        let (resets, _) = mean_and_stdev(&runs.iter().map(|r| r.1).collect::<Vec<_>>());
+        let (reset_cost, _) = mean_and_stdev(&runs.iter().map(|r| r.2).collect::<Vec<_>>());
+        t.row(vec![
+            fr(mult),
+            fr(beta),
+            fr(mean),
+            fr(sd),
+            fr(resets),
+            fr(reset_cost / mean),
+        ]);
+    }
+    t
+}
+
+fn eta_ablation() -> Table {
+    let mut t = Table::new(
+        "E10b: eta ablation (k=16, l=1 Zipf; paper eta = 1/k)",
+        &["eta*k", "eta", "frac cost"],
+    );
+    let k = 16;
+    let inst = MlInstance::weighted_paging(k, weights_pow2_classes(64, 5, 13)).unwrap();
+    let trace = zipf_trace(&inst, 1.0, 4000, LevelDist::Top, 31);
+    for mult in [0.1f64, 0.5, 1.0, 2.0, 10.0, 16.0] {
+        let eta = mult / k as f64;
+        let mut alg = FracMultiplicative::with_eta(&inst, eta);
+        let cost = run_fractional(&inst, &trace, &mut alg, 256, None)
+            .expect("feasible")
+            .cost;
+        t.row(vec![fr(mult), fr(eta), fr(cost)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10a_reset_share_decreases_in_beta() {
+        let t = beta_ablation();
+        let first: f64 = t.cell(0, 5).parse().unwrap();
+        let last: f64 = t.cell(t.num_rows() - 1, 5).parse().unwrap();
+        assert!(
+            last <= first + 1e-9,
+            "reset share should shrink as beta grows: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn e10c_quantization_within_factor_two() {
+        let t = quantization_ablation();
+        for r in 0..t.num_rows() - 1 {
+            // All but the deliberately coarse last grid stay within the
+            // Lemma 4.5 factor.
+            let ratio: f64 = t.cell(r, 3).parse().unwrap();
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "row {r}: quantization ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn e10b_eta_matters() {
+        let t = eta_ablation();
+        let costs: Vec<f64> = (0..t.num_rows())
+            .map(|r| t.cell(r, 2).parse().unwrap())
+            .collect();
+        assert!(costs.iter().all(|&c| c > 0.0));
+        let max = costs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = costs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > min, "eta sweep must change the fractional cost");
+    }
+}

@@ -1,0 +1,102 @@
+//! **E3 — online rounding loses `O(log k)`; the combined randomized
+//! algorithm is `O(log² k)`-competitive (Theorem 1.2/1.5, §4.3).**
+//!
+//! For each `k`, the same trace is served by (a) the fractional algorithm
+//! and (b) the combined randomized algorithm over several seeds. Reported:
+//! the *rounding loss* `randomized / fractional` — the paper proves its
+//! expectation is `O(log k)` — normalized by `β = 4 ln k`; the end-to-end
+//! `randomized / OPT` against the flow optimum (`ℓ = 1`); and the share of
+//! randomized cost due to reset evictions, which Lemma 4.12 predicts to be
+//! a vanishing `O(1/β)`-ish fraction.
+//!
+//! Expected shape: `loss/β` bounded by a small constant across `k`;
+//! reset share ≪ 1.
+
+use wmlp_algos::{FracMultiplicative, RandomizedMlPaging};
+use wmlp_core::cost::CostModel;
+use wmlp_core::instance::MlInstance;
+use wmlp_flow::weighted_paging_opt;
+use wmlp_sim::engine::run_policy;
+use wmlp_sim::frac_engine::run_fractional;
+use wmlp_sim::sweep::mean_and_stdev;
+use wmlp_workloads::{weights_pow2_classes, zipf_trace, LevelDist};
+
+use crate::table::{fr, Table};
+
+/// Run E3.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E3: rounding loss and end-to-end randomized ratio (l=1, Zipf)",
+        &[
+            "k",
+            "beta",
+            "opt",
+            "frac",
+            "rnd(mean)",
+            "rnd(sd)",
+            "loss=rnd/frac",
+            "loss/beta",
+            "rnd/opt",
+            "reset share",
+        ],
+    );
+    for k in [2usize, 4, 8, 16, 32] {
+        let n = 4 * k;
+        let weights = weights_pow2_classes(n, 5, 100 + k as u64);
+        let inst = MlInstance::weighted_paging(k, weights).unwrap();
+        let trace = zipf_trace(&inst, 1.0, 2500, LevelDist::Top, 500 + k as u64);
+        let opt = weighted_paging_opt(&inst, &trace) as f64;
+
+        let mut frac = FracMultiplicative::new(&inst);
+        let fc = run_fractional(&inst, &trace, &mut frac, 128, None)
+            .expect("feasible")
+            .cost;
+
+        let seeds: Vec<u64> = (0..8).collect();
+        let runs: Vec<(f64, f64)> = wmlp_sim::sweep::par_seeds(&seeds, |s| {
+            let mut alg = RandomizedMlPaging::with_default_beta(&inst, s);
+            let res = run_policy(&inst, &trace, &mut alg, false).expect("feasible");
+            let cost = res.ledger.total(CostModel::Fetch) as f64;
+            let (_, reset_cost) = alg.reset_stats();
+            (cost, reset_cost as f64)
+        });
+        let costs: Vec<f64> = runs.iter().map(|r| r.0).collect();
+        let resets: Vec<f64> = runs.iter().map(|r| r.1).collect();
+        let (mean, sd) = mean_and_stdev(&costs);
+        let (reset_mean, _) = mean_and_stdev(&resets);
+        let beta = wmlp_algos::rounding::default_beta(k);
+        let loss = mean / fc;
+        t.row(vec![
+            k.to_string(),
+            fr(beta),
+            fr(opt),
+            fr(fc),
+            fr(mean),
+            fr(sd),
+            fr(loss),
+            fr(loss / beta),
+            fr(mean / opt),
+            fr(reset_mean / mean),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_loss_scales_with_beta_and_resets_are_minor() {
+        let t = &run()[0];
+        for r in 0..t.num_rows() {
+            let loss_over_beta: f64 = t.cell(r, 7).parse().unwrap();
+            let reset_share: f64 = t.cell(r, 9).parse().unwrap();
+            assert!(
+                loss_over_beta < 3.0,
+                "rounding loss not O(beta): {loss_over_beta}"
+            );
+            assert!(reset_share < 0.5, "resets dominate: {reset_share}");
+        }
+    }
+}

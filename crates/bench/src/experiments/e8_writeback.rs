@@ -1,0 +1,177 @@
+//! **E8 — when does writeback-awareness pay? (practical motivation, §1).**
+//!
+//! A Zipf workload in which 30% of the pages are write-heavy and the rest
+//! are read-mostly, with the dirty/clean cost ratio `w1/w2` swept over
+//! four orders of magnitude. Compared: writeback-oblivious LRU/FIFO, the
+//! writeback-aware GreedyDual baseline (Beckmann et al. flavour), and the
+//! paper's algorithms run through the Lemma 2.1 reduction (water-filling
+//! deterministic and the `O(log² k)` randomized, both reporting *induced*
+//! writeback cost). Expected shape: at `w1 = w2` the oblivious baselines
+//! win slightly (recency helps, awareness is a no-op); as `w1/w2` grows
+//! the aware algorithms take over, with the crossover around small
+//! `w1/w2`.
+
+use wmlp_algos::adapters::run_ml_policy_on_writeback;
+use wmlp_algos::{RandomizedMlPaging, WaterFill, WbFifo, WbGreedyDual, WbLru};
+use wmlp_core::writeback::{run_wb_policy, WbInstance};
+use wmlp_workloads::wb::wb_zipf_trace;
+
+use crate::table::{fr, Table};
+
+/// Run E8.
+pub fn run() -> Vec<Table> {
+    vec![sweep_table(), shifting_table()]
+}
+
+/// Part B: the same comparison on a temporal-shift workload where both
+/// the hot set and the write-heavy subset rotate over time — recency
+/// information matters more here, so the gap between aware and oblivious
+/// narrows but does not close.
+fn shifting_table() -> Table {
+    use wmlp_workloads::wb::wb_shifting_trace;
+    let mut t = Table::new(
+        "E8b: shifting working set (k=16, n=64, 8 phases, w2=1)",
+        &[
+            "w1/w2",
+            "opt-est",
+            "wb-lru",
+            "wb-greedydual",
+            "waterfill",
+            "randomized",
+            "winner",
+        ],
+    );
+    for w1 in [1u64, 16, 256] {
+        let inst = WbInstance::uniform(16, 64, w1, 1).unwrap();
+        let trace = wb_shifting_trace(&inst, 12000, 8, 24, 0.8, 55);
+        let opt_est = wmlp_offline::wb_offline_heuristic(&inst, &trace);
+        let lru = run_wb_policy(&inst, &trace, &mut WbLru::new(inst.n())).cost;
+        let gd = run_wb_policy(&inst, &trace, &mut WbGreedyDual::new(inst.costs())).cost;
+        let wf = run_ml_policy_on_writeback(&inst, &trace, WaterFill::new)
+            .unwrap()
+            .induced
+            .cost;
+        let rnd = run_ml_policy_on_writeback(&inst, &trace, |rw| {
+            RandomizedMlPaging::with_default_beta(rw, 1)
+        })
+        .unwrap()
+        .induced
+        .cost;
+        let entries = [
+            ("wb-lru", lru),
+            ("wb-greedydual", gd),
+            ("waterfill", wf),
+            ("randomized", rnd),
+        ];
+        let winner = entries.iter().min_by_key(|e| e.1).unwrap().0;
+        t.row(vec![
+            w1.to_string(),
+            opt_est.to_string(),
+            lru.to_string(),
+            gd.to_string(),
+            wf.to_string(),
+            rnd.to_string(),
+            winner.to_string(),
+        ]);
+    }
+    t
+}
+
+fn sweep_table() -> Table {
+    let mut t = Table::new(
+        "E8: writeback-aware vs oblivious across w1/w2 (k=16, n=64, Zipf)",
+        &[
+            "w1/w2",
+            "opt-est",
+            "wb-lru",
+            "wb-fifo",
+            "wb-greedydual",
+            "waterfill",
+            "randomized",
+            "winner",
+            "winner/opt-est",
+        ],
+    );
+    for w1 in [1u64, 4, 16, 64, 256] {
+        let inst = WbInstance::uniform(16, 64, w1, 1).unwrap();
+        let trace = wb_zipf_trace(&inst, 1.0, 12000, 0.3, 0.9, 0.05, 77);
+
+        // Clairvoyant greedy upper bound on OPT (exact OPT is NP-hard).
+        let opt_est = wmlp_offline::wb_offline_heuristic(&inst, &trace);
+        let lru = run_wb_policy(&inst, &trace, &mut WbLru::new(inst.n())).cost;
+        let fifo = run_wb_policy(&inst, &trace, &mut WbFifo::new(inst.n())).cost;
+        let gd = run_wb_policy(&inst, &trace, &mut WbGreedyDual::new(inst.costs())).cost;
+        let wf = run_ml_policy_on_writeback(&inst, &trace, WaterFill::new)
+            .unwrap()
+            .induced
+            .cost;
+        // Randomized: mean over 4 seeds.
+        let rnd_runs: Vec<f64> = (0..4)
+            .map(|s| {
+                run_ml_policy_on_writeback(&inst, &trace, |rw| {
+                    RandomizedMlPaging::with_default_beta(rw, s)
+                })
+                .unwrap()
+                .induced
+                .cost as f64
+            })
+            .collect();
+        let rnd = rnd_runs.iter().sum::<f64>() / rnd_runs.len() as f64;
+
+        let entries = [
+            ("wb-lru", lru as f64),
+            ("wb-fifo", fifo as f64),
+            ("wb-greedydual", gd as f64),
+            ("waterfill", wf as f64),
+            ("randomized", rnd),
+        ];
+        let (winner, best) = entries
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .copied()
+            .unwrap();
+        t.row(vec![
+            w1.to_string(),
+            opt_est.to_string(),
+            lru.to_string(),
+            fifo.to_string(),
+            gd.to_string(),
+            wf.to_string(),
+            fr(rnd),
+            winner.to_string(),
+            fr(best / opt_est as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_awareness_wins_at_high_cost_ratio() {
+        let t = &run()[0];
+        let last = t.num_rows() - 1;
+        // At w1/w2 = 256, some writeback-aware algorithm must beat
+        // oblivious LRU by a clear margin.
+        let lru: f64 = t.cell(last, 2).parse().unwrap();
+        let gd: f64 = t.cell(last, 4).parse().unwrap();
+        let wf: f64 = t.cell(last, 5).parse().unwrap();
+        let best_aware = gd.min(wf);
+        assert!(
+            best_aware < lru,
+            "awareness should win at ratio 256: aware {best_aware} vs lru {lru}"
+        );
+    }
+
+    #[test]
+    fn e8b_awareness_also_wins_under_shifting_working_sets() {
+        let t = shifting_table();
+        let last = t.num_rows() - 1; // w1/w2 = 256
+        let lru: u64 = t.cell(last, 2).parse().unwrap();
+        let gd: u64 = t.cell(last, 3).parse().unwrap();
+        let rnd: u64 = t.cell(last, 5).parse().unwrap();
+        assert!(gd.min(rnd) < lru / 4, "aware must dominate at high w1/w2");
+    }
+}

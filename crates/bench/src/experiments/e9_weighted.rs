@@ -1,0 +1,178 @@
+//! **E9 — the simple randomized algorithm on classic weighted paging
+//! (§1.2 "implications for weighted paging").**
+//!
+//! The paper argues its fractional + distribution-free rounding pipeline,
+//! while `O(log² k)` instead of the optimal `O(log k)`, is drastically
+//! simpler than the known `O(log k)` algorithms and easy to implement.
+//! Here it runs head-to-head against the classical baselines on `ℓ = 1`
+//! workloads with the exact flow optimum as the denominator. Expected
+//! shape: Landlord and LRU lead on friendly Zipf traces; the randomized
+//! algorithm is within its polylog guarantee everywhere and beats the
+//! deterministic algorithms on the adversarial scan mix.
+
+use wmlp_algos::{Fifo, Landlord, Lru, Marking, RandomizedWeightedPaging, WaterFill};
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_flow::weighted_paging_opt;
+use wmlp_workloads::{scan_trace, weights_pow2_classes, zipf_trace, LevelDist};
+
+use super::{fetch_cost, randomized_fetch_cost};
+use crate::table::{fr, Table};
+
+/// Run E9.
+pub fn run() -> Vec<Table> {
+    vec![ratios_table(), breakdown_table()]
+}
+
+/// Part B: where the cost goes — per-weight-class eviction breakdown on
+/// the adversarial scan, the trace where the algorithms differ the most.
+/// LRU burns its budget evicting the heaviest classes indiscriminately;
+/// Landlord and the randomized algorithm shift evictions to cheap classes.
+fn breakdown_table() -> Table {
+    use wmlp_core::policy::OnlinePolicy;
+    use wmlp_sim::engine::run_policy;
+    use wmlp_sim::stats::ClassBreakdown;
+
+    let k = 16;
+    let n = 128;
+    let weights = weights_pow2_classes(n, 6, 9);
+    let inst = MlInstance::weighted_paging(k, weights).unwrap();
+    let trace = scan_trace(&inst, k + 1, 12000, 1);
+
+    let mut t = Table::new(
+        "E9b: eviction-cost share by weight class on scan(k+1)",
+        &[
+            "alg",
+            "total evict",
+            "class<=2 %",
+            "class 3-4 %",
+            "class 5-6 %",
+            "dominant",
+        ],
+    );
+    let mut algs: Vec<(&str, Box<dyn OnlinePolicy>)> = vec![
+        ("lru", Box::new(Lru::new(&inst))),
+        ("landlord", Box::new(Landlord::new(&inst))),
+        (
+            "randomized",
+            Box::new(RandomizedWeightedPaging::with_default_beta(&inst, 5)),
+        ),
+    ];
+    for (name, alg) in algs.iter_mut() {
+        let res = run_policy(&inst, &trace, alg.as_mut(), true).expect("feasible");
+        let b = ClassBreakdown::from_steps(&inst, res.steps.as_ref().unwrap());
+        let total = b.total_eviction_cost() as f64;
+        let share = |lo: usize, hi: usize| -> f64 {
+            b.eviction_cost[lo..=hi.min(b.eviction_cost.len() - 1)]
+                .iter()
+                .sum::<u64>() as f64
+                / total.max(1.0)
+        };
+        t.row(vec![
+            name.to_string(),
+            fr(total),
+            fr(100.0 * share(0, 2)),
+            fr(100.0 * share(3, 4)),
+            fr(100.0 * share(5, 6)),
+            b.dominant_class().map_or("-".into(), |c| c.to_string()),
+        ]);
+    }
+    t
+}
+
+fn ratios_table() -> Table {
+    let mut t = Table::new(
+        "E9: weighted paging (l=1, k=16, n=128): ratio to flow OPT",
+        &[
+            "trace",
+            "opt",
+            "lru",
+            "fifo",
+            "marking",
+            "landlord",
+            "waterfill",
+            "randomized",
+        ],
+    );
+    let k = 16;
+    let n = 128;
+    let weights = weights_pow2_classes(n, 6, 9);
+    let inst = MlInstance::weighted_paging(k, weights).unwrap();
+
+    let traces: Vec<(&str, Vec<Request>)> = vec![
+        (
+            "zipf(0.8)",
+            zipf_trace(&inst, 0.8, 12000, LevelDist::Top, 21),
+        ),
+        (
+            "zipf(1.2)",
+            zipf_trace(&inst, 1.2, 12000, LevelDist::Top, 22),
+        ),
+        ("scan(k+1)", scan_trace(&inst, k + 1, 12000, 1)),
+        (
+            "phased",
+            wmlp_workloads::phased_trace(&inst, 8, 2 * k, 12000, LevelDist::Top, 23),
+        ),
+    ];
+
+    for (name, trace) in &traces {
+        let opt = weighted_paging_opt(&inst, trace) as f64;
+        let ratio = |c: u64| fr(c as f64 / opt);
+        let lru = fetch_cost(&inst, trace, &mut Lru::new(&inst));
+        let fifo = fetch_cost(&inst, trace, &mut Fifo::new(&inst));
+        let marking = fetch_cost(&inst, trace, &mut Marking::new(&inst, 3));
+        let ll = fetch_cost(&inst, trace, &mut Landlord::new(&inst));
+        let wf = fetch_cost(&inst, trace, &mut WaterFill::new(&inst));
+        let (rnd, _) = randomized_fetch_cost(&inst, trace, &[1, 2, 3, 4, 5], |s| {
+            Box::new(RandomizedWeightedPaging::with_default_beta(&inst, s))
+        });
+        t.row(vec![
+            name.to_string(),
+            fr(opt),
+            ratio(lru),
+            ratio(fifo),
+            ratio(marking),
+            ratio(ll),
+            ratio(wf),
+            fr(rnd / opt),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_all_ratios_at_least_one_and_randomized_within_guarantee() {
+        let t = &run()[0];
+        let k = 16f64;
+        let guarantee = 8.0 * k.ln() * k.ln(); // generous O(log^2 k)
+        for r in 0..t.num_rows() {
+            for c in 2..=7 {
+                let ratio: f64 = t.cell(r, c).parse().unwrap();
+                assert!(ratio >= 0.999, "ratio below 1 at ({r},{c})");
+            }
+            let rnd: f64 = t.cell(r, 7).parse().unwrap();
+            assert!(rnd <= guarantee, "randomized ratio {rnd} above guarantee");
+        }
+    }
+
+    #[test]
+    fn e9b_weight_aware_algorithms_avoid_heavy_classes() {
+        let t = breakdown_table();
+        // Row order: lru, landlord, randomized. Heavy-class share
+        // (classes 5-6) must be largest for LRU.
+        let lru_heavy: f64 = t.cell(0, 4).parse().unwrap();
+        let ll_heavy: f64 = t.cell(1, 4).parse().unwrap();
+        let rnd_heavy: f64 = t.cell(2, 4).parse().unwrap();
+        assert!(
+            lru_heavy > ll_heavy,
+            "landlord should avoid heavy evictions"
+        );
+        assert!(
+            lru_heavy > rnd_heavy,
+            "randomized should avoid heavy evictions"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! The E1–E10 experiment implementations.
+//!
+//! Every experiment returns one or more [`Table`]s; the `experiments`
+//! binary prints them and writes CSVs under `target/experiments/`. Each
+//! module's docs state the claim under test and the expected shape of the
+//! result (the pass criteria recorded in EXPERIMENTS.md).
+
+pub mod e10_ablations;
+pub mod e11_phases;
+pub mod e1_deterministic;
+pub mod e2_fractional;
+pub mod e3_rounding;
+pub mod e4_equivalence;
+pub mod e5_reduction;
+pub mod e6_gap;
+pub mod e7_levels;
+pub mod e8_writeback;
+pub mod e9_weighted;
+
+use wmlp_core::cost::CostModel;
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::policy::OnlinePolicy;
+use wmlp_core::types::Weight;
+use wmlp_sim::engine::run_policy;
+use wmlp_sim::sweep::mean_and_stdev;
+
+use crate::table::Table;
+
+/// Fetch-model cost of one policy run (panics on an infeasible policy —
+/// experiments must never silently accept an invalid run).
+pub fn fetch_cost(inst: &MlInstance, trace: &[Request], policy: &mut dyn OnlinePolicy) -> Weight {
+    run_policy(inst, trace, policy, false)
+        .expect("policy must be feasible")
+        .ledger
+        .total(CostModel::Fetch)
+}
+
+/// Mean and standard deviation of the fetch-model cost of a randomized
+/// policy over `seeds`.
+pub fn randomized_fetch_cost<F>(
+    inst: &MlInstance,
+    trace: &[Request],
+    seeds: &[u64],
+    make: F,
+) -> (f64, f64)
+where
+    F: Fn(u64) -> Box<dyn OnlinePolicy> + Sync,
+{
+    let costs: Vec<f64> = wmlp_sim::sweep::par_seeds(seeds, |s| {
+        let mut p = make(s);
+        fetch_cost(inst, trace, p.as_mut()) as f64
+    });
+    mean_and_stdev(&costs)
+}
+
+/// Run an experiment by id; returns its tables.
+pub fn run_experiment(id: &str) -> Vec<Table> {
+    match id {
+        "e1" => e1_deterministic::run(),
+        "e2" => e2_fractional::run(),
+        "e3" => e3_rounding::run(),
+        "e4" => e4_equivalence::run(),
+        "e5" => e5_reduction::run(),
+        "e6" => e6_gap::run(),
+        "e7" => e7_levels::run(),
+        "e8" => e8_writeback::run(),
+        "e9" => e9_weighted::run(),
+        "e10" => e10_ablations::run(),
+        "e11" => e11_phases::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e11)"),
+    }
+}
+
+/// All experiment ids, in order.
+pub const ALL_IDS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_core::instance::MlInstance;
+    use wmlp_workloads::{zipf_trace, LevelDist};
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        run_experiment("e99");
+    }
+
+    #[test]
+    fn randomized_cost_helper_aggregates_seeds() {
+        let inst = MlInstance::unweighted_paging(2, 5).unwrap();
+        let trace = zipf_trace(&inst, 1.0, 100, LevelDist::Top, 1);
+        let (mean, sd) = randomized_fetch_cost(&inst, &trace, &[1, 2, 3, 4], |s| {
+            Box::new(wmlp_algos::Marking::new(&inst, s))
+        });
+        assert!(mean > 0.0);
+        assert!(sd >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feasible")]
+    fn fetch_cost_rejects_infeasible_policies() {
+        struct Lazy;
+        impl wmlp_core::policy::OnlinePolicy for Lazy {
+            fn name(&self) -> String {
+                "lazy".into()
+            }
+            fn on_request(
+                &mut self,
+                _: usize,
+                _: wmlp_core::instance::Request,
+                _: &mut wmlp_core::policy::CacheTxn<'_>,
+            ) {
+            }
+        }
+        let inst = MlInstance::unweighted_paging(1, 3).unwrap();
+        let trace = zipf_trace(&inst, 1.0, 5, LevelDist::Top, 1);
+        fetch_cost(&inst, &trace, &mut Lazy);
+    }
+}

@@ -1,0 +1,203 @@
+//! Fractional cache states.
+//!
+//! Following Section 2 of the paper, a fractional state is described by
+//! `y(p,i) ∈ [0,1]` — the fraction of copy `(p,i)` in the cache — or
+//! equivalently by the *prefix variables* `u(p,i) = 1 − Σ_{j ≤ i} y(p,j)`,
+//! the missing fraction of the prefix of copies `1..=i`. The feasibility
+//! constraints are:
+//!
+//! * `u(p, i-1) ≥ u(p, i)` (prefix masses grow with the prefix),
+//! * `u(p, i) ∈ [0, 1]`,
+//! * `Σ_p u(p, ℓ_p) ≥ n − k` (the cache holds at most `k` mass).
+//!
+//! The fractional movement cost follows the LP objective: each *increase*
+//! of `u(p,i)` by `δ` (evicting `δ` mass from the prefix `1..=i`) costs
+//! `δ · w(p,i)`.
+
+use crate::instance::{MlInstance, Request};
+use crate::types::{Level, PageId};
+
+/// Tolerance for floating-point feasibility checks.
+pub const EPS: f64 = 1e-7;
+
+/// A fractional cache state for an instance, stored as prefix variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FracState {
+    /// `u[p][i-1]` is `u(p, i)`.
+    u: Vec<Vec<f64>>,
+}
+
+impl FracState {
+    /// The all-missing state (`u ≡ 1`): an empty cache.
+    pub fn empty(inst: &MlInstance) -> Self {
+        FracState {
+            u: (0..inst.n())
+                .map(|p| vec![1.0; inst.levels(p as PageId) as usize])
+                .collect(),
+        }
+    }
+
+    /// `u(p, i)`; `u(p, 0) = 1` by convention.
+    #[inline]
+    pub fn u(&self, page: PageId, level: Level) -> f64 {
+        if level == 0 {
+            1.0
+        } else {
+            self.u[page as usize][level as usize - 1]
+        }
+    }
+
+    /// Set `u(p, i)`; caller is responsible for monotonicity (checked by
+    /// [`FracState::check_invariants`] in tests/debug paths).
+    #[inline]
+    pub fn set_u(&mut self, page: PageId, level: Level, value: f64) {
+        debug_assert!(level >= 1);
+        self.u[page as usize][level as usize - 1] = value;
+    }
+
+    /// `y(p, i) = u(p, i-1) − u(p, i)`: the fraction of copy `(p,i)` cached.
+    #[inline]
+    pub fn y(&self, page: PageId, level: Level) -> f64 {
+        self.u(page, level - 1) - self.u(page, level)
+    }
+
+    /// Number of levels of `page` in this state.
+    #[inline]
+    pub fn levels(&self, page: PageId) -> Level {
+        self.u[page as usize].len() as Level
+    }
+
+    /// Total fractional cache occupancy `Σ_p (1 − u(p, ℓ_p))`.
+    pub fn occupancy(&self) -> f64 {
+        self.u.iter().map(|row| 1.0 - row.last().unwrap()).sum()
+    }
+
+    /// Is the request `(p, i)` served, i.e. `u(p, i) ≈ 0`?
+    #[inline]
+    pub fn serves(&self, req: Request) -> bool {
+        self.u(req.page, req.level) <= EPS
+    }
+
+    /// Check all fractional feasibility invariants; returns a description of
+    /// the first violation.
+    pub fn check_invariants(&self, k: usize) -> Result<(), String> {
+        for (p, row) in self.u.iter().enumerate() {
+            let mut prev = 1.0;
+            for (i, &u) in row.iter().enumerate() {
+                if !(-EPS..=1.0 + EPS).contains(&u) {
+                    return Err(format!("u({p},{}) = {u} out of [0,1]", i + 1));
+                }
+                if u > prev + EPS {
+                    return Err(format!(
+                        "u({p},{}) = {u} exceeds u({p},{}) = {prev}",
+                        i + 1,
+                        i
+                    ));
+                }
+                prev = u;
+            }
+        }
+        let occ = self.occupancy();
+        if occ > k as f64 + EPS {
+            return Err(format!("fractional occupancy {occ} exceeds k = {k}"));
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates the fractional movement cost from a stream of `u` updates:
+/// increases of `u(p,i)` are charged at `w(p,i)` (the LP's `z` objective).
+#[derive(Debug, Clone, Default)]
+pub struct FracCost {
+    total: f64,
+}
+
+impl FracCost {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        FracCost { total: 0.0 }
+    }
+
+    /// Charge a change of `u(p, i)` from `old` to `new`.
+    pub fn charge(&mut self, inst: &MlInstance, page: PageId, level: Level, old: f64, new: f64) {
+        if new > old {
+            self.total += (new - old) * inst.weight(page, level) as f64;
+        }
+    }
+
+    /// Total fractional cost so far.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> MlInstance {
+        MlInstance::from_rows(1, vec![vec![8, 2], vec![4]]).unwrap()
+    }
+
+    #[test]
+    fn empty_state_is_all_missing() {
+        let inst = inst();
+        let s = FracState::empty(&inst);
+        assert_eq!(s.u(0, 1), 1.0);
+        assert_eq!(s.u(0, 2), 1.0);
+        assert_eq!(s.u(0, 0), 1.0);
+        assert_eq!(s.occupancy(), 0.0);
+        assert!(s.check_invariants(inst.k()).is_ok());
+    }
+
+    #[test]
+    fn y_is_prefix_difference() {
+        let inst = inst();
+        let mut s = FracState::empty(&inst);
+        // Put 0.3 of copy (0,1) and 0.5 of copy (0,2) in the cache.
+        s.set_u(0, 1, 0.7);
+        s.set_u(0, 2, 0.2);
+        assert!((s.y(0, 1) - 0.3).abs() < 1e-12);
+        assert!((s.y(0, 2) - 0.5).abs() < 1e-12);
+        assert!((s.occupancy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_checks_fire() {
+        let inst = inst();
+        let mut s = FracState::empty(&inst);
+        s.set_u(0, 2, 1.5);
+        assert!(s.check_invariants(inst.k()).is_err());
+        let mut s = FracState::empty(&inst);
+        s.set_u(0, 1, 0.2);
+        s.set_u(0, 2, 0.9); // violates u(p,1) >= u(p,2)
+        assert!(s.check_invariants(inst.k()).is_err());
+        let mut s = FracState::empty(&inst);
+        s.set_u(0, 1, 0.0);
+        s.set_u(0, 2, 0.0);
+        s.set_u(1, 1, 0.0);
+        // occupancy 2 > k = 1
+        assert!(s.check_invariants(inst.k()).is_err());
+    }
+
+    #[test]
+    fn serves_uses_prefix_variable() {
+        let inst = inst();
+        let mut s = FracState::empty(&inst);
+        s.set_u(0, 1, 0.4);
+        s.set_u(0, 2, 0.0);
+        assert!(s.serves(Request::new(0, 2)));
+        assert!(!s.serves(Request::new(0, 1)));
+    }
+
+    #[test]
+    fn cost_charges_only_increases() {
+        let inst = inst();
+        let mut c = FracCost::new();
+        c.charge(&inst, 0, 1, 0.5, 1.0); // +0.5 * 8
+        c.charge(&inst, 0, 2, 1.0, 0.0); // decrease: free
+        c.charge(&inst, 1, 1, 0.0, 0.25); // +0.25 * 4
+        assert!((c.total() - 5.0).abs() < 1e-12);
+    }
+}

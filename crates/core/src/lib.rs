@@ -1,0 +1,49 @@
+//! # wmlp-core — problem model for weighted multi-level paging
+//!
+//! This crate defines the problem family of Bansal, Naor and Talmon,
+//! *Efficient Online Weighted Multi-Level Paging* (SPAA 2021):
+//!
+//! * **Weighted paging** — a cache of size `k`, `n` pages with eviction
+//!   weights `w(p) ≥ 1`; a request to `p` must be served by `p` being in the
+//!   cache. This is the one-level special case.
+//! * **Writeback-aware caching** ([`writeback`]) — requests are reads or
+//!   writes; evicting a *dirty* page (written since it was loaded) costs
+//!   `w1(p)`, evicting a *clean* page costs `w2(p) ≤ w1(p)`.
+//! * **RW-paging** — every page has a *write copy* `(p,1)` and a *read copy*
+//!   `(p,2)` with `w(p,1) ≥ w(p,2)`; a write request needs `(p,1)`, a read
+//!   request is served by either copy; the cache holds at most one copy of
+//!   each page. Algorithmically equivalent to writeback-aware caching
+//!   (Lemma 2.1 of the paper; see [`reduction`]).
+//! * **Weighted multi-level paging** ([`instance`]) — the generalization to
+//!   `ℓ` copies per page with non-increasing weights; a request `(p,i)` is
+//!   served by any cached copy `(p,j)` with `j ≤ i`.
+//!
+//! The crate provides instances, request traces, integral cache states with
+//! feasibility checking ([`cache`]), fractional cache states ([`fractional`]),
+//! cost accounting ([`cost`]), schedule validation ([`validate`]), the
+//! reductions between the problem variants ([`reduction`]), and the traits
+//! implemented by online algorithms ([`policy`]).
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod cache;
+pub mod codec;
+pub mod cost;
+pub mod fractional;
+pub mod instance;
+pub mod policy;
+pub mod reduction;
+pub mod types;
+pub mod validate;
+pub mod weights;
+pub mod writeback;
+
+pub use action::{Action, StepLog};
+pub use cache::CacheState;
+pub use cost::{CostLedger, CostModel};
+pub use fractional::FracState;
+pub use instance::{MlInstance, Request, Trace};
+pub use policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy};
+pub use types::{weight_class, CopyRef, Level, PageId, Weight};
+pub use weights::WeightMatrix;

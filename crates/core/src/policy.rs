@@ -1,0 +1,143 @@
+//! Traits implemented by online paging algorithms.
+//!
+//! Integral algorithms implement [`OnlinePolicy`] and mutate the cache
+//! through a [`CacheTxn`], which records every action for validation and
+//! cost accounting by the simulator. Fractional algorithms implement
+//! [`FractionalPolicy`] and report, per request, the prefix variables
+//! `u(p,i,t)` that changed (the paper's LP variables, Section 2).
+
+use crate::action::{Action, StepLog};
+use crate::cache::{CacheError, CacheState};
+use crate::instance::Request;
+use crate::types::{CopyRef, Level, PageId};
+
+/// A transactional view of the cache handed to a policy for one request.
+/// Mutations are applied immediately to the underlying [`CacheState`] and
+/// recorded in a [`StepLog`].
+pub struct CacheTxn<'a> {
+    cache: &'a mut CacheState,
+    log: StepLog,
+}
+
+impl<'a> CacheTxn<'a> {
+    /// Open a transaction on `cache`.
+    pub fn new(cache: &'a mut CacheState) -> Self {
+        CacheTxn {
+            cache,
+            log: StepLog::default(),
+        }
+    }
+
+    /// Read-only view of the current cache state.
+    #[inline]
+    pub fn cache(&self) -> &CacheState {
+        self.cache
+    }
+
+    /// Fetch a copy, recording the action.
+    pub fn fetch(&mut self, copy: CopyRef) -> Result<(), CacheError> {
+        self.cache.fetch(copy)?;
+        self.log.actions.push(Action::Fetch(copy));
+        Ok(())
+    }
+
+    /// Evict a copy, recording the action.
+    pub fn evict(&mut self, copy: CopyRef) -> Result<(), CacheError> {
+        self.cache.evict(copy)?;
+        self.log.actions.push(Action::Evict(copy));
+        Ok(())
+    }
+
+    /// Evict whatever copy of `page` is cached (if any); returns it.
+    pub fn evict_page(&mut self, page: PageId) -> Option<CopyRef> {
+        let level = self.cache.level_of(page)?;
+        let copy = CopyRef::new(page, level);
+        self.evict(copy).expect("level_of guarantees presence");
+        Some(copy)
+    }
+
+    /// Close the transaction, returning the recorded step log.
+    pub fn finish(self) -> StepLog {
+        self.log
+    }
+}
+
+/// An online integral algorithm for weighted multi-level paging.
+///
+/// The simulator calls [`OnlinePolicy::on_request`] once per request, in
+/// order; after the call the cache must serve the request and hold at most
+/// `k` copies (the simulator enforces both).
+pub trait OnlinePolicy {
+    /// Human-readable algorithm name for reports.
+    fn name(&self) -> String;
+
+    /// Serve the request arriving at time `t` (0-based), mutating the cache
+    /// through `txn`.
+    fn on_request(&mut self, t: usize, req: Request, txn: &mut CacheTxn<'_>);
+}
+
+/// A change to one prefix variable `u(p, i)` reported by a fractional
+/// policy. `u(p,i) = 1 − Σ_{j ≤ i} y(p,j)` is the fraction of the prefix of
+/// copies `1..=i` of page `p` *missing* from the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FracDelta {
+    /// Page whose variable changed.
+    pub page: PageId,
+    /// Level of the prefix variable (1-based).
+    pub level: Level,
+    /// The new value of `u(p, i)` after serving the request.
+    pub new_u: f64,
+}
+
+/// An online fractional algorithm.
+///
+/// At `t = 0` all `u(p,i) = 1` (empty cache). On each request the policy
+/// updates its fractional state and appends every changed variable to `out`
+/// (each variable at most once, with its final value for this step). The
+/// caller maintains mirrors and cost from these deltas.
+pub trait FractionalPolicy {
+    /// Human-readable algorithm name for reports.
+    fn name(&self) -> String;
+
+    /// Serve the request arriving at time `t`, appending changed prefix
+    /// variables to `out`.
+    fn on_request(&mut self, t: usize, req: Request, out: &mut Vec<FracDelta>);
+
+    /// Current value of `u(p, i)`; exposed for validation and tests.
+    fn u(&self, page: PageId, level: Level) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_records_actions_in_order() {
+        let mut cache = CacheState::empty(3);
+        let mut txn = CacheTxn::new(&mut cache);
+        txn.fetch(CopyRef::new(0, 1)).unwrap();
+        txn.fetch(CopyRef::new(1, 2)).unwrap();
+        assert_eq!(txn.evict_page(0), Some(CopyRef::new(0, 1)));
+        assert_eq!(txn.evict_page(0), None);
+        let log = txn.finish();
+        assert_eq!(
+            log.actions,
+            vec![
+                Action::Fetch(CopyRef::new(0, 1)),
+                Action::Fetch(CopyRef::new(1, 2)),
+                Action::Evict(CopyRef::new(0, 1)),
+            ]
+        );
+        assert_eq!(cache.occupancy(), 1);
+    }
+
+    #[test]
+    fn txn_propagates_cache_errors() {
+        let mut cache = CacheState::empty(2);
+        let mut txn = CacheTxn::new(&mut cache);
+        txn.fetch(CopyRef::new(0, 1)).unwrap();
+        assert!(txn.fetch(CopyRef::new(0, 2)).is_err());
+        // The failed action is not logged.
+        assert_eq!(txn.finish().actions.len(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Ground-truth validation of integral runs.
+//!
+//! [`validate_run`] replays a sequence of step logs against an instance and
+//! a trace, checking every feasibility condition of the problem:
+//!
+//! 1. every action is legal (no double-fetch of a page, no eviction of an
+//!    absent copy, levels within range),
+//! 2. the cache holds at most `k` copies at every step boundary,
+//! 3. every request is served by the cache at the end of its step.
+//!
+//! It returns the cost ledger of the run. Both the simulator's tests and the
+//! offline optimizers' outputs are checked through this single code path.
+
+use crate::action::StepLog;
+use crate::cache::{CacheError, CacheState};
+use crate::cost::CostLedger;
+use crate::instance::{MlInstance, Request};
+
+/// Why a run is infeasible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Trace and step log lengths differ.
+    LengthMismatch {
+        /// Number of requests.
+        trace: usize,
+        /// Number of step logs.
+        steps: usize,
+    },
+    /// A request refers to a page/level outside the instance.
+    BadRequest {
+        /// Time step.
+        t: usize,
+        /// The offending request.
+        req: Request,
+    },
+    /// An action touched a copy with an out-of-range level.
+    BadLevel {
+        /// Time step.
+        t: usize,
+    },
+    /// An action failed against the cache state.
+    Cache {
+        /// Time step.
+        t: usize,
+        /// The underlying cache error.
+        err: CacheError,
+    },
+    /// More than `k` copies at the end of a step.
+    OverCapacity {
+        /// Time step.
+        t: usize,
+        /// Occupancy observed.
+        occupancy: usize,
+    },
+    /// The request was not served at the end of its step.
+    NotServed {
+        /// Time step.
+        t: usize,
+        /// The unserved request.
+        req: Request,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::LengthMismatch { trace, steps } => {
+                write!(f, "trace has {trace} requests but run has {steps} steps")
+            }
+            ValidationError::BadRequest { t, req } => {
+                write!(f, "invalid request ({},{}) at t={t}", req.page, req.level)
+            }
+            ValidationError::BadLevel { t } => write!(f, "out-of-range level in action at t={t}"),
+            ValidationError::Cache { t, err } => write!(f, "illegal action at t={t}: {err}"),
+            ValidationError::OverCapacity { t, occupancy } => {
+                write!(f, "cache holds {occupancy} copies after step t={t}")
+            }
+            ValidationError::NotServed { t, req } => {
+                write!(
+                    f,
+                    "request ({},{}) not served at t={t}",
+                    req.page, req.level
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Replay `steps` against `trace` from an empty cache, checking feasibility.
+/// On success returns the run's cost ledger.
+pub fn validate_run(
+    inst: &MlInstance,
+    trace: &[Request],
+    steps: &[StepLog],
+) -> Result<CostLedger, ValidationError> {
+    if trace.len() != steps.len() {
+        return Err(ValidationError::LengthMismatch {
+            trace: trace.len(),
+            steps: steps.len(),
+        });
+    }
+    let mut cache = CacheState::empty(inst.n());
+    let mut ledger = CostLedger::default();
+    for (t, (&req, step)) in trace.iter().zip(steps).enumerate() {
+        if !inst.request_valid(req) {
+            return Err(ValidationError::BadRequest { t, req });
+        }
+        for &a in &step.actions {
+            let c = a.copy();
+            if (c.page as usize) >= inst.n() || c.level < 1 || c.level > inst.levels(c.page) {
+                return Err(ValidationError::BadLevel { t });
+            }
+            let res = match a {
+                crate::action::Action::Fetch(c) => cache.fetch(c),
+                crate::action::Action::Evict(c) => cache.evict(c),
+            };
+            res.map_err(|err| ValidationError::Cache { t, err })?;
+            ledger.record(inst, a);
+        }
+        if cache.occupancy() > inst.k() {
+            return Err(ValidationError::OverCapacity {
+                t,
+                occupancy: cache.occupancy(),
+            });
+        }
+        if !cache.serves(req) {
+            return Err(ValidationError::NotServed { t, req });
+        }
+    }
+    Ok(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::types::CopyRef;
+
+    fn inst() -> MlInstance {
+        MlInstance::from_rows(1, vec![vec![4, 2], vec![8, 1]]).unwrap()
+    }
+
+    fn fetch(p: u32, l: u8) -> Action {
+        Action::Fetch(CopyRef::new(p, l))
+    }
+    fn evict(p: u32, l: u8) -> Action {
+        Action::Evict(CopyRef::new(p, l))
+    }
+
+    #[test]
+    fn valid_run_costs() {
+        let inst = inst();
+        let trace = vec![Request::new(0, 2), Request::new(1, 1), Request::new(0, 2)];
+        let steps = vec![
+            StepLog {
+                actions: vec![fetch(0, 2)],
+            },
+            StepLog {
+                actions: vec![evict(0, 2), fetch(1, 1)],
+            },
+            StepLog {
+                actions: vec![evict(1, 1), fetch(0, 1)],
+            },
+        ];
+        let ledger = validate_run(&inst, &trace, &steps).unwrap();
+        assert_eq!(ledger.eviction_cost, 2 + 8);
+        assert_eq!(ledger.fetch_cost, 2 + 8 + 4);
+    }
+
+    #[test]
+    fn rejects_unserved_request() {
+        let inst = inst();
+        // A level-2 copy cannot serve a level-1 (write) request.
+        let trace = vec![Request::new(0, 1)];
+        let steps = vec![StepLog {
+            actions: vec![fetch(0, 2)],
+        }];
+        assert_eq!(
+            validate_run(&inst, &trace, &steps),
+            Err(ValidationError::NotServed {
+                t: 0,
+                req: Request::new(0, 1)
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_over_capacity() {
+        let inst = inst();
+        let trace = vec![Request::new(0, 2)];
+        let steps = vec![StepLog {
+            actions: vec![fetch(0, 2), fetch(1, 2)],
+        }];
+        assert!(matches!(
+            validate_run(&inst, &trace, &steps),
+            Err(ValidationError::OverCapacity { t: 0, occupancy: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_two_copies_of_same_page() {
+        let inst = inst();
+        let trace = vec![Request::new(0, 2)];
+        let steps = vec![StepLog {
+            actions: vec![fetch(0, 2), fetch(0, 1)],
+        }];
+        assert!(matches!(
+            validate_run(&inst, &trace, &steps),
+            Err(ValidationError::Cache { t: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_level() {
+        let inst = inst();
+        let trace = vec![Request::new(0, 2)];
+        let steps = vec![StepLog {
+            actions: vec![fetch(0, 3)],
+        }];
+        assert_eq!(
+            validate_run(&inst, &trace, &steps),
+            Err(ValidationError::BadLevel { t: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let inst = inst();
+        assert!(matches!(
+            validate_run(&inst, &[Request::new(0, 2)], &[]),
+            Err(ValidationError::LengthMismatch { trace: 1, steps: 0 })
+        ));
+    }
+}

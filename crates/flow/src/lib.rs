@@ -1,0 +1,24 @@
+//! # wmlp-flow — min-cost flow and exact offline weighted paging
+//!
+//! * [`mcmf`] — a successive-shortest-paths min-cost max-flow solver with
+//!   Johnson potentials (Dijkstra augmentations after a Bellman–Ford
+//!   initialization, so one-shot negative arc costs are supported).
+//! * [`paging_opt`] — the exact offline optimum for *weighted paging*
+//!   (`ℓ = 1`) in polynomial time, by the classic retention-interval
+//!   reduction: between consecutive requests to the same page the page is
+//!   either retained (occupying one of `k − 1` non-request slots at every
+//!   interior time) or refetched (paying `w(p)`); maximizing the total
+//!   retained weight is a max-weight interval packing with uniform point
+//!   capacity, i.e. a min-cost flow on a time line.
+//!
+//! The flow optimum is used by experiments E1/E2/E9 as the denominator for
+//! competitive ratios at `ℓ = 1` on traces far beyond the exponential DP's
+//! reach, and is cross-validated against the DP on small instances.
+
+#![warn(missing_docs)]
+
+pub mod mcmf;
+pub mod paging_opt;
+
+pub use mcmf::MinCostFlow;
+pub use paging_opt::weighted_paging_opt;

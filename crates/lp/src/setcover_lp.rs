@@ -1,0 +1,85 @@
+//! Fractional set cover via the simplex substrate.
+
+use crate::simplex::{Cmp, LpOutcome, LpProblem};
+
+/// Solve `min Σ x_S` subject to `Σ_{S ∋ e} x_S ≥ 1` for every requested
+/// element, `x ≥ 0`. `sets[s]` lists the elements of set `s`; `requested`
+/// lists the elements that must be covered. Returns `(value, x)`.
+///
+/// # Panics
+/// If some requested element is in no set (infeasible cover).
+pub fn fractional_set_cover(
+    num_elements: usize,
+    sets: &[Vec<usize>],
+    requested: &[usize],
+) -> (f64, Vec<f64>) {
+    let mut containing: Vec<Vec<usize>> = vec![Vec::new(); num_elements];
+    for (s, elems) in sets.iter().enumerate() {
+        for &e in elems {
+            containing[e].push(s);
+        }
+    }
+    let mut lp = LpProblem::minimize(vec![1.0; sets.len()]);
+    let mut seen = vec![false; num_elements];
+    for &e in requested {
+        if std::mem::replace(&mut seen[e], true) {
+            continue; // duplicate element: same row
+        }
+        assert!(
+            !containing[e].is_empty(),
+            "element {e} is not covered by any set"
+        );
+        lp.add_row(
+            containing[e].iter().map(|&s| (s, 1.0)).collect(),
+            Cmp::Ge,
+            1.0,
+        );
+    }
+    match lp.solve() {
+        LpOutcome::Optimal { value, x } => (value, x),
+        other => panic!("set cover LP must be solvable, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_sets_need_full_units() {
+        // Elements {0,1}, sets {0} and {1}: fractional optimum is 2.
+        let (v, x) = fractional_set_cover(2, &[vec![0], vec![1]], &[0, 1]);
+        assert!((v - 2.0).abs() < 1e-7);
+        assert!((x[0] - 1.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn triangle_gap_instance() {
+        // Elements {0,1,2}, sets {0,1}, {1,2}, {0,2}: every element in two
+        // sets; fractional optimum 1.5 (x = 1/2 each), integral optimum 2.
+        let sets = vec![vec![0, 1], vec![1, 2], vec![0, 2]];
+        let (v, x) = fractional_set_cover(3, &sets, &[0, 1, 2]);
+        assert!((v - 1.5).abs() < 1e-7, "value {v}");
+        assert!(x.iter().all(|&xi| xi <= 1.0 + 1e-7));
+    }
+
+    #[test]
+    fn only_requested_elements_constrain() {
+        let sets = vec![vec![0], vec![1]];
+        let (v, _) = fractional_set_cover(2, &sets, &[1]);
+        assert!((v - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duplicate_requests_coalesce() {
+        let sets = vec![vec![0]];
+        let (v, _) = fractional_set_cover(1, &sets, &[0, 0, 0]);
+        assert!((v - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered")]
+    fn uncoverable_element_panics() {
+        fractional_set_cover(2, &[vec![0]], &[1]);
+    }
+}

@@ -1,0 +1,523 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Solves `min cᵀx` subject to `aᵢ·x {≤,=,≥} bᵢ` and `x ≥ 0`, with Bland's
+//! anti-cycling rule. Intended for the small dense LPs of this workspace
+//! (hundreds of rows/columns); no sparsity, no revised factorizations.
+
+/// Row comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// Result of solving an [`LpProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// Optimal objective value.
+        value: f64,
+        /// Optimal assignment to the original variables.
+        x: Vec<f64>,
+    },
+    /// The constraints are infeasible.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// A constraint row: sparse `(variable, coefficient)` terms, comparison,
+/// and right-hand side.
+pub type LpRow = (Vec<(usize, f64)>, Cmp, f64);
+
+/// A linear program `min cᵀx, aᵢ·x {≤,=,≥} bᵢ, x ≥ 0`.
+///
+/// ```
+/// use wmlp_lp::simplex::{Cmp, LpOutcome, LpProblem};
+///
+/// // min x + 2y  s.t.  x + y >= 3,  x <= 2.
+/// let mut lp = LpProblem::minimize(vec![1.0, 2.0]);
+/// lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 3.0);
+/// lp.add_row(vec![(0, 1.0)], Cmp::Le, 2.0);
+/// let LpOutcome::Optimal { value, x } = lp.solve() else { panic!() };
+/// assert!((value - 4.0).abs() < 1e-7);
+/// assert!((x[0] - 2.0).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    num_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<LpRow>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LpProblem {
+    /// A minimization problem over `num_vars` non-negative variables with
+    /// the given objective coefficients.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        LpProblem {
+            num_vars: objective.len(),
+            objective,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Add a constraint given as sparse `(var, coeff)` terms.
+    pub fn add_row(&mut self, terms: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
+        debug_assert!(terms.iter().all(|&(j, _)| j < self.num_vars));
+        self.rows.push((terms, cmp, rhs));
+    }
+
+    /// Objective value of an assignment.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars);
+        x.iter().zip(&self.objective).map(|(xi, ci)| xi * ci).sum()
+    }
+
+    /// Does `x ≥ 0` satisfy every constraint within `tol`? An independent
+    /// check of solver output (no tableau arithmetic involved).
+    pub fn check_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.rows.iter().all(|(terms, cmp, rhs)| {
+            let lhs: f64 = terms.iter().map(|&(j, a)| a * x[j]).sum();
+            match cmp {
+                Cmp::Le => lhs <= rhs + tol,
+                Cmp::Ge => lhs >= rhs - tol,
+                Cmp::Eq => (lhs - rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// The LP dual, for problems whose rows are all `≥` (covering form):
+    /// the dual of `min cᵀx, Ax ≥ b, x ≥ 0` is `max bᵀy, Aᵀy ≤ c, y ≥ 0`,
+    /// returned as the equivalent minimization `min (−b)ᵀy` — so by strong
+    /// duality `self.solve().value == −self.dual().solve().value`.
+    ///
+    /// # Panics
+    /// If any row is not `Cmp::Ge`.
+    pub fn dual(&self) -> LpProblem {
+        assert!(
+            self.rows.iter().all(|(_, cmp, _)| *cmp == Cmp::Ge),
+            "dual() requires a covering LP (all rows >=)"
+        );
+        let m = self.rows.len();
+        let mut dual = LpProblem::minimize(self.rows.iter().map(|&(_, _, b)| -b).collect());
+        // One dual row per primal variable: Σ_i a_{ij} y_i <= c_j.
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.num_vars];
+        for (i, (terms, _, _)) in self.rows.iter().enumerate() {
+            for &(j, a) in terms {
+                cols[j].push((i, a));
+            }
+        }
+        for (j, col) in cols.into_iter().enumerate() {
+            dual.add_row(col, Cmp::Le, self.objective[j]);
+        }
+        let _ = m;
+        dual
+    }
+
+    /// Solve with the two-phase simplex method.
+    #[allow(clippy::needless_range_loop)] // tableau code reads best indexed
+    pub fn solve(&self) -> LpOutcome {
+        let m = self.rows.len();
+        let n = self.num_vars;
+
+        // Count auxiliary columns: one slack per Le, one surplus per Ge,
+        // one artificial per Ge/Eq row (after normalizing b >= 0).
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        // Normalized rows: (dense coeffs, rhs, needs_slack(+1/-1/0), needs_art)
+        struct Row {
+            a: Vec<f64>,
+            b: f64,
+            slack: i8,
+            art: bool,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(m);
+        for (terms, cmp, rhs) in &self.rows {
+            let mut a = vec![0.0; n];
+            for &(j, v) in terms {
+                a[j] += v;
+            }
+            let mut b = *rhs;
+            let mut cmp = *cmp;
+            if b < 0.0 {
+                for v in &mut a {
+                    *v = -*v;
+                }
+                b = -b;
+                cmp = match cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+            let (slack, art) = match cmp {
+                Cmp::Le => (1, false),
+                Cmp::Ge => (-1, true),
+                Cmp::Eq => (0, true),
+            };
+            if slack != 0 {
+                n_slack += 1;
+            }
+            if art {
+                n_art += 1;
+            }
+            rows.push(Row { a, b, slack, art });
+        }
+
+        let total = n + n_slack + n_art;
+        // Tableau: m rows of `total + 1` (last = rhs).
+        let mut tab = vec![vec![0.0f64; total + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut s_idx = n;
+        let mut a_idx = n + n_slack;
+        for (i, row) in rows.iter().enumerate() {
+            tab[i][..n].copy_from_slice(&row.a);
+            tab[i][total] = row.b;
+            if row.slack != 0 {
+                tab[i][s_idx] = row.slack as f64;
+                if row.slack == 1 {
+                    basis[i] = s_idx;
+                }
+                s_idx += 1;
+            }
+            if row.art {
+                tab[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                a_idx += 1;
+            }
+        }
+        debug_assert!(basis.iter().all(|&b| b != usize::MAX));
+
+        // Phase 1: minimize sum of artificials.
+        if n_art > 0 {
+            let mut obj = vec![0.0f64; total + 1];
+            for (i, row) in rows.iter().enumerate() {
+                if row.art {
+                    // objective row = -(sum of artificial basic rows), so
+                    // reduced costs start consistent with the basis.
+                    for j in 0..=total {
+                        obj[j] -= tab[i][j];
+                    }
+                }
+            }
+            // Zero out artificial columns in the objective (they're basic).
+            for j in n + n_slack..total {
+                obj[j] = 0.0;
+            }
+            if !simplex_iterate(&mut tab, &mut basis, &mut obj, total) {
+                // Phase 1 is never unbounded (objective bounded below by 0).
+                unreachable!("phase 1 cannot be unbounded");
+            }
+            if -obj[total] > 1e-6 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any remaining artificial variables out of the basis.
+            for i in 0..m {
+                if basis[i] >= n + n_slack {
+                    // Find a non-artificial column with nonzero coefficient.
+                    if let Some(j) = (0..n + n_slack).find(|&j| tab[i][j].abs() > EPS) {
+                        pivot(&mut tab, &mut basis, i, j, total, None);
+                    }
+                    // Otherwise the row is redundant (all-zero); keep the
+                    // artificial basic at value 0 — harmless for phase 2 as
+                    // long as its column is never entered (cost stays 0 and
+                    // we restrict entering columns below).
+                }
+            }
+        }
+
+        // Phase 2: minimize the real objective, restricted to structural +
+        // slack columns.
+        let mut obj = vec![0.0f64; total + 1];
+        obj[..n].copy_from_slice(&self.objective);
+        // Express objective in terms of the current basis.
+        for i in 0..m {
+            let bj = basis[i];
+            let coeff = obj[bj];
+            if coeff.abs() > EPS {
+                for j in 0..=total {
+                    obj[j] -= coeff * tab[i][j];
+                }
+            }
+        }
+        // Forbid artificial columns from re-entering.
+        let enter_limit = n + n_slack;
+        if !simplex_iterate_limited(&mut tab, &mut basis, &mut obj, total, enter_limit) {
+            return LpOutcome::Unbounded;
+        }
+
+        let mut x = vec![0.0f64; n];
+        for (i, &bj) in basis.iter().enumerate() {
+            if bj < n {
+                x[bj] = tab[i][total];
+            }
+        }
+        let value: f64 = x.iter().zip(&self.objective).map(|(xi, ci)| xi * ci).sum();
+        LpOutcome::Optimal { value, x }
+    }
+}
+
+/// Pivot the tableau on `(row, col)`, updating the basis and optionally an
+/// objective row.
+#[allow(clippy::needless_range_loop)] // tableau code reads best indexed
+fn pivot(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+    obj: Option<&mut Vec<f64>>,
+) {
+    let pv = tab[row][col];
+    debug_assert!(pv.abs() > EPS);
+    for j in 0..=total {
+        tab[row][j] /= pv;
+    }
+    tab[row][col] = 1.0;
+    for i in 0..tab.len() {
+        if i == row {
+            continue;
+        }
+        let f = tab[i][col];
+        if f.abs() > EPS {
+            // Split borrows: copy the pivot row values on the fly.
+            for j in 0..=total {
+                let v = tab[row][j];
+                tab[i][j] -= f * v;
+            }
+            tab[i][col] = 0.0;
+        }
+    }
+    if let Some(obj) = obj {
+        let f = obj[col];
+        if f.abs() > EPS {
+            for j in 0..=total {
+                obj[j] -= f * tab[row][j];
+            }
+            obj[col] = 0.0;
+        }
+    }
+    basis[row] = col;
+}
+
+fn simplex_iterate(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut Vec<f64>,
+    total: usize,
+) -> bool {
+    simplex_iterate_limited(tab, basis, obj, total, total)
+}
+
+/// Run simplex iterations with Bland's rule, only allowing columns
+/// `< enter_limit` to enter. Returns `false` when unbounded.
+fn simplex_iterate_limited(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut Vec<f64>,
+    total: usize,
+    enter_limit: usize,
+) -> bool {
+    loop {
+        // Bland: the lowest-index column with a negative reduced cost.
+        let Some(col) = (0..enter_limit).find(|&j| obj[j] < -EPS) else {
+            return true;
+        };
+        // Ratio test; Bland tie-break on the lowest basis index.
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis_var, row)
+        for (i, row) in tab.iter().enumerate() {
+            if row[col] > EPS {
+                let ratio = row[total] / row[col];
+                let cand = (ratio, basis[i], i);
+                best = Some(match best {
+                    None => cand,
+                    Some(b) => {
+                        if cand.0 < b.0 - EPS || (cand.0 < b.0 + EPS && cand.1 < b.1) {
+                            cand
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        let Some((_, _, row)) = best else {
+            return false; // unbounded
+        };
+        pivot(tab, basis, row, col, total, Some(obj));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(outcome: LpOutcome) -> (f64, Vec<f64>) {
+        match outcome {
+            LpOutcome::Optimal { value, x } => (value, x),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_min_with_ge_rows() {
+        // min x + 2y  s.t. x + y >= 3, x <= 2  ->  x=2, y=1, value 4.
+        let mut lp = LpProblem::minimize(vec![1.0, 2.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 3.0);
+        lp.add_row(vec![(0, 1.0)], Cmp::Le, 2.0);
+        let (v, x) = optimal(lp.solve());
+        assert!((v - 4.0).abs() < 1e-7, "value {v}");
+        assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // min x + y  s.t. x + 2y = 4, x - y = 1  ->  x=2, y=1.
+        let mut lp = LpProblem::minimize(vec![1.0, 1.0]);
+        lp.add_row(vec![(0, 1.0), (1, 2.0)], Cmp::Eq, 4.0);
+        lp.add_row(vec![(0, 1.0), (1, -1.0)], Cmp::Eq, 1.0);
+        let (v, x) = optimal(lp.solve());
+        assert!((v - 3.0).abs() < 1e-7);
+        assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LpProblem::minimize(vec![1.0]);
+        lp.add_row(vec![(0, 1.0)], Cmp::Ge, 5.0);
+        lp.add_row(vec![(0, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x s.t. x >= 1: unbounded below.
+        let mut lp = LpProblem::minimize(vec![-1.0]);
+        lp.add_row(vec![(0, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x s.t. -x <= -2  (i.e. x >= 2).
+        let mut lp = LpProblem::minimize(vec![1.0]);
+        lp.add_row(vec![(0, -1.0)], Cmp::Le, -2.0);
+        let (v, _) = optimal(lp.solve());
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic cycling-prone LP; Bland's rule must terminate.
+        let mut lp = LpProblem::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        lp.add_row(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        lp.add_row(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
+        lp.add_row(vec![(2, 1.0)], Cmp::Le, 1.0);
+        let (v, _) = optimal(lp.solve());
+        assert!((v - (-0.05)).abs() < 1e-6, "value {v}");
+    }
+
+    #[test]
+    fn fractional_vertex_solution() {
+        // min x+y s.t. 2x + y >= 2, x + 2y >= 2 -> x=y=2/3, value 4/3.
+        let mut lp = LpProblem::minimize(vec![1.0, 1.0]);
+        lp.add_row(vec![(0, 2.0), (1, 1.0)], Cmp::Ge, 2.0);
+        lp.add_row(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 2.0);
+        let (v, x) = optimal(lp.solve());
+        assert!((v - 4.0 / 3.0).abs() < 1e-7);
+        assert!((x[0] - 2.0 / 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn solutions_pass_independent_feasibility_check() {
+        let mut lp = LpProblem::minimize(vec![1.0, 2.0, 0.5]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 3.0);
+        lp.add_row(vec![(1, 1.0), (2, 2.0)], Cmp::Ge, 4.0);
+        lp.add_row(vec![(0, 1.0)], Cmp::Le, 2.0);
+        let (v, x) = optimal(lp.solve());
+        assert!(lp.check_feasible(&x, 1e-7));
+        assert!((lp.objective_value(&x) - v).abs() < 1e-9);
+        assert!(!lp.check_feasible(&[0.0, 0.0, 0.0], 1e-7));
+    }
+
+    #[test]
+    fn strong_duality_on_covering_lps() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..10 {
+            // Random covering LP: positive costs, sparse 0/1 matrix with
+            // every row nonempty (feasible and bounded).
+            let n = rng.gen_range(3..=7);
+            let m = rng.gen_range(2..=6);
+            let mut lp = LpProblem::minimize((0..n).map(|_| rng.gen_range(1..=9) as f64).collect());
+            for _ in 0..m {
+                let mut terms: Vec<(usize, f64)> = (0..n)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .map(|j| (j, 1.0))
+                    .collect();
+                if terms.is_empty() {
+                    terms.push((rng.gen_range(0..n), 1.0));
+                }
+                lp.add_row(terms, Cmp::Ge, rng.gen_range(1..=4) as f64);
+            }
+            let (vp, xp) = optimal(lp.solve());
+            let dual = lp.dual();
+            let (vd, xd) = optimal(dual.solve());
+            assert!(
+                (vp + vd).abs() < 1e-6,
+                "trial {trial}: primal {vp} != dual {}",
+                -vd
+            );
+            assert!(lp.check_feasible(&xp, 1e-7));
+            assert!(dual.check_feasible(&xd, 1e-7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "covering LP")]
+    fn dual_rejects_non_covering() {
+        let mut lp = LpProblem::minimize(vec![1.0]);
+        lp.add_row(vec![(0, 1.0)], Cmp::Le, 1.0);
+        lp.dual();
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_handled() {
+        // x + y = 2 twice (redundant): still solvable.
+        let mut lp = LpProblem::minimize(vec![1.0, 3.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
+        let (v, x) = optimal(lp.solve());
+        assert!((v - 2.0).abs() < 1e-7);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,438 @@
+//! Exact offline optima by dynamic programming over cache states.
+//!
+//! **State encoding.** A cache state assigns to each page a level in
+//! `0..=ℓ_p` (`0` = absent) with at most `k` nonzero entries, packed into
+//! a `u64` with a fixed 3-bit field per page (so `ℓ ≤ 7` and up to 21
+//! pages — beyond what the exponential DP is tractable for anyway).
+//!
+//! **Lazy normalization.** Only demand transitions are enumerated: on a
+//! hit the state is unchanged; on a miss, a copy `(p, j ≤ i_t)` is fetched
+//! (evicting `p`'s deeper copy if present), and if the cache would
+//! overflow, exactly one other cached copy is evicted. Every solution can
+//! be transformed into this form without increasing eviction cost.
+
+use std::collections::HashMap;
+
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::types::{CopyRef, Level, PageId, Weight};
+use wmlp_core::writeback::{RwOp, WbInstance, WbRequest};
+
+/// Bits per page in the packed state; supports levels 0..=7.
+const BITS: u32 = 3;
+
+/// Size guards for the exponential DP.
+#[derive(Debug, Clone, Copy)]
+pub struct DpLimits {
+    /// Maximum number of pages (packed into `64 / BITS` fields).
+    pub max_pages: usize,
+    /// Maximum number of live states before the DP aborts.
+    pub max_states: usize,
+}
+
+impl Default for DpLimits {
+    fn default() -> Self {
+        DpLimits {
+            max_pages: 16,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// Result of an exact offline computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpResult {
+    /// Optimum under the eviction-cost model (end-of-trace residents free).
+    pub eviction_cost: Weight,
+    /// Optimum under the fetch-cost model.
+    pub fetch_cost: Weight,
+}
+
+#[inline]
+fn get(state: u64, p: usize) -> u64 {
+    (state >> (BITS * p as u32)) & ((1 << BITS) - 1)
+}
+
+#[inline]
+fn set(state: u64, p: usize, v: u64) -> u64 {
+    let shift = BITS * p as u32;
+    (state & !(((1u64 << BITS) - 1) << shift)) | (v << shift)
+}
+
+/// Exact offline optimum for a weighted multi-level paging instance.
+///
+/// # Panics
+/// If the instance exceeds `limits` (too many pages, more than 7 levels,
+/// or state-space blow-up).
+pub fn opt_multilevel(inst: &MlInstance, trace: &[Request], limits: DpLimits) -> DpResult {
+    opt_multilevel_impl(inst, trace, limits, false).0
+}
+
+/// As [`opt_multilevel`], but also reconstructs an optimal schedule (for
+/// the eviction-cost objective) as per-step action logs, suitable for
+/// [`wmlp_core::validate::validate_run`].
+pub fn opt_multilevel_schedule(
+    inst: &MlInstance,
+    trace: &[Request],
+    limits: DpLimits,
+) -> (DpResult, Vec<wmlp_core::action::StepLog>) {
+    let (res, steps) = opt_multilevel_impl(inst, trace, limits, true);
+    (res, steps.expect("requested schedule"))
+}
+
+fn opt_multilevel_impl(
+    inst: &MlInstance,
+    trace: &[Request],
+    limits: DpLimits,
+    want_schedule: bool,
+) -> (DpResult, Option<Vec<wmlp_core::action::StepLog>>) {
+    let n = inst.n();
+    assert!(
+        n <= limits.max_pages,
+        "DP limited to {} pages",
+        limits.max_pages
+    );
+    assert!(
+        (inst.max_levels() as u64) < (1 << BITS),
+        "DP supports at most {} levels",
+        (1 << BITS) - 1
+    );
+    let k = inst.k();
+
+    // dp: packed state -> (eviction cost so far). For schedule
+    // reconstruction, parents[t] maps each state of round t+1 to its
+    // predecessor state at round t.
+    let mut dp: HashMap<u64, Weight> = HashMap::new();
+    dp.insert(0, 0);
+    let mut parents: Vec<HashMap<u64, u64>> = Vec::new();
+
+    for &req in trace {
+        let (p, i) = (req.page as usize, req.level as u64);
+        let mut next: HashMap<u64, Weight> = HashMap::with_capacity(dp.len() * 2);
+        let mut parent: HashMap<u64, u64> = HashMap::new();
+        let mut relax = |next: &mut HashMap<u64, Weight>, s: u64, c: Weight, from: u64| {
+            let slot = next.entry(s).or_insert(Weight::MAX);
+            if c < *slot {
+                *slot = c;
+                if want_schedule {
+                    parent.insert(s, from);
+                }
+            }
+        };
+        for (&state, &cost) in &dp {
+            let cur = get(state, p);
+            if cur != 0 && cur <= i {
+                // Hit: lazy solutions do nothing.
+                relax(&mut next, state, cost, state);
+                continue;
+            }
+            // Miss: the cost of clearing p's slot (deeper copy, if any).
+            let clear_cost = if cur != 0 {
+                inst.weight(p as PageId, cur as Level)
+            } else {
+                0
+            };
+            let base = set(state, p, 0);
+            let occupancy = (0..n).filter(|&q| get(base, q) != 0).count();
+            for j in 1..=i {
+                let fetched = set(base, p, j);
+                if occupancy < k {
+                    relax(&mut next, fetched, cost + clear_cost, state);
+                } else {
+                    // Evict exactly one other cached copy.
+                    for q in 0..n {
+                        let lq = get(base, q);
+                        if q == p || lq == 0 {
+                            continue;
+                        }
+                        let evict_cost = inst.weight(q as PageId, lq as Level);
+                        relax(
+                            &mut next,
+                            set(fetched, q, 0),
+                            cost + clear_cost + evict_cost,
+                            state,
+                        );
+                    }
+                }
+            }
+        }
+        assert!(
+            next.len() <= limits.max_states,
+            "DP state space exceeded {} states",
+            limits.max_states
+        );
+        if want_schedule {
+            parents.push(parent);
+        }
+        dp = next;
+    }
+
+    let result = finish(inst, &dp);
+    if !want_schedule {
+        return (result, None);
+    }
+
+    // Backtrack from the cheapest final state (eviction objective).
+    let (&final_state, _) = dp.iter().min_by_key(|&(_, &c)| c).expect("nonempty DP");
+    let mut states = vec![final_state];
+    for t in (0..trace.len()).rev() {
+        let prev = parents[t][states.last().unwrap()];
+        states.push(prev);
+    }
+    states.reverse(); // states[t] = cache before request t
+
+    // Convert consecutive state pairs into action logs.
+    use wmlp_core::action::{Action, StepLog};
+    let steps = states
+        .windows(2)
+        .map(|w| {
+            let (from, to) = (w[0], w[1]);
+            let mut actions = Vec::new();
+            // Evictions first so fetches never double-occupy a page slot.
+            for q in 0..n {
+                let (a, b) = (get(from, q), get(to, q));
+                if a != 0 && a != b {
+                    actions.push(Action::Evict(CopyRef::new(q as PageId, a as Level)));
+                }
+            }
+            for q in 0..n {
+                let (a, b) = (get(from, q), get(to, q));
+                if b != 0 && a != b {
+                    actions.push(Action::Fetch(CopyRef::new(q as PageId, b as Level)));
+                }
+            }
+            StepLog { actions }
+        })
+        .collect();
+    (result, Some(steps))
+}
+
+fn finish(inst: &MlInstance, dp: &HashMap<u64, Weight>) -> DpResult {
+    let n = inst.n();
+    let eviction = dp.values().copied().min().expect("nonempty DP");
+    let fetch = dp
+        .iter()
+        .map(|(&s, &c)| {
+            let resident: Weight = (0..n)
+                .filter_map(|q| {
+                    let l = get(s, q);
+                    (l != 0).then(|| inst.weight(q as PageId, l as Level))
+                })
+                .sum();
+            c + resident
+        })
+        .min()
+        .expect("nonempty DP");
+    DpResult {
+        eviction_cost: eviction,
+        fetch_cost: fetch,
+    }
+}
+
+/// Exact offline optimum for writeback-aware caching with native dirty-bit
+/// semantics (absent = 0, clean = 1, dirty = 2 per page).
+///
+/// Used to verify Lemma 2.1: this must equal [`opt_multilevel`] on the
+/// reduced RW instance (for the eviction-cost model).
+pub fn opt_writeback(inst: &WbInstance, trace: &[WbRequest], limits: DpLimits) -> Weight {
+    let n = inst.n();
+    assert!(
+        n <= limits.max_pages,
+        "DP limited to {} pages",
+        limits.max_pages
+    );
+    let k = inst.k();
+    const CLEAN: u64 = 1;
+    const DIRTY: u64 = 2;
+
+    let evict_cost = |inst: &WbInstance, q: usize, v: u64| -> Weight {
+        if v == DIRTY {
+            inst.w_dirty(q as PageId)
+        } else {
+            inst.w_clean(q as PageId)
+        }
+    };
+
+    let mut dp: HashMap<u64, Weight> = HashMap::new();
+    dp.insert(0, 0);
+    for &req in trace {
+        let p = req.page as usize;
+        let loaded_as = if req.op == RwOp::Write { DIRTY } else { CLEAN };
+        let mut next: HashMap<u64, Weight> = HashMap::with_capacity(dp.len() * 2);
+        let relax = |next: &mut HashMap<u64, Weight>, s: u64, c: Weight| {
+            next.entry(s)
+                .and_modify(|old| *old = (*old).min(c))
+                .or_insert(c);
+        };
+        for (&state, &cost) in &dp {
+            let cur = get(state, p);
+            if cur != 0 {
+                // Hit. A write dirties the page; reads change nothing.
+                let s2 = if req.op == RwOp::Write {
+                    set(state, p, DIRTY)
+                } else {
+                    state
+                };
+                relax(&mut next, s2, cost);
+                continue;
+            }
+            let occupancy = (0..n).filter(|&q| get(state, q) != 0).count();
+            let fetched = set(state, p, loaded_as);
+            if occupancy < k {
+                relax(&mut next, fetched, cost);
+            } else {
+                for q in 0..n {
+                    let vq = get(state, q);
+                    if q == p || vq == 0 {
+                        continue;
+                    }
+                    relax(
+                        &mut next,
+                        set(fetched, q, 0),
+                        cost + evict_cost(inst, q, vq),
+                    );
+                }
+            }
+        }
+        assert!(
+            next.len() <= limits.max_states,
+            "DP state space exceeded {} states",
+            limits.max_states
+        );
+        dp = next;
+    }
+    dp.values().copied().min().expect("nonempty DP")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_core::reduction::{wb_to_rw_instance, wb_to_rw_trace};
+
+    fn req(p: u32, l: u8) -> Request {
+        Request::new(p, l)
+    }
+
+    #[test]
+    fn packing_roundtrip() {
+        let mut s = 0u64;
+        s = set(s, 0, 3);
+        s = set(s, 5, 1);
+        s = set(s, 15, 2);
+        assert_eq!(get(s, 0), 3);
+        assert_eq!(get(s, 5), 1);
+        assert_eq!(get(s, 15), 2);
+        assert_eq!(get(s, 7), 0);
+        s = set(s, 0, 0);
+        assert_eq!(get(s, 0), 0);
+        assert_eq!(get(s, 5), 1);
+    }
+
+    #[test]
+    fn trivial_no_eviction_needed() {
+        let inst = MlInstance::weighted_paging(2, vec![5, 7, 9]).unwrap();
+        let trace = vec![req(0, 1), req(1, 1), req(0, 1)];
+        let r = opt_multilevel(&inst, &trace, DpLimits::default());
+        assert_eq!(r.eviction_cost, 0);
+        assert_eq!(r.fetch_cost, 12);
+    }
+
+    #[test]
+    fn forced_eviction_picks_cheapest_safe_page() {
+        // k = 1, weights 10, 1, 1. Requests 0, 1, 0: OPT evicts 0 before 1
+        // arrives? No: on miss for 1, must evict 0 (only resident), paying
+        // 10... the model charges the evicted page. Then refetch 0 evicting
+        // 1 (cost 1). Eviction OPT = 11; fetch OPT = fetch 0 (10) + fetch 1
+        // (1) + fetch 0 (10) = 21, or keep... no alternative: fetch model
+        // 21, eviction model 11.
+        let inst = MlInstance::weighted_paging(1, vec![10, 1]).unwrap();
+        let trace = vec![req(0, 1), req(1, 1), req(0, 1)];
+        let r = opt_multilevel(&inst, &trace, DpLimits::default());
+        assert_eq!(r.eviction_cost, 11);
+        assert_eq!(r.fetch_cost, 21);
+    }
+
+    #[test]
+    fn multilevel_opt_prefers_expensive_copy_for_future_writes() {
+        // RW instance, k = 1: read 0, write 0. Fetching the write copy
+        // (cost structure: eviction only) up front means the read is
+        // served by (0,1) and no replacement is ever charged.
+        let inst = MlInstance::rw_paging(1, vec![(10, 2), (10, 2)]).unwrap();
+        let trace = vec![req(0, 2), req(0, 1), req(1, 2)];
+        let r = opt_multilevel(&inst, &trace, DpLimits::default());
+        // OPT: fetch (0,1) at t=0 (serves read and write), evict it for
+        // (1,2) at cost 10. Alternative: fetch (0,2), replace by (0,1)
+        // paying 2, then evict (0,1) paying 10 -> 12. So eviction OPT = 10.
+        assert_eq!(r.eviction_cost, 10);
+    }
+
+    #[test]
+    fn lemma_2_1_optima_coincide() {
+        // Writeback instance vs its RW reduction: equal eviction optima.
+        let wb = WbInstance::new(2, vec![(10, 2), (6, 1), (4, 4), (8, 3)]).unwrap();
+        let wb_trace = vec![
+            WbRequest::write(0),
+            WbRequest::read(1),
+            WbRequest::read(2),
+            WbRequest::write(3),
+            WbRequest::read(0),
+            WbRequest::write(2),
+            WbRequest::read(3),
+            WbRequest::read(1),
+        ];
+        let opt_wb = opt_writeback(&wb, &wb_trace, DpLimits::default());
+        let rw = wb_to_rw_instance(&wb);
+        let rw_trace = wb_to_rw_trace(&wb_trace);
+        let opt_rw = opt_multilevel(&rw, &rw_trace, DpLimits::default());
+        assert_eq!(opt_wb, opt_rw.eviction_cost);
+    }
+
+    #[test]
+    fn writeback_opt_avoids_dirty_evictions() {
+        // k = 1, page 0 written then page 1 read then 0 read. Any solution
+        // evicts dirty 0 (w1 = 100)... unless it reorders? It cannot.
+        let wb = WbInstance::uniform(1, 3, 100, 1).unwrap();
+        let trace = vec![WbRequest::write(0), WbRequest::read(1), WbRequest::read(0)];
+        assert_eq!(opt_writeback(&wb, &trace, DpLimits::default()), 101);
+    }
+
+    #[test]
+    fn reconstructed_schedule_validates_at_dp_cost() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use wmlp_core::cost::CostModel;
+        use wmlp_core::validate::validate_run;
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..8 {
+            let n = 6;
+            let k = rng.gen_range(1..=3);
+            let rows: Vec<Vec<u64>> = (0..n)
+                .map(|_| {
+                    let w1: u64 = rng.gen_range(2..=16);
+                    vec![w1, rng.gen_range(1..=w1)]
+                })
+                .collect();
+            let inst = MlInstance::from_rows(k, rows).unwrap();
+            let trace: Vec<Request> = (0..40)
+                .map(|_| Request::new(rng.gen_range(0..n as u32), rng.gen_range(1..=2)))
+                .collect();
+            let (dp, steps) = opt_multilevel_schedule(&inst, &trace, DpLimits::default());
+            // The schedule must be feasible and achieve exactly the DP's
+            // eviction optimum — proving the DP value is attainable, not
+            // merely a bound.
+            let ledger = validate_run(&inst, &trace, &steps)
+                .unwrap_or_else(|e| panic!("trial {trial}: invalid schedule: {e}"));
+            assert_eq!(
+                ledger.total(CostModel::Eviction),
+                dp.eviction_cost,
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DP limited")]
+    fn too_many_pages_panics() {
+        let inst = MlInstance::unweighted_paging(2, 40).unwrap();
+        opt_multilevel(&inst, &[req(0, 1)], DpLimits::default());
+    }
+}

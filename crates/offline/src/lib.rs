@@ -1,0 +1,27 @@
+//! # wmlp-offline — exact offline optima
+//!
+//! Competitive ratios are measured against the offline optimum, which for
+//! writeback-aware caching is NP-complete (Farach-Colton and Liberatore),
+//! so exact computation is only feasible on small instances. This crate
+//! provides:
+//!
+//! * [`dp::opt_multilevel`] — exact optimum for weighted multi-level paging
+//!   by dynamic programming over cache states (per-page level assignments
+//!   with at most `k` cached copies). Solutions are normalized to be
+//!   *lazy* (fetch only on a miss, evict only to make room), which is
+//!   without loss of optimality by the standard exchange argument.
+//! * [`dp::opt_writeback`] — the same DP on native writeback states
+//!   (absent/clean/dirty per page), used to verify Lemma 2.1 (the RW
+//!   reduction preserves the optimum) experimentally.
+//! * [`belady`] — Belady's MIN for unweighted paging, as a fast sanity
+//!   oracle.
+
+#![warn(missing_docs)]
+
+pub mod belady;
+pub mod dp;
+pub mod wb_heuristic;
+
+pub use belady::belady_faults;
+pub use dp::{opt_multilevel, opt_multilevel_schedule, opt_writeback, DpLimits, DpResult};
+pub use wb_heuristic::wb_offline_heuristic;

@@ -1,0 +1,179 @@
+//! An offline writeback heuristic for large instances.
+//!
+//! The exact writeback optimum is NP-complete, so for instance sizes
+//! beyond [`crate::dp::opt_writeback`]'s reach the evaluation suite uses
+//! a clairvoyant greedy heuristic as an *upper bound* on OPT: demand
+//! paging where, on a full miss, the victim minimizes
+//!
+//! ```text
+//! current eviction cost (w1 if dirty else w2)
+//! -------------------------------------------
+//!        time until the page's next request
+//! ```
+//!
+//! — i.e. a cost-aware Belady rule (for unweighted instances it degrades
+//! to exact MIN). Pages never requested again have infinite horizon and
+//! are preferred victims at equal cost.
+
+use wmlp_core::types::{PageId, Weight};
+use wmlp_core::writeback::{RwOp, WbInstance, WbRequest};
+
+/// Cost of the clairvoyant greedy heuristic on a writeback trace — an
+/// upper bound on the offline optimum (eviction-cost model).
+pub fn wb_offline_heuristic(inst: &WbInstance, trace: &[WbRequest]) -> Weight {
+    let n = inst.n();
+    // next_req[t] = next time page p_t is requested after t (usize::MAX
+    // if never).
+    let mut next_req = vec![usize::MAX; trace.len()];
+    let mut last_seen = vec![usize::MAX; n];
+    for (t, r) in trace.iter().enumerate().rev() {
+        next_req[t] = last_seen[r.page as usize];
+        last_seen[r.page as usize] = t;
+    }
+    // next_use_of[p] = next request time for page p from the current t.
+    let mut next_use_of = last_seen; // at t = 0 this is the first request
+    let mut cached = vec![false; n];
+    let mut dirty = vec![false; n];
+    let mut occupancy = 0usize;
+    let mut cost: Weight = 0;
+
+    for (t, r) in trace.iter().enumerate() {
+        let p = r.page as usize;
+        // Maintain next_use: after serving t, page p's next use changes.
+        let was_cached = cached[p];
+        if !was_cached {
+            if occupancy == inst.k() {
+                // Victim: minimize cost / horizon == minimize cost *
+                // (1/horizon); compare a.cost * b.horizon vs b.cost *
+                // a.horizon with saturating arithmetic for infinities.
+                let victim = (0..n)
+                    .filter(|&q| cached[q] && q != p)
+                    .min_by(|&a, &b| {
+                        let ca = if dirty[a] {
+                            inst.w_dirty(a as PageId)
+                        } else {
+                            inst.w_clean(a as PageId)
+                        };
+                        let cb = if dirty[b] {
+                            inst.w_dirty(b as PageId)
+                        } else {
+                            inst.w_clean(b as PageId)
+                        };
+                        let ha = next_use_of[a].saturating_sub(t).max(1) as u128;
+                        let hb = next_use_of[b].saturating_sub(t).max(1) as u128;
+                        // smaller cost/horizon first  <=>  ca*hb < cb*ha
+                        (ca as u128 * hb).cmp(&(cb as u128 * ha))
+                    })
+                    .expect("cache is full");
+                cached[victim] = false;
+                occupancy -= 1;
+                cost += if std::mem::replace(&mut dirty[victim], false) {
+                    inst.w_dirty(victim as PageId)
+                } else {
+                    inst.w_clean(victim as PageId)
+                };
+            }
+            cached[p] = true;
+            dirty[p] = false;
+            occupancy += 1;
+        }
+        if r.op == RwOp::Write {
+            dirty[p] = true;
+        }
+        next_use_of[p] = next_req[t];
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wmlp_workloads::wb::wb_uniform_trace;
+
+    use crate::dp::{opt_writeback, DpLimits};
+
+    #[test]
+    fn upper_bounds_exact_optimum() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..12 {
+            let n = 6;
+            let k = rng.gen_range(1..=3);
+            let costs: Vec<(u64, u64)> = (0..n)
+                .map(|_| {
+                    let w2 = rng.gen_range(1..=4);
+                    (w2 + rng.gen_range(0..=30), w2)
+                })
+                .collect();
+            let inst = WbInstance::new(k, costs).unwrap();
+            let trace = wb_uniform_trace(&inst, 50, 0.4, rng.gen());
+            let opt = opt_writeback(&inst, &trace, DpLimits::default());
+            let heur = wb_offline_heuristic(&inst, &trace);
+            assert!(heur >= opt, "trial {trial}: heuristic {heur} < OPT {opt}");
+            // And it should not be wildly off on these small instances.
+            assert!(
+                heur <= 4 * opt.max(1),
+                "trial {trial}: heuristic {heur} >> OPT {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefers_evicting_dead_pages() {
+        // k = 2: page 0 never requested again, page 1 requested next.
+        let inst = WbInstance::uniform(2, 3, 10, 10).unwrap();
+        let trace = vec![
+            WbRequest::read(0),
+            WbRequest::read(1),
+            WbRequest::read(2), // must evict 0 (dead) not 1
+            WbRequest::read(1),
+        ];
+        let cost = wb_offline_heuristic(&inst, &trace);
+        assert_eq!(cost, 10, "exactly one eviction");
+    }
+
+    #[test]
+    fn protects_dirty_pages_when_horizons_tie() {
+        // Pages 0 (dirty, w1=100) and 1 (clean, w2=1) both requested at
+        // the same distance; the clean page must go.
+        let inst = WbInstance::new(2, vec![(100, 1), (100, 1), (100, 1)]).unwrap();
+        let trace = vec![
+            WbRequest::write(0),
+            WbRequest::read(1),
+            WbRequest::read(2),
+            WbRequest::read(0),
+            WbRequest::read(1),
+        ];
+        let cost = wb_offline_heuristic(&inst, &trace);
+        // Evict clean 1 at cost 1 for page 2; then evict 2 (clean, dead)
+        // at cost 1 to refetch 1... cost 2 total; never the dirty 100.
+        assert_eq!(cost, 2);
+    }
+
+    #[test]
+    fn unweighted_reduces_to_belady() {
+        use wmlp_core::instance::Request;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..8 {
+            let n = 7;
+            let k = 3;
+            let inst = WbInstance::uniform(k, n, 1, 1).unwrap();
+            let trace = wb_uniform_trace(&inst, 60, 0.5, rng.gen());
+            let heur = wb_offline_heuristic(&inst, &trace);
+            let ml_trace: Vec<Request> = trace.iter().map(|r| Request::top(r.page)).collect();
+            let belady = crate::belady::belady_faults(k, n, &ml_trace);
+            // Eviction-cost model: faults minus end-residents. Belady
+            // counts fetches; the heuristic counts evictions = fetches -
+            // final occupancy.
+            let final_occ = k.min(
+                trace
+                    .iter()
+                    .map(|r| r.page)
+                    .collect::<std::collections::HashSet<_>>()
+                    .len(),
+            ) as u64;
+            assert_eq!(heur, belady - final_occ);
+        }
+    }
+}

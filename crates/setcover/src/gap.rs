@@ -1,0 +1,119 @@
+//! The GF(2)-hyperplane integrality-gap family used for Theorem 1.4.
+//!
+//! Universe: the nonzero vectors of `GF(2)^d` (`n = 2^d − 1` elements).
+//! Sets: for every nonzero `a`, the affine hyperplane
+//! `S_a = {x ≠ 0 : ⟨a, x⟩ = 1}`.
+//!
+//! * Every element lies in exactly `2^{d−1}` sets, so `x_S = 2^{1−d}` for
+//!   all sets is a fractional cover of total weight `(2^d − 1)/2^{d−1} < 2`.
+//! * Any `d − 1` sets miss some nonzero point (the solution space of
+//!   `d − 1` homogeneous equations has dimension ≥ 1), while any `d` sets
+//!   with linearly independent labels cover everything — so the integral
+//!   optimum is exactly `d = Ω(log n)`.
+//!
+//! Pushing these instances through [`crate::reduction::RwReduction`]
+//! demonstrates Theorem 1.4: any rounding of the fractional RW-paging
+//! solution must lose `Ω(log k)`.
+
+use crate::instance::SetSystem;
+
+/// Build the hyperplane instance for dimension `d ≥ 2`. Element `e`
+/// (`0 ≤ e < 2^d − 1`) is the vector `e + 1`; set `s` is labeled by the
+/// vector `s + 1`.
+pub fn hyperplane_gap_instance(d: u32) -> SetSystem {
+    assert!((2..=16).contains(&d), "d must be in 2..=16");
+    let n = (1usize << d) - 1;
+    let sets: Vec<Vec<usize>> = (0..n)
+        .map(|s| {
+            let a = (s + 1) as u32;
+            (0..n)
+                .filter(|&e| {
+                    let x = (e + 1) as u32;
+                    (a & x).count_ones() % 2 == 1
+                })
+                .collect()
+        })
+        .collect();
+    SetSystem::new(n, sets)
+}
+
+/// The uniform fractional cover of the hyperplane instance: `x_S = 2^{1−d}`
+/// for every set; returns `(total_weight, x)`.
+pub fn hyperplane_fractional_cover(d: u32) -> (f64, Vec<f64>) {
+    let n = (1usize << d) - 1;
+    let per_set = 1.0 / (1u64 << (d - 1)) as f64;
+    (n as f64 * per_set, vec![per_set; n])
+}
+
+/// An integral cover of size `d`: the standard-basis hyperplanes
+/// `S_{e_1}, …, S_{e_d}` (every nonzero vector has some 1 bit).
+pub fn hyperplane_basis_cover(d: u32) -> Vec<usize> {
+    (0..d).map(|i| (1usize << i) - 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_set_membership_counts() {
+        for d in 2..=5u32 {
+            let sys = hyperplane_gap_instance(d);
+            let n = (1usize << d) - 1;
+            assert_eq!(sys.num_elements(), n);
+            assert_eq!(sys.num_sets(), n);
+            // Every element lies in exactly 2^{d-1} sets.
+            for e in 0..n {
+                assert_eq!(sys.containing(e).len(), 1 << (d - 1), "d={d} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_cover_is_valid_and_below_two() {
+        for d in 2..=6u32 {
+            let sys = hyperplane_gap_instance(d);
+            let (total, x) = hyperplane_fractional_cover(d);
+            assert!(total < 2.0);
+            for e in 0..sys.num_elements() {
+                let mass: f64 = sys.containing(e).iter().map(|&s| x[s]).sum();
+                assert!((mass - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn basis_cover_is_valid_with_size_d() {
+        for d in 2..=6u32 {
+            let sys = hyperplane_gap_instance(d);
+            let cover = hyperplane_basis_cover(d);
+            assert_eq!(cover.len(), d as usize);
+            let all: Vec<usize> = (0..sys.num_elements()).collect();
+            assert!(sys.is_cover(&cover, &all));
+        }
+    }
+
+    #[test]
+    fn integral_optimum_is_exactly_d() {
+        for d in 2..=4u32 {
+            let sys = hyperplane_gap_instance(d);
+            let all: Vec<usize> = (0..sys.num_elements()).collect();
+            let min = sys.min_cover(&all);
+            assert_eq!(min.len(), d as usize, "d={d}");
+        }
+    }
+
+    #[test]
+    fn lp_confirms_fractional_optimum_below_two() {
+        for d in 2..=4u32 {
+            let sys = hyperplane_gap_instance(d);
+            let all: Vec<usize> = (0..sys.num_elements()).collect();
+            let sets: Vec<Vec<usize>> = (0..sys.num_sets()).map(|s| sys.set(s).to_vec()).collect();
+            let (v, _) = wmlp_lp::fractional_set_cover(sys.num_elements(), &sets, &all);
+            assert!(v < 2.0 + 1e-6, "d={d} frac opt {v}");
+            // The uniform cover witnesses v <= (2^d - 1) / 2^{d-1}.
+            let (total, _) = hyperplane_fractional_cover(d);
+            assert!(v <= total + 1e-6);
+        }
+    }
+}

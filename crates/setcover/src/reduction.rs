@@ -1,0 +1,334 @@
+//! The reduction from online set cover to RW-paging (Section 3 of the
+//! paper), which powers the `Ω(log² k)` hardness of Theorem 1.3 and the
+//! `Ω(log k)` rounding lower bound of Theorem 1.4.
+//!
+//! Given a set system `(U, F)` with `|F| = m` and `|U| = n`, the RW
+//! instance has cache size `k = m` and a page per set and per element;
+//! write copies cost `w`, read copies cost 1. A phase serves element
+//! requests `e₁, e₂, …` as:
+//!
+//! 1. **Init** — a write request for every set page.
+//! 2. For each element `e`: the sequence `ρ(e)` (a read of `e` followed by
+//!    reads of every set *not* containing `e`) repeated `reps` times, then
+//!    a read of every set page.
+//! 3. **Terminate** — a write request for every set page.
+//!
+//! Lemma 3.2 (completeness): a cover of size `c` yields a solution of cost
+//! `≤ c(w+1) + 2t` — [`RwReduction::lemma32_schedule`] constructs it
+//! explicitly. Lemma 3.3 (soundness): if the write pages evicted during a
+//! phase do not form a cover, the cost is at least `reps` — the evicted
+//! sets are extracted by [`RwReduction::evicted_write_sets`]. The paper
+//! takes `reps = mnw`; experiments use smaller values and report the
+//! dichotomy directly.
+
+use wmlp_core::action::StepLog;
+use wmlp_core::instance::{MlInstance, Request, Trace};
+use wmlp_core::types::{CopyRef, PageId, Weight};
+
+use crate::instance::SetSystem;
+
+/// The RW-paging image of a set system under the Section 3 reduction.
+///
+/// ```
+/// use wmlp_setcover::{RwReduction, SetSystem};
+///
+/// let sys = SetSystem::new(3, vec![vec![0, 1], vec![1, 2]]);
+/// let red = RwReduction::new(&sys, 4, 2);
+/// let inst = red.instance();
+/// assert_eq!(inst.k(), sys.num_sets());        // cache size = m
+/// assert_eq!(inst.n(), sys.num_sets() + 3);    // a page per set and element
+/// let trace = red.phase_trace(&[0, 2]);
+/// assert!(inst.validate_trace(&trace).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RwReduction {
+    sys: SetSystem,
+    /// Eviction cost of write copies (read copies cost 1).
+    pub w: Weight,
+    /// Repetitions of `ρ(e)` per element (the paper's `ℓ`).
+    pub reps: usize,
+}
+
+impl RwReduction {
+    /// Build the reduction with write-copy cost `w ≥ 1` and `reps ≥ 1`.
+    pub fn new(sys: &SetSystem, w: Weight, reps: usize) -> Self {
+        assert!(w >= 1 && reps >= 1);
+        assert!(sys.num_sets() >= 1);
+        RwReduction {
+            sys: sys.clone(),
+            w,
+            reps,
+        }
+    }
+
+    /// The page for set `s`.
+    pub fn set_page(&self, s: usize) -> PageId {
+        s as PageId
+    }
+
+    /// The page for element `e`.
+    pub fn element_page(&self, e: usize) -> PageId {
+        (self.sys.num_sets() + e) as PageId
+    }
+
+    /// The RW-paging instance: `k = m`, a page per set and per element,
+    /// write copies cost `w`, read copies cost 1.
+    pub fn instance(&self) -> MlInstance {
+        let pages = self.sys.num_sets() + self.sys.num_elements();
+        MlInstance::rw_paging(self.sys.num_sets(), vec![(self.w, 1); pages])
+            .expect("reduction instance is valid")
+    }
+
+    /// The request trace of one phase serving `elements` (in order).
+    pub fn phase_trace(&self, elements: &[usize]) -> Trace {
+        let m = self.sys.num_sets();
+        let mut trace = Vec::new();
+        // Step 1: write every set page.
+        for s in 0..m {
+            trace.push(Request::new(self.set_page(s), 1));
+        }
+        for &e in elements {
+            // Step 2a: rho(e) repeated `reps` times.
+            let absent = self.sys.not_containing(e);
+            for _ in 0..self.reps {
+                trace.push(Request::new(self.element_page(e), 2));
+                for &s in &absent {
+                    trace.push(Request::new(self.set_page(s), 2));
+                }
+            }
+            // Step 2b: read every set page.
+            for s in 0..m {
+                trace.push(Request::new(self.set_page(s), 2));
+            }
+        }
+        // Step 3: write every set page.
+        for s in 0..m {
+            trace.push(Request::new(self.set_page(s), 1));
+        }
+        trace
+    }
+
+    /// The explicit Lemma 3.2 solution: given a valid cover `cover` of
+    /// `elements`, produce a feasible schedule for
+    /// [`RwReduction::phase_trace`] with eviction cost exactly
+    /// `|cover|·(w + 1) + 2·|elements|`.
+    ///
+    /// # Panics
+    /// If `cover` does not cover `elements`.
+    pub fn lemma32_schedule(&self, elements: &[usize], cover: &[usize]) -> Vec<StepLog> {
+        self.lemma32_schedule_from(elements, cover, false)
+    }
+
+    /// As [`RwReduction::lemma32_schedule`], but `cache_prefilled` states
+    /// that the cache already holds every write copy `(p_S, 1)` (the state
+    /// each phase ends in), so the Step-1 fetches are skipped. This is how
+    /// phases compose in the Theorem 3.6 construction.
+    pub fn lemma32_schedule_from(
+        &self,
+        elements: &[usize],
+        cover: &[usize],
+        cache_prefilled: bool,
+    ) -> Vec<StepLog> {
+        assert!(
+            self.sys.is_cover(cover, elements),
+            "Lemma 3.2 requires a valid cover"
+        );
+        let m = self.sys.num_sets();
+        let trace = self.phase_trace(elements);
+        let mut steps: Vec<StepLog> = Vec::with_capacity(trace.len());
+        // Actions to prepend to the next emitted step.
+        let mut pending: Vec<wmlp_core::action::Action> = Vec::new();
+        let emit = |pending: &mut Vec<wmlp_core::action::Action>,
+                    steps: &mut Vec<StepLog>,
+                    extra: Vec<wmlp_core::action::Action>| {
+            let mut actions = std::mem::take(pending);
+            actions.extend(extra);
+            steps.push(StepLog { actions });
+        };
+        use wmlp_core::action::Action::{Evict, Fetch};
+
+        // Step 1: fetch each write copy as it is requested (hits when the
+        // cache is prefilled).
+        for s in 0..m {
+            let extra = if cache_prefilled {
+                Vec::new()
+            } else {
+                vec![Fetch(CopyRef::new(self.set_page(s), 1))]
+            };
+            emit(&mut pending, &mut steps, extra);
+        }
+        // After step 1: swap covered sets to their read copies.
+        for &s in cover {
+            pending.push(Evict(CopyRef::new(self.set_page(s), 1)));
+            pending.push(Fetch(CopyRef::new(self.set_page(s), 2)));
+        }
+        let in_cover = {
+            let mut v = vec![false; m];
+            for &s in cover {
+                v[s] = true;
+            }
+            v
+        };
+        for &e in elements {
+            // Pick a covering set for e.
+            let &s_e = self
+                .sys
+                .containing(e)
+                .iter()
+                .find(|&&s| in_cover[s])
+                .expect("cover covers e");
+            // Before 2a: make room for the element page.
+            pending.push(Evict(CopyRef::new(self.set_page(s_e), 2)));
+            pending.push(Fetch(CopyRef::new(self.element_page(e), 2)));
+            // 2a requests are all served for free.
+            let rho_len = self.reps * (1 + self.sys.not_containing(e).len());
+            for _ in 0..rho_len {
+                emit(&mut pending, &mut steps, Vec::new());
+            }
+            // Before 2b: restore the covering set's read copy.
+            pending.push(Evict(CopyRef::new(self.element_page(e), 2)));
+            pending.push(Fetch(CopyRef::new(self.set_page(s_e), 2)));
+            for _ in 0..m {
+                emit(&mut pending, &mut steps, Vec::new());
+            }
+        }
+        // Before step 3: restore write copies for the cover.
+        for &s in cover {
+            pending.push(Evict(CopyRef::new(self.set_page(s), 2)));
+            pending.push(Fetch(CopyRef::new(self.set_page(s), 1)));
+        }
+        for _ in 0..m {
+            emit(&mut pending, &mut steps, Vec::new());
+        }
+        debug_assert_eq!(steps.len(), trace.len());
+        steps
+    }
+
+    /// The sets whose write copy was evicted at or after its first write
+    /// request — the paper's set `D` in Lemma 3.3. If `D` is not a valid
+    /// cover of the phase's elements, the phase cost is at least `reps`.
+    pub fn evicted_write_sets(&self, steps: &[StepLog]) -> Vec<usize> {
+        let m = self.sys.num_sets();
+        let mut evicted = vec![false; m];
+        for (t, step) in steps.iter().enumerate() {
+            for c in step.evictions() {
+                if c.level == 1 && (c.page as usize) < m {
+                    // Write requests for set s occur at trace position s
+                    // (step 1); any later eviction counts.
+                    if t >= c.page as usize {
+                        evicted[c.page as usize] = true;
+                    }
+                }
+            }
+        }
+        (0..m).filter(|&s| evicted[s]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_core::cost::CostModel;
+    use wmlp_core::validate::validate_run;
+
+    fn sys() -> SetSystem {
+        SetSystem::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]])
+    }
+
+    #[test]
+    fn trace_structure() {
+        let red = RwReduction::new(&sys(), 5, 2);
+        let elements = vec![0, 2];
+        let trace = red.phase_trace(&elements);
+        let m = 4;
+        // |rho(e)| = 1 + |F̄_e| = 1 + 2 = 3 for every e here.
+        let expected = m + elements.len() * (2 * 3 + m) + m;
+        assert_eq!(trace.len(), expected);
+        // Starts and ends with write requests for all sets.
+        assert!(trace[..m].iter().all(|r| r.level == 1));
+        assert!(trace[trace.len() - m..].iter().all(|r| r.level == 1));
+    }
+
+    #[test]
+    fn lemma32_schedule_is_feasible_with_exact_cost() {
+        let sys = sys();
+        let red = RwReduction::new(&sys, 7, 3);
+        let elements = vec![0, 1, 3];
+        let cover = sys.min_cover(&elements);
+        let trace = red.phase_trace(&elements);
+        let steps = red.lemma32_schedule(&elements, &cover);
+        let ledger = validate_run(&red.instance(), &trace, &steps).unwrap();
+        let c = cover.len() as u64;
+        let t = elements.len() as u64;
+        assert_eq!(ledger.total(CostModel::Eviction), c * (7 + 1) + 2 * t);
+    }
+
+    #[test]
+    fn lemma32_cache_returns_to_all_write_copies() {
+        let sys = sys();
+        let red = RwReduction::new(&sys, 3, 1);
+        let elements = vec![2];
+        let cover = sys.min_cover(&elements);
+        let steps = red.lemma32_schedule(&elements, &cover);
+        // Replay and check the final cache.
+        let inst = red.instance();
+        let trace = red.phase_trace(&elements);
+        validate_run(&inst, &trace, &steps).unwrap();
+        let mut cache = wmlp_core::cache::CacheState::empty(inst.n());
+        for step in &steps {
+            for &a in &step.actions {
+                match a {
+                    wmlp_core::action::Action::Fetch(c) => cache.fetch(c).unwrap(),
+                    wmlp_core::action::Action::Evict(c) => cache.evict(c).unwrap(),
+                }
+            }
+        }
+        for s in 0..sys.num_sets() {
+            assert!(cache.contains(CopyRef::new(red.set_page(s), 1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "valid cover")]
+    fn lemma32_rejects_non_covers() {
+        let sys = sys();
+        let red = RwReduction::new(&sys, 3, 1);
+        red.lemma32_schedule(&[0, 2], &[0]);
+    }
+
+    #[test]
+    fn evicted_sets_from_lemma32_schedule_form_the_cover() {
+        let sys = sys();
+        let red = RwReduction::new(&sys, 3, 2);
+        let elements = vec![0, 1, 2, 3];
+        let cover = sys.min_cover(&elements);
+        let steps = red.lemma32_schedule(&elements, &cover);
+        let mut d = red.evicted_write_sets(&steps);
+        d.sort_unstable();
+        let mut c = cover.clone();
+        c.sort_unstable();
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn soundness_dichotomy_for_online_algorithms() {
+        // Lemma 3.3 (empirical): running any feasible algorithm on a
+        // phase, either its evicted write pages form a cover, or it paid
+        // at least `reps`.
+        use wmlp_sim::engine::run_policy;
+        let sys = SetSystem::random(6, 5, 0.4, 2);
+        let red = RwReduction::new(&sys, 4, 6);
+        let elements: Vec<usize> = (0..6).collect();
+        let trace = red.phase_trace(&elements);
+        let inst = red.instance();
+        let mut lru = wmlp_algos::Lru::new(&inst);
+        let res = run_policy(&inst, &trace, &mut lru, true).unwrap();
+        let d = red.evicted_write_sets(res.steps.as_ref().unwrap());
+        let covered = sys.is_cover(&d, &elements);
+        let cost = res.ledger.total(CostModel::Eviction);
+        assert!(
+            covered || cost >= red.reps as u64,
+            "soundness dichotomy violated: cover={covered} cost={cost}"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # wmlp-sim — simulation engine
+//!
+//! Drives online algorithms over request traces with full feasibility
+//! checking and cost accounting.
+//!
+//! * [`engine`] — run an integral [`wmlp_core::OnlinePolicy`]; every step is
+//!   checked (request served, capacity respected) as it happens, so an
+//!   infeasible policy fails fast with a precise error.
+//! * [`frac_engine`] — run a [`wmlp_core::FractionalPolicy`], maintaining a
+//!   mirror of the prefix variables, validating the fractional invariants,
+//!   and accumulating the LP movement cost.
+//! * [`sweep`] — rayon-powered helpers for running experiment grids in
+//!   parallel.
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod engine;
+pub mod frac_engine;
+pub mod stats;
+pub mod sweep;
+
+pub use adversary::adaptive_trace;
+
+pub use engine::{run_policy, RunResult, SimError};
+pub use frac_engine::{run_fractional, FracRunResult};
+pub use stats::{miss_timeline, ClassBreakdown};
+pub use sweep::{geo_mean, mean_and_stdev, par_grid, par_seeds};

@@ -1,0 +1,150 @@
+//! Run statistics: per-weight-class cost breakdowns and miss timelines.
+//!
+//! The rounding algorithm's reset logic and the competitive analysis both
+//! argue per weight class (`P_i = {w ∈ (2^{i-1}, 2^i]}`), so experiment
+//! tables often need to know *where* the cost went, not just its total.
+
+use wmlp_core::action::{Action, StepLog};
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::types::{num_weight_classes, weight_class, Weight};
+
+/// Cost and event counts split by weight class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassBreakdown {
+    /// Eviction cost per class (indexed by [`weight_class`]).
+    pub eviction_cost: Vec<Weight>,
+    /// Eviction counts per class.
+    pub evictions: Vec<u64>,
+    /// Fetch cost per class.
+    pub fetch_cost: Vec<Weight>,
+    /// Fetch counts per class.
+    pub fetches: Vec<u64>,
+}
+
+impl ClassBreakdown {
+    /// Compute the breakdown of a recorded run.
+    pub fn from_steps(inst: &MlInstance, steps: &[StepLog]) -> Self {
+        let classes = num_weight_classes(inst.weights().max_weight());
+        let mut out = ClassBreakdown {
+            eviction_cost: vec![0; classes],
+            evictions: vec![0; classes],
+            fetch_cost: vec![0; classes],
+            fetches: vec![0; classes],
+        };
+        for step in steps {
+            for &a in &step.actions {
+                let c = a.copy();
+                let w = inst.weight(c.page, c.level);
+                let cls = weight_class(w) as usize;
+                match a {
+                    Action::Evict(_) => {
+                        out.eviction_cost[cls] += w;
+                        out.evictions[cls] += 1;
+                    }
+                    Action::Fetch(_) => {
+                        out.fetch_cost[cls] += w;
+                        out.fetches[cls] += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total eviction cost across classes.
+    pub fn total_eviction_cost(&self) -> Weight {
+        self.eviction_cost.iter().sum()
+    }
+
+    /// The class carrying the largest share of eviction cost, if any cost
+    /// was paid.
+    pub fn dominant_class(&self) -> Option<usize> {
+        let (cls, &cost) = self
+            .eviction_cost
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)?;
+        (cost > 0).then_some(cls)
+    }
+}
+
+/// Fraction of requests missed (i.e. triggering at least one fetch) per
+/// time bin of width `bin`; useful for plotting warmup and phase shifts.
+pub fn miss_timeline(trace: &[Request], steps: &[StepLog], bin: usize) -> Vec<f64> {
+    assert!(bin >= 1);
+    assert_eq!(trace.len(), steps.len());
+    steps
+        .chunks(bin)
+        .map(|chunk| {
+            let misses = chunk
+                .iter()
+                .filter(|s| s.actions.iter().any(|a| a.is_fetch()))
+                .count();
+            misses as f64 / chunk.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_core::types::CopyRef;
+
+    fn inst() -> MlInstance {
+        MlInstance::from_rows(1, vec![vec![8, 1], vec![3, 1]]).unwrap()
+    }
+
+    fn step(actions: Vec<Action>) -> StepLog {
+        StepLog { actions }
+    }
+
+    #[test]
+    fn breakdown_partitions_by_class() {
+        let inst = inst();
+        let steps = vec![
+            step(vec![Action::Fetch(CopyRef::new(0, 1))]), // w=8, class 3
+            step(vec![
+                Action::Evict(CopyRef::new(0, 1)),
+                Action::Fetch(CopyRef::new(1, 1)), // w=3, class 2
+            ]),
+            step(vec![
+                Action::Evict(CopyRef::new(1, 1)),
+                Action::Fetch(CopyRef::new(0, 2)), // w=1, class 0
+            ]),
+        ];
+        let b = ClassBreakdown::from_steps(&inst, &steps);
+        assert_eq!(b.eviction_cost[3], 8);
+        assert_eq!(b.eviction_cost[2], 3);
+        assert_eq!(b.fetch_cost[0], 1);
+        assert_eq!(b.total_eviction_cost(), 11);
+        assert_eq!(b.dominant_class(), Some(3));
+    }
+
+    #[test]
+    fn dominant_class_none_without_evictions() {
+        let inst = inst();
+        let steps = vec![step(vec![Action::Fetch(CopyRef::new(0, 1))])];
+        let b = ClassBreakdown::from_steps(&inst, &steps);
+        assert_eq!(b.dominant_class(), None);
+    }
+
+    #[test]
+    fn miss_timeline_bins() {
+        let trace = vec![Request::top(0); 6];
+        let steps = vec![
+            step(vec![Action::Fetch(CopyRef::new(0, 1))]),
+            step(vec![]),
+            step(vec![]),
+            step(vec![
+                Action::Evict(CopyRef::new(0, 1)),
+                Action::Fetch(CopyRef::new(0, 2)),
+            ]),
+            step(vec![]),
+            step(vec![]),
+        ];
+        let tl = miss_timeline(&trace, &steps, 3);
+        assert_eq!(tl.len(), 2);
+        assert!((tl[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((tl[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

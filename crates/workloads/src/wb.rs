@@ -1,0 +1,176 @@
+//! Writeback-aware (read/write) trace generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use wmlp_core::types::PageId;
+use wmlp_core::writeback::{WbInstance, WbRequest, WbTrace};
+
+/// Uniform page popularity with a global write ratio: each request is a
+/// write with probability `write_ratio`.
+pub fn wb_uniform_trace(inst: &WbInstance, len: usize, write_ratio: f64, seed: u64) -> WbTrace {
+    assert!((0.0..=1.0).contains(&write_ratio));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let page = rng.gen_range(0..inst.n()) as PageId;
+            if rng.gen_bool(write_ratio) {
+                WbRequest::write(page)
+            } else {
+                WbRequest::read(page)
+            }
+        })
+        .collect()
+}
+
+/// Zipf page popularity with *per-page* write affinity: a fraction
+/// `writer_frac` of the pages are "writer pages" whose requests are writes
+/// with probability `writer_ratio`; all other pages are written with
+/// probability `reader_ratio`. This models workloads where hot data
+/// partitions into mostly-read and mostly-written sets, which is where
+/// writeback-awareness pays off (experiment E8).
+#[allow(clippy::too_many_arguments)]
+pub fn wb_zipf_trace(
+    inst: &WbInstance,
+    alpha: f64,
+    len: usize,
+    writer_frac: f64,
+    writer_ratio: f64,
+    reader_ratio: f64,
+    seed: u64,
+) -> WbTrace {
+    assert!((0.0..=1.0).contains(&writer_frac));
+    assert!((0.0..=1.0).contains(&writer_ratio));
+    assert!((0.0..=1.0).contains(&reader_ratio));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(inst.n() as u64, alpha).expect("valid Zipf parameters");
+    // Deterministically tag writer pages from the same seed.
+    let writers: Vec<bool> = (0..inst.n()).map(|_| rng.gen_bool(writer_frac)).collect();
+    (0..len)
+        .map(|_| {
+            let page = (zipf.sample(&mut rng) as PageId) - 1;
+            let ratio = if writers[page as usize] {
+                writer_ratio
+            } else {
+                reader_ratio
+            };
+            if rng.gen_bool(ratio) {
+                WbRequest::write(page)
+            } else {
+                WbRequest::read(page)
+            }
+        })
+        .collect()
+}
+
+/// Temporal-shift writeback trace: time is divided into `phases`; in each
+/// phase a different contiguous window of `window` pages is hot (uniform
+/// requests within it) and a rotating subset of the window is write-heavy.
+/// Models diurnal shifts where both the working set and the write set
+/// move, stressing adaptivity of writeback-aware policies.
+pub fn wb_shifting_trace(
+    inst: &WbInstance,
+    len: usize,
+    phases: usize,
+    window: usize,
+    write_ratio_hot: f64,
+    seed: u64,
+) -> WbTrace {
+    assert!(phases >= 1 && (1..=inst.n()).contains(&window));
+    assert!((0.0..=1.0).contains(&write_ratio_hot));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_phase = len.div_ceil(phases);
+    let mut out = Vec::with_capacity(len);
+    for phase in 0..phases {
+        let start = (phase * window / 2) % inst.n();
+        for _ in 0..per_phase {
+            if out.len() == len {
+                break;
+            }
+            let page = ((start + rng.gen_range(0..window)) % inst.n()) as PageId;
+            // The first half of each window is the write-heavy subset.
+            let in_write_set = (page as usize + inst.n() - start) % inst.n() < window / 2;
+            let write = in_write_set && rng.gen_bool(write_ratio_hot);
+            out.push(if write {
+                WbRequest::write(page)
+            } else {
+                WbRequest::read(page)
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_core::writeback::RwOp;
+
+    fn inst() -> WbInstance {
+        WbInstance::uniform(4, 20, 16, 1).unwrap()
+    }
+
+    #[test]
+    fn uniform_write_ratio_respected() {
+        let inst = inst();
+        let t = wb_uniform_trace(&inst, 4000, 0.25, 17);
+        let writes = t.iter().filter(|r| r.op == RwOp::Write).count();
+        assert!((700..1300).contains(&writes), "writes = {writes}");
+        assert_eq!(t, wb_uniform_trace(&inst, 4000, 0.25, 17));
+    }
+
+    #[test]
+    fn all_reads_and_all_writes_extremes() {
+        let inst = inst();
+        assert!(wb_uniform_trace(&inst, 100, 0.0, 1)
+            .iter()
+            .all(|r| r.op == RwOp::Read));
+        assert!(wb_uniform_trace(&inst, 100, 1.0, 1)
+            .iter()
+            .all(|r| r.op == RwOp::Write));
+    }
+
+    #[test]
+    fn shifting_trace_moves_working_set() {
+        let inst = WbInstance::uniform(4, 40, 8, 1).unwrap();
+        let t = wb_shifting_trace(&inst, 1000, 4, 10, 0.8, 31);
+        assert_eq!(t.len(), 1000);
+        // Each phase touches at most `window` distinct pages.
+        for chunk in t.chunks(250) {
+            let mut pages: Vec<_> = chunk.iter().map(|r| r.page).collect();
+            pages.sort_unstable();
+            pages.dedup();
+            assert!(pages.len() <= 10, "phase touched {} pages", pages.len());
+        }
+        // Consecutive phases overlap but differ.
+        let p0: std::collections::HashSet<_> = t[..250].iter().map(|r| r.page).collect();
+        let p1: std::collections::HashSet<_> = t[250..500].iter().map(|r| r.page).collect();
+        assert!(p0 != p1);
+        assert!(p0.intersection(&p1).count() > 0);
+        // Writes happen, but only within the write-heavy halves.
+        assert!(t.iter().any(|r| r.op == RwOp::Write));
+        assert!(t.iter().any(|r| r.op == RwOp::Read));
+    }
+
+    #[test]
+    fn shifting_trace_zero_ratio_is_read_only() {
+        let inst = WbInstance::uniform(2, 12, 4, 1).unwrap();
+        let t = wb_shifting_trace(&inst, 200, 2, 6, 0.0, 5);
+        assert!(t.iter().all(|r| r.op == RwOp::Read));
+    }
+
+    #[test]
+    fn zipf_writer_pages_partition_ops() {
+        let inst = inst();
+        // writer pages always write, others always read: each page's
+        // requests must then be homogeneous.
+        let t = wb_zipf_trace(&inst, 1.0, 3000, 0.5, 1.0, 0.0, 23);
+        let mut seen: Vec<Option<RwOp>> = vec![None; inst.n()];
+        for r in &t {
+            match seen[r.page as usize] {
+                None => seen[r.page as usize] = Some(r.op),
+                Some(op) => assert_eq!(op, r.op, "page {} mixed ops", r.page),
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Weight distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmlp_core::types::Weight;
+
+/// Per-page weights drawn uniformly from `[lo, hi]`.
+pub fn weights_uniform(n: usize, lo: Weight, hi: Weight, seed: u64) -> Vec<Weight> {
+    assert!(1 <= lo && lo <= hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// Per-page weights of the form `2^c` with the class `c` drawn uniformly
+/// from `0..=max_class`. This matches the weight-class structure of the
+/// rounding algorithm (Section 4.3.1) and stresses its per-class resets.
+pub fn weights_pow2_classes(n: usize, max_class: u32, seed: u64) -> Vec<Weight> {
+    assert!(max_class < 60);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| 1u64 << rng.gen_range(0..=max_class))
+        .collect()
+}
+
+/// Two-point weights: each page is heavy (`w_heavy`) with probability
+/// `p_heavy`, otherwise light (`w_light`). Useful for crossover studies.
+pub fn weights_two_point(
+    n: usize,
+    w_light: Weight,
+    w_heavy: Weight,
+    p_heavy: f64,
+    seed: u64,
+) -> Vec<Weight> {
+    assert!(w_light >= 1 && w_heavy >= w_light);
+    assert!((0.0..=1.0).contains(&p_heavy));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(p_heavy) {
+                w_heavy
+            } else {
+                w_light
+            }
+        })
+        .collect()
+}
+
+/// Multi-level weight rows: each page gets `levels` copies with the top
+/// weight drawn uniformly from `[top_lo, top_hi]` and each subsequent level
+/// cheaper by a factor drawn uniformly from `[2, max_ratio]`, floored at 1.
+/// The rows satisfy the paper's monotonicity requirement and (where the
+/// floor does not bind) the Section-4 factor-2 separation.
+pub fn ml_rows_geometric(
+    n: usize,
+    levels: u8,
+    top_lo: Weight,
+    top_hi: Weight,
+    max_ratio: u32,
+    seed: u64,
+) -> Vec<Vec<Weight>> {
+    assert!(levels >= 1);
+    assert!(1 <= top_lo && top_lo <= top_hi);
+    assert!(max_ratio >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut w = rng.gen_range(top_lo..=top_hi);
+            let mut row = Vec::with_capacity(levels as usize);
+            row.push(w);
+            for _ in 1..levels {
+                let ratio = rng.gen_range(2..=max_ratio) as Weight;
+                w = (w / ratio).max(1);
+                row.push(w);
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_core::weights::WeightMatrix;
+
+    #[test]
+    fn uniform_within_range_and_deterministic() {
+        let a = weights_uniform(100, 3, 17, 42);
+        let b = weights_uniform(100, 3, 17, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&w| (3..=17).contains(&w)));
+        let c = weights_uniform(100, 3, 17, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pow2_weights_are_powers_of_two() {
+        let w = weights_pow2_classes(200, 10, 7);
+        assert!(w.iter().all(|&x| x.is_power_of_two() && x <= 1024));
+    }
+
+    #[test]
+    fn two_point_only_two_values() {
+        let w = weights_two_point(500, 1, 64, 0.25, 9);
+        assert!(w.iter().all(|&x| x == 1 || x == 64));
+        let heavies = w.iter().filter(|&&x| x == 64).count();
+        // 0.25 of 500 = 125 in expectation; allow generous slack.
+        assert!((50..250).contains(&heavies), "heavies = {heavies}");
+    }
+
+    #[test]
+    fn geometric_rows_form_valid_matrices() {
+        let rows = ml_rows_geometric(50, 4, 100, 1000, 4, 11);
+        let m = WeightMatrix::new(rows).expect("rows must be valid");
+        assert_eq!(m.max_levels(), 4);
+        for p in 0..50 {
+            let row = m.row(p);
+            for w in row.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+            assert!(*row.last().unwrap() >= 1);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The Section 3 hardness machinery, end to end: encode a set cover
+//! instance as RW-paging requests, verify the Lemma 3.2 completeness
+//! schedule, watch the Lemma 3.3 soundness dichotomy on a real online
+//! algorithm, and print the GF(2)-hyperplane integrality gap behind
+//! Theorem 1.4.
+//!
+//! ```text
+//! cargo run --release --example hardness_demo
+//! ```
+
+use wmlp::core::cost::CostModel;
+use wmlp::core::validate::validate_run;
+use wmlp::setcover::gap::{hyperplane_basis_cover, hyperplane_fractional_cover};
+use wmlp::setcover::{hyperplane_gap_instance, RwReduction, SetSystem};
+use wmlp::sim::engine::run_policy;
+
+fn main() {
+    // A small random set system.
+    let sys = SetSystem::random(8, 6, 0.35, 17);
+    let elements: Vec<usize> = (0..8).collect();
+    let cover = sys.min_cover(&elements);
+    println!(
+        "set system: n = {}, m = {}, minimum cover = {:?}",
+        sys.num_elements(),
+        sys.num_sets(),
+        cover
+    );
+
+    // Encode as RW-paging (write copies cost w = 8, reads cost 1).
+    let red = RwReduction::new(&sys, 8, 10);
+    let inst = red.instance();
+    let trace = red.phase_trace(&elements);
+    println!(
+        "RW-paging image: cache k = {}, {} pages, {} requests",
+        inst.k(),
+        inst.n(),
+        trace.len()
+    );
+
+    // Lemma 3.2: the explicit schedule built from the cover.
+    let steps = red.lemma32_schedule(&elements, &cover);
+    let ledger = validate_run(&inst, &trace, &steps).expect("Lemma 3.2 schedule is feasible");
+    let formula = cover.len() as u64 * (red.w + 1) + 2 * elements.len() as u64;
+    println!(
+        "Lemma 3.2: schedule cost {} = c(w+1) + 2t = {}",
+        ledger.total(CostModel::Eviction),
+        formula
+    );
+
+    // Lemma 3.3: run LRU online; its evicted write pages must cover the
+    // elements, or it pays >= reps.
+    let mut lru = wmlp::algos::Lru::new(&inst);
+    let res = run_policy(&inst, &trace, &mut lru, true).expect("feasible");
+    let d = red.evicted_write_sets(res.steps.as_ref().unwrap());
+    println!(
+        "Lemma 3.3: LRU evicted write pages of sets {:?} (covers: {}), cost {}",
+        d,
+        sys.is_cover(&d, &elements),
+        res.ledger.total(CostModel::Eviction)
+    );
+
+    // Theorem 1.4's engine: the hyperplane integrality gap.
+    println!("\nGF(2)-hyperplane gap family (fractional < 2, integral = d):");
+    for d in 2u32..=6 {
+        let gap_sys = hyperplane_gap_instance(d);
+        let (frac, _) = hyperplane_fractional_cover(d);
+        let integral = hyperplane_basis_cover(d).len();
+        println!(
+            "  d = {d}: n = m = {:>3}, fractional {:.3}, integral {}  (gap {:.2})",
+            gap_sys.num_elements(),
+            frac,
+            integral,
+            integral as f64 / frac
+        );
+    }
+}

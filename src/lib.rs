@@ -1,0 +1,20 @@
+//! # wmlp — efficient online weighted multi-level paging
+//!
+//! Facade crate re-exporting the whole workspace: the problem model
+//! ([`core`]), the SPAA'21 algorithms and baselines ([`algos`]), the
+//! simulation engine ([`sim`]), offline optima ([`offline`], [`flow`]), the
+//! LP substrate ([`lp`]), the set-cover machinery and hardness reduction
+//! ([`setcover`]), and workload generators ([`workloads`]).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod prelude;
+
+pub use wmlp_algos as algos;
+pub use wmlp_core as core;
+pub use wmlp_flow as flow;
+pub use wmlp_lp as lp;
+pub use wmlp_offline as offline;
+pub use wmlp_setcover as setcover;
+pub use wmlp_sim as sim;
+pub use wmlp_workloads as workloads;

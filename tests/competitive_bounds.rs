@@ -1,0 +1,177 @@
+//! Theorem-shaped integration tests: each test pins one competitive
+//! guarantee from the paper (or a classical baseline's) against exact
+//! offline optima on randomized instance families. The bounds asserted
+//! are the *theorem* bounds (with their constants), so a regression that
+//! breaks an algorithm's competitiveness — not merely its feasibility —
+//! fails here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmlp::algos::{Landlord, Marking, RandomizedMlPaging, WaterFill};
+use wmlp::core::cost::CostModel;
+use wmlp::core::instance::{MlInstance, Request};
+use wmlp::flow::weighted_paging_opt;
+use wmlp::offline::{opt_multilevel, DpLimits};
+use wmlp::sim::engine::run_policy;
+
+fn random_trace(rng: &mut StdRng, inst: &MlInstance, len: usize) -> Vec<Request> {
+    (0..len)
+        .map(|_| {
+            let p = rng.gen_range(0..inst.n() as u32);
+            Request::new(p, rng.gen_range(1..=inst.levels(p)))
+        })
+        .collect()
+}
+
+/// Theorem 4.1: with factor-2-separated weights, water-filling's
+/// eviction cost is at most `2k·OPT + additive` (the additive term
+/// covers the differing start/end conventions; `k·w_max` is safe).
+#[test]
+fn waterfill_within_theorem_4_1_bound() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for trial in 0..10 {
+        let n = 6;
+        let k = rng.gen_range(2..=3);
+        let rows: Vec<Vec<u64>> = (0..n)
+            .map(|_| {
+                let w2 = rng.gen_range(1..=8);
+                vec![w2 * 2 * rng.gen_range(1..=4), w2]
+            })
+            .collect();
+        let w_max = rows.iter().map(|r| r[0]).max().unwrap();
+        let inst = MlInstance::from_rows(k, rows).unwrap();
+        let trace = random_trace(&mut rng, &inst, 80);
+        let opt = opt_multilevel(&inst, &trace, DpLimits::default()).eviction_cost;
+        let mut alg = WaterFill::new(&inst);
+        let cost = run_policy(&inst, &trace, &mut alg, false)
+            .unwrap()
+            .ledger
+            .total(CostModel::Eviction);
+        let bound = 2 * k as u64 * opt + k as u64 * w_max;
+        assert!(
+            cost <= bound,
+            "trial {trial}: waterfill {cost} > 2k·OPT bound {bound} (OPT {opt})"
+        );
+    }
+}
+
+/// Landlord is k-competitive for weighted paging (Young): fetch cost at
+/// most `k·OPT + k·w_max`.
+#[test]
+fn landlord_is_k_competitive_on_weighted_paging() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for trial in 0..10 {
+        let n = 8;
+        let k = rng.gen_range(2..=4);
+        let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=32)).collect();
+        let w_max = *weights.iter().max().unwrap();
+        let inst = MlInstance::weighted_paging(k, weights).unwrap();
+        let trace = random_trace(&mut rng, &inst, 150);
+        let opt = weighted_paging_opt(&inst, &trace);
+        let mut alg = Landlord::new(&inst);
+        let cost = run_policy(&inst, &trace, &mut alg, false)
+            .unwrap()
+            .ledger
+            .total(CostModel::Fetch);
+        let bound = k as u64 * opt + k as u64 * w_max;
+        assert!(
+            cost <= bound,
+            "trial {trial}: landlord {cost} > k·OPT bound {bound} (OPT {opt}, k {k})"
+        );
+    }
+}
+
+/// Randomized marking is 2H_k-competitive in expectation for unweighted
+/// paging; check the mean over seeds against `2H_k·OPT + k` with slack.
+#[test]
+fn marking_is_log_k_competitive_unweighted() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for trial in 0..5 {
+        let n = 10;
+        let k = 4;
+        let inst = MlInstance::unweighted_paging(k, n).unwrap();
+        let trace = random_trace(&mut rng, &inst, 200);
+        let opt = weighted_paging_opt(&inst, &trace) as f64;
+        let seeds = 12;
+        let mut total = 0.0;
+        for s in 0..seeds {
+            let mut alg = Marking::new(&inst, s);
+            total += run_policy(&inst, &trace, &mut alg, false)
+                .unwrap()
+                .ledger
+                .total(CostModel::Fetch) as f64;
+        }
+        let mean = total / seeds as f64;
+        let h_k = (1..=k).map(|i| 1.0 / i as f64).sum::<f64>();
+        // 2H_k bound plus generous sampling slack.
+        let bound = 2.0 * h_k * opt * 1.5 + k as f64;
+        assert!(
+            mean <= bound,
+            "trial {trial}: marking mean {mean} > bound {bound} (OPT {opt})"
+        );
+    }
+}
+
+/// Theorem 1.5: the randomized algorithm's expected cost is
+/// `O(log² k)·OPT` on multi-level instances; assert with explicit
+/// constant 16 on `(1 + ln k)²`.
+#[test]
+fn randomized_ml_within_polylog_of_dp_opt() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for trial in 0..4 {
+        let n = 7;
+        let k = 3;
+        let rows: Vec<Vec<u64>> = (0..n)
+            .map(|_| {
+                let w2 = rng.gen_range(1..=4);
+                vec![w2 * rng.gen_range(2..=8), w2]
+            })
+            .collect();
+        let inst = MlInstance::from_rows(k, rows).unwrap();
+        let trace = random_trace(&mut rng, &inst, 120);
+        let opt = opt_multilevel(&inst, &trace, DpLimits::default()).fetch_cost as f64;
+        let seeds = 10;
+        let mut total = 0.0;
+        for s in 0..seeds {
+            let mut alg = RandomizedMlPaging::with_default_beta(&inst, s);
+            total += run_policy(&inst, &trace, &mut alg, false)
+                .unwrap()
+                .ledger
+                .total(CostModel::Fetch) as f64;
+        }
+        let mean = total / seeds as f64;
+        let lk = 1.0 + (k as f64).ln();
+        let bound = 16.0 * lk * lk * opt;
+        assert!(
+            mean <= bound,
+            "trial {trial}: randomized mean {mean} > polylog bound {bound} (OPT {opt})"
+        );
+    }
+}
+
+/// The adaptive adversary certifies the deterministic lower bound
+/// (Sleator–Tarjan): every deterministic policy is forced to ratio ≥ k/2
+/// on its own adversarial trace.
+#[test]
+fn adaptive_adversary_certifies_omega_k() {
+    for k in [3usize, 6] {
+        let inst = MlInstance::unweighted_paging(k, k + 1).unwrap();
+        let len = 100 * k;
+        let mut policies: Vec<Box<dyn wmlp::core::policy::OnlinePolicy>> = vec![
+            Box::new(WaterFill::new(&inst)),
+            Box::new(Landlord::new(&inst)),
+            Box::new(wmlp::algos::Lru::new(&inst)),
+            Box::new(wmlp::algos::Fifo::new(&inst)),
+        ];
+        for policy in policies.iter_mut() {
+            let trace = wmlp::sim::adversary::adaptive_trace(&inst, policy.as_mut(), len).unwrap();
+            let opt = weighted_paging_opt(&inst, &trace);
+            let ratio = len as f64 / opt as f64;
+            assert!(
+                ratio >= k as f64 / 2.0,
+                "{}: adaptive ratio {ratio} below k/2 (k = {k})",
+                policy.name()
+            );
+        }
+    }
+}

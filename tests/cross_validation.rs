@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: every oracle in the workspace must agree
+//! with every other oracle on instances where both apply.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmlp::algos::{Fifo, Landlord, Lru, Marking, RandomizedMlPaging, WaterFill};
+use wmlp::core::cost::CostModel;
+use wmlp::core::instance::{MlInstance, Request};
+use wmlp::core::policy::OnlinePolicy;
+use wmlp::core::reduction::{wb_to_rw_instance, wb_to_rw_trace};
+use wmlp::core::validate::validate_run;
+use wmlp::core::writeback::WbInstance;
+use wmlp::flow::weighted_paging_opt;
+use wmlp::offline::{belady_faults, opt_multilevel, opt_writeback, DpLimits};
+use wmlp::sim::engine::run_policy;
+use wmlp::workloads::wb::wb_uniform_trace;
+use wmlp::workloads::{zipf_trace, LevelDist};
+
+fn random_trace(rng: &mut StdRng, inst: &MlInstance, len: usize) -> Vec<Request> {
+    (0..len)
+        .map(|_| {
+            let p = rng.gen_range(0..inst.n() as u32);
+            Request::new(p, rng.gen_range(1..=inst.levels(p)))
+        })
+        .collect()
+}
+
+#[test]
+fn three_offline_oracles_agree_on_unweighted_paging() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..15 {
+        let n = rng.gen_range(4..=7);
+        let k = rng.gen_range(1..=3.min(n - 1));
+        let inst = MlInstance::unweighted_paging(k, n).unwrap();
+        let trace = random_trace(&mut rng, &inst, 30);
+        let flow = weighted_paging_opt(&inst, &trace);
+        let dp = opt_multilevel(&inst, &trace, DpLimits::default()).fetch_cost;
+        let belady = belady_faults(k, n, &trace);
+        assert_eq!(flow, dp);
+        assert_eq!(flow, belady);
+    }
+}
+
+#[test]
+fn flow_and_dp_agree_on_weighted_paging() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..15 {
+        let n = rng.gen_range(4..=6);
+        let k = rng.gen_range(1..=3.min(n - 1));
+        let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=32)).collect();
+        let inst = MlInstance::weighted_paging(k, weights).unwrap();
+        let trace = random_trace(&mut rng, &inst, 25);
+        let flow = weighted_paging_opt(&inst, &trace);
+        let dp = opt_multilevel(&inst, &trace, DpLimits::default()).fetch_cost;
+        assert_eq!(flow, dp);
+    }
+}
+
+#[test]
+fn lemma_2_1_holds_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..10 {
+        let n = rng.gen_range(4..=6);
+        let k = rng.gen_range(1..=2);
+        let costs: Vec<(u64, u64)> = (0..n)
+            .map(|_| {
+                let w2 = rng.gen_range(1..=5);
+                (w2 + rng.gen_range(0..=20), w2)
+            })
+            .collect();
+        let wb = WbInstance::new(k, costs).unwrap();
+        let trace = wb_uniform_trace(&wb, 40, 0.4, rng.gen());
+        let opt_wb = opt_writeback(&wb, &trace, DpLimits::default());
+        let rw = wb_to_rw_instance(&wb);
+        let opt_rw =
+            opt_multilevel(&rw, &wb_to_rw_trace(&trace), DpLimits::default()).eviction_cost;
+        assert_eq!(opt_wb, opt_rw);
+    }
+}
+
+#[test]
+fn every_online_algorithm_is_feasible_and_dominated_by_opt() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for trial in 0..8 {
+        let n = 6;
+        let k = rng.gen_range(2..=3);
+        let rows: Vec<Vec<u64>> = (0..n)
+            .map(|_| {
+                let w1 = rng.gen_range(4..=32);
+                vec![w1, (w1 / rng.gen_range(2..=4)).max(1)]
+            })
+            .collect();
+        let inst = MlInstance::from_rows(k, rows).unwrap();
+        let trace = random_trace(&mut rng, &inst, 60);
+        let opt = opt_multilevel(&inst, &trace, DpLimits::default()).fetch_cost;
+
+        let mut algorithms: Vec<Box<dyn OnlinePolicy>> = vec![
+            Box::new(Lru::new(&inst)),
+            Box::new(Fifo::new(&inst)),
+            Box::new(Marking::new(&inst, trial)),
+            Box::new(Landlord::new(&inst)),
+            Box::new(WaterFill::new(&inst)),
+            Box::new(RandomizedMlPaging::with_default_beta(&inst, trial)),
+        ];
+        for alg in algorithms.iter_mut() {
+            let res = run_policy(&inst, &trace, alg.as_mut(), true).expect("feasible");
+            // The engine's ledger must agree with the independent replay.
+            let replay = validate_run(&inst, &trace, res.steps.as_ref().unwrap()).unwrap();
+            assert_eq!(replay, res.ledger, "{} ledger mismatch", alg.name());
+            assert!(
+                res.ledger.total(CostModel::Fetch) >= opt,
+                "{} beat OPT?! {} < {opt}",
+                alg.name(),
+                res.ledger.total(CostModel::Fetch)
+            );
+        }
+    }
+}
+
+#[test]
+fn level_normalization_preserves_serviceability() {
+    // Run on a non-geometric instance through normalize_levels and check
+    // the normalized run is feasible and its cost is within a factor 2 of
+    // the same algorithm on the original (the Section 4 guarantee shape).
+    let rows: Vec<Vec<u64>> = (0..8).map(|p| vec![20 + p, 19, 10, 9, 3]).collect();
+    let inst = MlInstance::from_rows(3, rows).unwrap();
+    let trace = zipf_trace(&inst, 1.0, 500, LevelDist::Uniform, 5);
+    let (norm, remap) = inst.normalize_levels();
+    let norm_trace = MlInstance::remap_trace(&trace, &remap);
+    assert!(norm.validate_trace(&norm_trace).is_ok());
+    assert!(norm.max_levels() < inst.max_levels());
+    for w in (0..norm.n()).flat_map(|p| norm.weights().row(p as u32).windows(2)) {
+        assert!(w[0] >= 2 * w[1], "normalization must enforce factor 2");
+    }
+    let mut a = WaterFill::new(&norm);
+    let res = run_policy(&norm, &norm_trace, &mut a, false).unwrap();
+    assert!(res.ledger.total(CostModel::Fetch) > 0);
+}
+
+#[test]
+fn randomized_algorithm_expectation_tracks_polylog_bound() {
+    // A coarse end-to-end competitive check: on a mixed workload the mean
+    // randomized cost over seeds stays within c·log²k of the exact OPT.
+    let k = 8;
+    let inst = MlInstance::weighted_paging(k, vec![1, 2, 4, 8, 16, 32, 64, 128, 3, 5]).unwrap();
+    let trace = zipf_trace(&inst, 1.0, 3000, LevelDist::Top, 11);
+    let opt = weighted_paging_opt(&inst, &trace) as f64;
+    let mut total = 0.0;
+    let seeds = 6;
+    for s in 0..seeds {
+        let mut alg = RandomizedMlPaging::with_default_beta(&inst, s);
+        total += run_policy(&inst, &trace, &mut alg, false)
+            .unwrap()
+            .ledger
+            .total(CostModel::Fetch) as f64;
+    }
+    let mean = total / seeds as f64;
+    let log_k = (k as f64).ln();
+    assert!(
+        mean <= 8.0 * log_k * log_k * opt,
+        "mean {mean} vs bound {}",
+        8.0 * log_k * log_k * opt
+    );
+}
