@@ -31,6 +31,10 @@
 //!
 //! [`adapters`] runs any multi-level policy on a writeback problem through
 //! the Lemma 2.1 reduction and reports the induced writeback cost.
+//!
+//! [`registry`] names every integral and writeback baseline so experiments
+//! and CLIs construct policies from spec strings (`"randomized(beta=0.5)"`)
+//! instead of hand-wired `match` blocks.
 
 #![warn(missing_docs)]
 
@@ -39,14 +43,17 @@ pub mod baselines;
 pub mod fractional;
 pub mod quantize;
 pub mod randomized;
+pub mod registry;
 pub mod rounding;
 pub mod waterfill;
 pub mod wb_baselines;
 
+pub use adapters::{run_ml_policy_on_writeback, run_spec_on_writeback, WbViaRwResult};
 pub use baselines::{Fifo, Landlord, Lru, Marking};
 pub use fractional::FracMultiplicative;
 pub use quantize::Quantized;
 pub use randomized::{RandomizedMlPaging, RandomizedWeightedPaging};
+pub use registry::{PolicyRegistry, PolicySpec, WbPolicyRegistry};
 pub use rounding::{RoundingML, RoundingWP};
 pub use waterfill::WaterFill;
 pub use wb_baselines::{WbFifo, WbGreedyDual, WbLru};

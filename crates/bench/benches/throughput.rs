@@ -1,4 +1,9 @@
-//! Criterion throughput benchmarks (B1–B4 in DESIGN.md).
+//! Throughput benchmarks (B1–B4 in DESIGN.md), self-hosted timing loop.
+//!
+//! Formerly a criterion harness; rewritten as a plain `harness = false`
+//! binary so the workspace builds offline. Each benchmark runs a few
+//! warm-up iterations, then reports the best-of-N wall time and derived
+//! requests/second.
 //!
 //! * B1 — requests/second of every online algorithm on a large Zipf trace.
 //! * B2 — water-filling scaling in the cache size `k` (O(log k)/request).
@@ -6,7 +11,8 @@
 //!   across level counts (per-request work is O(active pages)).
 //! * B4 — offline optimum solvers: flow (`ℓ = 1`), exponential DP, LP.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use wmlp_algos::{
     Fifo, FracMultiplicative, Landlord, Lru, Marking, RandomizedMlPaging, RandomizedWeightedPaging,
@@ -21,54 +27,74 @@ use wmlp_sim::engine::run_policy;
 use wmlp_sim::frac_engine::run_fractional;
 use wmlp_workloads::{weights_pow2_classes, zipf_trace, LevelDist};
 
-fn b1_algorithms(c: &mut Criterion) {
+const WARMUP_ITERS: usize = 2;
+const MEASURE_ITERS: usize = 5;
+
+/// Run `f` a few times and report the best wall time; `elements` scales
+/// the derived throughput column (0 suppresses it).
+fn bench<T>(group: &str, name: &str, elements: u64, mut f: impl FnMut() -> T) {
+    for _ in 0..WARMUP_ITERS {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..MEASURE_ITERS {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    if elements > 0 {
+        println!(
+            "{group}/{name}: {:>10.3} ms   {:>12.0} elem/s",
+            best * 1e3,
+            elements as f64 / best
+        );
+    } else {
+        println!("{group}/{name}: {:>10.3} ms", best * 1e3);
+    }
+}
+
+fn b1_algorithms() {
     let n = 1024;
     let k = 128;
     let t_len = 10_000usize;
     let inst = MlInstance::weighted_paging(k, weights_pow2_classes(n, 6, 1)).unwrap();
     let trace = zipf_trace(&inst, 1.0, t_len, LevelDist::Top, 2);
 
-    let mut group = c.benchmark_group("b1_algorithms");
-    group.throughput(Throughput::Elements(t_len as u64));
-    let mut bench = |name: &str, make: &dyn Fn() -> Box<dyn OnlinePolicy>| {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut p = make();
-                run_policy(&inst, &trace, p.as_mut(), false).unwrap().ledger
-            })
+    let run = |name: &str, make: &dyn Fn() -> Box<dyn OnlinePolicy>| {
+        bench("b1_algorithms", name, t_len as u64, || {
+            let mut p = make();
+            run_policy(&inst, &trace, p.as_mut(), false).unwrap().ledger
         });
     };
-    bench("lru", &|| Box::new(Lru::new(&inst)));
-    bench("fifo", &|| Box::new(Fifo::new(&inst)));
-    bench("marking", &|| Box::new(Marking::new(&inst, 7)));
-    bench("landlord", &|| Box::new(Landlord::new(&inst)));
-    bench("waterfill", &|| Box::new(WaterFill::new(&inst)));
-    bench("randomized-wp", &|| {
+    run("lru", &|| Box::new(Lru::new(&inst)));
+    run("fifo", &|| Box::new(Fifo::new(&inst)));
+    run("marking", &|| Box::new(Marking::new(&inst, 7)));
+    run("landlord", &|| Box::new(Landlord::new(&inst)));
+    run("waterfill", &|| Box::new(WaterFill::new(&inst)));
+    run("randomized-wp", &|| {
         Box::new(RandomizedWeightedPaging::with_default_beta(&inst, 7))
     });
-    group.finish();
 }
 
-fn b2_waterfill_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("b2_waterfill_k_scaling");
+fn b2_waterfill_scaling() {
     for k in [16usize, 64, 256, 1024] {
         let n = 4 * k;
         let t_len = 20_000usize;
         let inst = MlInstance::weighted_paging(k, weights_pow2_classes(n, 6, 3)).unwrap();
         let trace = zipf_trace(&inst, 1.0, t_len, LevelDist::Top, 4);
-        group.throughput(Throughput::Elements(t_len as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
+        bench(
+            "b2_waterfill_k_scaling",
+            &format!("k{k}"),
+            t_len as u64,
+            || {
                 let mut p = WaterFill::new(&inst);
                 run_policy(&inst, &trace, &mut p, false).unwrap().ledger
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn b3_fractional_and_randomized(c: &mut Criterion) {
-    let mut group = c.benchmark_group("b3_fractional_levels");
+fn b3_fractional_and_randomized() {
     for levels in [1u8, 2, 4] {
         let rows: Vec<Vec<u64>> = (0..64)
             .map(|_| {
@@ -80,54 +106,54 @@ fn b3_fractional_and_randomized(c: &mut Criterion) {
         let inst = MlInstance::from_rows(8, rows).unwrap();
         let t_len = 2000usize;
         let trace = zipf_trace(&inst, 1.0, t_len, LevelDist::Uniform, 5);
-        group.throughput(Throughput::Elements(t_len as u64));
-        group.bench_with_input(BenchmarkId::new("fractional", levels), &levels, |b, _| {
-            b.iter(|| {
+        bench(
+            "b3_fractional_levels",
+            &format!("fractional/l{levels}"),
+            t_len as u64,
+            || {
                 let mut p = FracMultiplicative::new(&inst);
                 run_fractional(&inst, &trace, &mut p, 0, None).unwrap().cost
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("randomized", levels), &levels, |b, _| {
-            b.iter(|| {
+            },
+        );
+        bench(
+            "b3_fractional_levels",
+            &format!("randomized/l{levels}"),
+            t_len as u64,
+            || {
                 let mut p = RandomizedMlPaging::with_default_beta(&inst, 9);
                 run_policy(&inst, &trace, &mut p, false).unwrap().ledger
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn b4_offline_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("b4_offline_solvers");
-
+fn b4_offline_solvers() {
     // Flow OPT on a sizable weighted paging trace.
     let inst = MlInstance::weighted_paging(32, weights_pow2_classes(256, 6, 11)).unwrap();
     let trace = zipf_trace(&inst, 1.0, 5000, LevelDist::Top, 12);
-    group.bench_function("flow_opt_T5000", |b| {
-        b.iter(|| weighted_paging_opt(&inst, &trace))
+    bench("b4_offline_solvers", "flow_opt_T5000", 0, || {
+        weighted_paging_opt(&inst, &trace)
     });
 
     // Exponential DP on a small RW instance.
     let rows: Vec<Vec<u64>> = (0..8).map(|_| vec![16, 2]).collect();
     let dp_inst = MlInstance::from_rows(3, rows).unwrap();
     let dp_trace = zipf_trace(&dp_inst, 0.9, 200, LevelDist::TopProb(0.3), 13);
-    group.bench_function("dp_opt_n8_T200", |b| {
-        b.iter(|| opt_multilevel(&dp_inst, &dp_trace, DpLimits::default()))
+    bench("b4_offline_solvers", "dp_opt_n8_T200", 0, || {
+        opt_multilevel(&dp_inst, &dp_trace, DpLimits::default())
     });
 
     // LP on a tiny instance.
     let lp_inst = MlInstance::from_rows(2, (0..4).map(|_| vec![8, 2]).collect()).unwrap();
     let lp_trace = zipf_trace(&lp_inst, 0.8, 16, LevelDist::TopProb(0.4), 14);
-    group.bench_function("paging_lp_n4_T16", |b| {
-        b.iter(|| multilevel_paging_lp_opt(&lp_inst, &lp_trace).value)
+    bench("b4_offline_solvers", "paging_lp_n4_T16", 0, || {
+        multilevel_paging_lp_opt(&lp_inst, &lp_trace).value
     });
-
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = b1_algorithms, b2_waterfill_scaling, b3_fractional_and_randomized, b4_offline_solvers
+fn main() {
+    b1_algorithms();
+    b2_waterfill_scaling();
+    b3_fractional_and_randomized();
+    b4_offline_solvers();
 }
-criterion_main!(benches);

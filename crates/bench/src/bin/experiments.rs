@@ -1,4 +1,4 @@
-//! The `experiments` binary: regenerates the E1–E10 evaluation tables.
+//! The `experiments` binary: regenerates the E1–E11 evaluation tables.
 //!
 //! ```text
 //! cargo run -p wmlp-bench --release --bin experiments -- all
@@ -6,36 +6,49 @@
 //! ```
 //!
 //! Tables are printed to stdout and written as CSV under
-//! `target/experiments/`.
+//! `target/experiments/`; each experiment's run manifest (per-run costs,
+//! ledgers and engine counters as JSON) is written next to them.
 
 use std::path::PathBuf;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use wmlp_bench::experiments::{run_experiment, ALL_IDS};
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL_IDS.iter().map(|s| s.to_string()).collect()
     } else {
         args
     };
-    let csv_dir = PathBuf::from("target/experiments");
+    let out_dir = PathBuf::from("target/experiments");
     for id in &ids {
         let start = Instant::now();
-        let tables = run_experiment(id);
-        for (i, table) in tables.iter().enumerate() {
+        let out = match run_experiment(id) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (i, table) in out.tables.iter().enumerate() {
             println!("{}", table.render());
-            let slug = if tables.len() == 1 {
+            let slug = if out.tables.len() == 1 {
                 id.clone()
             } else {
                 format!("{id}_{}", (b'a' + i as u8) as char)
             };
-            match table.write_csv(&csv_dir, &slug) {
+            match table.write_csv(&out_dir, &slug) {
                 Ok(path) => println!("[csv] {}", path.display()),
                 Err(e) => eprintln!("[csv] failed to write {slug}: {e}"),
             }
         }
+        match out.manifest.write(&out_dir) {
+            Ok(path) => println!("[json] {}", path.display()),
+            Err(e) => eprintln!("[json] failed to write {id}: {e}"),
+        }
         println!("[{id}] completed in {:.1?}\n", start.elapsed());
     }
+    ExitCode::SUCCESS
 }

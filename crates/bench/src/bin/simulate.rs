@@ -9,17 +9,19 @@
 //!              --alg lru,landlord,waterfill,randomized --seed 1 --opt
 //! ```
 //!
-//! Files use the `wmlp-core::codec` text format. `--opt` additionally
+//! Files use the `wmlp-core::codec` text format. `--alg` takes policy-
+//! registry spec strings (so `randomized(beta=0.5)` works); an unknown
+//! name prints the list of available policies. `--opt` additionally
 //! computes the exact offline optimum (flow for 1-level instances, DP for
-//! small multi-level ones) and prints competitive ratios.
+//! small multi-level ones) and prints competitive ratios. `--json <path>`
+//! writes the run manifest (costs, ledgers, engine counters) as JSON.
 
 use std::process::ExitCode;
 
+use wmlp_algos::PolicyRegistry;
 use wmlp_core::codec;
-use wmlp_core::cost::CostModel;
 use wmlp_core::instance::MlInstance;
-use wmlp_core::policy::OnlinePolicy;
-use wmlp_sim::engine::run_policy;
+use wmlp_sim::runner::{Runner, RunnerError, Scenario};
 use wmlp_workloads::{ml_rows_geometric, zipf_trace, LevelDist};
 
 fn main() -> ExitCode {
@@ -139,38 +141,44 @@ fn run(args: &[String]) -> ExitCode {
         println!("{:>14}: {o}", "OPT(fetch)");
     }
 
-    for name in names.split(',') {
-        let mut alg: Box<dyn OnlinePolicy> = match name {
-            "lru" => Box::new(wmlp_algos::Lru::new(&inst)),
-            "fifo" => Box::new(wmlp_algos::Fifo::new(&inst)),
-            "marking" => Box::new(wmlp_algos::Marking::new(&inst, seed)),
-            "landlord" => Box::new(wmlp_algos::Landlord::new(&inst)),
-            "waterfill" => Box::new(wmlp_algos::WaterFill::new(&inst)),
-            "randomized" => Box::new(wmlp_algos::RandomizedMlPaging::with_default_beta(
-                &inst, seed,
-            )),
-            other => {
-                eprintln!("unknown algorithm {other:?}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match run_policy(&inst, &trace, alg.as_mut(), false) {
-            Ok(res) => {
-                let cost = res.ledger.total(CostModel::Fetch);
-                match opt {
-                    Some(o) => println!(
-                        "{:>14}: {cost}  (ratio {:.3})",
-                        name,
-                        cost as f64 / o as f64
-                    ),
-                    None => println!("{:>14}: {cost}", name),
-                }
-            }
-            Err(e) => {
-                eprintln!("{name} failed: {e}");
-                return ExitCode::FAILURE;
-            }
+    let runner = Runner::new(PolicyRegistry::standard());
+    let scenario = Scenario::new("cli", inst, trace)
+        .policies(names.split(',').map(str::trim))
+        .seeds([seed]);
+    let manifest = match runner.run("simulate", &[scenario]) {
+        Ok(m) => m,
+        Err(RunnerError::UnknownPolicy { detail, .. }) => {
+            eprintln!("{detail}");
+            eprintln!(
+                "available policies:\n{}",
+                PolicyRegistry::standard().describe()
+            );
+            return ExitCode::FAILURE;
         }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for run in &manifest.runs {
+        let cost = run.cost;
+        let hits = run.counters.hit_rate();
+        match opt {
+            Some(o) => println!(
+                "{:>24}: {cost}  (ratio {:.3}, hit rate {:.3})",
+                run.policy,
+                cost as f64 / o as f64,
+                hits,
+            ),
+            None => println!("{:>24}: {cost}  (hit rate {hits:.3})", run.policy),
+        }
+    }
+    if let Some(path) = flag(args, "--json") {
+        if let Err(e) = std::fs::write(path, manifest.to_json()) {
+            eprintln!("cannot write manifest to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("manifest written to {path}");
     }
     ExitCode::SUCCESS
 }

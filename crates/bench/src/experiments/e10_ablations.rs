@@ -11,21 +11,27 @@
 //! cold pages), large `η` evicts aggressively regardless of presence,
 //! hurting heavy pages. Expected shape: cost is minimized near `η = 1/k`
 //! within a modest factor.
+//!
+//! The β sweep exercises the registry's parameterized specs
+//! (`randomized-wp(eta=…,beta=…)`) through the shared runner; reset
+//! telemetry comes from a directly-constructed pass over the same seeds.
+
+use std::sync::Arc;
 
 use wmlp_algos::rounding::default_beta;
 use wmlp_algos::{FracMultiplicative, RandomizedWeightedPaging};
-use wmlp_core::cost::CostModel;
 use wmlp_core::instance::MlInstance;
-use wmlp_sim::engine::run_policy;
 use wmlp_sim::frac_engine::run_fractional;
-use wmlp_sim::sweep::mean_and_stdev;
+use wmlp_sim::runner::{RunRecord, Scenario};
 use wmlp_workloads::{weights_pow2_classes, zipf_trace, LevelDist};
 
+use super::{run_grid, seed_mean_stdev, ExperimentOutput};
 use crate::table::{fr, Table};
 
 /// Run E10.
-pub fn run() -> Vec<Table> {
-    vec![beta_ablation(), eta_ablation(), quantization_ablation()]
+pub fn run() -> ExperimentOutput {
+    let (ta, ra) = beta_ablation();
+    ExperimentOutput::new("e10", vec![ta, eta_ablation(), quantization_ablation()], ra)
 }
 
 /// Lemma 4.5: quantizing the fractional stream to multiples of `δ` should
@@ -60,7 +66,7 @@ fn quantization_ablation() -> Table {
     t
 }
 
-fn beta_ablation() -> Table {
+fn beta_ablation() -> (Table, Vec<RunRecord>) {
     let mut t = Table::new(
         "E10a: beta ablation (k=16, l=1 Zipf; paper beta = 4 ln k)",
         &[
@@ -73,25 +79,38 @@ fn beta_ablation() -> Table {
         ],
     );
     let k = 16;
-    let inst = MlInstance::weighted_paging(k, weights_pow2_classes(64, 5, 13)).unwrap();
-    let trace = zipf_trace(&inst, 1.0, 4000, LevelDist::Top, 31);
+    let inst = Arc::new(MlInstance::weighted_paging(k, weights_pow2_classes(64, 5, 13)).unwrap());
+    let trace = Arc::new(zipf_trace(&inst, 1.0, 4000, LevelDist::Top, 31));
     let beta0 = default_beta(k);
+    let eta = 1.0 / k as f64;
+    let seeds: Vec<u64> = (0..6).collect();
+
+    let mut scenarios = Vec::new();
+    let mut meta = Vec::new();
     for mult in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
         let beta = (beta0 * mult).max(1.01);
-        let seeds: Vec<u64> = (0..6).collect();
-        let runs: Vec<(f64, f64, f64)> = wmlp_sim::sweep::par_seeds(&seeds, |s| {
-            let mut alg = RandomizedWeightedPaging::new(&inst, 1.0 / k as f64, beta, s);
-            let res = run_policy(&inst, &trace, &mut alg, false).expect("feasible");
+        // `{}` on f64 prints the shortest round-trip representation, so
+        // the spec re-parses to exactly this beta.
+        let spec = format!("randomized-wp(eta={eta},beta={beta})");
+        meta.push((mult, beta, spec.clone()));
+        scenarios.push(
+            Scenario::new(format!("beta-x{mult}"), inst.clone(), trace.clone())
+                .policies([spec])
+                .seeds(seeds.iter().copied()),
+        );
+    }
+    let m = run_grid("e10a", &scenarios);
+    for (mult, beta, spec) in meta {
+        let label = format!("beta-x{mult}");
+        let (mean, sd) = seed_mean_stdev(&m, &label, &spec);
+        let reset_runs: Vec<(f64, f64)> = wmlp_sim::sweep::par_seeds(&seeds, |s| {
+            let mut alg = RandomizedWeightedPaging::new(&inst, eta, beta, s);
+            wmlp_sim::engine::run_policy(&inst, &trace, &mut alg, false).expect("feasible");
             let (resets, reset_cost) = alg.reset_stats();
-            (
-                res.ledger.total(CostModel::Fetch) as f64,
-                resets as f64,
-                reset_cost as f64,
-            )
+            (resets as f64, reset_cost as f64)
         });
-        let (mean, sd) = mean_and_stdev(&runs.iter().map(|r| r.0).collect::<Vec<_>>());
-        let (resets, _) = mean_and_stdev(&runs.iter().map(|r| r.1).collect::<Vec<_>>());
-        let (reset_cost, _) = mean_and_stdev(&runs.iter().map(|r| r.2).collect::<Vec<_>>());
+        let resets = reset_runs.iter().map(|r| r.0).sum::<f64>() / reset_runs.len() as f64;
+        let reset_cost = reset_runs.iter().map(|r| r.1).sum::<f64>() / reset_runs.len() as f64;
         t.row(vec![
             fr(mult),
             fr(beta),
@@ -101,7 +120,7 @@ fn beta_ablation() -> Table {
             fr(reset_cost / mean),
         ]);
     }
-    t
+    (t, m.runs)
 }
 
 fn eta_ablation() -> Table {
@@ -129,7 +148,7 @@ mod tests {
 
     #[test]
     fn e10a_reset_share_decreases_in_beta() {
-        let t = beta_ablation();
+        let t = beta_ablation().0;
         let first: f64 = t.cell(0, 5).parse().unwrap();
         let last: f64 = t.cell(t.num_rows() - 1, 5).parse().unwrap();
         assert!(

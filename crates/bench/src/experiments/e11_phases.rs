@@ -12,14 +12,17 @@
 //! growing with the system dimension `d`; per-phase eviction covers
 //! consistently larger than the offline minimum.
 
+use std::sync::Arc;
+
 use wmlp_core::cost::CostModel;
 use wmlp_setcover::{hyperplane_gap_instance, PhasedLowerBound};
-use wmlp_sim::engine::run_policy;
+use wmlp_sim::runner::Scenario;
 
+use super::{standard_runner, ExperimentOutput};
 use crate::table::{fr, Table};
 
 /// Run E11.
-pub fn run() -> Vec<Table> {
+pub fn run() -> ExperimentOutput {
     let mut t = Table::new(
         "E11: Theorem 3.6 multi-phase construction on hyperplane systems",
         &[
@@ -35,27 +38,25 @@ pub fn run() -> Vec<Table> {
             "cover blowup",
         ],
     );
+    let runner = standard_runner();
+    let mut records = Vec::new();
     for d in [2u32, 3, 4] {
         let sys = hyperplane_gap_instance(d);
         let m = sys.num_sets();
         let h = 6;
         let subset = sys.num_elements().min(4);
         let plb = PhasedLowerBound::random(&sys, sys.num_elements() as u64, 4, h, subset, 77);
-        let inst = plb.instance();
-        let trace = plb.trace();
+        let inst = Arc::new(plb.instance());
+        let trace = Arc::new(plb.trace());
         let (_, offline) = plb.offline_schedule(&sys);
 
-        let mut algs: Vec<(&str, Box<dyn wmlp_core::policy::OnlinePolicy>)> = vec![
-            ("lru", Box::new(wmlp_algos::Lru::new(&inst))),
-            ("waterfill", Box::new(wmlp_algos::WaterFill::new(&inst))),
-            (
-                "randomized",
-                Box::new(wmlp_algos::RandomizedMlPaging::with_default_beta(&inst, 9)),
-            ),
-        ];
-        for (name, alg) in algs.iter_mut() {
-            let res = run_policy(&inst, &trace, alg.as_mut(), true).expect("feasible");
-            let online = res.ledger.total(CostModel::Eviction);
+        let scenario =
+            Scenario::new(format!("phased-d{d}"), inst, trace).cost_model(CostModel::Eviction);
+        for (name, seed) in [("lru", 0), ("waterfill", 0), ("randomized", 9)] {
+            let (record, res) = runner
+                .run_cell(&scenario, name, seed, true)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let online = record.cost;
             let per_phase = plb.per_phase_evicted_sets(res.steps.as_ref().unwrap());
             let avg_d: f64 = per_phase.iter().map(|v| v.len() as f64).sum::<f64>() / h as f64;
             let avg_min: f64 = (0..h)
@@ -74,9 +75,10 @@ pub fn run() -> Vec<Table> {
                 fr(avg_min),
                 fr(avg_d / avg_min),
             ]);
+            records.push(record);
         }
     }
-    vec![t]
+    ExperimentOutput::new("e11", vec![t], records)
 }
 
 #[cfg(test)]
@@ -85,7 +87,7 @@ mod tests {
 
     #[test]
     fn e11_online_pays_more_than_offline_and_covers_blow_up() {
-        let t = &run()[0];
+        let t = &run().tables[0];
         for r in 0..t.num_rows() {
             let ratio: f64 = t.cell(r, 6).parse().unwrap();
             assert!(ratio > 1.0, "online must exceed the offline bound, row {r}");

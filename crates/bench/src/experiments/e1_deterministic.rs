@@ -11,21 +11,29 @@
 //! shape: ratios far below `k`, with water-filling comparable to the
 //! weight-aware baselines.
 
-use wmlp_algos::{Landlord, Lru, RandomizedMlPaging, WaterFill};
+use std::sync::Arc;
+
 use wmlp_core::instance::MlInstance;
 use wmlp_flow::weighted_paging_opt;
 use wmlp_offline::{opt_multilevel, DpLimits};
+use wmlp_sim::runner::{Manifest, Scenario};
 use wmlp_workloads::{cyclic_trace, zipf_trace, LevelDist};
 
-use super::{fetch_cost, randomized_fetch_cost};
+use super::{cell_cost, run_grid, seed_mean_stdev, standard_runner, ExperimentOutput};
 use crate::table::{fr, Table};
 
-/// Run E1; returns the three part tables.
-pub fn run() -> Vec<Table> {
-    vec![part_a(), part_b(), part_c()]
+/// Run E1; returns the three part tables plus their run manifest.
+pub fn run() -> ExperimentOutput {
+    let (ta, ma) = part_a();
+    let (tb, mb) = part_b();
+    let (tc, mc) = part_c();
+    let mut records = ma.runs;
+    records.extend(mb.runs);
+    records.extend(mc.runs);
+    ExperimentOutput::new("e1", vec![ta, tb, tc], records)
 }
 
-fn part_a() -> Table {
+fn part_a() -> (Table, Manifest) {
     let mut t = Table::new(
         "E1a: deterministic ratio on cyclic k+1 adversary (opt = flow)",
         &[
@@ -39,16 +47,24 @@ fn part_a() -> Table {
             "4k bound",
         ],
     );
+    let mut scenarios = Vec::new();
+    let mut meta = Vec::new();
     for k in [2usize, 4, 8, 16, 32] {
         let n = k + 1;
         let inst = MlInstance::unweighted_paging(k, n).unwrap();
         let trace = cyclic_trace(&inst, 60 * n);
         let opt = weighted_paging_opt(&inst, &trace);
-        let wf = fetch_cost(&inst, &trace, &mut WaterFill::new(&inst));
-        let lru = fetch_cost(&inst, &trace, &mut Lru::new(&inst));
+        let label = format!("cyclic-k{k}");
+        meta.push((k, label.clone(), opt, trace.len()));
+        scenarios.push(Scenario::new(label, inst, trace).policies(["waterfill", "lru"]));
+    }
+    let m = run_grid("e1a", &scenarios);
+    for (k, label, opt, len) in meta {
+        let wf = cell_cost(&m, &label, "waterfill", 0);
+        let lru = cell_cost(&m, &label, "lru", 0);
         t.row(vec![
             k.to_string(),
-            trace.len().to_string(),
+            len.to_string(),
             opt.to_string(),
             wf.to_string(),
             lru.to_string(),
@@ -57,10 +73,10 @@ fn part_a() -> Table {
             (4 * k).to_string(),
         ]);
     }
-    t
+    (t, m)
 }
 
-fn part_b() -> Table {
+fn part_b() -> (Table, Manifest) {
     let mut t = Table::new(
         "E1b: ratios vs exact DP optimum on RW Zipf traces (n=8, l=2)",
         &[
@@ -73,19 +89,42 @@ fn part_b() -> Table {
             "wf/opt",
         ],
     );
+    let mut scenarios = Vec::new();
+    let mut meta = Vec::new();
     for k in [2usize, 3, 4] {
         let rows: Vec<Vec<u64>> = (0..8)
             .map(|p| if p % 2 == 0 { vec![16, 2] } else { vec![8, 1] })
             .collect();
-        let inst = MlInstance::from_rows(k, rows).unwrap();
-        let trace = zipf_trace(&inst, 0.9, 300, LevelDist::TopProb(0.3), 41 + k as u64);
+        let inst = Arc::new(MlInstance::from_rows(k, rows).unwrap());
+        let trace = Arc::new(zipf_trace(
+            &inst,
+            0.9,
+            300,
+            LevelDist::TopProb(0.3),
+            41 + k as u64,
+        ));
         let opt = opt_multilevel(&inst, &trace, DpLimits::default()).fetch_cost;
-        let wf = fetch_cost(&inst, &trace, &mut WaterFill::new(&inst));
-        let lru = fetch_cost(&inst, &trace, &mut Lru::new(&inst));
-        let ll = fetch_cost(&inst, &trace, &mut Landlord::new(&inst));
-        let (rnd, _) = randomized_fetch_cost(&inst, &trace, &[1, 2, 3, 4, 5], |s| {
-            Box::new(RandomizedMlPaging::with_default_beta(&inst, s))
-        });
+        let label = format!("zipf-k{k}");
+        meta.push((k, label.clone(), opt));
+        scenarios.push(
+            Scenario::new(label.clone(), inst.clone(), trace.clone()).policies([
+                "waterfill",
+                "lru",
+                "landlord",
+            ]),
+        );
+        scenarios.push(
+            Scenario::new(label, inst, trace)
+                .policies(["randomized"])
+                .seeds(1..=5),
+        );
+    }
+    let m = run_grid("e1b", &scenarios);
+    for (k, label, opt) in meta {
+        let wf = cell_cost(&m, &label, "waterfill", 0);
+        let lru = cell_cost(&m, &label, "lru", 0);
+        let ll = cell_cost(&m, &label, "landlord", 0);
+        let (rnd, _) = seed_mean_stdev(&m, &label, "randomized");
         t.row(vec![
             k.to_string(),
             opt.to_string(),
@@ -96,7 +135,7 @@ fn part_b() -> Table {
             fr(wf as f64 / opt as f64),
         ]);
     }
-    t
+    (t, m)
 }
 
 /// Part C: the *adaptive* Sleator–Tarjan adversary — requests whatever
@@ -104,36 +143,51 @@ fn part_b() -> Table {
 /// every request; OPT on the generated trace faults roughly once per `k`
 /// requests, so the measured ratio approaches `k` for *every*
 /// deterministic policy, not just on the fixed cyclic pattern.
-fn part_c() -> Table {
+///
+/// The trace is generated adversarially against a fresh policy instance,
+/// then replayed through the runner: deterministic policies replay
+/// identically, so the recorded cost equals the trace length (every
+/// request faults).
+fn part_c() -> (Table, Manifest) {
     let mut t = Table::new(
         "E1c: adaptive adversary forces ~k ratio for any deterministic policy",
         &["k", "alg", "alg cost", "opt", "ratio", "k"],
     );
+    let runner = standard_runner();
+    let mut records = Vec::new();
     for k in [4usize, 8, 16] {
-        let inst = MlInstance::unweighted_paging(k, k + 1).unwrap();
+        let inst = Arc::new(MlInstance::unweighted_paging(k, k + 1).unwrap());
         let len = 80 * k;
-        let mut algs: Vec<(&str, Box<dyn wmlp_core::policy::OnlinePolicy>)> = vec![
-            ("waterfill", Box::new(WaterFill::new(&inst))),
-            ("lru", Box::new(Lru::new(&inst))),
-            ("landlord", Box::new(Landlord::new(&inst))),
-        ];
-        for (name, alg) in algs.iter_mut() {
-            let trace = wmlp_sim::adversary::adaptive_trace(&inst, alg.as_mut(), len)
+        for name in ["waterfill", "lru", "landlord"] {
+            let mut policy = runner
+                .factory()
+                .build(name, &inst, 0)
+                .expect("registry policy");
+            let trace = wmlp_sim::adversary::adaptive_trace(&inst, policy.as_mut(), len)
                 .expect("policy feasible under the adversary");
             let opt = weighted_paging_opt(&inst, &trace);
-            // Every adversary request misses, so the policy's fetch cost
-            // on this trace is exactly `len`.
+            let scenario = Scenario::new(format!("adaptive-k{k}"), inst.clone(), trace);
+            let (record, _) = runner
+                .run_cell(&scenario, name, 0, false)
+                .unwrap_or_else(|e| panic!("{e}"));
             t.row(vec![
                 k.to_string(),
                 name.to_string(),
-                len.to_string(),
+                record.cost.to_string(),
                 opt.to_string(),
-                fr(len as f64 / opt as f64),
+                fr(record.cost as f64 / opt as f64),
                 k.to_string(),
             ]);
+            records.push(record);
         }
     }
-    t
+    (
+        t,
+        Manifest {
+            name: "e1c".into(),
+            runs: records,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -142,7 +196,7 @@ mod tests {
 
     #[test]
     fn e1a_ratios_within_theorem_bound() {
-        let t = part_a();
+        let t = part_a().0;
         assert_eq!(t.num_rows(), 5);
         for r in 0..t.num_rows() {
             let k: f64 = t.cell(r, 0).parse().unwrap();
@@ -154,7 +208,7 @@ mod tests {
 
     #[test]
     fn e1c_adaptive_ratio_grows_with_k() {
-        let t = part_c();
+        let t = part_c().0;
         for r in 0..t.num_rows() {
             let k: f64 = t.cell(r, 0).parse().unwrap();
             let ratio: f64 = t.cell(r, 4).parse().unwrap();

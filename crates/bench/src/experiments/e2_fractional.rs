@@ -19,11 +19,13 @@ use wmlp_offline::{opt_multilevel, DpLimits};
 use wmlp_sim::frac_engine::run_fractional;
 use wmlp_workloads::{cyclic_trace, zipf_trace, LevelDist};
 
+use super::ExperimentOutput;
 use crate::table::{fr, Table};
 
-/// Run E2.
-pub fn run() -> Vec<Table> {
-    vec![part_a(), part_b()]
+/// Run E2. Both parts are purely fractional (plus offline solvers), so
+/// the manifest carries no integral runs.
+pub fn run() -> ExperimentOutput {
+    ExperimentOutput::new("e2", vec![part_a(), part_b()], Vec::new())
 }
 
 fn frac_cost(inst: &MlInstance, trace: &[wmlp_core::instance::Request]) -> f64 {

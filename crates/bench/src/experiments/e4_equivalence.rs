@@ -9,17 +9,16 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wmlp_algos::adapters::run_ml_policy_on_writeback;
-use wmlp_algos::{RandomizedMlPaging, WaterFill};
 use wmlp_core::reduction::{wb_to_rw_instance, wb_to_rw_trace};
 use wmlp_core::writeback::WbInstance;
 use wmlp_offline::{opt_multilevel, opt_writeback, DpLimits};
 use wmlp_workloads::wb::wb_zipf_trace;
 
+use super::{standard_runner, wb_reduction_cell, ExperimentOutput};
 use crate::table::{fr, Table};
 
 /// Run E4.
-pub fn run() -> Vec<Table> {
+pub fn run() -> ExperimentOutput {
     let mut t = Table::new(
         "E4: Lemma 2.1 - writeback vs RW-paging optima and induced costs",
         &[
@@ -35,8 +34,10 @@ pub fn run() -> Vec<Table> {
             "rnd_induced",
         ],
     );
+    let runner = standard_runner();
+    let mut records = Vec::new();
     let mut rng = StdRng::seed_from_u64(2021);
-    for trial in 0..8 {
+    for trial in 0u64..8 {
         let n = 7;
         let k = rng.gen_range(2..=3);
         let costs: Vec<(u64, u64)> = (0..n)
@@ -53,11 +54,10 @@ pub fn run() -> Vec<Table> {
         let rw_trace = wb_to_rw_trace(&trace);
         let opt_rw = opt_multilevel(&rw, &rw_trace, DpLimits::default()).eviction_cost;
 
-        let wf = run_ml_policy_on_writeback(&wb, &trace, WaterFill::new).unwrap();
-        let rnd = run_ml_policy_on_writeback(&wb, &trace, |rw| {
-            RandomizedMlPaging::with_default_beta(rw, trial)
-        })
-        .unwrap();
+        let label = format!("wb-trial{trial}");
+        let (wf_rec, wf_ind) = wb_reduction_cell(&runner, &label, &wb, &trace, "waterfill", 0);
+        let (rnd_rec, rnd_ind) =
+            wb_reduction_cell(&runner, &label, &wb, &trace, "randomized", trial);
 
         t.row(vec![
             trial.to_string(),
@@ -66,13 +66,15 @@ pub fn run() -> Vec<Table> {
             opt_wb.to_string(),
             opt_rw.to_string(),
             (opt_wb == opt_rw).to_string(),
-            fr(wf.rw_cost as f64),
-            fr(wf.induced.cost as f64),
-            fr(rnd.rw_cost as f64),
-            fr(rnd.induced.cost as f64),
+            fr(wf_rec.cost as f64),
+            fr(wf_ind.cost as f64),
+            fr(rnd_rec.cost as f64),
+            fr(rnd_ind.cost as f64),
         ]);
+        records.push(wf_rec);
+        records.push(rnd_rec);
     }
-    vec![t]
+    ExperimentOutput::new("e4", vec![t], records)
 }
 
 #[cfg(test)]
@@ -81,7 +83,7 @@ mod tests {
 
     #[test]
     fn e4_optima_always_coincide_and_induced_never_exceeds() {
-        let t = &run()[0];
+        let t = &run().tables[0];
         assert!(t.num_rows() >= 8);
         for r in 0..t.num_rows() {
             assert_eq!(t.cell(r, 5), "true", "Lemma 2.1 violated at row {r}");

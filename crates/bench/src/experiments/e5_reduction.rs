@@ -11,15 +11,18 @@
 //! offline minimum — the online-set-cover hardness that drives
 //! Theorem 1.3.
 
+use std::sync::Arc;
+
 use wmlp_core::cost::CostModel;
 use wmlp_core::validate::validate_run;
 use wmlp_setcover::{RwReduction, SetSystem};
-use wmlp_sim::engine::run_policy;
+use wmlp_sim::runner::Scenario;
 
+use super::{standard_runner, ExperimentOutput};
 use crate::table::Table;
 
 /// Run E5.
-pub fn run() -> Vec<Table> {
+pub fn run() -> ExperimentOutput {
     let mut t = Table::new(
         "E5: Section-3 reduction - Lemma 3.2 cost and Lemma 3.3 dichotomy",
         &[
@@ -36,6 +39,8 @@ pub fn run() -> Vec<Table> {
             "dichotomy",
         ],
     );
+    let runner = standard_runner();
+    let mut records = Vec::new();
     for (si, (n, m, p, seed)) in [(6usize, 5usize, 0.4f64, 11u64), (8, 6, 0.35, 12)]
         .into_iter()
         .enumerate()
@@ -45,8 +50,8 @@ pub fn run() -> Vec<Table> {
         let cover = sys.min_cover(&elements);
         for reps in [4usize, 16] {
             let red = RwReduction::new(&sys, 4, reps);
-            let inst = red.instance();
-            let trace = red.phase_trace(&elements);
+            let inst = Arc::new(red.instance());
+            let trace = Arc::new(red.phase_trace(&elements));
 
             // Lemma 3.2 completeness.
             let steps = red.lemma32_schedule(&elements, &cover);
@@ -54,20 +59,18 @@ pub fn run() -> Vec<Table> {
             let lemma32 = ledger.total(CostModel::Eviction);
             let formula = cover.len() as u64 * (red.w + 1) + 2 * elements.len() as u64;
 
-            // Lemma 3.3 soundness for online algorithms.
-            let mut algs: Vec<(&str, Box<dyn wmlp_core::policy::OnlinePolicy>)> = vec![
-                ("lru", Box::new(wmlp_algos::Lru::new(&inst))),
-                ("waterfill", Box::new(wmlp_algos::WaterFill::new(&inst))),
-                (
-                    "randomized",
-                    Box::new(wmlp_algos::RandomizedMlPaging::with_default_beta(&inst, 5)),
-                ),
-            ];
-            for (name, alg) in algs.iter_mut() {
-                let res = run_policy(&inst, &trace, alg.as_mut(), true).expect("feasible");
+            // Lemma 3.3 soundness for online algorithms, each run through
+            // the shared runner with per-step logs for cover extraction.
+            let scenario =
+                Scenario::new(format!("sys{si}-reps{reps}"), inst.clone(), trace.clone())
+                    .cost_model(CostModel::Eviction);
+            for (name, alg_seed) in [("lru", 0), ("waterfill", 0), ("randomized", 5)] {
+                let (record, res) = runner
+                    .run_cell(&scenario, name, alg_seed, true)
+                    .unwrap_or_else(|e| panic!("{e}"));
                 let d = red.evicted_write_sets(res.steps.as_ref().unwrap());
                 let covers = sys.is_cover(&d, &elements);
-                let cost = res.ledger.total(CostModel::Eviction);
+                let cost = record.cost;
                 let dichotomy = covers || cost >= reps as u64;
                 t.row(vec![
                     si.to_string(),
@@ -82,10 +85,11 @@ pub fn run() -> Vec<Table> {
                     covers.to_string(),
                     dichotomy.to_string(),
                 ]);
+                records.push(record);
             }
         }
     }
-    vec![t]
+    ExperimentOutput::new("e5", vec![t], records)
 }
 
 #[cfg(test)]
@@ -94,7 +98,7 @@ mod tests {
 
     #[test]
     fn e5_completeness_exact_and_soundness_dichotomy_holds() {
-        let t = &run()[0];
+        let t = &run().tables[0];
         for r in 0..t.num_rows() {
             assert_eq!(
                 t.cell(r, 4),

@@ -15,10 +15,16 @@ use wmlp_setcover::gap::{
 };
 use wmlp_setcover::RwReduction;
 
+use super::ExperimentOutput;
 use crate::table::{fr, Table};
 
-/// Run E6.
-pub fn run() -> Vec<Table> {
+/// Run E6. Purely analytic (LP + combinatorial covers), so the manifest
+/// carries no integral runs.
+pub fn run() -> ExperimentOutput {
+    ExperimentOutput::new("e6", vec![gap_table()], Vec::new())
+}
+
+fn gap_table() -> Table {
     let mut t = Table::new(
         "E6: GF(2)-hyperplane integrality gap and induced RW-paging gap",
         &[
@@ -74,7 +80,7 @@ pub fn run() -> Vec<Table> {
             fr(rw_integral / rw_frac),
         ]);
     }
-    vec![t]
+    t
 }
 
 #[cfg(test)]
@@ -83,7 +89,7 @@ mod tests {
 
     #[test]
     fn e6_gap_grows_linearly_in_d() {
-        let t = &run()[0];
+        let t = &gap_table();
         let mut prev_gap = 0.0f64;
         for r in 0..t.num_rows() {
             let frac: f64 = t.cell(r, 3).parse().unwrap();

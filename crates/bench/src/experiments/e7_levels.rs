@@ -7,17 +7,20 @@
 //! `randomized / fractional` for every `ℓ`. Expected shape: both ratios
 //! stay flat (no growth in `ℓ`).
 
-use wmlp_algos::{FracMultiplicative, RandomizedMlPaging, WaterFill};
+use std::sync::Arc;
+
+use wmlp_algos::FracMultiplicative;
 use wmlp_core::instance::MlInstance;
 use wmlp_offline::{opt_multilevel, DpLimits};
 use wmlp_sim::frac_engine::run_fractional;
+use wmlp_sim::runner::Scenario;
 use wmlp_workloads::{zipf_trace, LevelDist};
 
-use super::{fetch_cost, randomized_fetch_cost};
+use super::{cell_cost, run_grid, seed_mean_stdev, ExperimentOutput};
 use crate::table::{fr, Table};
 
 /// Run E7.
-pub fn run() -> Vec<Table> {
+pub fn run() -> ExperimentOutput {
     let mut t = Table::new(
         "E7: level independence (n=8, k=3, Zipf; DP optimum for l<=7)",
         &[
@@ -31,6 +34,8 @@ pub fn run() -> Vec<Table> {
             "rnd/opt",
         ],
     );
+    let mut scenarios = Vec::new();
+    let mut meta = Vec::new();
     for levels in [1u8, 2, 3, 4, 6, 8] {
         let rows: Vec<Vec<u64>> = (0..8)
             .map(|_| {
@@ -39,22 +44,40 @@ pub fn run() -> Vec<Table> {
                     .collect()
             })
             .collect();
-        let inst = MlInstance::from_rows(3, rows).unwrap();
-        let trace = zipf_trace(&inst, 0.9, 250, LevelDist::Uniform, 600 + levels as u64);
+        let inst = Arc::new(MlInstance::from_rows(3, rows).unwrap());
+        let trace = Arc::new(zipf_trace(
+            &inst,
+            0.9,
+            250,
+            LevelDist::Uniform,
+            600 + levels as u64,
+        ));
 
         let mut frac = FracMultiplicative::new(&inst);
         let fc = run_fractional(&inst, &trace, &mut frac, 64, None)
             .expect("feasible")
             .cost;
-        let wf = fetch_cost(&inst, &trace, &mut WaterFill::new(&inst));
-        let (rnd, _) = randomized_fetch_cost(&inst, &trace, &[1, 2, 3, 4, 5], |s| {
-            Box::new(RandomizedMlPaging::with_default_beta(&inst, s))
-        });
-        let (opt_s, wf_ratio, rnd_ratio) = if levels <= 7 {
-            let opt = opt_multilevel(&inst, &trace, DpLimits::default()).fetch_cost as f64;
-            (fr(opt), fr(wf as f64 / opt), fr(rnd / opt))
-        } else {
-            ("-".into(), "-".into(), "-".into())
+        let opt = (levels <= 7)
+            .then(|| opt_multilevel(&inst, &trace, DpLimits::default()).fetch_cost as f64);
+
+        let label = format!("levels-{levels}");
+        meta.push((levels, label.clone(), fc, opt));
+        scenarios.push(
+            Scenario::new(label.clone(), inst.clone(), trace.clone()).policies(["waterfill"]),
+        );
+        scenarios.push(
+            Scenario::new(label, inst, trace)
+                .policies(["randomized"])
+                .seeds(1..=5),
+        );
+    }
+    let m = run_grid("e7", &scenarios);
+    for (levels, label, fc, opt) in meta {
+        let wf = cell_cost(&m, &label, "waterfill", 0);
+        let (rnd, _) = seed_mean_stdev(&m, &label, "randomized");
+        let (opt_s, wf_ratio, rnd_ratio) = match opt {
+            Some(opt) => (fr(opt), fr(wf as f64 / opt), fr(rnd / opt)),
+            None => ("-".into(), "-".into(), "-".into()),
         };
         t.row(vec![
             levels.to_string(),
@@ -67,7 +90,7 @@ pub fn run() -> Vec<Table> {
             rnd_ratio,
         ]);
     }
-    vec![t]
+    ExperimentOutput::new("e7", vec![t], m.runs)
 }
 
 #[cfg(test)]
@@ -76,7 +99,7 @@ mod tests {
 
     #[test]
     fn e7_rounding_loss_flat_in_levels() {
-        let t = &run()[0];
+        let t = &run().tables[0];
         let losses: Vec<f64> = (0..t.num_rows())
             .map(|r| t.cell(r, 4).parse().unwrap())
             .collect();

@@ -10,24 +10,39 @@
 //! win slightly (recency helps, awareness is a no-op); as `w1/w2` grows
 //! the aware algorithms take over, with the crossover around small
 //! `w1/w2`.
+//!
+//! Native writeback baselines come from [`WbPolicyRegistry`]; the paper's
+//! algorithms run through the shared runner on the reduced RW instance
+//! (their records land in the manifest).
 
-use wmlp_algos::adapters::run_ml_policy_on_writeback;
-use wmlp_algos::{RandomizedMlPaging, WaterFill, WbFifo, WbGreedyDual, WbLru};
-use wmlp_core::writeback::{run_wb_policy, WbInstance};
+use wmlp_algos::WbPolicyRegistry;
+use wmlp_core::writeback::{run_wb_policy, WbInstance, WbRequest};
+use wmlp_sim::runner::RunRecord;
 use wmlp_workloads::wb::wb_zipf_trace;
 
+use super::{standard_runner, wb_reduction_cell, ExperimentOutput};
 use crate::table::{fr, Table};
 
 /// Run E8.
-pub fn run() -> Vec<Table> {
-    vec![sweep_table(), shifting_table()]
+pub fn run() -> ExperimentOutput {
+    let (ta, ra) = sweep_table();
+    let (tb, rb) = shifting_table();
+    let mut records = ra;
+    records.extend(rb);
+    ExperimentOutput::new("e8", vec![ta, tb], records)
+}
+
+/// Cost of one native writeback baseline, built by name.
+fn wb_cost(reg: &WbPolicyRegistry, name: &str, inst: &WbInstance, trace: &[WbRequest]) -> u64 {
+    let mut p = reg.build(name, inst, 0).expect("registry wb policy");
+    run_wb_policy(inst, trace, p.as_mut()).cost
 }
 
 /// Part B: the same comparison on a temporal-shift workload where both
 /// the hot set and the write-heavy subset rotate over time — recency
 /// information matters more here, so the gap between aware and oblivious
 /// narrows but does not close.
-fn shifting_table() -> Table {
+fn shifting_table() -> (Table, Vec<RunRecord>) {
     use wmlp_workloads::wb::wb_shifting_trace;
     let mut t = Table::new(
         "E8b: shifting working set (k=16, n=64, 8 phases, w2=1)",
@@ -41,22 +56,21 @@ fn shifting_table() -> Table {
             "winner",
         ],
     );
+    let runner = standard_runner();
+    let wb_reg = WbPolicyRegistry::standard();
+    let mut records = Vec::new();
     for w1 in [1u64, 16, 256] {
         let inst = WbInstance::uniform(16, 64, w1, 1).unwrap();
         let trace = wb_shifting_trace(&inst, 12000, 8, 24, 0.8, 55);
         let opt_est = wmlp_offline::wb_offline_heuristic(&inst, &trace);
-        let lru = run_wb_policy(&inst, &trace, &mut WbLru::new(inst.n())).cost;
-        let gd = run_wb_policy(&inst, &trace, &mut WbGreedyDual::new(inst.costs())).cost;
-        let wf = run_ml_policy_on_writeback(&inst, &trace, WaterFill::new)
-            .unwrap()
-            .induced
-            .cost;
-        let rnd = run_ml_policy_on_writeback(&inst, &trace, |rw| {
-            RandomizedMlPaging::with_default_beta(rw, 1)
-        })
-        .unwrap()
-        .induced
-        .cost;
+        let lru = wb_cost(&wb_reg, "wb-lru", &inst, &trace);
+        let gd = wb_cost(&wb_reg, "wb-greedydual", &inst, &trace);
+        let label = format!("shift-w{w1}");
+        let (wf_rec, wf_ind) = wb_reduction_cell(&runner, &label, &inst, &trace, "waterfill", 0);
+        let (rnd_rec, rnd_ind) = wb_reduction_cell(&runner, &label, &inst, &trace, "randomized", 1);
+        let (wf, rnd) = (wf_ind.cost, rnd_ind.cost);
+        records.push(wf_rec);
+        records.push(rnd_rec);
         let entries = [
             ("wb-lru", lru),
             ("wb-greedydual", gd),
@@ -74,10 +88,10 @@ fn shifting_table() -> Table {
             winner.to_string(),
         ]);
     }
-    t
+    (t, records)
 }
 
-fn sweep_table() -> Table {
+fn sweep_table() -> (Table, Vec<RunRecord>) {
     let mut t = Table::new(
         "E8: writeback-aware vs oblivious across w1/w2 (k=16, n=64, Zipf)",
         &[
@@ -92,31 +106,30 @@ fn sweep_table() -> Table {
             "winner/opt-est",
         ],
     );
+    let runner = standard_runner();
+    let wb_reg = WbPolicyRegistry::standard();
+    let mut records = Vec::new();
     for w1 in [1u64, 4, 16, 64, 256] {
         let inst = WbInstance::uniform(16, 64, w1, 1).unwrap();
         let trace = wb_zipf_trace(&inst, 1.0, 12000, 0.3, 0.9, 0.05, 77);
 
         // Clairvoyant greedy upper bound on OPT (exact OPT is NP-hard).
         let opt_est = wmlp_offline::wb_offline_heuristic(&inst, &trace);
-        let lru = run_wb_policy(&inst, &trace, &mut WbLru::new(inst.n())).cost;
-        let fifo = run_wb_policy(&inst, &trace, &mut WbFifo::new(inst.n())).cost;
-        let gd = run_wb_policy(&inst, &trace, &mut WbGreedyDual::new(inst.costs())).cost;
-        let wf = run_ml_policy_on_writeback(&inst, &trace, WaterFill::new)
-            .unwrap()
-            .induced
-            .cost;
+        let lru = wb_cost(&wb_reg, "wb-lru", &inst, &trace);
+        let fifo = wb_cost(&wb_reg, "wb-fifo", &inst, &trace);
+        let gd = wb_cost(&wb_reg, "wb-greedydual", &inst, &trace);
+        let label = format!("zipf-w{w1}");
+        let (wf_rec, wf_ind) = wb_reduction_cell(&runner, &label, &inst, &trace, "waterfill", 0);
+        let wf = wf_ind.cost;
+        records.push(wf_rec);
         // Randomized: mean over 4 seeds.
-        let rnd_runs: Vec<f64> = (0..4)
-            .map(|s| {
-                run_ml_policy_on_writeback(&inst, &trace, |rw| {
-                    RandomizedMlPaging::with_default_beta(rw, s)
-                })
-                .unwrap()
-                .induced
-                .cost as f64
-            })
-            .collect();
-        let rnd = rnd_runs.iter().sum::<f64>() / rnd_runs.len() as f64;
+        let mut rnd_sum = 0.0;
+        for s in 0..4 {
+            let (rec, ind) = wb_reduction_cell(&runner, &label, &inst, &trace, "randomized", s);
+            rnd_sum += ind.cost as f64;
+            records.push(rec);
+        }
+        let rnd = rnd_sum / 4.0;
 
         let entries = [
             ("wb-lru", lru as f64),
@@ -142,7 +155,7 @@ fn sweep_table() -> Table {
             fr(best / opt_est as f64),
         ]);
     }
-    t
+    (t, records)
 }
 
 #[cfg(test)]
@@ -151,7 +164,7 @@ mod tests {
 
     #[test]
     fn e8_awareness_wins_at_high_cost_ratio() {
-        let t = &run()[0];
+        let t = &sweep_table().0;
         let last = t.num_rows() - 1;
         // At w1/w2 = 256, some writeback-aware algorithm must beat
         // oblivious LRU by a clear margin.
@@ -167,7 +180,7 @@ mod tests {
 
     #[test]
     fn e8b_awareness_also_wins_under_shifting_working_sets() {
-        let t = shifting_table();
+        let t = shifting_table().0;
         let last = t.num_rows() - 1; // w1/w2 = 256
         let lru: u64 = t.cell(last, 2).parse().unwrap();
         let gd: u64 = t.cell(last, 3).parse().unwrap();

@@ -10,33 +10,37 @@
 //! algorithm is within its polylog guarantee everywhere and beats the
 //! deterministic algorithms on the adversarial scan mix.
 
-use wmlp_algos::{Fifo, Landlord, Lru, Marking, RandomizedWeightedPaging, WaterFill};
+use std::sync::Arc;
+
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_flow::weighted_paging_opt;
+use wmlp_sim::runner::{RunRecord, Scenario};
 use wmlp_workloads::{scan_trace, weights_pow2_classes, zipf_trace, LevelDist};
 
-use super::{fetch_cost, randomized_fetch_cost};
+use super::{cell_cost, run_grid, seed_mean_stdev, standard_runner, ExperimentOutput};
 use crate::table::{fr, Table};
 
 /// Run E9.
-pub fn run() -> Vec<Table> {
-    vec![ratios_table(), breakdown_table()]
+pub fn run() -> ExperimentOutput {
+    let (ta, ra) = ratios_table();
+    let (tb, rb) = breakdown_table();
+    let mut records = ra;
+    records.extend(rb);
+    ExperimentOutput::new("e9", vec![ta, tb], records)
 }
 
 /// Part B: where the cost goes — per-weight-class eviction breakdown on
 /// the adversarial scan, the trace where the algorithms differ the most.
 /// LRU burns its budget evicting the heaviest classes indiscriminately;
 /// Landlord and the randomized algorithm shift evictions to cheap classes.
-fn breakdown_table() -> Table {
-    use wmlp_core::policy::OnlinePolicy;
-    use wmlp_sim::engine::run_policy;
+fn breakdown_table() -> (Table, Vec<RunRecord>) {
     use wmlp_sim::stats::ClassBreakdown;
 
     let k = 16;
     let n = 128;
     let weights = weights_pow2_classes(n, 6, 9);
-    let inst = MlInstance::weighted_paging(k, weights).unwrap();
-    let trace = scan_trace(&inst, k + 1, 12000, 1);
+    let inst = Arc::new(MlInstance::weighted_paging(k, weights).unwrap());
+    let trace = Arc::new(scan_trace(&inst, k + 1, 12000, 1));
 
     let mut t = Table::new(
         "E9b: eviction-cost share by weight class on scan(k+1)",
@@ -49,16 +53,13 @@ fn breakdown_table() -> Table {
             "dominant",
         ],
     );
-    let mut algs: Vec<(&str, Box<dyn OnlinePolicy>)> = vec![
-        ("lru", Box::new(Lru::new(&inst))),
-        ("landlord", Box::new(Landlord::new(&inst))),
-        (
-            "randomized",
-            Box::new(RandomizedWeightedPaging::with_default_beta(&inst, 5)),
-        ),
-    ];
-    for (name, alg) in algs.iter_mut() {
-        let res = run_policy(&inst, &trace, alg.as_mut(), true).expect("feasible");
+    let runner = standard_runner();
+    let scenario = Scenario::new("scan-breakdown", inst.clone(), trace);
+    let mut records = Vec::new();
+    for (name, seed) in [("lru", 0), ("landlord", 0), ("randomized-wp", 5)] {
+        let (record, res) = runner
+            .run_cell(&scenario, name, seed, true)
+            .unwrap_or_else(|e| panic!("{e}"));
         let b = ClassBreakdown::from_steps(&inst, res.steps.as_ref().unwrap());
         let total = b.total_eviction_cost() as f64;
         let share = |lo: usize, hi: usize| -> f64 {
@@ -75,11 +76,12 @@ fn breakdown_table() -> Table {
             fr(100.0 * share(5, 6)),
             b.dominant_class().map_or("-".into(), |c| c.to_string()),
         ]);
+        records.push(record);
     }
-    t
+    (t, records)
 }
 
-fn ratios_table() -> Table {
+fn ratios_table() -> (Table, Vec<RunRecord>) {
     let mut t = Table::new(
         "E9: weighted paging (l=1, k=16, n=128): ratio to flow OPT",
         &[
@@ -96,7 +98,7 @@ fn ratios_table() -> Table {
     let k = 16;
     let n = 128;
     let weights = weights_pow2_classes(n, 6, 9);
-    let inst = MlInstance::weighted_paging(k, weights).unwrap();
+    let inst = Arc::new(MlInstance::weighted_paging(k, weights).unwrap());
 
     let traces: Vec<(&str, Vec<Request>)> = vec![
         (
@@ -114,29 +116,41 @@ fn ratios_table() -> Table {
         ),
     ];
 
-    for (name, trace) in &traces {
-        let opt = weighted_paging_opt(&inst, trace) as f64;
-        let ratio = |c: u64| fr(c as f64 / opt);
-        let lru = fetch_cost(&inst, trace, &mut Lru::new(&inst));
-        let fifo = fetch_cost(&inst, trace, &mut Fifo::new(&inst));
-        let marking = fetch_cost(&inst, trace, &mut Marking::new(&inst, 3));
-        let ll = fetch_cost(&inst, trace, &mut Landlord::new(&inst));
-        let wf = fetch_cost(&inst, trace, &mut WaterFill::new(&inst));
-        let (rnd, _) = randomized_fetch_cost(&inst, trace, &[1, 2, 3, 4, 5], |s| {
-            Box::new(RandomizedWeightedPaging::with_default_beta(&inst, s))
-        });
+    let mut scenarios = Vec::new();
+    let mut meta = Vec::new();
+    for (name, trace) in traces {
+        let opt = weighted_paging_opt(&inst, &trace) as f64;
+        let trace = Arc::new(trace);
+        meta.push((name, opt));
+        // Seed 3 matches the historical marking run; the deterministic
+        // baselines ignore it.
+        scenarios.push(
+            Scenario::new(name, inst.clone(), trace.clone())
+                .policies(["lru", "fifo", "marking", "landlord", "waterfill"])
+                .seeds([3]),
+        );
+        scenarios.push(
+            Scenario::new(name, inst.clone(), trace)
+                .policies(["randomized-wp"])
+                .seeds(1..=5),
+        );
+    }
+    let m = run_grid("e9", &scenarios);
+    for (name, opt) in meta {
+        let ratio = |p: &str| fr(cell_cost(&m, name, p, 3) as f64 / opt);
+        let (rnd, _) = seed_mean_stdev(&m, name, "randomized-wp");
         t.row(vec![
             name.to_string(),
             fr(opt),
-            ratio(lru),
-            ratio(fifo),
-            ratio(marking),
-            ratio(ll),
-            ratio(wf),
+            ratio("lru"),
+            ratio("fifo"),
+            ratio("marking"),
+            ratio("landlord"),
+            ratio("waterfill"),
             fr(rnd / opt),
         ]);
     }
-    t
+    (t, m.runs)
 }
 
 #[cfg(test)]
@@ -145,7 +159,7 @@ mod tests {
 
     #[test]
     fn e9_all_ratios_at_least_one_and_randomized_within_guarantee() {
-        let t = &run()[0];
+        let t = &ratios_table().0;
         let k = 16f64;
         let guarantee = 8.0 * k.ln() * k.ln(); // generous O(log^2 k)
         for r in 0..t.num_rows() {
@@ -160,7 +174,7 @@ mod tests {
 
     #[test]
     fn e9b_weight_aware_algorithms_avoid_heavy_classes() {
-        let t = breakdown_table();
+        let t = breakdown_table().0;
         // Row order: lru, landlord, randomized. Heavy-class share
         // (classes 5-6) must be largest for LRU.
         let lru_heavy: f64 = t.cell(0, 4).parse().unwrap();

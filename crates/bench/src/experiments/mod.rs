@@ -1,9 +1,16 @@
-//! The E1–E10 experiment implementations.
+//! The E1–E11 experiment implementations.
 //!
-//! Every experiment returns one or more [`Table`]s; the `experiments`
-//! binary prints them and writes CSVs under `target/experiments/`. Each
+//! Every experiment returns an [`ExperimentOutput`]: one or more
+//! [`Table`]s plus a [`Manifest`] of the integral-policy runs that
+//! produced them. The `experiments` binary prints the tables, writes
+//! CSVs, and writes the manifest JSON under `target/experiments/`. Each
 //! module's docs state the claim under test and the expected shape of the
 //! result (the pass criteria recorded in EXPERIMENTS.md).
+//!
+//! All integral policy runs go through one shared [`Runner`] built over
+//! [`PolicyRegistry::standard`]; experiments declare [`Scenario`] grids
+//! and read costs back out of the manifest instead of hand-rolling
+//! per-module simulation loops.
 
 pub mod e10_ablations;
 pub mod e11_phases;
@@ -17,57 +24,114 @@ pub mod e7_levels;
 pub mod e8_writeback;
 pub mod e9_weighted;
 
-use wmlp_core::cost::CostModel;
-use wmlp_core::instance::{MlInstance, Request};
-use wmlp_core::policy::OnlinePolicy;
+use wmlp_algos::PolicyRegistry;
+use wmlp_core::reduction::{rw_run_wb_cost, wb_to_rw_instance, wb_to_rw_trace, InducedWbCost};
 use wmlp_core::types::Weight;
-use wmlp_sim::engine::run_policy;
+use wmlp_core::writeback::{WbInstance, WbRequest};
+use wmlp_sim::runner::{Manifest, RunRecord, Runner, Scenario};
 use wmlp_sim::sweep::mean_and_stdev;
 
 use crate::table::Table;
 
-/// Fetch-model cost of one policy run (panics on an infeasible policy —
-/// experiments must never silently accept an invalid run).
-pub fn fetch_cost(inst: &MlInstance, trace: &[Request], policy: &mut dyn OnlinePolicy) -> Weight {
-    run_policy(inst, trace, policy, false)
-        .expect("policy must be feasible")
-        .ledger
-        .total(CostModel::Fetch)
+/// What one experiment produces: its human-readable tables and the
+/// machine-readable manifest of every integral run behind them.
+pub struct ExperimentOutput {
+    /// Rendered result tables (also written as CSV).
+    pub tables: Vec<Table>,
+    /// Per-run records (costs, ledgers, counters), written as JSON.
+    pub manifest: Manifest,
 }
 
-/// Mean and standard deviation of the fetch-model cost of a randomized
-/// policy over `seeds`.
-pub fn randomized_fetch_cost<F>(
-    inst: &MlInstance,
-    trace: &[Request],
-    seeds: &[u64],
-    make: F,
-) -> (f64, f64)
-where
-    F: Fn(u64) -> Box<dyn OnlinePolicy> + Sync,
-{
-    let costs: Vec<f64> = wmlp_sim::sweep::par_seeds(seeds, |s| {
-        let mut p = make(s);
-        fetch_cost(inst, trace, p.as_mut()) as f64
-    });
+impl ExperimentOutput {
+    /// Bundle `tables` with a manifest named `id` holding `records`.
+    pub fn new(id: &str, tables: Vec<Table>, records: Vec<RunRecord>) -> Self {
+        ExperimentOutput {
+            tables,
+            manifest: Manifest {
+                name: id.to_string(),
+                runs: records,
+            },
+        }
+    }
+}
+
+/// The shared experiment runner: the standard policy registry plugged
+/// into the scenario runner.
+pub fn standard_runner() -> Runner<PolicyRegistry> {
+    Runner::new(PolicyRegistry::standard())
+}
+
+/// Run `scenarios` through the standard registry, panicking on any
+/// unknown spec or infeasible run — experiments must never silently
+/// accept an invalid run.
+pub fn run_grid(name: &str, scenarios: &[Scenario]) -> Manifest {
+    standard_runner()
+        .run(name, scenarios)
+        .unwrap_or_else(|e| panic!("experiment grid `{name}`: {e}"))
+}
+
+/// Cost of the single (scenario, policy, seed) cell of `m`.
+pub fn cell_cost(m: &Manifest, scenario: &str, policy: &str, seed: u64) -> Weight {
+    m.runs
+        .iter()
+        .find(|r| r.scenario == scenario && r.policy == policy && r.seed == seed)
+        .unwrap_or_else(|| panic!("no run for {scenario}/{policy}/seed {seed} in `{}`", m.name))
+        .cost
+}
+
+/// Mean and standard deviation of the cost of (scenario, policy) over
+/// every seed it ran with.
+pub fn seed_mean_stdev(m: &Manifest, scenario: &str, policy: &str) -> (f64, f64) {
+    let costs: Vec<f64> = m
+        .runs
+        .iter()
+        .filter(|r| r.scenario == scenario && r.policy == policy)
+        .map(|r| r.cost as f64)
+        .collect();
     mean_and_stdev(&costs)
+        .unwrap_or_else(|| panic!("no runs for {scenario}/{policy} in `{}`", m.name))
 }
 
-/// Run an experiment by id; returns its tables.
-pub fn run_experiment(id: &str) -> Vec<Table> {
+/// Run one registry spec on a writeback problem through the Lemma 2.1
+/// reduction: the spec is instantiated on the reduced RW instance, the
+/// run is recorded with per-step logs, and the steps are mapped back to
+/// an induced writeback solution. The returned record's `cost` is the
+/// RW-side eviction cost (`induced.cost` never exceeds it).
+pub fn wb_reduction_cell(
+    runner: &Runner<PolicyRegistry>,
+    label: &str,
+    wb: &WbInstance,
+    wb_trace: &[WbRequest],
+    spec: &str,
+    seed: u64,
+) -> (RunRecord, InducedWbCost) {
+    let scenario = Scenario::new(label, wb_to_rw_instance(wb), wb_to_rw_trace(wb_trace))
+        .cost_model(wmlp_core::cost::CostModel::Eviction);
+    let (record, result) = runner
+        .run_cell(&scenario, spec, seed, true)
+        .unwrap_or_else(|e| panic!("writeback reduction cell `{label}`: {e}"));
+    let induced = rw_run_wb_cost(wb, wb_trace, result.steps.as_ref().expect("recorded"));
+    (record, induced)
+}
+
+/// Run an experiment by id, or explain which ids are valid.
+pub fn run_experiment(id: &str) -> Result<ExperimentOutput, String> {
     match id {
-        "e1" => e1_deterministic::run(),
-        "e2" => e2_fractional::run(),
-        "e3" => e3_rounding::run(),
-        "e4" => e4_equivalence::run(),
-        "e5" => e5_reduction::run(),
-        "e6" => e6_gap::run(),
-        "e7" => e7_levels::run(),
-        "e8" => e8_writeback::run(),
-        "e9" => e9_weighted::run(),
-        "e10" => e10_ablations::run(),
-        "e11" => e11_phases::run(),
-        other => panic!("unknown experiment id {other:?} (expected e1..e11)"),
+        "e1" => Ok(e1_deterministic::run()),
+        "e2" => Ok(e2_fractional::run()),
+        "e3" => Ok(e3_rounding::run()),
+        "e4" => Ok(e4_equivalence::run()),
+        "e5" => Ok(e5_reduction::run()),
+        "e6" => Ok(e6_gap::run()),
+        "e7" => Ok(e7_levels::run()),
+        "e8" => Ok(e8_writeback::run()),
+        "e9" => Ok(e9_weighted::run()),
+        "e10" => Ok(e10_ablations::run()),
+        "e11" => Ok(e11_phases::run()),
+        other => Err(format!(
+            "unknown experiment id `{other}`; valid ids: {}",
+            ALL_IDS.join(", ")
+        )),
     }
 }
 
@@ -79,44 +143,50 @@ pub const ALL_IDS: [&str; 11] = [
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use wmlp_core::instance::MlInstance;
     use wmlp_workloads::{zipf_trace, LevelDist};
 
     #[test]
-    #[should_panic(expected = "unknown experiment id")]
-    fn unknown_id_panics() {
-        run_experiment("e99");
+    fn unknown_id_is_a_listed_error() {
+        let err = run_experiment("e99").err().expect("e99 must be rejected");
+        assert!(err.contains("e99"), "{err}");
+        for id in ALL_IDS {
+            assert!(err.contains(id), "error must list `{id}`: {err}");
+        }
     }
 
     #[test]
-    fn randomized_cost_helper_aggregates_seeds() {
-        let inst = MlInstance::unweighted_paging(2, 5).unwrap();
-        let trace = zipf_trace(&inst, 1.0, 100, LevelDist::Top, 1);
-        let (mean, sd) = randomized_fetch_cost(&inst, &trace, &[1, 2, 3, 4], |s| {
-            Box::new(wmlp_algos::Marking::new(&inst, s))
-        });
+    fn grid_helpers_aggregate_cells_and_seeds() {
+        let inst = Arc::new(MlInstance::unweighted_paging(2, 5).unwrap());
+        let trace = Arc::new(zipf_trace(&inst, 1.0, 100, LevelDist::Top, 1));
+        let sc = Scenario::new("w", inst, trace)
+            .policies(["lru", "marking"])
+            .seeds([1, 2, 3, 4]);
+        let m = run_grid("t", &[sc]);
+        assert_eq!(m.runs.len(), 8);
+        let (mean, sd) = seed_mean_stdev(&m, "w", "marking");
         assert!(mean > 0.0);
         assert!(sd >= 0.0);
+        assert_eq!(cell_cost(&m, "w", "lru", 1), cell_cost(&m, "w", "lru", 2));
     }
 
     #[test]
-    #[should_panic(expected = "feasible")]
-    fn fetch_cost_rejects_infeasible_policies() {
-        struct Lazy;
-        impl wmlp_core::policy::OnlinePolicy for Lazy {
-            fn name(&self) -> String {
-                "lazy".into()
-            }
-            fn on_request(
-                &mut self,
-                _: usize,
-                _: wmlp_core::instance::Request,
-                _: &mut wmlp_core::policy::CacheTxn<'_>,
-            ) {
-            }
-        }
-        let inst = MlInstance::unweighted_paging(1, 3).unwrap();
-        let trace = zipf_trace(&inst, 1.0, 5, LevelDist::Top, 1);
-        fetch_cost(&inst, &trace, &mut Lazy);
+    #[should_panic(expected = "no run for")]
+    fn missing_cell_panics() {
+        let m = Manifest {
+            name: "t".into(),
+            runs: Vec::new(),
+        };
+        cell_cost(&m, "w", "lru", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_spec_in_grid_panics() {
+        let inst = Arc::new(MlInstance::unweighted_paging(1, 3).unwrap());
+        let trace = Arc::new(zipf_trace(&inst, 1.0, 5, LevelDist::Top, 1));
+        let sc = Scenario::new("w", inst, trace).policies(["nope"]);
+        run_grid("t", &[sc]);
     }
 }

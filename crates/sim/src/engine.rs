@@ -1,10 +1,14 @@
 //! The integral simulation engine.
 
+use std::time::Instant;
+
 use wmlp_core::action::StepLog;
 use wmlp_core::cache::CacheState;
 use wmlp_core::cost::CostLedger;
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::policy::{CacheTxn, OnlinePolicy};
+
+use crate::stats::RunCounters;
 
 /// A policy misbehaved at time `t`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +71,10 @@ pub struct RunResult {
     pub steps: Option<Vec<StepLog>>,
     /// Final cache state.
     pub final_cache: CacheState,
+    /// Per-run counters (hits, fetches, evictions, peak occupancy,
+    /// serve-level histogram, wall time) collected without per-step
+    /// allocation.
+    pub counters: RunCounters,
 }
 
 /// Run `policy` over `trace` from an empty cache. Each step is validated:
@@ -105,13 +113,16 @@ pub fn run_policy(
     policy: &mut dyn OnlinePolicy,
     record_steps: bool,
 ) -> Result<RunResult, SimError> {
+    let start = Instant::now();
     let mut cache = CacheState::empty(inst.n());
     let mut ledger = CostLedger::default();
+    let mut counters = RunCounters::new(inst.max_levels());
     let mut steps = record_steps.then(|| Vec::with_capacity(trace.len()));
     for (t, &req) in trace.iter().enumerate() {
         if !inst.request_valid(req) {
             return Err(SimError::BadRequest { t, req });
         }
+        let hit = cache.serves(req);
         let mut txn = CacheTxn::new(&mut cache);
         policy.on_request(t, req, &mut txn);
         let log = txn.finish();
@@ -124,15 +135,19 @@ pub fn run_policy(
         if !cache.serves(req) {
             return Err(SimError::NotServed { t, req });
         }
+        let serve_level = cache.level_of(req.page).expect("serves implies cached");
+        counters.record_step(hit, &log, serve_level, cache.occupancy());
         ledger.record_step(inst, &log);
         if let Some(s) = steps.as_mut() {
             s.push(log);
         }
     }
+    counters.wall_nanos = start.elapsed().as_nanos() as u64;
     Ok(RunResult {
         ledger,
         steps,
         final_cache: cache,
+        counters,
     })
 }
 
@@ -196,6 +211,29 @@ mod tests {
         assert_eq!(ledger, res.ledger);
         assert!(res.ledger.total(CostModel::Fetch) > 0);
         assert!(res.final_cache.occupancy() <= inst.k());
+    }
+
+    #[test]
+    fn counters_track_hits_fetches_and_levels() {
+        let inst = inst();
+        let trace = vec![
+            Request::new(0, 2), // miss: fetch (0,2)
+            Request::new(0, 2), // hit at level 2
+            Request::new(1, 1), // miss: fetch (1,1)
+            Request::new(0, 1), // miss (level 2 copy too deep): refetch (0,1)
+            Request::new(0, 2), // hit at level 1 (level 1 serves level-2 requests)
+        ];
+        let res = run_policy(&inst, &trace, &mut Demand, false).unwrap();
+        let c = &res.counters;
+        assert_eq!(c.requests, 5);
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.fetches, 3);
+        assert_eq!(c.evictions, 1); // the (0,2) copy evicted before refetch
+        assert_eq!(c.peak_occupancy, 2);
+        // Requests end up served by: l2, l2, l1, l1, l1.
+        assert_eq!(c.serve_levels, vec![0, 3, 2]);
+        assert!((c.hit_rate() - 0.4).abs() < 1e-12);
+        assert!(c.wall_nanos > 0);
     }
 
     #[test]

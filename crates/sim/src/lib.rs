@@ -9,6 +9,9 @@
 //! * [`frac_engine`] — run a [`wmlp_core::FractionalPolicy`], maintaining a
 //!   mirror of the prefix variables, validating the fractional invariants,
 //!   and accumulating the LP movement cost.
+//! * [`runner`] — the scenario runner: declarative [`runner::Scenario`]
+//!   grids (policy × workload × k × seed) executed in parallel with
+//!   deterministic, thread-count-independent output and JSON manifests.
 //! * [`sweep`] — rayon-powered helpers for running experiment grids in
 //!   parallel.
 
@@ -17,6 +20,7 @@
 pub mod adversary;
 pub mod engine;
 pub mod frac_engine;
+pub mod runner;
 pub mod stats;
 pub mod sweep;
 
@@ -24,5 +28,6 @@ pub use adversary::adaptive_trace;
 
 pub use engine::{run_policy, RunResult, SimError};
 pub use frac_engine::{run_fractional, FracRunResult};
-pub use stats::{miss_timeline, ClassBreakdown};
+pub use runner::{Manifest, RunRecord, Runner, Scenario};
+pub use stats::{miss_timeline, ClassBreakdown, RunCounters};
 pub use sweep::{geo_mean, mean_and_stdev, par_grid, par_seeds};

@@ -4,9 +4,73 @@
 //! argue per weight class (`P_i = {w ∈ (2^{i-1}, 2^i]}`), so experiment
 //! tables often need to know *where* the cost went, not just its total.
 
+use serde::{Deserialize, Serialize};
 use wmlp_core::action::{Action, StepLog};
 use wmlp_core::instance::{MlInstance, Request};
-use wmlp_core::types::{num_weight_classes, weight_class, Weight};
+use wmlp_core::types::{num_weight_classes, weight_class, Level, Weight};
+
+/// Allocation-free per-run counters collected by the engine as it drives
+/// a policy. Everything is updated in place per step; the only allocation
+/// is the serve-level histogram, sized once up front from the instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCounters {
+    /// Requests served.
+    pub requests: u64,
+    /// Requests already served by the cache before the policy acted.
+    pub hits: u64,
+    /// Copies fetched.
+    pub fetches: u64,
+    /// Copies evicted.
+    pub evictions: u64,
+    /// Maximum cache occupancy observed after any step.
+    pub peak_occupancy: u64,
+    /// Histogram of the cache level holding the requested page after each
+    /// step, indexed by level (index 0 is unused; levels are 1-based).
+    pub serve_levels: Vec<u64>,
+    /// Engine wall time in nanoseconds. Machine-dependent — the runner's
+    /// canonical manifests zero it so output is comparable byte-for-byte.
+    pub wall_nanos: u64,
+}
+
+impl RunCounters {
+    /// Fresh counters with a histogram for levels `1..=max_levels`.
+    pub fn new(max_levels: Level) -> Self {
+        RunCounters {
+            requests: 0,
+            hits: 0,
+            fetches: 0,
+            evictions: 0,
+            peak_occupancy: 0,
+            serve_levels: vec![0; max_levels as usize + 1],
+            wall_nanos: 0,
+        }
+    }
+
+    /// Record one step: `hit` is whether the cache served the request
+    /// before the policy acted, `serve_level` the level holding the page
+    /// afterwards, and `occupancy` the post-step occupancy.
+    pub fn record_step(&mut self, hit: bool, log: &StepLog, serve_level: Level, occupancy: usize) {
+        self.requests += 1;
+        self.hits += hit as u64;
+        for a in &log.actions {
+            match a {
+                Action::Fetch(_) => self.fetches += 1,
+                Action::Evict(_) => self.evictions += 1,
+            }
+        }
+        self.peak_occupancy = self.peak_occupancy.max(occupancy as u64);
+        self.serve_levels[serve_level as usize] += 1;
+    }
+
+    /// Fraction of requests that were hits (`0.0` on an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
 
 /// Cost and event counts split by weight class.
 #[derive(Debug, Clone, PartialEq, Eq)]

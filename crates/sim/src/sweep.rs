@@ -25,20 +25,24 @@ where
     params.par_iter().map(&f).collect()
 }
 
-/// Sample mean and (population) standard deviation.
-pub fn mean_and_stdev(xs: &[f64]) -> (f64, f64) {
-    assert!(!xs.is_empty());
+/// Sample mean and (population) standard deviation; `None` on empty input.
+pub fn mean_and_stdev(xs: &[f64]) -> Option<(f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-    (mean, var.sqrt())
+    Some((mean, var.sqrt()))
 }
 
-/// Geometric mean, for aggregating ratios across heterogeneous workloads.
-pub fn geo_mean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty());
-    assert!(xs.iter().all(|&x| x > 0.0));
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+/// Geometric mean, for aggregating ratios across heterogeneous workloads;
+/// `None` on empty or non-positive input.
+pub fn geo_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
 }
 
 #[cfg(test)]
@@ -62,9 +66,17 @@ mod tests {
 
     #[test]
     fn stats() {
-        let (m, s) = mean_and_stdev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let (m, s) = mean_and_stdev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
         assert!((m - 5.0).abs() < 1e-12);
         assert!((s - 2.0).abs() < 1e-12);
-        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_reject_degenerate_input() {
+        assert_eq!(mean_and_stdev(&[]), None);
+        assert_eq!(geo_mean(&[]), None);
+        assert_eq!(geo_mean(&[1.0, 0.0]), None);
+        assert_eq!(geo_mean(&[2.0, -1.0]), None);
     }
 }

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `rand_distr` crate: only the [`Zipf`]
+//! distribution (all wmlp-workloads uses), sampled by inverse-CDF lookup
+//! over a precomputed cumulative table.
+
+use rand::{Rng, RngCore};
+
+/// A distribution over some output type, sampled with an [`RngCore`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Construction error for [`Zipf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid Zipf parameters")
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over `{1, …, n}`: `P(X = i) ∝ i^{-alpha}`.
+///
+/// Samples are returned as `f64` (matching upstream `rand_distr`), so the
+/// common idiom `zipf.sample(rng) as u64` works unchanged.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[i]` covers outcomes `1..=i+1`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `n` outcomes with exponent `alpha >= 0`; `n >= 1` required.
+    pub fn new(n: u64, alpha: f64) -> Result<Self, ZipfError> {
+        if n == 0 || !alpha.is_finite() || alpha < 0.0 {
+            return Err(ZipfError);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += (i as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        // First index with cdf >= u; partition_point is a binary search.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_in_support_and_rank_ordered() {
+        let z = Zipf::new(50, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=50.0).contains(&v));
+            counts[v as usize - 1] += 1;
+        }
+        // Rank 1 must dominate rank 10 by roughly 10x under alpha = 1.
+        assert!(counts[0] > 4 * counts[9], "{} vs {}", counts[0], counts[9]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset the workspace uses — `slice.par_iter().map(f)
+//! .collect::<Vec<_>>()` — with real data parallelism on `std::thread`
+//! scoped threads. Results are written to their input index, so collected
+//! output order equals input order regardless of the thread count, and
+//! `RAYON_NUM_THREADS` (like upstream) caps the worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Import surface mirroring `rayon::prelude`.
+    pub use super::{IntoParallelRefIterator, ParMap, ParSliceIter};
+}
+
+/// `.par_iter()` on borrowable collections (slices and `Vec`s).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+    /// Borrowing parallel iterator over the items.
+    fn par_iter(&'a self) -> ParSliceIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSliceIter<'a, T> {
+        ParSliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSliceIter<'a, T> {
+        ParSliceIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParSliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceIter<'a, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The worker count: `RAYON_NUM_THREADS` if set and positive, else the
+/// machine's available parallelism.
+fn num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+impl<'a, T, U, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    /// Run the map and collect results in input order.
+    ///
+    /// Work distribution is dynamic (an atomic cursor), but each result
+    /// lands at its input index, so the output is deterministic for a
+    /// deterministic `f` independent of scheduling.
+    pub fn collect<C: FromParIter<U>>(self) -> C {
+        let n = self.items.len();
+        let workers = num_threads().min(n.max(1));
+        if workers <= 1 {
+            return C::from_ordered(self.items.iter().map(&self.f));
+        }
+        let cursor = AtomicUsize::new(0);
+        let f = &self.f;
+        let items = self.items;
+        // Each worker drains the shared cursor into a private (index,
+        // value) buffer; buffers are merged by index afterwards, so the
+        // final order never depends on scheduling.
+        let locals: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, v) in locals.into_iter().flatten() {
+            out[i] = Some(v);
+        }
+        C::from_ordered(out.into_iter().map(|v| v.expect("all slots filled")))
+    }
+}
+
+/// Collect target for [`ParMap::collect`]; implemented for `Vec`.
+pub trait FromParIter<U> {
+    /// Build the collection from results in input order.
+    fn from_ordered<I: Iterator<Item = U>>(iter: I) -> Self;
+}
+
+impl<U> FromParIter<U> for Vec<U> {
+    fn from_ordered<I: Iterator<Item = U>>(iter: I) -> Self {
+        iter.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = xs.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, xs.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_allowed() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let xs: Vec<u64> = (0..256).collect();
+        let _: Vec<()> = xs
+            .par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::yield_now();
+            })
+            .collect();
+        // With >1 hardware threads this should use >1 workers; tolerate
+        // single-core CI by only asserting the call completed.
+        assert!(!ids.lock().unwrap().is_empty());
+    }
+}

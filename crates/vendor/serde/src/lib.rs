@@ -1,0 +1,285 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! provides the surface the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` plus a JSON text format for the run manifests. Instead
+//! of upstream serde's visitor architecture, both traits go through a
+//! self-describing [`Value`] tree:
+//!
+//! * [`Serialize::to_value`] — convert to a [`Value`];
+//! * [`Deserialize::from_value`] — reconstruct from a [`Value`];
+//! * [`json`] — render a [`Value`] to JSON text and parse it back.
+//!
+//! The derive (from the sibling `serde_derive` shim) generates the same
+//! shapes upstream serde would: structs as objects, unit enum variants as
+//! strings, tuple variants as single-key objects.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A self-describing data tree (the JSON data model).
+///
+/// Object keys keep insertion order so serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (also covers every non-negative value `<= i64::MAX`).
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's key/value pairs, or an error.
+    pub fn as_object(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Object(m) => Ok(m),
+            other => Err(Error::new(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// The array's elements, or an error.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(a) => Ok(a),
+            other => Err(Error::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The string contents, or an error.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// Short kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up `name` in an object value.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::new(format!("missing field `{name}`")))
+    }
+}
+
+/// Serialization/deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// New error with `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the [`Value`] data model.
+pub trait Serialize {
+    /// The value as a data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse from a data tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as i128;
+                if wide >= 0 && wide > i64::MAX as i128 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(wide as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::I64(x) => *x as i128,
+                    Value::U64(x) => *x as i128,
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::new(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(x) => Ok(*x as f64),
+            Value::U64(x) => Ok(*x as f64),
+            other => Err(Error::new(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array()?;
+        if a.len() != 2 {
+            return Err(Error::new(format!(
+                "expected pair, got {} elements",
+                a.len()
+            )));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-5i32).to_value()).unwrap(), -5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let p: (u64, u64) = (7, 9);
+        assert_eq!(<(u64, u64)>::from_value(&p.to_value()).unwrap(), p);
+        let o: Option<String> = Some("hi".into());
+        assert_eq!(Option::<String>::from_value(&o.to_value()).unwrap(), o);
+        assert_eq!(Option::<String>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn big_u64_uses_u64_variant() {
+        let big = u64::MAX;
+        assert_eq!(big.to_value(), Value::U64(big));
+        assert_eq!(u64::from_value(&Value::U64(big)).unwrap(), big);
+    }
+}

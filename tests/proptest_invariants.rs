@@ -1,6 +1,13 @@
-//! Property-based tests over the core invariants of the workspace.
+//! Randomized invariant tests over the core of the workspace.
+//!
+//! Formerly written against `proptest`; now driven by seeded `StdRng`
+//! case generators so the suite builds offline. Each test draws a fixed
+//! number of random cases from a deterministic seed, so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use wmlp::algos::{Landlord, Lru, RandomizedMlPaging, WaterFill};
 use wmlp::core::cost::CostModel;
 use wmlp::core::instance::{MlInstance, Request};
@@ -12,66 +19,65 @@ use wmlp::flow::weighted_paging_opt;
 use wmlp::sim::engine::run_policy;
 use wmlp::sim::frac_engine::run_fractional;
 
-/// Strategy: a small multi-level instance (valid by construction) plus a
-/// valid trace for it.
-fn instance_and_trace() -> impl Strategy<Value = (MlInstance, Vec<Request>)> {
-    (2usize..=8, 1usize..=4, 1u8..=3).prop_flat_map(|(n_extra, k, levels)| {
-        let n = k + n_extra;
-        // Per-page top weight and a fixed ratio per level keep rows valid.
-        let rows = proptest::collection::vec(1u64..=64, n).prop_map(move |tops| {
-            tops.into_iter()
-                .map(|w| {
-                    (0..levels)
-                        .map(|i| (w >> (2 * i as u32)).max(1))
-                        .collect::<Vec<u64>>()
-                })
-                .collect::<Vec<_>>()
-        });
-        let trace = proptest::collection::vec((0..n as u32, 1u8..=levels), 1..80);
-        (rows, trace).prop_map(move |(rows, raw)| {
-            let inst = MlInstance::from_rows(k, rows).expect("valid by construction");
-            let trace = raw
-                .into_iter()
-                .map(|(p, l)| Request::new(p, l.min(inst.levels(p))))
-                .collect();
-            (inst, trace)
+const CASES: usize = 64;
+
+/// A small multi-level instance (valid by construction) plus a valid
+/// trace for it.
+fn instance_and_trace(rng: &mut StdRng) -> (MlInstance, Vec<Request>) {
+    let k = rng.gen_range(1usize..=4);
+    let n = k + rng.gen_range(2usize..=8);
+    let levels = rng.gen_range(1u8..=3);
+    // Per-page top weight and a fixed ratio per level keep rows valid.
+    let rows: Vec<Vec<u64>> = (0..n)
+        .map(|_| {
+            let w = rng.gen_range(1u64..=64);
+            (0..levels).map(|i| (w >> (2 * i as u32)).max(1)).collect()
         })
-    })
+        .collect();
+    let inst = MlInstance::from_rows(k, rows).expect("valid by construction");
+    let t_len = rng.gen_range(1usize..80);
+    let trace = (0..t_len)
+        .map(|_| {
+            let p = rng.gen_range(0..n as u32);
+            let l = rng.gen_range(1u8..=levels);
+            Request::new(p, l.min(inst.levels(p)))
+        })
+        .collect();
+    (inst, trace)
 }
 
-fn wb_instance_and_trace() -> impl Strategy<Value = (WbInstance, Vec<WbRequest>)> {
-    (2usize..=8, 1usize..=3).prop_flat_map(|(n_extra, k)| {
-        let n = k + n_extra;
-        let costs = proptest::collection::vec((1u64..=8, 0u64..=56), n).prop_map(|v| {
-            v.into_iter()
-                .map(|(w2, extra)| (w2 + extra, w2))
-                .collect::<Vec<_>>()
-        });
-        let trace = proptest::collection::vec((0..n as u32, proptest::bool::ANY), 1..80);
-        (costs, trace).prop_map(move |(costs, raw)| {
-            let inst = WbInstance::new(k, costs).expect("valid by construction");
-            let trace = raw
-                .into_iter()
-                .map(|(p, w)| {
-                    if w {
-                        WbRequest::write(p)
-                    } else {
-                        WbRequest::read(p)
-                    }
-                })
-                .collect();
-            (inst, trace)
+fn wb_instance_and_trace(rng: &mut StdRng) -> (WbInstance, Vec<WbRequest>) {
+    let k = rng.gen_range(1usize..=3);
+    let n = k + rng.gen_range(2usize..=8);
+    let costs: Vec<(u64, u64)> = (0..n)
+        .map(|_| {
+            let w2 = rng.gen_range(1u64..=8);
+            let extra = rng.gen_range(0u64..=56);
+            (w2 + extra, w2)
         })
-    })
+        .collect();
+    let inst = WbInstance::new(k, costs).expect("valid by construction");
+    let t_len = rng.gen_range(1usize..80);
+    let trace = (0..t_len)
+        .map(|_| {
+            let p = rng.gen_range(0..n as u32);
+            if rng.gen_bool(0.5) {
+                WbRequest::write(p)
+            } else {
+                WbRequest::read(p)
+            }
+        })
+        .collect();
+    (inst, trace)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every deterministic policy serves every valid trace feasibly, and
-    /// eviction cost never exceeds fetch cost.
-    #[test]
-    fn deterministic_policies_always_feasible((inst, trace) in instance_and_trace()) {
+/// Every deterministic policy serves every valid trace feasibly, and
+/// eviction cost never exceeds fetch cost.
+#[test]
+fn deterministic_policies_always_feasible() {
+    let mut rng = StdRng::seed_from_u64(0xFEA51B1E);
+    for _ in 0..CASES {
+        let (inst, trace) = instance_and_trace(&mut rng);
         let mut algorithms: Vec<Box<dyn OnlinePolicy>> = vec![
             Box::new(Lru::new(&inst)),
             Box::new(Landlord::new(&inst)),
@@ -79,129 +85,167 @@ proptest! {
         ];
         for alg in algorithms.iter_mut() {
             let res = run_policy(&inst, &trace, alg.as_mut(), false).expect("feasible");
-            prop_assert!(res.ledger.eviction_cost <= res.ledger.fetch_cost);
-            prop_assert!(res.final_cache.occupancy() <= inst.k());
+            assert!(res.ledger.eviction_cost <= res.ledger.fetch_cost);
+            assert!(res.final_cache.occupancy() <= inst.k());
         }
     }
+}
 
-    /// The randomized algorithm is feasible for arbitrary seeds and its
-    /// fractional relaxation maintains its invariants throughout.
-    #[test]
-    fn randomized_and_fractional_feasible((inst, trace) in instance_and_trace(), seed in 0u64..1000) {
+/// The randomized algorithm is feasible for arbitrary seeds and its
+/// fractional relaxation maintains its invariants throughout.
+#[test]
+fn randomized_and_fractional_feasible() {
+    let mut rng = StdRng::seed_from_u64(0xD0_5EED);
+    for _ in 0..CASES {
+        let (inst, trace) = instance_and_trace(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let mut alg = RandomizedMlPaging::with_default_beta(&inst, seed);
         run_policy(&inst, &trace, &mut alg, false).expect("feasible");
 
         let mut frac = wmlp::algos::FracMultiplicative::new(&inst);
         let res = run_fractional(&inst, &trace, &mut frac, 1, None).expect("fractional feasible");
-        prop_assert!(res.cost >= -1e-9);
+        assert!(res.cost >= -1e-9);
     }
+}
 
-    /// Flow OPT lower-bounds every online run on single-level instances.
-    #[test]
-    fn flow_opt_is_a_lower_bound(
-        k in 1usize..=4,
-        n_extra in 1usize..=8,
-        weights_seed in proptest::collection::vec(1u64..=64, 12),
-        raw_trace in proptest::collection::vec(0u32..12, 1..100)
-    ) {
-        let n = (k + n_extra).min(12);
-        let inst = MlInstance::weighted_paging(k, weights_seed[..n].to_vec()).unwrap();
-        let trace: Vec<Request> = raw_trace.iter().map(|&p| Request::top(p % n as u32)).collect();
+/// Flow OPT lower-bounds every online run on single-level instances.
+#[test]
+fn flow_opt_is_a_lower_bound() {
+    let mut rng = StdRng::seed_from_u64(0xF10A7);
+    for _ in 0..CASES {
+        let k = rng.gen_range(1usize..=4);
+        let n = (k + rng.gen_range(1usize..=8)).min(12);
+        let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..=64)).collect();
+        let inst = MlInstance::weighted_paging(k, weights).unwrap();
+        let t_len = rng.gen_range(1usize..100);
+        let trace: Vec<Request> = (0..t_len)
+            .map(|_| Request::top(rng.gen_range(0..n as u32)))
+            .collect();
         let opt = weighted_paging_opt(&inst, &trace);
         let lru = run_policy(&inst, &trace, &mut Lru::new(&inst), false).unwrap();
-        prop_assert!(opt <= lru.ledger.total(CostModel::Fetch));
+        assert!(opt <= lru.ledger.total(CostModel::Fetch));
         let wf = run_policy(&inst, &trace, &mut WaterFill::new(&inst), false).unwrap();
-        prop_assert!(opt <= wf.ledger.total(CostModel::Fetch));
+        assert!(opt <= wf.ledger.total(CostModel::Fetch));
     }
+}
 
-    /// The induced writeback cost of any RW-paging run never exceeds the
-    /// RW eviction cost (Lemma 2.1, algorithmic direction).
-    #[test]
-    fn induced_wb_cost_below_rw_cost((wb, trace) in wb_instance_and_trace(), seed in 0u64..100) {
+/// The induced writeback cost of any RW-paging run never exceeds the
+/// RW eviction cost (Lemma 2.1, algorithmic direction).
+#[test]
+fn induced_wb_cost_below_rw_cost() {
+    let mut rng = StdRng::seed_from_u64(0x3B0C);
+    for _ in 0..CASES {
+        let (wb, trace) = wb_instance_and_trace(&mut rng);
+        let seed = rng.gen_range(0u64..100);
         let rw = wb_to_rw_instance(&wb);
         let rw_trace = wb_to_rw_trace(&trace);
         let mut alg = RandomizedMlPaging::with_default_beta(&rw, seed);
         let res = run_policy(&rw, &rw_trace, &mut alg, true).expect("feasible");
         let induced = rw_run_wb_cost(&wb, &trace, res.steps.as_ref().unwrap());
-        prop_assert!(induced.cost <= res.ledger.eviction_cost);
+        assert!(induced.cost <= res.ledger.eviction_cost);
     }
+}
 
-    /// Weight classes partition correctly: `w ∈ (2^{c-1}, 2^c]`.
-    #[test]
-    fn weight_class_is_partition(w in 1u64..=1_000_000) {
+/// Weight classes partition correctly: `w ∈ (2^{c-1}, 2^c]`.
+#[test]
+fn weight_class_is_partition() {
+    let mut rng = StdRng::seed_from_u64(0xC1A55);
+    for _ in 0..1000 {
+        let w = rng.gen_range(1u64..=1_000_000);
         let c = weight_class(w);
         if c == 0 {
-            prop_assert_eq!(w, 1);
+            assert_eq!(w, 1);
         } else {
-            prop_assert!(w > (1u64 << (c - 1)) && w <= (1u64 << c));
+            assert!(w > (1u64 << (c - 1)) && w <= (1u64 << c));
         }
     }
+}
 
-    /// normalize_levels output always satisfies the factor-2 property and
-    /// never increases any kept weight.
-    #[test]
-    fn normalization_invariants(rows in proptest::collection::vec(
-        proptest::collection::vec(1u64..=1000, 1..6), 2..6)
-    ) {
-        // Sort each row descending to make it valid.
-        let rows: Vec<Vec<u64>> = rows.into_iter().map(|mut r| { r.sort_unstable_by(|a, b| b.cmp(a)); r }).collect();
+/// normalize_levels output always satisfies the factor-2 property and
+/// never increases any kept weight.
+#[test]
+fn normalization_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x2F0);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..6);
+        let rows: Vec<Vec<u64>> = (0..n)
+            .map(|_| {
+                let l = rng.gen_range(1usize..6);
+                let mut r: Vec<u64> = (0..l).map(|_| rng.gen_range(1u64..=1000)).collect();
+                // Sort each row descending to make it valid.
+                r.sort_unstable_by(|a, b| b.cmp(a));
+                r
+            })
+            .collect();
         let m = wmlp::core::WeightMatrix::new(rows.clone()).unwrap();
         let (norm, remap) = m.normalize_levels();
         for p in 0..m.num_pages() {
             let row = norm.row(p as u32);
             for w in row.windows(2) {
-                prop_assert!(w[0] >= 2 * w[1]);
+                assert!(w[0] >= 2 * w[1]);
             }
             for (j, &orig) in rows[p].iter().enumerate() {
                 let kept = norm.weight(p as u32, remap[p][j]);
-                prop_assert!(kept <= orig);
+                assert!(kept <= orig);
             }
         }
     }
+}
 
-    /// Belady agrees with the flow oracle on arbitrary unweighted traces.
-    #[test]
-    fn belady_equals_flow(
-        k in 1usize..=4,
-        raw_trace in proptest::collection::vec(0u32..8, 1..120)
-    ) {
+/// Belady agrees with the flow oracle on arbitrary unweighted traces.
+#[test]
+fn belady_equals_flow() {
+    let mut rng = StdRng::seed_from_u64(0xBE1A);
+    for _ in 0..CASES {
+        let k = rng.gen_range(1usize..=4);
         let n = 8;
         let inst = MlInstance::unweighted_paging(k, n).unwrap();
-        let trace: Vec<Request> = raw_trace.iter().map(|&p| Request::top(p)).collect();
-        prop_assert_eq!(
+        let t_len = rng.gen_range(1usize..120);
+        let trace: Vec<Request> = (0..t_len)
+            .map(|_| Request::top(rng.gen_range(0..n as u32)))
+            .collect();
+        assert_eq!(
             weighted_paging_opt(&inst, &trace),
             wmlp::offline::belady_faults(k, n, &trace)
         );
     }
+}
 
-    /// Codec round-trips arbitrary valid instances and traces.
-    #[test]
-    fn codec_roundtrip((inst, trace) in instance_and_trace()) {
+/// Codec round-trips arbitrary valid instances and traces.
+#[test]
+fn codec_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    for _ in 0..CASES {
+        let (inst, trace) = instance_and_trace(&mut rng);
         use wmlp::core::codec;
         let inst2 = codec::parse_instance(&codec::write_instance(&inst)).unwrap();
-        prop_assert_eq!(&inst, &inst2);
+        assert_eq!(&inst, &inst2);
         let trace2 = codec::parse_trace(&codec::write_trace(&trace)).unwrap();
-        prop_assert_eq!(trace, trace2);
+        assert_eq!(trace, trace2);
     }
+}
 
-    /// Simplex agrees with a dense grid search on 2-variable covering LPs.
-    #[test]
-    fn simplex_matches_grid_search_on_2d(
-        c0 in 1u8..=9, c1 in 1u8..=9,
-        a in 1u8..=4, b in 1u8..=4, r1 in 1u8..=8,
-        d in 1u8..=4, e in 1u8..=4, r2 in 1u8..=8,
-    ) {
-        use wmlp::lp::{Cmp, LpOutcome, LpProblem};
-        let (c0, c1) = (c0 as f64, c1 as f64);
-        let (a, b, r1) = (a as f64, b as f64, r1 as f64);
-        let (d, e, r2) = (d as f64, e as f64, r2 as f64);
+/// Simplex agrees with a dense grid search on 2-variable covering LPs.
+#[test]
+fn simplex_matches_grid_search_on_2d() {
+    use wmlp::lp::{Cmp, LpOutcome, LpProblem};
+    let mut rng = StdRng::seed_from_u64(0x51310);
+    for _ in 0..CASES {
+        let c0 = rng.gen_range(1u8..=9) as f64;
+        let c1 = rng.gen_range(1u8..=9) as f64;
+        let a = rng.gen_range(1u8..=4) as f64;
+        let b = rng.gen_range(1u8..=4) as f64;
+        let r1 = rng.gen_range(1u8..=8) as f64;
+        let d = rng.gen_range(1u8..=4) as f64;
+        let e = rng.gen_range(1u8..=4) as f64;
+        let r2 = rng.gen_range(1u8..=8) as f64;
         let mut lp = LpProblem::minimize(vec![c0, c1]);
         lp.add_row(vec![(0, a), (1, b)], Cmp::Ge, r1);
         lp.add_row(vec![(0, d), (1, e)], Cmp::Ge, r2);
         let LpOutcome::Optimal { value, x } = lp.solve() else {
-            return Err(TestCaseError::fail("covering LP must be solvable"));
+            panic!("covering LP must be solvable");
         };
-        prop_assert!(lp.check_feasible(&x, 1e-7));
+        assert!(lp.check_feasible(&x, 1e-7));
         // Grid search over a fine lattice can only do worse (it may miss
         // the exact vertex, so allow it to be slightly above).
         let mut best = f64::INFINITY;
@@ -216,8 +260,13 @@ proptest! {
                 }
             }
         }
-        prop_assert!(value <= best + 1e-6, "simplex {value} worse than grid {best}");
-        prop_assert!(best <= value + step * (c0 + c1) * 4.0 + 1e-6,
-            "simplex {value} suspiciously below grid {best}");
+        assert!(
+            value <= best + 1e-6,
+            "simplex {value} worse than grid {best}"
+        );
+        assert!(
+            best <= value + step * (c0 + c1) * 4.0 + 1e-6,
+            "simplex {value} suspiciously below grid {best}"
+        );
     }
 }
