@@ -38,7 +38,8 @@ where
     let rw_trace = wb_to_rw_trace(wb_trace);
     let mut policy = make_policy(&rw_inst);
     let res = run_policy(&rw_inst, &rw_trace, &mut policy, true)?;
-    let steps = res.steps.expect("recorded");
+    // `run_policy(.., true)` always records steps; default to empty if not.
+    let steps = res.steps.unwrap_or_default();
     let induced = rw_run_wb_cost(wb, wb_trace, &steps);
     Ok(WbViaRwResult {
         rw_cost: res.ledger.eviction_cost,
@@ -62,7 +63,8 @@ pub fn run_spec_on_writeback(
     let mut policy = registry.build(spec, &rw_inst, seed)?;
     let res = run_policy(&rw_inst, &rw_trace, policy.as_mut(), true)
         .map_err(|e| format!("`{spec}` failed on the reduced instance: {e}"))?;
-    let steps = res.steps.expect("recorded");
+    // `run_policy(.., true)` always records steps; default to empty if not.
+    let steps = res.steps.unwrap_or_default();
     let induced = rw_run_wb_cost(wb, wb_trace, &steps);
     Ok(WbViaRwResult {
         rw_cost: res.ledger.eviction_cost,

@@ -30,14 +30,12 @@ fn fetch_requested(req: Request, txn: &mut CacheTxn<'_>) -> bool {
     match txn.cache().level_of(req.page) {
         Some(level) => {
             debug_assert!(level > req.level, "request was already served");
-            txn.evict(CopyRef::new(req.page, level)).expect("present");
-            txn.fetch(CopyRef::new(req.page, req.level))
-                .expect("absent");
+            txn.evict_if_present(CopyRef::new(req.page, level));
+            txn.fetch_if_absent(CopyRef::new(req.page, req.level));
             false
         }
         None => {
-            txn.fetch(CopyRef::new(req.page, req.level))
-                .expect("absent");
+            txn.fetch_if_absent(CopyRef::new(req.page, req.level));
             true
         }
     }
@@ -93,14 +91,12 @@ impl OnlinePolicy for Lru {
         fetch_requested(req, txn);
         self.touch(req.page);
         if txn.cache().occupancy() > self.k {
-            let (_, victim) = self
-                .by_recency
-                .iter()
-                .find(|&&(_, q)| q != req.page)
-                .copied()
-                .expect("another page is cached");
-            let level = txn.cache().level_of(victim).expect("victim cached");
-            txn.evict(CopyRef::new(victim, level)).expect("present");
+            let victim = self.by_recency.iter().find(|&&(_, q)| q != req.page);
+            let Some(&(_, victim)) = victim else {
+                debug_assert!(false, "over capacity implies another tracked page");
+                return;
+            };
+            txn.evict_page(victim);
             self.drop_page(victim);
         }
     }
@@ -158,14 +154,12 @@ impl OnlinePolicy for Fifo {
             self.enqueue(req.page);
         }
         if txn.cache().occupancy() > self.k {
-            let (_, victim) = self
-                .queue
-                .iter()
-                .find(|&&(_, q)| q != req.page)
-                .copied()
-                .expect("another page is cached");
-            let level = txn.cache().level_of(victim).expect("victim cached");
-            txn.evict(CopyRef::new(victim, level)).expect("present");
+            let victim = self.queue.iter().find(|&&(_, q)| q != req.page);
+            let Some(&(_, victim)) = victim else {
+                debug_assert!(false, "over capacity implies another queued page");
+                return;
+            };
+            txn.evict_page(victim);
             self.drop_page(victim);
         }
     }
@@ -222,9 +216,12 @@ impl OnlinePolicy for Marking {
             } else {
                 unmarked
             };
+            if pool.is_empty() {
+                debug_assert!(false, "over capacity implies another cached page");
+                return;
+            }
             let victim = pool[self.rng.gen_range(0..pool.len())];
-            let level = txn.cache().level_of(victim).expect("victim cached");
-            txn.evict(CopyRef::new(victim, level)).expect("present");
+            txn.evict_page(victim);
         }
     }
 }
@@ -269,7 +266,10 @@ impl Landlord {
     }
 
     fn drop_page(&mut self, page: PageId) {
-        let (e, s) = self.key_of[page as usize].take().expect("page tracked");
+        let Some((e, s)) = self.key_of[page as usize].take() else {
+            debug_assert!(false, "drop_page on untracked page");
+            return;
+        };
         self.expiries.remove(&(e, s, page));
     }
 }
@@ -282,22 +282,21 @@ impl OnlinePolicy for Landlord {
     fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
         if txn.cache().serves(req) {
             // Refresh credit to the full weight of the cached copy.
-            let level = txn.cache().level_of(req.page).expect("served");
-            let w = self.inst.weight(req.page, level);
-            self.set_expiry(req.page, self.debt + w);
+            if let Some(level) = txn.cache().level_of(req.page) {
+                let w = self.inst.weight(req.page, level);
+                self.set_expiry(req.page, self.debt + w);
+            }
             return;
         }
         fetch_requested(req, txn);
         if txn.cache().occupancy() > self.inst.k() {
-            let (expiry, _, victim) = self
-                .expiries
-                .iter()
-                .find(|&&(_, _, q)| q != req.page)
-                .copied()
-                .expect("another page is cached");
+            let victim = self.expiries.iter().find(|&&(_, _, q)| q != req.page);
+            let Some(&(expiry, _, victim)) = victim else {
+                debug_assert!(false, "over capacity implies another tracked page");
+                return;
+            };
             self.debt = self.debt.max(expiry);
-            let level = txn.cache().level_of(victim).expect("victim cached");
-            txn.evict(CopyRef::new(victim, level)).expect("present");
+            txn.evict_page(victim);
             self.drop_page(victim);
         }
         self.set_expiry(req.page, self.debt + self.inst.weight(req.page, req.level));

@@ -21,7 +21,7 @@
 //! The class-0 reset enforces `|C| ≤ k` outright, so feasibility never
 //! depends on the random choices (Lemma 4.6).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,7 +74,10 @@ impl ClassBook {
 
     fn remove(&mut self, page: PageId, class: u32) {
         let v = &mut self.cached[class as usize];
-        let pos = v.iter().position(|&q| q == page).expect("page tracked");
+        let Some(pos) = v.iter().position(|&q| q == page) else {
+            debug_assert!(false, "page {page} not tracked in class {class}");
+            return;
+        };
         v.swap_remove(pos);
     }
 
@@ -89,8 +92,10 @@ impl ClassBook {
     /// cached count of classes `≥ i` exceeds `⌈k_{≥i}⌉`, evict a victim of
     /// class `≥ i` (preferring exactly `i`, per the paper) other than
     /// `protect`. `evict(page)` performs the eviction and returns the
-    /// evicted copy's `(class, weight)`.
-    fn reset_scan(&mut self, protect: PageId, mut evict: impl FnMut(PageId) -> (u32, u64)) {
+    /// evicted copy's `(class, weight)`, or `None` if the cache and the
+    /// book disagree about the victim (a bookkeeping bug; the scan stops
+    /// for this class rather than looping forever).
+    fn reset_scan(&mut self, protect: PageId, mut evict: impl FnMut(PageId) -> Option<(u32, u64)>) {
         let mut suffix = 0usize;
         for i in (0..self.k_geq.len()).rev() {
             suffix += self.cached[i].len();
@@ -108,7 +113,10 @@ impl ClassBook {
                             .find(|&q| q != protect)
                     });
                 let Some(victim) = victim else { break };
-                let (class, weight) = evict(victim);
+                let Some((class, weight)) = evict(victim) else {
+                    debug_assert!(false, "reset victim {victim} not evictable");
+                    break;
+                };
                 self.remove(victim, class);
                 self.resets += 1;
                 self.reset_cost += weight;
@@ -167,7 +175,7 @@ impl RoundingWP {
         let p_t = req.page;
         // Line 1-3: ensure p_t is cached.
         if !txn.cache().contains_page(p_t) {
-            txn.fetch(CopyRef::new(p_t, 1)).expect("absent");
+            txn.fetch_if_absent(CopyRef::new(p_t, 1));
             self.book
                 .insert(p_t, weight_class(self.inst.weight(p_t, 1)));
         }
@@ -191,7 +199,7 @@ impl RoundingWP {
                 (dy / denom).min(1.0)
             };
             if self.rng.gen::<f64>() < prob {
-                txn.evict(CopyRef::new(p, 1)).expect("present");
+                txn.evict_if_present(CopyRef::new(p, 1));
                 self.book.remove(p, weight_class(self.inst.weight(p, 1)));
             }
         }
@@ -206,9 +214,10 @@ impl RoundingWP {
         // Lines 9-13: per-class resets, heaviest class first.
         let inst = self.inst.clone();
         self.book.reset_scan(p_t, |victim| {
-            txn.evict(CopyRef::new(victim, 1)).expect("present");
-            let w = inst.weight(victim, 1);
-            (weight_class(w), w)
+            txn.evict_if_present(CopyRef::new(victim, 1)).then(|| {
+                let w = inst.weight(victim, 1);
+                (weight_class(w), w)
+            })
         });
     }
 
@@ -276,14 +285,14 @@ impl RoundingML {
         // Lines 2-7: fix up the requested page.
         match txn.cache().level_of(p_t) {
             Some(j) if j > i_t => {
-                txn.evict(CopyRef::new(p_t, j)).expect("present");
+                txn.evict_if_present(CopyRef::new(p_t, j));
                 self.book.remove(p_t, self.class_of(CopyRef::new(p_t, j)));
-                txn.fetch(CopyRef::new(p_t, i_t)).expect("absent");
+                txn.fetch_if_absent(CopyRef::new(p_t, i_t));
                 self.book.insert(p_t, self.class_of(CopyRef::new(p_t, i_t)));
             }
             Some(_) => {}
             None => {
-                txn.fetch(CopyRef::new(p_t, i_t)).expect("absent");
+                txn.fetch_if_absent(CopyRef::new(p_t, i_t));
                 self.book.insert(p_t, self.class_of(CopyRef::new(p_t, i_t)));
             }
         }
@@ -292,7 +301,7 @@ impl RoundingML {
         // values (the demotion rule mixes new values at level i-1 with old
         // values at level i). Pages are processed in first-appearance
         // order so runs are reproducible for a fixed seed.
-        let mut old_rows: HashMap<PageId, Vec<f64>> = HashMap::new();
+        let mut old_rows: BTreeMap<PageId, Vec<f64>> = BTreeMap::new();
         let mut page_order: Vec<PageId> = Vec::new();
         for d in deltas {
             old_rows.entry(d.page).or_insert_with(|| {
@@ -345,13 +354,13 @@ impl RoundingML {
                     break;
                 }
                 // Demote (p, i) to (p, i+1); for i = ℓ this is an eviction.
-                txn.evict(CopyRef::new(p, i)).expect("present");
+                txn.evict_if_present(CopyRef::new(p, i));
                 self.book.remove(p, self.class_of(CopyRef::new(p, i)));
                 if i == levels {
                     break;
                 }
                 i += 1;
-                txn.fetch(CopyRef::new(p, i)).expect("absent");
+                txn.fetch_if_absent(CopyRef::new(p, i));
                 self.book.insert(p, self.class_of(CopyRef::new(p, i)));
             }
         }
@@ -359,10 +368,11 @@ impl RoundingML {
         // Lines 14-17: per-class resets, heaviest class first.
         let inst = self.inst.clone();
         self.book.reset_scan(p_t, |victim| {
-            let level = txn.cache().level_of(victim).expect("victim cached");
-            txn.evict(CopyRef::new(victim, level)).expect("present");
-            let w = inst.weight(victim, level);
-            (weight_class(w), w)
+            let level = txn.cache().level_of(victim)?;
+            txn.evict_if_present(CopyRef::new(victim, level)).then(|| {
+                let w = inst.weight(victim, level);
+                (weight_class(w), w)
+            })
         });
     }
 

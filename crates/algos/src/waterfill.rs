@@ -117,13 +117,13 @@ impl OnlinePolicy for WaterFill {
         if let Some(level) = txn.cache().level_of(req.page) {
             // Step 2(a): a lower-level copy (p_t, j), j > i_t, is displaced.
             debug_assert!(level > req.level);
-            txn.evict(CopyRef::new(req.page, level)).expect("present");
+            txn.evict_if_present(CopyRef::new(req.page, level));
             self.remove_deadline(req.page);
-            txn.fetch(fetched).expect("page now absent");
+            txn.fetch_if_absent(fetched);
             self.insert_deadline(req.page, self.clock + self.inst.weight(req.page, req.level));
             return;
         }
-        txn.fetch(fetched).expect("page absent");
+        txn.fetch_if_absent(fetched);
 
         // Step 2(b): if the cache now overflows, raise water on all cached
         // copies except the requested page until one fills: evict the
@@ -131,15 +131,13 @@ impl OnlinePolicy for WaterFill {
         // is excluded from the rise (its deadline is inserted only after
         // the clock has advanced, so its water level stays 0 this step).
         if txn.cache().occupancy() > self.inst.k() {
-            let (deadline, q) = self
-                .deadlines
-                .first()
-                .copied()
-                .expect("cache overflow implies another cached page");
+            let Some(&(deadline, q)) = self.deadlines.first() else {
+                debug_assert!(false, "cache overflow implies another cached page");
+                return;
+            };
             debug_assert_ne!(q, req.page, "requested page has no deadline yet");
             self.clock = deadline;
-            let level = txn.cache().level_of(q).expect("victim cached");
-            txn.evict(CopyRef::new(q, level)).expect("present");
+            txn.evict_page(q);
             self.remove_deadline(q);
         }
         self.insert_deadline(req.page, self.clock + self.inst.weight(req.page, req.level));

@@ -55,7 +55,10 @@ impl WbPolicy for WbLru {
         self.touch(req.page);
     }
     fn choose_victim(&mut self, _t: usize, _req: WbRequest, _cache: &WbCache) -> PageId {
-        let (stamp, victim) = *self.by_recency.first().expect("cache full");
+        let Some(&(stamp, victim)) = self.by_recency.first() else {
+            debug_assert!(false, "choose_victim called with nothing tracked");
+            return 0;
+        };
         self.by_recency.remove(&(stamp, victim));
         self.stamp[victim as usize] = 0;
         victim
@@ -92,7 +95,10 @@ impl WbPolicy for WbFifo {
         self.queue.insert((self.clock, req.page));
     }
     fn choose_victim(&mut self, _t: usize, _req: WbRequest, _cache: &WbCache) -> PageId {
-        let (stamp, victim) = *self.queue.first().expect("cache full");
+        let Some(&(stamp, victim)) = self.queue.first() else {
+            debug_assert!(false, "choose_victim called with nothing queued");
+            return 0;
+        };
         self.queue.remove(&(stamp, victim));
         self.stamp[victim as usize] = 0;
         victim
@@ -150,7 +156,10 @@ impl WbPolicy for WbGreedyDual {
         self.refresh(req.page, req.op == RwOp::Write);
     }
     fn choose_victim(&mut self, _t: usize, _req: WbRequest, _cache: &WbCache) -> PageId {
-        let (expiry, stamp, victim) = *self.expiries.first().expect("cache full");
+        let Some(&(expiry, stamp, victim)) = self.expiries.first() else {
+            debug_assert!(false, "choose_victim called with nothing tracked");
+            return 0;
+        };
         self.debt = self.debt.max(expiry);
         self.expiries.remove(&(expiry, stamp, victim));
         self.key_of[victim as usize] = None;

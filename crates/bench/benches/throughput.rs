@@ -147,7 +147,9 @@ fn b4_offline_solvers() {
     let lp_inst = MlInstance::from_rows(2, (0..4).map(|_| vec![8, 2]).collect()).unwrap();
     let lp_trace = zipf_trace(&lp_inst, 0.8, 16, LevelDist::TopProb(0.4), 14);
     bench("b4_offline_solvers", "paging_lp_n4_T16", 0, || {
-        multilevel_paging_lp_opt(&lp_inst, &lp_trace).value
+        multilevel_paging_lp_opt(&lp_inst, &lp_trace)
+            .expect("tiny LP instance is solvable")
+            .value
     });
 }
 

@@ -67,7 +67,10 @@ fn part_b() -> Table {
         let rows: Vec<Vec<u64>> = (0..5).map(|_| vec![8, 2]).collect();
         let inst = MlInstance::from_rows(k, rows).unwrap();
         let trace = zipf_trace(&inst, 0.8, 28, LevelDist::TopProb(0.4), 7 + k as u64);
-        let lp = multilevel_paging_lp_opt(&inst, &trace).value / 2.0;
+        let lp = multilevel_paging_lp_opt(&inst, &trace)
+            .expect("tiny LP instance is solvable")
+            .value
+            / 2.0;
         let dp = opt_multilevel(&inst, &trace, DpLimits::default()).eviction_cost;
         let fc = frac_cost(&inst, &trace);
         t.row(vec![

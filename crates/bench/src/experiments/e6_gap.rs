@@ -47,7 +47,9 @@ fn gap_table() -> Table {
         // upper bound is available at every d.
         let lp_value = if d <= 5 {
             let sets: Vec<Vec<usize>> = (0..sys.num_sets()).map(|s| sys.set(s).to_vec()).collect();
-            fractional_set_cover(n, &sets, &all).0
+            fractional_set_cover(n, &sets, &all)
+                .expect("hyperplane system covers every element")
+                .0
         } else {
             f64::NAN
         };

@@ -69,7 +69,10 @@ impl FracState {
 
     /// Total fractional cache occupancy `Σ_p (1 − u(p, ℓ_p))`.
     pub fn occupancy(&self) -> f64 {
-        self.u.iter().map(|row| 1.0 - row.last().unwrap()).sum()
+        self.u
+            .iter()
+            .map(|row| row.last().map_or(0.0, |&u| 1.0 - u))
+            .sum()
     }
 
     /// Is the request `(p, i)` served, i.e. `u(p, i) ≈ 0`?

@@ -48,12 +48,30 @@ impl<'a> CacheTxn<'a> {
         Ok(())
     }
 
+    /// Evict `copy` if it is currently cached; returns whether an
+    /// eviction happened.
+    ///
+    /// This is the panic-free form of `evict(copy).expect("present")` for
+    /// policies whose own bookkeeping implies presence: if the bookkeeping
+    /// is ever wrong the step simply does less than intended, and the
+    /// simulator's post-step feasibility checks surface that as a
+    /// structured [`crate::validate`]/engine error instead of a panic.
+    pub fn evict_if_present(&mut self, copy: CopyRef) -> bool {
+        self.evict(copy).is_ok()
+    }
+
+    /// Fetch `copy` if its page has no cached copy; returns whether a
+    /// fetch happened. Panic-free counterpart of
+    /// `fetch(copy).expect("absent")`, see [`CacheTxn::evict_if_present`].
+    pub fn fetch_if_absent(&mut self, copy: CopyRef) -> bool {
+        self.fetch(copy).is_ok()
+    }
+
     /// Evict whatever copy of `page` is cached (if any); returns it.
     pub fn evict_page(&mut self, page: PageId) -> Option<CopyRef> {
         let level = self.cache.level_of(page)?;
         let copy = CopyRef::new(page, level);
-        self.evict(copy).expect("level_of guarantees presence");
-        Some(copy)
+        self.evict_if_present(copy).then_some(copy)
     }
 
     /// Close the transaction, returning the recorded step log.

@@ -22,6 +22,10 @@ use crate::writeback::{RwOp, WbInstance, WbRequest};
 /// Map a writeback instance to the equivalent RW-paging (2-level) instance.
 pub fn wb_to_rw_instance(wb: &WbInstance) -> MlInstance {
     MlInstance::rw_paging(wb.k(), wb.costs().to_vec())
+        // lint:allow(P1): provably infallible — WbInstance validation
+        // (`k ≥ 1`, `w2 ≤ w1`, weights ≥ 1) is strictly stronger than what
+        // `rw_paging` checks, and returning Result would force every caller
+        // of a total function to handle an impossible error.
         .expect("a valid WbInstance always maps to a valid RW instance")
 }
 

@@ -136,17 +136,14 @@ impl WeightMatrix {
             let mut kept: Vec<Weight> = Vec::new();
             let mut map: Vec<Level> = Vec::with_capacity(row.len());
             for &w in row {
-                match kept.last().copied() {
+                match kept.last_mut() {
+                    // Same band: merge into the previous kept level,
+                    // keeping the cheaper (current) weight to stay a
+                    // lower bound within factor 2.
+                    Some(last) if w * 2 > *last => *last = w.max(1),
                     // Start a new band when this weight has dropped below
-                    // half of the last kept weight.
-                    Some(last) if w * 2 <= last => kept.push(w),
-                    Some(_) => {
-                        // Same band: merge into the previous kept level,
-                        // keeping the cheaper (current) weight to stay a
-                        // lower bound within factor 2.
-                        *kept.last_mut().unwrap() = w.max(1);
-                    }
-                    None => kept.push(w),
+                    // half of the last kept weight (or the row is empty).
+                    _ => kept.push(w),
                 }
                 map.push(kept.len() as Level);
             }

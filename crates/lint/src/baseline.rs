@@ -1,0 +1,171 @@
+//! The ratchet baseline: pre-existing violations, counted per
+//! `(file, rule)`, stored in `lint-baseline.toml` at the repo root.
+//!
+//! `--check` fails on any violation *beyond* its baselined count, and —
+//! so the ratchet only ever tightens — also fails when a baselined count
+//! exceeds reality (stale entry): fixing violations requires re-running
+//! `--fix-baseline`, which shrinks the file.
+//!
+//! The format is a deliberately tiny TOML subset (we have no toml crate):
+//!
+//! ```toml
+//! [[entry]]
+//! file = "crates/algos/src/baselines.rs"
+//! rule = "P1"
+//! count = 3
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Baselined violation counts, keyed by `(file, rule)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(repo-relative file, rule id) -> allowed count`.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// A baseline file that failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-baseline.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineParseError {}
+
+impl Baseline {
+    /// Parse the baseline format. Unknown keys and malformed lines are
+    /// errors: a typo must not silently widen the baseline.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineParseError> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        let err = |line: usize, message: String| BaselineParseError { line, message };
+        let mut flush = |cur: &mut Option<(Option<String>, Option<String>, Option<usize>)>,
+                         lineno: usize|
+         -> Result<(), BaselineParseError> {
+            if let Some((file, rule, count)) = cur.take() {
+                let (Some(file), Some(rule), Some(count)) = (file, rule, count) else {
+                    return Err(err(
+                        lineno,
+                        "incomplete entry: need `file`, `rule`, and `count`".into(),
+                    ));
+                };
+                entries.insert((file, rule), count);
+            }
+            Ok(())
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut current, lineno)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, format!("unrecognized line `{line}`")));
+            };
+            let Some(cur) = current.as_mut() else {
+                return Err(err(lineno, "key outside any [[entry]]".into()));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let unquote = |v: &str| -> Option<String> {
+                v.strip_prefix('"')?.strip_suffix('"').map(String::from)
+            };
+            match key {
+                "file" => {
+                    cur.0 = Some(unquote(value).ok_or_else(|| {
+                        err(lineno, format!("`file` value `{value}` is not a string"))
+                    })?)
+                }
+                "rule" => {
+                    cur.1 = Some(unquote(value).ok_or_else(|| {
+                        err(lineno, format!("`rule` value `{value}` is not a string"))
+                    })?)
+                }
+                "count" => {
+                    cur.2 = Some(value.parse().map_err(|_| {
+                        err(lineno, format!("`count` value `{value}` is not a number"))
+                    })?)
+                }
+                other => return Err(err(lineno, format!("unknown key `{other}`"))),
+            }
+        }
+        flush(&mut current, text.lines().count())?;
+        Ok(Baseline { entries })
+    }
+
+    /// Render back to the baseline format, deterministically ordered.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# wmlp-lint ratchet baseline: pre-existing violations, counted per (file, rule).\n\
+             # Counts may only decrease; regenerate with `cargo run -p wmlp-lint -- --fix-baseline`.\n",
+        );
+        for ((file, rule), count) in &self.entries {
+            out.push_str(&format!(
+                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+
+    /// Load `lint-baseline.toml` under `root`; a missing file is an empty
+    /// baseline.
+    pub fn load(root: &Path) -> Result<Baseline, String> {
+        let path = root.join("lint-baseline.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Baseline::parse(&text).map_err(|e| e.to_string()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Build a baseline that exactly matches `counts`.
+    pub fn from_counts(counts: &BTreeMap<(String, String), usize>) -> Baseline {
+        Baseline {
+            entries: counts.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = Baseline::default();
+        b.entries
+            .insert(("crates/a/src/x.rs".into(), "P1".into()), 3);
+        b.entries
+            .insert(("crates/a/src/x.rs".into(), "F1".into()), 1);
+        let back = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("file = \"x\"").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = \"x\"\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nbogus = 1\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = \"a\"\nrule = \"P1\"\ncount = x\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_comments_ok() {
+        let b = Baseline::parse("# nothing here\n\n").unwrap();
+        assert!(b.entries.is_empty());
+    }
+}

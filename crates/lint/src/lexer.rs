@@ -1,0 +1,480 @@
+//! A hand-rolled Rust lexer, just deep enough for rule scanning.
+//!
+//! The rules in [`crate::rules`] only need a faithful token stream: an
+//! identifier inside a string literal, a doc example, or a (possibly
+//! nested) block comment must never look like code. The lexer therefore
+//! recognizes identifiers (including raw `r#ident`), integer and float
+//! literals, string/char/byte/raw-string literals, lifetimes, line and
+//! block comments (comments are kept as tokens so suppression comments
+//! can be found), and single-character punctuation. Everything is
+//! positioned by byte offset plus 1-based line and column.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers).
+    Ident,
+    /// An integer literal (decimal, hex, octal, or binary).
+    Int,
+    /// A float literal: has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix.
+    Float,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A `//` comment, including doc comments, up to end of line.
+    LineComment,
+    /// A `/* … */` comment, nesting handled, doc variants included.
+    BlockComment,
+    /// One punctuation byte (`::` is two consecutive `Punct(b':')`).
+    Punct(u8),
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    /// Consume to end of line (exclusive of the newline).
+    fn eat_line(&mut self) {
+        while !self.eof() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+    }
+
+    /// Consume a `/* … */` comment body, nesting aware. The leading `/*`
+    /// has already been consumed.
+    fn eat_block_comment(&mut self) {
+        let mut depth = 1usize;
+        while !self.eof() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consume a quoted literal body after its opening `"` (or `'` for
+    /// char literals), honoring `\` escapes.
+    fn eat_quoted(&mut self, quote: u8) {
+        while !self.eof() {
+            let b = self.peek(0);
+            if b == b'\\' {
+                self.bump();
+                if !self.eof() {
+                    self.bump();
+                }
+            } else if b == quote {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consume a raw string after the `r` prefix: `#…#"…"#…#` with the
+    /// matching number of hashes.
+    fn eat_raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != b'"' {
+            return; // `r#ident` is handled by the caller; be defensive.
+        }
+        self.bump();
+        loop {
+            if self.eof() {
+                return;
+            }
+            if self.bump() == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == b'#' {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consume digits and `_` in the given radix.
+    fn eat_digits(&mut self, radix: u32) {
+        while !self.eof() {
+            let b = self.peek(0);
+            if b == b'_' || (b as char).is_digit(radix) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Lex `src` into a full token stream, comments included.
+///
+/// The lexer is total: malformed input never panics, it just produces a
+/// best-effort stream (unterminated literals run to end of file).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while !cur.eof() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let b = cur.peek(0);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek(1) == b'/' => {
+                cur.eat_line();
+                TokenKind::LineComment
+            }
+            b'/' if cur.peek(1) == b'*' => {
+                cur.bump();
+                cur.bump();
+                cur.eat_block_comment();
+                TokenKind::BlockComment
+            }
+            b'r' if cur.peek(1) == b'"'
+                || (cur.peek(1) == b'#' && {
+                    let mut ahead = 1;
+                    while cur.peek(ahead) == b'#' {
+                        ahead += 1;
+                    }
+                    cur.peek(ahead) == b'"'
+                }) =>
+            {
+                cur.bump();
+                cur.eat_raw_string();
+                TokenKind::Str
+            }
+            b'r' if cur.peek(1) == b'#' && is_ident_start(cur.peek(2)) => {
+                cur.bump();
+                cur.bump();
+                while is_ident_continue(cur.peek(0)) {
+                    cur.bump();
+                }
+                TokenKind::Ident
+            }
+            b'b' if cur.peek(1) == b'"' => {
+                cur.bump();
+                cur.bump();
+                cur.eat_quoted(b'"');
+                TokenKind::Str
+            }
+            b'b' if cur.peek(1) == b'\'' => {
+                cur.bump();
+                cur.bump();
+                cur.eat_quoted(b'\'');
+                TokenKind::Char
+            }
+            b'b' if cur.peek(1) == b'r' && (cur.peek(2) == b'"' || cur.peek(2) == b'#') => {
+                cur.bump();
+                cur.bump();
+                cur.eat_raw_string();
+                TokenKind::Str
+            }
+            b'"' => {
+                cur.bump();
+                cur.eat_quoted(b'"');
+                TokenKind::Str
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'x'` (any single escaped or
+                // unescaped char then `'`) is a char; `'ident` without a
+                // closing quote is a lifetime.
+                if cur.peek(1) == b'\\' {
+                    cur.bump();
+                    cur.bump();
+                    if !cur.eof() {
+                        cur.bump();
+                    }
+                    cur.eat_quoted(b'\'');
+                    TokenKind::Char
+                } else if is_ident_start(cur.peek(1)) {
+                    // Find the end of the ident run to disambiguate.
+                    let mut ahead = 2;
+                    while is_ident_continue(cur.peek(ahead)) {
+                        ahead += 1;
+                    }
+                    if ahead == 2 && cur.peek(2) == b'\'' {
+                        cur.bump();
+                        cur.bump();
+                        cur.bump();
+                        TokenKind::Char
+                    } else {
+                        cur.bump();
+                        while is_ident_continue(cur.peek(0)) {
+                            cur.bump();
+                        }
+                        TokenKind::Lifetime
+                    }
+                } else {
+                    // `'('`-style punctuation char literal.
+                    cur.bump();
+                    if !cur.eof() {
+                        cur.bump();
+                    }
+                    if cur.peek(0) == b'\'' {
+                        cur.bump();
+                    }
+                    TokenKind::Char
+                }
+            }
+            b'0'..=b'9' => {
+                let mut float = false;
+                if b == b'0' && matches!(cur.peek(1), b'x' | b'o' | b'b') {
+                    let radix = match cur.peek(1) {
+                        b'x' => 16,
+                        b'o' => 8,
+                        _ => 2,
+                    };
+                    cur.bump();
+                    cur.bump();
+                    cur.eat_digits(radix);
+                } else {
+                    cur.eat_digits(10);
+                    if cur.peek(0) == b'.' && cur.peek(1).is_ascii_digit() {
+                        cur.bump();
+                        cur.eat_digits(10);
+                        float = true;
+                    }
+                    if matches!(cur.peek(0), b'e' | b'E')
+                        && (cur.peek(1).is_ascii_digit()
+                            || (matches!(cur.peek(1), b'+' | b'-') && cur.peek(2).is_ascii_digit()))
+                    {
+                        cur.bump();
+                        if matches!(cur.peek(0), b'+' | b'-') {
+                            cur.bump();
+                        }
+                        cur.eat_digits(10);
+                        float = true;
+                    }
+                }
+                // Type suffix (`u64`, `f64`, …).
+                let suffix_start = cur.pos;
+                while is_ident_continue(cur.peek(0)) {
+                    cur.bump();
+                }
+                let suffix = &src[suffix_start..cur.pos];
+                if suffix == "f32" || suffix == "f64" {
+                    float = true;
+                }
+                if float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                }
+            }
+            _ if is_ident_start(b) => {
+                while is_ident_continue(cur.peek(0)) {
+                    cur.bump();
+                }
+                TokenKind::Ident
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct(b)
+            }
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<&str> {
+        lex(src).iter().map(|t| t.text(src)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(texts("foo.bar()"), vec!["foo", ".", "bar", "(", ")"]);
+        assert_eq!(
+            kinds("a::b"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct(b':'),
+                TokenKind::Punct(b':'),
+                TokenKind::Ident
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_ident() {
+        let toks = lex("r#match + r#fn");
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[0].text("r#match + r#fn"), "r#match");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "thread_rng() \" quoted";"#;
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident || t.text(src) != "thread_rng"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r##\"a \"# b\"##; x";
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(s.text(src), "r##\"a \"# b\"##");
+        assert_eq!(toks.last().unwrap().text(src), "x");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(
+            kinds(src),
+            vec![TokenKind::Ident, TokenKind::BlockComment, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "'a' 'ab 'static '_ '\\n' '('";
+        let k = kinds(src);
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let src = "1 1.5 1e-6 2.0f64 3f32 0xff 10u64 1..2";
+        let toks = lex(src);
+        let k: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Int,
+                TokenKind::Float,
+                TokenKind::Float,
+                TokenKind::Float,
+                TokenKind::Float,
+                TokenKind::Int,
+                TokenKind::Int,
+                TokenKind::Int,
+                TokenKind::Punct(b'.'),
+                TokenKind::Punct(b'.'),
+                TokenKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn line_comments_to_eol() {
+        let src = "x // unwrap() here\ny";
+        let toks = lex(src);
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[2].text(src), "y");
+    }
+}

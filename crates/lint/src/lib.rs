@@ -1,0 +1,195 @@
+//! # wmlp-lint — in-tree static analysis for determinism and panic hygiene
+//!
+//! PR 1 made experiment runs deterministic and thread-count-independent
+//! (byte-identical canonical JSON manifests). Nothing *enforced* the
+//! invariants behind that, though: a single `HashMap` iteration feeding a
+//! manifest, a `thread_rng()` call, or a stray `Instant::now()` in a
+//! serialized path silently breaks replayability of the e1–e11 validation
+//! tables. This crate is a self-contained analysis pass (hand-rolled
+//! lexer, no external deps — the build environment has no crates.io) that
+//! walks every non-vendor `.rs` file and enforces:
+//!
+//! * **D1** — no `HashMap`/`HashSet` in manifest-feeding crates.
+//! * **D2** — no `Instant::now`/`SystemTime` outside allowlisted sites.
+//! * **D3** — no `thread_rng`/`from_entropy`; RNGs flow from seeds.
+//! * **P1** — no `unwrap`/`expect`/`panic!`/`todo!` in library code of
+//!   the algorithmic crates.
+//! * **F1** — no `==`/`!=` against float literals.
+//!
+//! Pre-existing violations live in `lint-baseline.toml` and are ratcheted
+//! down (see [`baseline`]); new code must be clean or carry an inline
+//! `// lint:allow(RULE): reason` suppression.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use diagnostics::Diagnostic;
+use rules::FileScope;
+
+/// Directories never descended into, at any depth.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Repo-relative paths (with `/` separators) of every `.rs` file in lint
+/// scope under `root`, deterministically sorted.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                if FileScope::from_rel_path(&rel).is_some() {
+                    files.push(rel);
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint every in-scope file under `root` and return all unsuppressed
+/// diagnostics, ordered by `(file, line, col)`.
+pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for rel in collect_rs_files(root)? {
+        let scope = FileScope::from_rel_path(&rel)
+            .unwrap_or_else(|| unreachable!("collect_rs_files only yields in-scope files"));
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        diags.extend(rules::scan_source(&rel, &src, &scope));
+    }
+    Ok(diags)
+}
+
+/// Per-`(file, rule)` counts of a diagnostic list.
+pub fn count_by_file_rule(diags: &[Diagnostic]) -> BTreeMap<(String, String), usize> {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in diags {
+        *counts
+            .entry((d.file.clone(), d.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// A baseline entry that no longer matches reality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Repo-relative file.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Count recorded in the baseline.
+    pub baselined: usize,
+    /// Count actually found.
+    pub actual: usize,
+}
+
+/// Outcome of a `--check` run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Violations beyond the baseline (per overflowing `(file, rule)`
+    /// group, every diagnostic of the group is listed for context).
+    pub new: Vec<Diagnostic>,
+    /// Baseline entries exceeding reality; the ratchet must be tightened.
+    pub stale: Vec<StaleEntry>,
+    /// Total violations found (baselined ones included).
+    pub total: usize,
+    /// Violations absorbed by the baseline.
+    pub baselined: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl CheckReport {
+    /// True when the check should exit 0.
+    pub fn passed(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Run the full check under `root`: lint, then compare against the
+/// baseline. I/O and baseline-parse failures are returned as strings.
+pub fn check(root: &Path) -> Result<CheckReport, String> {
+    let files = collect_rs_files(root).map_err(|e| e.to_string())?;
+    let diags = lint_repo(root).map_err(|e| e.to_string())?;
+    let baseline = Baseline::load(root)?;
+    let counts = count_by_file_rule(&diags);
+
+    let mut report = CheckReport {
+        total: diags.len(),
+        files_scanned: files.len(),
+        ..CheckReport::default()
+    };
+    for (key @ (file, rule), &actual) in &counts {
+        let allowed = baseline.entries.get(key).copied().unwrap_or(0);
+        if actual > allowed {
+            report.new.extend(
+                diags
+                    .iter()
+                    .filter(|d| &d.file == file && d.rule == rule)
+                    .cloned(),
+            );
+        } else {
+            report.baselined += actual;
+        }
+    }
+    for ((file, rule), &baselined) in &baseline.entries {
+        let actual = counts
+            .get(&(file.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        if baselined > actual {
+            report.stale.push(StaleEntry {
+                file: file.clone(),
+                rule: rule.clone(),
+                baselined,
+                actual,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Regenerate `lint-baseline.toml` under `root` to match the current
+/// violation set exactly. Returns the number of baselined violations.
+pub fn fix_baseline(root: &Path) -> Result<usize, String> {
+    let diags = lint_repo(root).map_err(|e| e.to_string())?;
+    let counts = count_by_file_rule(&diags);
+    let baseline = Baseline::from_counts(&counts);
+    let path = root.join("lint-baseline.toml");
+    std::fs::write(&path, baseline.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(diags.len())
+}
+
+/// The workspace root, as seen from the compiled lint crate. Used by the
+/// CLI default and the self-check integration test.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}

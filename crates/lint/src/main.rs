@@ -1,0 +1,140 @@
+//! CLI for the in-tree lint: `cargo run -p wmlp-lint -- --check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wmlp_lint::{check, fix_baseline, lint_repo, rules, workspace_root};
+
+/// `println!` that ignores write errors, so piping into `head` (which
+/// closes stdout early) terminates the process cleanly instead of
+/// panicking on `EPIPE`.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+const USAGE: &str = "\
+wmlp-lint: determinism / panic-hygiene / seeded-randomness checks
+
+USAGE:
+    cargo run -p wmlp-lint -- [OPTIONS]
+
+OPTIONS:
+    --check           Lint and compare against lint-baseline.toml (default).
+                      Exits 1 on new violations or stale baseline entries.
+    --fix-baseline    Regenerate lint-baseline.toml from the current state.
+    --list            Print every violation, baselined ones included.
+    --rules           Describe the rules and the suppression syntax.
+    --root <path>     Repo root to lint (default: this workspace).
+    --help            This message.
+";
+
+enum Mode {
+    Check,
+    FixBaseline,
+    List,
+    Rules,
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Check;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--fix-baseline" => mode = Mode::FixBaseline,
+            "--list" => mode = Mode::List,
+            "--rules" => mode = Mode::Rules,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                {
+                    use std::io::Write;
+                    let _ = write!(std::io::stdout(), "{USAGE}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    match mode {
+        Mode::Rules => {
+            out!("rules:");
+            for rule in rules::RULES {
+                out!("  {:<4} {}", rule.id, rule.summary);
+            }
+            out!("\nsuppress a single finding (reason is mandatory):");
+            out!("    // lint:allow(D2): wall time is display-only, zeroed in manifests");
+            out!("\nbaseline ratchet: pre-existing counts live in lint-baseline.toml;");
+            out!("fix violations, then shrink it with --fix-baseline.");
+            ExitCode::SUCCESS
+        }
+        Mode::List => match lint_repo(&root) {
+            Ok(diags) => {
+                for d in &diags {
+                    out!("{d}");
+                }
+                out!("{} violation(s)", diags.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Mode::FixBaseline => match fix_baseline(&root) {
+            Ok(n) => {
+                out!("lint-baseline.toml rewritten: {n} baselined violation(s)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Mode::Check => match check(&root) {
+            Ok(report) => {
+                for d in &report.new {
+                    out!("{d}");
+                }
+                for s in &report.stale {
+                    out!(
+                        "{}: stale baseline: lint-baseline.toml lists {} {} violation(s), found {} — run `cargo run -p wmlp-lint -- --fix-baseline`",
+                        s.file, s.baselined, s.rule, s.actual
+                    );
+                }
+                out!(
+                    "checked {} files: {} violation(s), {} baselined, {} new, {} stale baseline entr{}",
+                    report.files_scanned,
+                    report.total,
+                    report.baselined,
+                    report.new.len(),
+                    report.stale.len(),
+                    if report.stale.len() == 1 { "y" } else { "ies" },
+                );
+                if report.passed() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+    }
+}

@@ -1,0 +1,470 @@
+//! The rule engine: scopes, test-region detection, suppressions, and the
+//! five determinism/hygiene rules.
+//!
+//! | id | finding | scope |
+//! |----|---------|-------|
+//! | D1 | `HashMap`/`HashSet` (iteration-order nondeterminism) | non-test code of manifest-feeding crates (`core`, `sim`, `algos`, `offline`) |
+//! | D2 | `Instant::now`/`SystemTime` (wall time in serialized paths) | non-test code of every crate except `bench` |
+//! | D3 | `thread_rng`/`from_entropy` (unseeded randomness) | all non-vendor code, tests included |
+//! | P1 | `.unwrap()`/`.expect(`/`panic!`/`todo!`/`unimplemented!` | library code of `core`, `sim`, `algos`, `flow`, `lp` |
+//! | F1 | `==`/`!=` with a float-literal operand | all non-test code |
+//! | S1 | malformed suppression comment (missing reason) | everywhere |
+//!
+//! A violation is suppressed by a comment on the same line, or by a
+//! comment (possibly spanning several lines) immediately preceding the
+//! offending line: `// lint:allow(D2): reason text`. The reason is
+//! mandatory — a reasonless `lint:allow` suppresses nothing and is itself
+//! an S1 error.
+
+use crate::diagnostics::{line_snippet, Diagnostic, Severity};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Static description of one rule, for `--rules` output and docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id as written in suppressions and the baseline.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        summary: "no HashMap/HashSet in manifest-feeding crates (iteration order is nondeterministic); use BTreeMap/BTreeSet or sort before iterating",
+    },
+    RuleInfo {
+        id: "D2",
+        summary: "no Instant::now/SystemTime outside allowlisted wall-time capture sites; wall time must never reach canonical manifests",
+    },
+    RuleInfo {
+        id: "D3",
+        summary: "no thread_rng/from_entropy; all RNGs must be constructed from an explicit seed",
+    },
+    RuleInfo {
+        id: "P1",
+        summary: "no unwrap()/expect()/panic!/todo!/unimplemented! in library code of core/sim/algos/flow/lp; propagate Results",
+    },
+    RuleInfo {
+        id: "F1",
+        summary: "no ==/!= with a float-literal operand; compare with an epsilon tolerance",
+    },
+    RuleInfo {
+        id: "S1",
+        summary: "lint:allow suppressions must carry a reason: `// lint:allow(RULE): why`",
+    },
+];
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` library code.
+    Lib,
+    /// `src/bin/` or `src/main.rs`.
+    Bin,
+    /// `tests/` integration tests.
+    Test,
+    /// `benches/`.
+    Bench,
+    /// `examples/`.
+    Example,
+}
+
+/// Where a file sits in the workspace, for rule scoping.
+#[derive(Debug, Clone)]
+pub struct FileScope {
+    /// Short crate name: `core`, `sim`, `algos`, …, or `wmlp` for the
+    /// workspace root crate.
+    pub krate: String,
+    /// Target kind within the crate.
+    pub kind: FileKind,
+}
+
+impl FileScope {
+    /// Derive the scope from a repo-relative path (with `/` separators),
+    /// or `None` if the file is out of lint scope entirely (vendored
+    /// shims, lint fixtures).
+    pub fn from_rel_path(rel: &str) -> Option<FileScope> {
+        if rel.starts_with("crates/vendor/") || rel.starts_with("crates/lint/tests/fixtures/") {
+            return None;
+        }
+        let (krate, rest) = match rel.strip_prefix("crates/") {
+            Some(tail) => {
+                let (name, rest) = tail.split_once('/')?;
+                (name.to_string(), rest)
+            }
+            None => ("wmlp".to_string(), rel),
+        };
+        let kind = if rest.starts_with("tests/") {
+            FileKind::Test
+        } else if rest.starts_with("benches/") {
+            FileKind::Bench
+        } else if rest.starts_with("examples/") {
+            FileKind::Example
+        } else if rest.starts_with("src/bin/") || rest == "src/main.rs" {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        };
+        Some(FileScope { krate, kind })
+    }
+}
+
+/// Crates whose output feeds manifests/CSV tables: D1 applies.
+const D1_CRATES: &[&str] = &["core", "sim", "algos", "offline"];
+/// Crates whose library code must be panic-free: P1 applies.
+const P1_CRATES: &[&str] = &["core", "sim", "algos", "flow", "lp"];
+/// Crates allowed to read wall clocks freely (benchmarks measure time).
+const D2_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+
+fn rule_applies(rule: &str, scope: &FileScope, in_test_region: bool) -> bool {
+    let krate = scope.krate.as_str();
+    let is_test = scope.kind == FileKind::Test || in_test_region;
+    match rule {
+        "D1" => D1_CRATES.contains(&krate) && !is_test,
+        "D2" => !D2_EXEMPT_CRATES.contains(&krate) && !is_test,
+        // Seeded randomness is load-bearing even in tests: an unseeded
+        // test is a flaky test.
+        "D3" => true,
+        "P1" => P1_CRATES.contains(&krate) && scope.kind == FileKind::Lib && !is_test,
+        "F1" => !is_test,
+        _ => false,
+    }
+}
+
+/// A parsed `lint:allow` suppression comment.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rule: String,
+    /// Line of the comment carrying the marker.
+    line: u32,
+    /// Byte offset just past the comment, used to locate the code line
+    /// the suppression attaches to.
+    end: usize,
+    has_reason: bool,
+}
+
+/// Parse suppressions out of comment tokens. Returns the suppressions
+/// plus S1 diagnostics for malformed ones.
+fn collect_suppressions(
+    file: &str,
+    src: &str,
+    tokens: &[Token],
+) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for tok in tokens {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = tok.text(src);
+        // Prose mentions of the mechanism are not suppression attempts;
+        // only the exact marker followed by an open paren is parsed.
+        let Some(at) = text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &text[at + "lint:allow(".len()..];
+        let Some((rule, tail)) = rest
+            .split_once(')')
+            .map(|(rule, tail)| (rule.trim().to_string(), tail))
+        else {
+            diags.push(Diagnostic {
+                rule: "S1",
+                severity: Severity::Error,
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                snippet: line_snippet(src, tok.start),
+                message: "malformed suppression; expected `lint:allow(RULE): reason`".into(),
+            });
+            continue;
+        };
+        let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+        if !has_reason {
+            diags.push(Diagnostic {
+                rule: "S1",
+                severity: Severity::Error,
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                snippet: line_snippet(src, tok.start),
+                message: format!(
+                    "suppression of {rule} has no reason; write `lint:allow({rule}): why this is sound`"
+                ),
+            });
+        }
+        sups.push(Suppression {
+            rule,
+            line: tok.line,
+            end: tok.end,
+            has_reason,
+        });
+    }
+    (sups, diags)
+}
+
+/// Byte spans of `#[cfg(test)]`-gated items (the following item, brace- or
+/// semicolon-terminated). Tokens inside these spans count as test code.
+fn test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < code.len() {
+        let is_cfg_test = code[i].kind == TokenKind::Punct(b'#')
+            && code[i + 1].kind == TokenKind::Punct(b'[')
+            && code[i + 2].text(src) == "cfg"
+            && code[i + 3].kind == TokenKind::Punct(b'(')
+            && code[i + 4].text(src) == "test"
+            && code[i + 5].kind == TokenKind::Punct(b')')
+            && code[i + 6].kind == TokenKind::Punct(b']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start = code[i].start;
+        // Skip past the attribute, then to the end of the attributed item:
+        // the matching `}` of its first top-level brace, or a `;` that
+        // appears before any brace (e.g. `#[cfg(test)] mod tests;`).
+        let mut j = i + 7;
+        let mut brace_depth = 0usize;
+        let mut end = src.len();
+        while j < code.len() {
+            match code[j].kind {
+                TokenKind::Punct(b'{') => brace_depth += 1,
+                TokenKind::Punct(b'}') => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if brace_depth == 0 {
+                        end = code[j].end;
+                        break;
+                    }
+                }
+                TokenKind::Punct(b';') if brace_depth == 0 => {
+                    end = code[j].end;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((start, end));
+        i = j + 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
+    regions.iter().any(|&(s, e)| pos >= s && pos < e)
+}
+
+/// Scan one file's source and return its (unsuppressed) diagnostics.
+///
+/// `rel_path` is used only for reporting; the scope decides which rules
+/// run. Suppressed findings are dropped; malformed suppressions become S1
+/// errors.
+pub fn scan_source(rel_path: &str, src: &str, scope: &FileScope) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let (sups, mut diags) = collect_suppressions(rel_path, src, &tokens);
+    let regions = test_regions(src, &tokens);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+
+    // A suppression covers its own line (trailing comment) and the line of
+    // the first code token after the comment, so a multi-line reasoned
+    // comment block protects the statement it precedes.
+    let sups: Vec<(String, bool, u32, u32)> = sups
+        .into_iter()
+        .map(|s| {
+            let target = code
+                .iter()
+                .find(|t| t.start >= s.end)
+                .map_or(s.line + 1, |t| t.line);
+            (s.rule, s.has_reason, s.line, target)
+        })
+        .collect();
+
+    let mut push = |rule: &'static str, tok: &Token, message: String| {
+        if !rule_applies(rule, scope, in_regions(&regions, tok.start)) {
+            return;
+        }
+        if sups.iter().any(|(r, reason, own, target)| {
+            *reason && r == rule && (*own == tok.line || *target == tok.line)
+        }) {
+            return;
+        }
+        diags.push(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            snippet: line_snippet(src, tok.start),
+            message,
+        });
+    };
+
+    for (i, tok) in code.iter().enumerate() {
+        let prev = |n: usize| i.checked_sub(n).map(|j| code[j]);
+        let next = |n: usize| code.get(i + n).copied();
+        match tok.kind {
+            TokenKind::Ident => {
+                let text = tok.text(src);
+                match text {
+                    "HashMap" | "HashSet" => push(
+                        "D1",
+                        tok,
+                        format!("`{text}` iteration order is nondeterministic; use `BTree{}` or sort before iterating", &text[4..]),
+                    ),
+                    "SystemTime" => push(
+                        "D2",
+                        tok,
+                        "`SystemTime` reads the wall clock; serialized outputs must not depend on it".into(),
+                    ),
+                    "Instant"
+                        if next(1).map(|t| t.kind) == Some(TokenKind::Punct(b':'))
+                            && next(2).map(|t| t.kind) == Some(TokenKind::Punct(b':'))
+                            && next(3).is_some_and(|t| t.text(src) == "now") =>
+                    {
+                        push(
+                            "D2",
+                            tok,
+                            "`Instant::now` outside an allowlisted wall-time capture site".into(),
+                        )
+                    }
+                    "thread_rng" | "from_entropy" => push(
+                        "D3",
+                        tok,
+                        format!("`{text}` draws OS entropy; construct RNGs from an explicit seed (`StdRng::seed_from_u64`)"),
+                    ),
+                    "unwrap" | "expect"
+                        if prev(1).map(|t| t.kind) == Some(TokenKind::Punct(b'.'))
+                            && next(1).map(|t| t.kind) == Some(TokenKind::Punct(b'(')) =>
+                    {
+                        push(
+                            "P1",
+                            tok,
+                            format!("`.{text}(…)` can panic in library code; propagate a `Result` instead"),
+                        )
+                    }
+                    "panic" | "todo" | "unimplemented"
+                        if next(1).map(|t| t.kind) == Some(TokenKind::Punct(b'!')) =>
+                    {
+                        push(
+                            "P1",
+                            tok,
+                            format!("`{text}!` in library code; return an error instead"),
+                        )
+                    }
+                    _ => {}
+                }
+            }
+            // An adjacent `==` or `!=` pair is always the (in)equality
+            // operator in valid Rust; `<=`/`>=`/`+=` start differently.
+            TokenKind::Punct(op @ (b'=' | b'!'))
+                if next(1).map(|t| t.kind) == Some(TokenKind::Punct(b'='))
+                    && next(1).is_some_and(|t| t.start == tok.end) =>
+            {
+                let lhs_float = prev(1).map(|t| t.kind) == Some(TokenKind::Float);
+                let rhs_float = next(2).map(|t| t.kind) == Some(TokenKind::Float)
+                    // unary minus: `x == -1.0`
+                    || (next(2).map(|t| t.kind) == Some(TokenKind::Punct(b'-'))
+                        && next(3).map(|t| t.kind) == Some(TokenKind::Float));
+                if lhs_float || rhs_float {
+                    let op_str = if op == b'=' { "==" } else { "!=" };
+                    push(
+                        "F1",
+                        tok,
+                        format!("`{op_str}` against a float literal; compare with a tolerance"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    diags.sort_by_key(|d| (d.line, d.col));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_scope(krate: &str) -> FileScope {
+        FileScope {
+            krate: krate.into(),
+            kind: FileKind::Lib,
+        }
+    }
+
+    fn scan(krate: &str, src: &str) -> Vec<Diagnostic> {
+        scan_source("x.rs", src, &lib_scope(krate))
+    }
+
+    #[test]
+    fn scope_from_paths() {
+        let s = FileScope::from_rel_path("crates/sim/src/engine.rs").unwrap();
+        assert_eq!(s.krate, "sim");
+        assert_eq!(s.kind, FileKind::Lib);
+        let s = FileScope::from_rel_path("tests/stress.rs").unwrap();
+        assert_eq!(s.krate, "wmlp");
+        assert_eq!(s.kind, FileKind::Test);
+        let s = FileScope::from_rel_path("crates/bench/src/bin/experiments.rs").unwrap();
+        assert_eq!(s.kind, FileKind::Bin);
+        assert!(FileScope::from_rel_path("crates/vendor/rand/src/lib.rs").is_none());
+        assert!(FileScope::from_rel_path("crates/lint/tests/fixtures/p1.rs").is_none());
+    }
+
+    #[test]
+    fn d1_only_in_manifest_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(scan("sim", src).len(), 1);
+        assert_eq!(scan("lp", src).len(), 0);
+    }
+
+    #[test]
+    fn p1_matches_calls_not_lookalikes() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(scan("core", src).is_empty());
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(scan("core", src)[0].rule, "P1");
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) { x.unwrap(); }\n}\nfn g(y: Option<u32>) { y.unwrap(); }\n";
+        let d = scan("core", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn suppression_needs_reason() {
+        let src =
+            "// lint:allow(D3): fixture generator is not replayed\nfn f() { thread_rng(); }\n";
+        assert!(scan("workloads", src).is_empty());
+        let src = "// lint:allow(D3)\nfn f() { thread_rng(); }\n";
+        let d = scan("workloads", src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|d| d.rule == "S1"));
+        assert!(d.iter().any(|d| d.rule == "D3"));
+    }
+
+    #[test]
+    fn f1_heuristic() {
+        assert_eq!(
+            scan("flow", "fn f(x: f64) -> bool { x == 1.0 }\n")[0].rule,
+            "F1"
+        );
+        assert_eq!(
+            scan("flow", "fn f(x: f64) -> bool { 1e-9 != x }\n")[0].rule,
+            "F1"
+        );
+        assert!(scan("flow", "fn f(x: u32) -> bool { x == 1 }\n").is_empty());
+        assert!(scan("flow", "fn f(x: f64) -> bool { x <= 1.0 }\n").is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Exact-position assertions over the fixture corpus in
+//! `tests/fixtures/`. The fixtures are plain `.rs` files that are *not*
+//! compiled (and are excluded from repo linting by
+//! [`wmlp_lint::rules::FileScope::from_rel_path`]); they exist purely as
+//! lexer/rule-engine inputs with hand-verified line/column expectations.
+
+use wmlp_lint::rules::{scan_source, FileKind, FileScope};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn lib_scope(krate: &str) -> FileScope {
+    FileScope {
+        krate: krate.into(),
+        kind: FileKind::Lib,
+    }
+}
+
+/// Scan a fixture under the given crate scope and flatten to
+/// `(rule, line, col)` triples, already sorted by the engine.
+fn triples(name: &str, krate: &str) -> Vec<(&'static str, u32, u32)> {
+    scan_source(name, &fixture(name), &lib_scope(krate))
+        .into_iter()
+        .map(|d| (d.rule, d.line, d.col))
+        .collect()
+}
+
+#[test]
+fn d_rules_fire_at_exact_positions_in_manifest_crates() {
+    assert_eq!(
+        triples("d_rules.rs", "sim"),
+        vec![
+            ("D1", 1, 23),
+            ("D1", 2, 23),
+            ("D1", 5, 12),
+            ("D1", 5, 32),
+            ("D2", 6, 13),
+            ("D2", 7, 13),
+            ("D3", 8, 13),
+            ("D3", 9, 21),
+        ]
+    );
+}
+
+#[test]
+fn d1_is_scoped_to_manifest_feeding_crates() {
+    // `lp` is outside D1 scope but still subject to D2/D3.
+    assert_eq!(
+        triples("d_rules.rs", "lp"),
+        vec![("D2", 6, 13), ("D2", 7, 13), ("D3", 8, 13), ("D3", 9, 21),]
+    );
+}
+
+#[test]
+fn p1_fires_on_panicking_calls_but_not_lookalikes_or_tests() {
+    // unwrap_or / unwrap_or_else on lines 4-5 and the whole #[cfg(test)]
+    // module must stay silent.
+    assert_eq!(
+        triples("p1.rs", "core"),
+        vec![("P1", 2, 15), ("P1", 3, 15), ("P1", 7, 9), ("P1", 9, 5)]
+    );
+}
+
+#[test]
+fn p1_is_scoped_to_panic_free_crates() {
+    assert_eq!(triples("p1.rs", "offline"), vec![]);
+}
+
+#[test]
+fn rules_never_fire_inside_strings_or_comments() {
+    // Doc comments, nested block comments, plain strings, raw strings
+    // with 0-2 hashes, char literals, escaped quotes, lifetimes.
+    assert_eq!(triples("tricky.rs", "sim"), vec![]);
+}
+
+#[test]
+fn f1_fires_on_float_literal_comparisons_only() {
+    // `x <= 1.0`, `< 1e-9`, and integer `1 == 2` must stay silent;
+    // `x == -2.5` (unary minus) must fire.
+    assert_eq!(
+        triples("f1.rs", "flow"),
+        vec![("F1", 2, 15), ("F1", 3, 17), ("F1", 4, 15)]
+    );
+}
+
+#[test]
+fn f1_is_silent_in_test_targets() {
+    let scope = FileScope {
+        krate: "flow".into(),
+        kind: FileKind::Test,
+    };
+    assert_eq!(scan_source("f1.rs", &fixture("f1.rs"), &scope), vec![]);
+}
+
+#[test]
+fn suppressions_require_reasons_and_attach_to_the_next_code_line() {
+    // Line 3: suppressed by the reasoned comment on line 2.
+    // Line 4: reasonless marker -> S1, and line 5 stays unsuppressed.
+    // Line 6: trailing same-line suppression.
+    // Line 9: protected by the multi-line comment on lines 7-8.
+    assert_eq!(
+        triples("suppress.rs", "sim"),
+        vec![("S1", 4, 5), ("D3", 5, 13)]
+    );
+}
+
+#[test]
+fn diagnostics_render_as_file_line_col() {
+    let d = &scan_source("d_rules.rs", &fixture("d_rules.rs"), &lib_scope("sim"))[0];
+    let rendered = d.to_string();
+    assert!(
+        rendered.starts_with("d_rules.rs:1:23: error [D1]"),
+        "got: {rendered}"
+    );
+    assert!(rendered.contains("use std::collections::HashMap;"));
+}

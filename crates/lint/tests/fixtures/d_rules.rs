@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn f() {
+    let a: HashMap<u32, u32> = HashMap::new();
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let r = thread_rng();
+    let e = StdRng::from_entropy();
+    let _ = (a, t, s, r, e);
+}

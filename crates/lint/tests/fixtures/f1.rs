@@ -1,0 +1,9 @@
+fn cmp(x: f64, y: f64) -> bool {
+    let a = x == 1.0;
+    let b = 0.5 != y;
+    let c = x == -2.5;
+    let d = x <= 1.0;
+    let e = (x - y).abs() < 1e-9;
+    let f = 1 == 2;
+    a && b && c && d && e && f
+}

@@ -1,0 +1,20 @@
+fn lib_code(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("msg");
+    let c = x.unwrap_or(0);
+    let d = x.unwrap_or_else(|| 1);
+    if a + b + c + d > 10 {
+        panic!("boom");
+    }
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_in_tests(x: Option<u32>) {
+        x.unwrap();
+        x.expect("allowed");
+        panic!("allowed");
+    }
+}

@@ -1,0 +1,11 @@
+fn f() {
+    // lint:allow(D3): fixture exercises a reasoned suppression
+    let r = thread_rng();
+    // lint:allow(D3)
+    let s = thread_rng();
+    let t = thread_rng(); // lint:allow(D3): trailing same-line reason
+    // lint:allow(D3): a multi-line reasoned comment protects the next
+    // line of code even when the marker is not on the adjacent line
+    let u = thread_rng();
+    let _ = (r, s, t, u);
+}

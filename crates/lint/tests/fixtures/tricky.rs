@@ -1,0 +1,16 @@
+//! HashMap in a doc comment never fires; neither does Instant::now.
+
+/* block comment with unwrap() and thread_rng()
+   /* nested block comment: HashMap::new() */
+   still inside the outer comment: SystemTime::now() */
+
+fn strings() -> String {
+    let a = "HashMap::new() and x.unwrap() inside a plain string";
+    let b = r"raw string with thread_rng()";
+    let c = r#"raw "hash" string with panic!("boom") and x == 1.0"#;
+    let d = r##"more hashes: Instant::now() "# still inside"##;
+    let e = 'x';
+    let f = "escaped \" quote then unwrap()";
+    let g: &'static str = "lifetime, not a char literal";
+    format!("{a}{b}{c}{d}{e}{f}{g}")
+}

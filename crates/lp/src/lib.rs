@@ -19,6 +19,6 @@ pub mod paging_lp;
 pub mod setcover_lp;
 pub mod simplex;
 
-pub use paging_lp::multilevel_paging_lp_opt;
-pub use setcover_lp::fractional_set_cover;
+pub use paging_lp::{multilevel_paging_lp_opt, PagingLpError, PagingLpSolution};
+pub use setcover_lp::{fractional_set_cover, SetCoverLpError};
 pub use simplex::{Cmp, LpOutcome, LpProblem};

@@ -39,13 +39,50 @@ pub struct PagingLpSolution {
     pub u: Vec<Vec<Vec<f64>>>,
 }
 
+/// Errors from building or solving the paging LP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PagingLpError {
+    /// The instance exceeds the safety-rail size cap on `u`-variables.
+    TooLarge {
+        /// Number of `u`-variables the instance would need.
+        num_u: usize,
+        /// The cap.
+        limit: usize,
+    },
+    /// The simplex reported infeasible/unbounded — impossible for valid
+    /// inputs, so this indicates a solver or builder bug.
+    NotSolvable(String),
+}
+
+impl std::fmt::Display for PagingLpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagingLpError::TooLarge { num_u, limit } => {
+                write!(
+                    f,
+                    "paging LP too large: {num_u} u-variables (limit {limit})"
+                )
+            }
+            PagingLpError::NotSolvable(o) => {
+                write!(f, "paging LP must be solvable, got {o}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PagingLpError {}
+
 /// Build and solve the Section-2 LP for `inst` and `trace`; returns the
 /// optimal fractional movement cost and the prefix-variable trajectory.
 ///
-/// # Panics
-/// If the LP is infeasible or unbounded (cannot happen for valid inputs)
-/// or too large (`T·n·ℓ` capped at 20 000 variables as a safety rail).
-pub fn multilevel_paging_lp_opt(inst: &MlInstance, trace: &[Request]) -> PagingLpSolution {
+/// # Errors
+/// [`PagingLpError::TooLarge`] when `T·n·ℓ` exceeds the 10 000-variable
+/// safety rail; [`PagingLpError::NotSolvable`] if the simplex reports the
+/// LP infeasible or unbounded (cannot happen for valid inputs).
+pub fn multilevel_paging_lp_opt(
+    inst: &MlInstance,
+    trace: &[Request],
+) -> Result<PagingLpSolution, PagingLpError> {
     let n = inst.n();
     let t_len = trace.len();
     // Variable layout: u-vars first, then z-vars, each indexed by
@@ -56,10 +93,12 @@ pub fn multilevel_paging_lp_opt(inst: &MlInstance, trace: &[Request]) -> PagingL
     }
     let per_t = offsets[n];
     let num_u = per_t * t_len;
-    assert!(
-        num_u <= 10_000,
-        "paging LP too large: {num_u} u-variables (limit 10000)"
-    );
+    if num_u > 10_000 {
+        return Err(PagingLpError::TooLarge {
+            num_u,
+            limit: 10_000,
+        });
+    }
     let u_var = |t: usize, p: usize, i: Level| -> usize { t * per_t + offsets[p] + i as usize - 1 };
     let z_var = |t: usize, p: usize, i: Level| -> usize { num_u + u_var(t, p, i) };
 
@@ -133,9 +172,9 @@ pub fn multilevel_paging_lp_opt(inst: &MlInstance, trace: &[Request]) -> PagingL
                         .collect()
                 })
                 .collect();
-            PagingLpSolution { value, u }
+            Ok(PagingLpSolution { value, u })
         }
-        other => panic!("paging LP must be solvable, got {other:?}"),
+        other => Err(PagingLpError::NotSolvable(format!("{other:?}"))),
     }
 }
 
@@ -150,7 +189,7 @@ mod tests {
     #[test]
     fn zero_cost_when_everything_fits() {
         let inst = MlInstance::weighted_paging(2, vec![4, 6, 8]).unwrap();
-        let sol = multilevel_paging_lp_opt(&inst, &[top(0), top(1), top(0)]);
+        let sol = multilevel_paging_lp_opt(&inst, &[top(0), top(1), top(0)]).unwrap();
         assert!(sol.value.abs() < 1e-7);
         // Requested pages fully present.
         assert!(sol.u[2][0][0].abs() < 1e-7);
@@ -161,7 +200,7 @@ mod tests {
         // k = 1, two pages, alternating requests: every request after the
         // first must fully evict the other page (u jumps by 1).
         let inst = MlInstance::weighted_paging(1, vec![3, 5]).unwrap();
-        let sol = multilevel_paging_lp_opt(&inst, &[top(0), top(1), top(0)]);
+        let sol = multilevel_paging_lp_opt(&inst, &[top(0), top(1), top(0)]).unwrap();
         // Evict page 0 (cost 3) to serve 1, evict page 1 (cost 5) to serve
         // 0 again: LP cost = 8 (the integral optimum; with k = 1 the LP is
         // tight here).
@@ -187,7 +226,7 @@ mod tests {
             let trace: Vec<Request> = (0..12)
                 .map(|_| Request::new(rng.gen_range(0..n as u32), rng.gen_range(1..=2)))
                 .collect();
-            let lp = multilevel_paging_lp_opt(&inst, &trace);
+            let lp = multilevel_paging_lp_opt(&inst, &trace).unwrap();
             let dp = opt_multilevel(&inst, &trace, DpLimits::default());
             // The prefix objective charges an integral eviction of (p,i)
             // at Σ_{j≥i} w(p,j) ≤ 2·w(p,i) for factor-2-separated weights
@@ -214,7 +253,7 @@ mod tests {
             let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=12)).collect();
             let inst = MlInstance::weighted_paging(k, weights).unwrap();
             let trace: Vec<Request> = (0..14).map(|_| top(rng.gen_range(0..n as u32))).collect();
-            let lp = multilevel_paging_lp_opt(&inst, &trace);
+            let lp = multilevel_paging_lp_opt(&inst, &trace).unwrap();
             let dp = opt_multilevel(&inst, &trace, DpLimits::default());
             // For ℓ = 1 the prefix objective IS the eviction cost.
             assert!(
@@ -230,7 +269,7 @@ mod tests {
     fn trajectory_is_monotone_and_served() {
         let inst = MlInstance::rw_paging(1, vec![(8, 2), (8, 2)]).unwrap();
         let trace = vec![Request::new(0, 2), Request::new(1, 1), Request::new(0, 1)];
-        let sol = multilevel_paging_lp_opt(&inst, &trace);
+        let sol = multilevel_paging_lp_opt(&inst, &trace).unwrap();
         for (t, req) in trace.iter().enumerate() {
             let u = &sol.u[t];
             assert!(u[req.page as usize][req.level as usize - 1] < 1e-6);

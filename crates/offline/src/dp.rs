@@ -11,7 +11,7 @@
 //! overflow, exactly one other cached copy is evicted. Every solution can
 //! be transformed into this form without increasing eviction cost.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::types::{CopyRef, Level, PageId, Weight};
@@ -101,15 +101,15 @@ fn opt_multilevel_impl(
     // dp: packed state -> (eviction cost so far). For schedule
     // reconstruction, parents[t] maps each state of round t+1 to its
     // predecessor state at round t.
-    let mut dp: HashMap<u64, Weight> = HashMap::new();
+    let mut dp: BTreeMap<u64, Weight> = BTreeMap::new();
     dp.insert(0, 0);
-    let mut parents: Vec<HashMap<u64, u64>> = Vec::new();
+    let mut parents: Vec<BTreeMap<u64, u64>> = Vec::new();
 
     for &req in trace {
         let (p, i) = (req.page as usize, req.level as u64);
-        let mut next: HashMap<u64, Weight> = HashMap::with_capacity(dp.len() * 2);
-        let mut parent: HashMap<u64, u64> = HashMap::new();
-        let mut relax = |next: &mut HashMap<u64, Weight>, s: u64, c: Weight, from: u64| {
+        let mut next: BTreeMap<u64, Weight> = BTreeMap::new();
+        let mut parent: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut relax = |next: &mut BTreeMap<u64, Weight>, s: u64, c: Weight, from: u64| {
             let slot = next.entry(s).or_insert(Weight::MAX);
             if c < *slot {
                 *slot = c;
@@ -206,7 +206,7 @@ fn opt_multilevel_impl(
     (result, Some(steps))
 }
 
-fn finish(inst: &MlInstance, dp: &HashMap<u64, Weight>) -> DpResult {
+fn finish(inst: &MlInstance, dp: &BTreeMap<u64, Weight>) -> DpResult {
     let n = inst.n();
     let eviction = dp.values().copied().min().expect("nonempty DP");
     let fetch = dp
@@ -252,13 +252,13 @@ pub fn opt_writeback(inst: &WbInstance, trace: &[WbRequest], limits: DpLimits) -
         }
     };
 
-    let mut dp: HashMap<u64, Weight> = HashMap::new();
+    let mut dp: BTreeMap<u64, Weight> = BTreeMap::new();
     dp.insert(0, 0);
     for &req in trace {
         let p = req.page as usize;
         let loaded_as = if req.op == RwOp::Write { DIRTY } else { CLEAN };
-        let mut next: HashMap<u64, Weight> = HashMap::with_capacity(dp.len() * 2);
-        let relax = |next: &mut HashMap<u64, Weight>, s: u64, c: Weight| {
+        let mut next: BTreeMap<u64, Weight> = BTreeMap::new();
+        let relax = |next: &mut BTreeMap<u64, Weight>, s: u64, c: Weight| {
             next.entry(s)
                 .and_modify(|old| *old = (*old).min(c))
                 .or_insert(c);

@@ -109,7 +109,7 @@ mod tests {
             let sys = hyperplane_gap_instance(d);
             let all: Vec<usize> = (0..sys.num_elements()).collect();
             let sets: Vec<Vec<usize>> = (0..sys.num_sets()).map(|s| sys.set(s).to_vec()).collect();
-            let (v, _) = wmlp_lp::fractional_set_cover(sys.num_elements(), &sets, &all);
+            let (v, _) = wmlp_lp::fractional_set_cover(sys.num_elements(), &sets, &all).unwrap();
             assert!(v < 2.0 + 1e-6, "d={d} frac opt {v}");
             // The uniform cover witnesses v <= (2^d - 1) / 2^{d-1}.
             let (total, _) = hyperplane_fractional_cover(d);

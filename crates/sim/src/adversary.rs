@@ -28,9 +28,14 @@ pub fn adaptive_trace(
     let mut trace = Vec::with_capacity(len);
     for t in 0..len {
         // Pick the smallest page in the sub-universe not serving level 1.
-        let victim_page = (0..universe)
-            .find(|&p| !cache.serves(Request::top(p)))
-            .expect("k+1 pages cannot all be cached at level 1 in k slots");
+        let Some(victim_page) = (0..universe).find(|&p| !cache.serves(Request::top(p))) else {
+            // k+1 pages cannot all be cached at level 1 in k slots: if the
+            // cache claims they are, it is over capacity.
+            return Err(SimError::OverCapacity {
+                t,
+                occupancy: cache.occupancy(),
+            });
+        };
         let req = Request::top(victim_page);
         trace.push(req);
         let mut txn = CacheTxn::new(&mut cache);
