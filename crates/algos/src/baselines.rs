@@ -14,13 +14,19 @@
 //!   carry credit equal to their copy's weight, decremented uniformly on
 //!   faults; zero-credit pages are evicted. `k`-competitive for weighted
 //!   paging (`ℓ = 1`), a strong practical baseline in general.
-
-use std::collections::BTreeSet;
+//!
+//! Recency and expiry bookkeeping runs on the dense structures of
+//! [`wmlp_core::dense`]: LRU/FIFO touch and evict in `O(1)`, Landlord in
+//! `O(log k)`, with no steady-state allocation. The eviction decisions are
+//! bit-identical to the earlier `BTreeSet<(stamp, page)>` formulation —
+//! `tests/baseline_equivalence.rs` pins this against in-tree reference
+//! implementations.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wmlp_core::dense::{KeyedMinHeap, RecencyList};
 use wmlp_core::instance::{MlInstance, Request};
-use wmlp_core::policy::{CacheTxn, OnlinePolicy};
+use wmlp_core::policy::{CacheTxn, OnlinePolicy, PolicyCtx};
 use wmlp_core::types::{CopyRef, PageId, Weight};
 
 /// Shared helper: ensure the requested copy is resident, handling the
@@ -44,60 +50,37 @@ fn fetch_requested(req: Request, txn: &mut CacheTxn<'_>) -> bool {
 /// Least-recently-used eviction.
 #[derive(Debug, Clone)]
 pub struct Lru {
-    k: usize,
-    clock: u64,
-    by_recency: BTreeSet<(u64, PageId)>,
-    stamp: Vec<u64>,
+    recency: RecencyList,
 }
 
 impl Lru {
     /// New LRU policy for `inst`.
     pub fn new(inst: &MlInstance) -> Self {
         Lru {
-            k: inst.k(),
-            clock: 0,
-            by_recency: BTreeSet::new(),
-            stamp: vec![0; inst.n()],
+            recency: RecencyList::new(inst.n()),
         }
-    }
-
-    fn touch(&mut self, page: PageId) {
-        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
-        if old != 0 {
-            self.by_recency.remove(&(old, page));
-        }
-        self.clock += 1;
-        self.stamp[page as usize] = self.clock;
-        self.by_recency.insert((self.clock, page));
-    }
-
-    fn drop_page(&mut self, page: PageId) {
-        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
-        debug_assert!(old != 0);
-        self.by_recency.remove(&(old, page));
     }
 }
 
 impl OnlinePolicy for Lru {
-    fn name(&self) -> String {
-        "lru".into()
+    fn name(&self) -> &str {
+        "lru"
     }
 
-    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
         if txn.cache().serves(req) {
-            self.touch(req.page);
+            self.recency.touch(req.page);
             return;
         }
         fetch_requested(req, txn);
-        self.touch(req.page);
-        if txn.cache().occupancy() > self.k {
-            let victim = self.by_recency.iter().find(|&&(_, q)| q != req.page);
-            let Some(&(_, victim)) = victim else {
+        self.recency.touch(req.page);
+        if txn.cache().occupancy() > ctx.k() {
+            let Some(victim) = self.recency.front_excluding(req.page) else {
                 debug_assert!(false, "over capacity implies another tracked page");
                 return;
             };
             txn.evict_page(victim);
-            self.drop_page(victim);
+            self.recency.remove(victim);
         }
     }
 }
@@ -105,62 +88,43 @@ impl OnlinePolicy for Lru {
 /// First-in-first-out eviction: recency is assigned at fetch time only.
 #[derive(Debug, Clone)]
 pub struct Fifo {
-    k: usize,
-    clock: u64,
-    queue: BTreeSet<(u64, PageId)>,
-    stamp: Vec<u64>,
+    queue: RecencyList,
 }
 
 impl Fifo {
     /// New FIFO policy for `inst`.
     pub fn new(inst: &MlInstance) -> Self {
         Fifo {
-            k: inst.k(),
-            clock: 0,
-            queue: BTreeSet::new(),
-            stamp: vec![0; inst.n()],
+            queue: RecencyList::new(inst.n()),
         }
-    }
-
-    fn enqueue(&mut self, page: PageId) {
-        self.clock += 1;
-        debug_assert_eq!(self.stamp[page as usize], 0);
-        self.stamp[page as usize] = self.clock;
-        self.queue.insert((self.clock, page));
-    }
-
-    fn drop_page(&mut self, page: PageId) {
-        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
-        debug_assert!(old != 0);
-        self.queue.remove(&(old, page));
     }
 }
 
 impl OnlinePolicy for Fifo {
-    fn name(&self) -> String {
-        "fifo".into()
+    fn name(&self) -> &str {
+        "fifo"
     }
 
-    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
         if txn.cache().serves(req) {
             return;
         }
         if !fetch_requested(req, txn) {
             // In-place replacement keeps the page's queue position.
-            if txn.cache().occupancy() <= self.k {
+            if txn.cache().occupancy() <= ctx.k() {
                 return;
             }
         } else {
-            self.enqueue(req.page);
+            debug_assert!(!self.queue.contains(req.page));
+            self.queue.push_back(req.page);
         }
-        if txn.cache().occupancy() > self.k {
-            let victim = self.queue.iter().find(|&&(_, q)| q != req.page);
-            let Some(&(_, victim)) = victim else {
+        if txn.cache().occupancy() > ctx.k() {
+            let Some(victim) = self.queue.front_excluding(req.page) else {
                 debug_assert!(false, "over capacity implies another queued page");
                 return;
             };
             txn.evict_page(victim);
-            self.drop_page(victim);
+            self.queue.remove(victim);
         }
     }
 }
@@ -168,59 +132,60 @@ impl OnlinePolicy for Fifo {
 /// The randomized marking algorithm (Fiat et al. 1991).
 #[derive(Debug, Clone)]
 pub struct Marking {
-    k: usize,
     marked: Vec<bool>,
     rng: StdRng,
+    /// Scratch buffer for the candidate-victim pool, reused across requests.
+    pool: Vec<PageId>,
 }
 
 impl Marking {
     /// New marking policy with the given RNG seed.
     pub fn new(inst: &MlInstance, seed: u64) -> Self {
         Marking {
-            k: inst.k(),
             marked: vec![false; inst.n()],
             rng: StdRng::seed_from_u64(seed),
+            pool: Vec::new(),
         }
     }
 }
 
 impl OnlinePolicy for Marking {
-    fn name(&self) -> String {
-        "marking".into()
+    fn name(&self) -> &str {
+        "marking"
     }
 
-    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
         if txn.cache().serves(req) {
             self.marked[req.page as usize] = true;
             return;
         }
         fetch_requested(req, txn);
         self.marked[req.page as usize] = true;
-        if txn.cache().occupancy() > self.k {
-            let unmarked: Vec<PageId> = txn
-                .cache()
-                .iter()
-                .map(|c| c.page)
-                .filter(|&q| q != req.page && !self.marked[q as usize])
-                .collect();
-            let pool = if unmarked.is_empty() {
+        if txn.cache().occupancy() > ctx.k() {
+            self.pool.clear();
+            self.pool.extend(
+                txn.cache()
+                    .iter()
+                    .map(|c| c.page)
+                    .filter(|&q| q != req.page && !self.marked[q as usize]),
+            );
+            if self.pool.is_empty() {
                 // Phase ends: unmark everything except the requested page.
                 for (q, m) in self.marked.iter_mut().enumerate() {
                     *m = q as PageId == req.page;
                 }
-                txn.cache()
-                    .iter()
-                    .map(|c| c.page)
-                    .filter(|&q| q != req.page)
-                    .collect()
-            } else {
-                unmarked
-            };
-            if pool.is_empty() {
+                self.pool.extend(
+                    txn.cache()
+                        .iter()
+                        .map(|c| c.page)
+                        .filter(|&q| q != req.page),
+                );
+            }
+            if self.pool.is_empty() {
                 debug_assert!(false, "over capacity implies another cached page");
                 return;
             }
-            let victim = pool[self.rng.gen_range(0..pool.len())];
+            let victim = self.pool[self.rng.gen_range(0..self.pool.len())];
             txn.evict_page(victim);
         }
     }
@@ -237,11 +202,10 @@ impl OnlinePolicy for Marking {
 /// with LRU.
 #[derive(Debug, Clone)]
 pub struct Landlord {
-    inst: MlInstance,
     debt: Weight,
     clock: u64,
-    expiries: BTreeSet<(Weight, u64, PageId)>,
-    key_of: Vec<Option<(Weight, u64)>>,
+    /// Keys are `(expiry, touch stamp)`: min-expiry first, LRU tie-break.
+    expiries: KeyedMinHeap<(Weight, u64)>,
 }
 
 impl Landlord {
@@ -250,56 +214,41 @@ impl Landlord {
         Landlord {
             debt: 0,
             clock: 0,
-            expiries: BTreeSet::new(),
-            key_of: vec![None; inst.n()],
-            inst: inst.clone(),
+            expiries: KeyedMinHeap::new(inst.n()),
         }
     }
 
     fn set_expiry(&mut self, page: PageId, expiry: Weight) {
         self.clock += 1;
-        let old = self.key_of[page as usize].replace((expiry, self.clock));
-        if let Some((e, s)) = old {
-            self.expiries.remove(&(e, s, page));
-        }
-        self.expiries.insert((expiry, self.clock, page));
-    }
-
-    fn drop_page(&mut self, page: PageId) {
-        let Some((e, s)) = self.key_of[page as usize].take() else {
-            debug_assert!(false, "drop_page on untracked page");
-            return;
-        };
-        self.expiries.remove(&(e, s, page));
+        self.expiries.insert(page, (expiry, self.clock));
     }
 }
 
 impl OnlinePolicy for Landlord {
-    fn name(&self) -> String {
-        "landlord".into()
+    fn name(&self) -> &str {
+        "landlord"
     }
 
-    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
         if txn.cache().serves(req) {
             // Refresh credit to the full weight of the cached copy.
             if let Some(level) = txn.cache().level_of(req.page) {
-                let w = self.inst.weight(req.page, level);
+                let w = ctx.weight(req.page, level);
                 self.set_expiry(req.page, self.debt + w);
             }
             return;
         }
         fetch_requested(req, txn);
-        if txn.cache().occupancy() > self.inst.k() {
-            let victim = self.expiries.iter().find(|&&(_, _, q)| q != req.page);
-            let Some(&(expiry, _, victim)) = victim else {
+        if txn.cache().occupancy() > ctx.k() {
+            let Some(((expiry, _), victim)) = self.expiries.peek_min_excluding(req.page) else {
                 debug_assert!(false, "over capacity implies another tracked page");
                 return;
             };
             self.debt = self.debt.max(expiry);
             txn.evict_page(victim);
-            self.drop_page(victim);
+            self.expiries.remove(victim);
         }
-        self.set_expiry(req.page, self.debt + self.inst.weight(req.page, req.level));
+        self.set_expiry(req.page, self.debt + ctx.weight(req.page, req.level));
     }
 }
 

@@ -236,8 +236,8 @@ fn emit_page_deltas(
 }
 
 impl FractionalPolicy for FracMultiplicative {
-    fn name(&self) -> String {
-        "frac-multiplicative".into()
+    fn name(&self) -> &str {
+        "frac-multiplicative"
     }
 
     fn on_request(&mut self, _t: usize, req: Request, out: &mut Vec<FracDelta>) {

@@ -23,6 +23,7 @@ use wmlp_core::types::{Level, PageId};
 #[derive(Debug, Clone)]
 pub struct Quantized<F> {
     inner: F,
+    name: String,
     delta: f64,
     /// Last *reported* (quantized) value per variable, to emit deltas only
     /// on actual grid movements.
@@ -40,6 +41,7 @@ impl<F: FractionalPolicy> Quantized<F> {
     pub fn with_delta(inst: &MlInstance, inner: F, delta: f64) -> Self {
         assert!(delta > 0.0 && delta <= 1.0);
         Quantized {
+            name: format!("{}+quantized", inner.name()),
             inner,
             delta,
             reported: (0..inst.n())
@@ -68,8 +70,8 @@ impl<F: FractionalPolicy> Quantized<F> {
 }
 
 impl<F: FractionalPolicy> FractionalPolicy for Quantized<F> {
-    fn name(&self) -> String {
-        format!("{}+quantized", self.inner.name())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn on_request(&mut self, t: usize, req: Request, out: &mut Vec<FracDelta>) {
@@ -165,10 +167,11 @@ mod tests {
         let mut rounding = RoundingML::with_default_beta(&inst, 11);
         let mut cache = wmlp_core::cache::CacheState::empty(inst.n());
         let mut deltas = Vec::new();
+        let mut log = wmlp_core::action::StepLog::default();
         for (t, &req) in trace.iter().enumerate() {
             deltas.clear();
             frac.on_request(t, req, &mut deltas);
-            let mut txn = CacheTxn::new(&mut cache);
+            let mut txn = CacheTxn::new(&mut cache, &mut log);
             rounding.on_step(req, &deltas, &mut txn);
             txn.finish();
             assert!(cache.occupancy() <= inst.k(), "over capacity at t={t}");

@@ -6,7 +6,7 @@
 //! writeback-aware caching.
 
 use wmlp_core::instance::{MlInstance, Request};
-use wmlp_core::policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy};
+use wmlp_core::policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy, PolicyCtx};
 
 use crate::fractional::FracMultiplicative;
 use crate::rounding::{default_beta, RoundingML, RoundingWP};
@@ -60,11 +60,11 @@ impl RandomizedMlPaging {
 }
 
 impl OnlinePolicy for RandomizedMlPaging {
-    fn name(&self) -> String {
-        "randomized-ml".into()
+    fn name(&self) -> &str {
+        "randomized-ml"
     }
 
-    fn on_request(&mut self, t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+    fn on_request(&mut self, _ctx: PolicyCtx<'_>, t: usize, req: Request, txn: &mut CacheTxn<'_>) {
         self.scratch.clear();
         self.frac.on_request(t, req, &mut self.scratch);
         self.rounding.on_step(req, &self.scratch, txn);
@@ -103,11 +103,11 @@ impl RandomizedWeightedPaging {
 }
 
 impl OnlinePolicy for RandomizedWeightedPaging {
-    fn name(&self) -> String {
-        "randomized-wp".into()
+    fn name(&self) -> &str {
+        "randomized-wp"
     }
 
-    fn on_request(&mut self, t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+    fn on_request(&mut self, _ctx: PolicyCtx<'_>, t: usize, req: Request, txn: &mut CacheTxn<'_>) {
         self.scratch.clear();
         self.frac.on_request(t, req, &mut self.scratch);
         self.rounding.on_step(req, &self.scratch, txn);

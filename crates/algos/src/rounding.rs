@@ -212,7 +212,7 @@ impl RoundingWP {
             self.x[p] = d.new_u;
         }
         // Lines 9-13: per-class resets, heaviest class first.
-        let inst = self.inst.clone();
+        let inst = &self.inst;
         self.book.reset_scan(p_t, |victim| {
             txn.evict_if_present(CopyRef::new(victim, 1)).then(|| {
                 let w = inst.weight(victim, 1);
@@ -366,7 +366,7 @@ impl RoundingML {
         }
 
         // Lines 14-17: per-class resets, heaviest class first.
-        let inst = self.inst.clone();
+        let inst = &self.inst;
         self.book.reset_scan(p_t, |victim| {
             let level = txn.cache().level_of(victim)?;
             txn.evict_if_present(CopyRef::new(victim, level)).then(|| {
@@ -421,12 +421,13 @@ mod tests {
         let mut cache = wmlp_core::cache::CacheState::empty(inst.n());
         let mut ledger = wmlp_core::cost::CostLedger::default();
         let mut deltas = Vec::new();
+        let mut log = wmlp_core::action::StepLog::default();
         for (t, &req) in trace.iter().enumerate() {
             deltas.clear();
             frac.on_request(t, req, &mut deltas);
-            let mut txn = CacheTxn::new(&mut cache);
+            let mut txn = CacheTxn::new(&mut cache, &mut log);
             rounding.on_step(req, &deltas, &mut txn);
-            let log = txn.finish();
+            txn.finish();
             assert!(cache.occupancy() <= inst.k(), "over capacity at t={t}");
             assert!(cache.serves(req), "unserved at t={t}");
             ledger.record_step(inst, &log);
@@ -490,16 +491,18 @@ mod tests {
             let mut cache_b = wmlp_core::cache::CacheState::empty(inst.n());
             let mut da = Vec::new();
             let mut db = Vec::new();
+            let mut log_a = wmlp_core::action::StepLog::default();
+            let mut log_b = wmlp_core::action::StepLog::default();
             for (t, &req) in trace.iter().enumerate() {
                 da.clear();
                 db.clear();
                 frac_a.on_request(t, req, &mut da);
                 frac_b.on_request(t, req, &mut db);
                 assert_eq!(da.len(), db.len());
-                let mut txn_a = CacheTxn::new(&mut cache_a);
+                let mut txn_a = CacheTxn::new(&mut cache_a, &mut log_a);
                 wp.on_step(req, &da, &mut txn_a);
                 txn_a.finish();
-                let mut txn_b = CacheTxn::new(&mut cache_b);
+                let mut txn_b = CacheTxn::new(&mut cache_b, &mut log_b);
                 ml.on_step(req, &db, &mut txn_b);
                 txn_b.finish();
                 assert_eq!(cache_a, cache_b, "diverged at t={t} seed={seed}");
@@ -564,13 +567,14 @@ mod tests {
         let mut cache = wmlp_core::cache::CacheState::empty(inst.n());
         let mut mirror = FracState::empty(&inst);
         let mut deltas = Vec::new();
+        let mut log = wmlp_core::action::StepLog::default();
         for (t, &req) in trace.iter().enumerate() {
             deltas.clear();
             frac.on_request(t, req, &mut deltas);
             for d in &deltas {
                 mirror.set_u(d.page, d.level, d.new_u);
             }
-            let mut txn = CacheTxn::new(&mut cache);
+            let mut txn = CacheTxn::new(&mut cache, &mut log);
             rounding.on_step(req, &deltas, &mut txn);
             txn.finish();
             for p in 0..inst.n() as PageId {

@@ -22,10 +22,9 @@
 //! deadline. Hits change nothing — the algorithm intentionally has no
 //! recency component.
 
-use std::collections::BTreeSet;
-
+use wmlp_core::dense::KeyedMinHeap;
 use wmlp_core::instance::{MlInstance, Request};
-use wmlp_core::policy::{CacheTxn, OnlinePolicy};
+use wmlp_core::policy::{CacheTxn, OnlinePolicy, PolicyCtx};
 use wmlp_core::types::{CopyRef, PageId, Weight};
 
 /// The water-filling deterministic online algorithm.
@@ -45,16 +44,12 @@ use wmlp_core::types::{CopyRef, PageId, Weight};
 /// ```
 #[derive(Debug, Clone)]
 pub struct WaterFill {
-    inst: MlInstance,
     /// Global water clock: total rise applied so far.
     clock: Weight,
-    /// `(deadline, page)` for each cached page's copy; the page's current
-    /// level is read from the simulator's cache state, but we also mirror
-    /// it in `deadline_of` for O(log k) updates.
-    deadlines: BTreeSet<(Weight, PageId)>,
-    /// Per-page deadline (0 = not cached). Deadlines are strictly positive
-    /// because `w ≥ 1` and the clock never exceeds the smallest deadline.
-    deadline_of: Vec<Weight>,
+    /// Deadline per cached page's copy, in a dense keyed min-heap: the
+    /// overflow victim is `peek_min` and every update is `O(log k)` with no
+    /// allocation (the paper's per-request bound for Theorem 1.1).
+    deadlines: KeyedMinHeap<Weight>,
 }
 
 impl WaterFill {
@@ -62,23 +57,18 @@ impl WaterFill {
     pub fn new(inst: &MlInstance) -> Self {
         WaterFill {
             clock: 0,
-            deadlines: BTreeSet::new(),
-            deadline_of: vec![0; inst.n()],
-            inst: inst.clone(),
+            deadlines: KeyedMinHeap::new(inst.n()),
         }
     }
 
     fn insert_deadline(&mut self, page: PageId, deadline: Weight) {
-        debug_assert_eq!(self.deadline_of[page as usize], 0);
-        self.deadline_of[page as usize] = deadline;
-        self.deadlines.insert((deadline, page));
+        debug_assert!(!self.deadlines.contains(page));
+        self.deadlines.insert(page, deadline);
     }
 
     fn remove_deadline(&mut self, page: PageId) {
-        let d = std::mem::replace(&mut self.deadline_of[page as usize], 0);
-        debug_assert!(d != 0);
-        let removed = self.deadlines.remove(&(d, page));
-        debug_assert!(removed);
+        let removed = self.deadlines.remove(page);
+        debug_assert!(removed.is_some());
     }
 }
 
@@ -94,8 +84,7 @@ impl WaterFill {
     /// water level itself is `f = w − remaining_credit`, always in
     /// `[0, w(p, i_p)]`.
     pub fn remaining_credit(&self, page: PageId) -> Option<Weight> {
-        let d = self.deadline_of[page as usize];
-        (d != 0).then(|| {
+        self.deadlines.key_of(page).map(|d| {
             debug_assert!(d >= self.clock);
             d - self.clock
         })
@@ -103,11 +92,11 @@ impl WaterFill {
 }
 
 impl OnlinePolicy for WaterFill {
-    fn name(&self) -> String {
-        "waterfill".into()
+    fn name(&self) -> &str {
+        "waterfill"
     }
 
-    fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
         // Step 1: already satisfied — do nothing (no recency update).
         if txn.cache().serves(req) {
             return;
@@ -120,7 +109,7 @@ impl OnlinePolicy for WaterFill {
             txn.evict_if_present(CopyRef::new(req.page, level));
             self.remove_deadline(req.page);
             txn.fetch_if_absent(fetched);
-            self.insert_deadline(req.page, self.clock + self.inst.weight(req.page, req.level));
+            self.insert_deadline(req.page, self.clock + ctx.weight(req.page, req.level));
             return;
         }
         txn.fetch_if_absent(fetched);
@@ -130,17 +119,16 @@ impl OnlinePolicy for WaterFill {
         // minimum deadline and advance the clock to it. The requested page
         // is excluded from the rise (its deadline is inserted only after
         // the clock has advanced, so its water level stays 0 this step).
-        if txn.cache().occupancy() > self.inst.k() {
-            let Some(&(deadline, q)) = self.deadlines.first() else {
+        if txn.cache().occupancy() > ctx.k() {
+            let Some((deadline, q)) = self.deadlines.pop_min() else {
                 debug_assert!(false, "cache overflow implies another cached page");
                 return;
             };
             debug_assert_ne!(q, req.page, "requested page has no deadline yet");
             self.clock = deadline;
             txn.evict_page(q);
-            self.remove_deadline(q);
         }
-        self.insert_deadline(req.page, self.clock + self.inst.weight(req.page, req.level));
+        self.insert_deadline(req.page, self.clock + ctx.weight(req.page, req.level));
     }
 }
 

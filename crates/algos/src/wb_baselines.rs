@@ -9,58 +9,45 @@
 //!   page's credit equals its *current* eviction cost (`w1` when dirty,
 //!   `w2` when clean), so dirty pages resist eviction in proportion to
 //!   their writeback cost. Ties break LRU-style.
+//!
+//! Like the multi-level baselines, recency and expiry bookkeeping uses the
+//! dense structures of [`wmlp_core::dense`], with eviction decisions
+//! identical to the earlier `BTreeSet` formulation.
 
-use std::collections::BTreeSet;
-
+use wmlp_core::dense::{KeyedMinHeap, RecencyList};
 use wmlp_core::types::{PageId, Weight};
 use wmlp_core::writeback::{RwOp, WbCache, WbPolicy, WbRequest};
 
 /// Writeback-oblivious LRU.
 #[derive(Debug, Clone)]
 pub struct WbLru {
-    clock: u64,
-    by_recency: BTreeSet<(u64, PageId)>,
-    stamp: Vec<u64>,
+    recency: RecencyList,
 }
 
 impl WbLru {
     /// New LRU over `n` pages.
     pub fn new(n: usize) -> Self {
         WbLru {
-            clock: 0,
-            by_recency: BTreeSet::new(),
-            stamp: vec![0; n],
+            recency: RecencyList::new(n),
         }
-    }
-
-    fn touch(&mut self, page: PageId) {
-        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
-        if old != 0 {
-            self.by_recency.remove(&(old, page));
-        }
-        self.clock += 1;
-        self.stamp[page as usize] = self.clock;
-        self.by_recency.insert((self.clock, page));
     }
 }
 
 impl WbPolicy for WbLru {
-    fn name(&self) -> String {
-        "wb-lru".into()
+    fn name(&self) -> &str {
+        "wb-lru"
     }
     fn on_hit(&mut self, _t: usize, req: WbRequest, _cache: &WbCache) {
-        self.touch(req.page);
+        self.recency.touch(req.page);
     }
     fn on_fetch(&mut self, _t: usize, req: WbRequest, _cache: &WbCache) {
-        self.touch(req.page);
+        self.recency.touch(req.page);
     }
     fn choose_victim(&mut self, _t: usize, _req: WbRequest, _cache: &WbCache) -> PageId {
-        let Some(&(stamp, victim)) = self.by_recency.first() else {
+        let Some(victim) = self.recency.pop_front() else {
             debug_assert!(false, "choose_victim called with nothing tracked");
             return 0;
         };
-        self.by_recency.remove(&(stamp, victim));
-        self.stamp[victim as usize] = 0;
         victim
     }
 }
@@ -68,39 +55,31 @@ impl WbPolicy for WbLru {
 /// Writeback-oblivious FIFO.
 #[derive(Debug, Clone)]
 pub struct WbFifo {
-    clock: u64,
-    queue: BTreeSet<(u64, PageId)>,
-    stamp: Vec<u64>,
+    queue: RecencyList,
 }
 
 impl WbFifo {
     /// New FIFO over `n` pages.
     pub fn new(n: usize) -> Self {
         WbFifo {
-            clock: 0,
-            queue: BTreeSet::new(),
-            stamp: vec![0; n],
+            queue: RecencyList::new(n),
         }
     }
 }
 
 impl WbPolicy for WbFifo {
-    fn name(&self) -> String {
-        "wb-fifo".into()
+    fn name(&self) -> &str {
+        "wb-fifo"
     }
     fn on_hit(&mut self, _t: usize, _req: WbRequest, _cache: &WbCache) {}
     fn on_fetch(&mut self, _t: usize, req: WbRequest, _cache: &WbCache) {
-        self.clock += 1;
-        self.stamp[req.page as usize] = self.clock;
-        self.queue.insert((self.clock, req.page));
+        self.queue.push_back(req.page);
     }
     fn choose_victim(&mut self, _t: usize, _req: WbRequest, _cache: &WbCache) -> PageId {
-        let Some(&(stamp, victim)) = self.queue.first() else {
+        let Some(victim) = self.queue.pop_front() else {
             debug_assert!(false, "choose_victim called with nothing queued");
             return 0;
         };
-        self.queue.remove(&(stamp, victim));
-        self.stamp[victim as usize] = 0;
         victim
     }
 }
@@ -117,8 +96,8 @@ pub struct WbGreedyDual {
     costs: Vec<(Weight, Weight)>,
     debt: Weight,
     clock: u64,
-    expiries: BTreeSet<(Weight, u64, PageId)>,
-    key_of: Vec<Option<(Weight, u64)>>,
+    /// Keys are `(expiry, touch stamp)`: min-expiry first, LRU tie-break.
+    expiries: KeyedMinHeap<(Weight, u64)>,
 }
 
 impl WbGreedyDual {
@@ -128,8 +107,7 @@ impl WbGreedyDual {
             costs: costs.to_vec(),
             debt: 0,
             clock: 0,
-            expiries: BTreeSet::new(),
-            key_of: vec![None; costs.len()],
+            expiries: KeyedMinHeap::new(costs.len()),
         }
     }
 
@@ -137,17 +115,13 @@ impl WbGreedyDual {
         let (w1, w2) = self.costs[page as usize];
         let w = if dirty { w1 } else { w2 };
         self.clock += 1;
-        let old = self.key_of[page as usize].replace((self.debt + w, self.clock));
-        if let Some((e, s)) = old {
-            self.expiries.remove(&(e, s, page));
-        }
-        self.expiries.insert((self.debt + w, self.clock, page));
+        self.expiries.insert(page, (self.debt + w, self.clock));
     }
 }
 
 impl WbPolicy for WbGreedyDual {
-    fn name(&self) -> String {
-        "wb-greedydual".into()
+    fn name(&self) -> &str {
+        "wb-greedydual"
     }
     fn on_hit(&mut self, _t: usize, req: WbRequest, cache: &WbCache) {
         self.refresh(req.page, cache.is_dirty(req.page));
@@ -156,13 +130,11 @@ impl WbPolicy for WbGreedyDual {
         self.refresh(req.page, req.op == RwOp::Write);
     }
     fn choose_victim(&mut self, _t: usize, _req: WbRequest, _cache: &WbCache) -> PageId {
-        let Some(&(expiry, stamp, victim)) = self.expiries.first() else {
+        let Some(((expiry, _), victim)) = self.expiries.pop_min() else {
             debug_assert!(false, "choose_victim called with nothing tracked");
             return 0;
         };
         self.debt = self.debt.max(expiry);
-        self.expiries.remove(&(expiry, stamp, victim));
-        self.key_of[victim as usize] = None;
         victim
     }
 }

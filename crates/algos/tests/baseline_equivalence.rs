@@ -1,0 +1,354 @@
+//! Differential tests: the dense-structure baselines against the original
+//! `BTreeSet` formulations.
+//!
+//! The shipped [`wmlp_algos::baselines`] and [`wmlp_algos::WaterFill`]
+//! replaced ordered-set bookkeeping (`BTreeSet<(stamp, page)>` recency,
+//! `BTreeSet<(expiry, stamp, page)>` credits, `BTreeSet<(deadline, page)>`
+//! water deadlines) with the dense keyed structures of
+//! [`wmlp_core::dense`]. That swap claims *bit-identical* behaviour — not
+//! just equal cost, but the same victim at every step, because the
+//! canonical experiment manifests are pinned byte-for-byte. These tests
+//! keep the original ordered-set implementations alive as references and
+//! replay seeded Zipf traces through both, comparing the recorded per-step
+//! action logs exactly.
+
+use std::collections::BTreeSet;
+
+use wmlp_algos::{Fifo, Landlord, Lru, WaterFill};
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::policy::{CacheTxn, OnlinePolicy, PolicyCtx};
+use wmlp_core::types::{CopyRef, PageId, Weight};
+use wmlp_core::weights::WeightMatrix;
+use wmlp_sim::run_policy;
+use wmlp_workloads::{ml_rows_geometric, zipf_trace, LevelDist};
+
+/// Shared helper, identical to `baselines::fetch_requested`.
+fn fetch_requested(req: Request, txn: &mut CacheTxn<'_>) -> bool {
+    match txn.cache().level_of(req.page) {
+        Some(level) => {
+            debug_assert!(level > req.level, "request was already served");
+            txn.evict_if_present(CopyRef::new(req.page, level));
+            txn.fetch_if_absent(CopyRef::new(req.page, req.level));
+            false
+        }
+        None => {
+            txn.fetch_if_absent(CopyRef::new(req.page, req.level));
+            true
+        }
+    }
+}
+
+/// The original ordered-set LRU.
+struct RefLru {
+    clock: u64,
+    by_recency: BTreeSet<(u64, PageId)>,
+    stamp: Vec<u64>,
+}
+
+impl RefLru {
+    fn new(inst: &MlInstance) -> Self {
+        RefLru {
+            clock: 0,
+            by_recency: BTreeSet::new(),
+            stamp: vec![0; inst.n()],
+        }
+    }
+
+    fn touch(&mut self, page: PageId) {
+        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
+        if old != 0 {
+            self.by_recency.remove(&(old, page));
+        }
+        self.clock += 1;
+        self.stamp[page as usize] = self.clock;
+        self.by_recency.insert((self.clock, page));
+    }
+
+    fn drop_page(&mut self, page: PageId) {
+        let old = std::mem::replace(&mut self.stamp[page as usize], 0);
+        self.by_recency.remove(&(old, page));
+    }
+}
+
+impl OnlinePolicy for RefLru {
+    fn name(&self) -> &str {
+        "ref-lru"
+    }
+
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        if txn.cache().serves(req) {
+            self.touch(req.page);
+            return;
+        }
+        fetch_requested(req, txn);
+        self.touch(req.page);
+        if txn.cache().occupancy() > ctx.k() {
+            let victim = self.by_recency.iter().find(|&&(_, q)| q != req.page);
+            let Some(&(_, victim)) = victim else {
+                return;
+            };
+            txn.evict_page(victim);
+            self.drop_page(victim);
+        }
+    }
+}
+
+/// The original ordered-set FIFO.
+struct RefFifo {
+    clock: u64,
+    queue: BTreeSet<(u64, PageId)>,
+    stamp: Vec<u64>,
+}
+
+impl RefFifo {
+    fn new(inst: &MlInstance) -> Self {
+        RefFifo {
+            clock: 0,
+            queue: BTreeSet::new(),
+            stamp: vec![0; inst.n()],
+        }
+    }
+}
+
+impl OnlinePolicy for RefFifo {
+    fn name(&self) -> &str {
+        "ref-fifo"
+    }
+
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        if txn.cache().serves(req) {
+            return;
+        }
+        if !fetch_requested(req, txn) {
+            if txn.cache().occupancy() <= ctx.k() {
+                return;
+            }
+        } else {
+            self.clock += 1;
+            self.stamp[req.page as usize] = self.clock;
+            self.queue.insert((self.clock, req.page));
+        }
+        if txn.cache().occupancy() > ctx.k() {
+            let victim = self.queue.iter().find(|&&(_, q)| q != req.page);
+            let Some(&(_, victim)) = victim else {
+                return;
+            };
+            txn.evict_page(victim);
+            let old = std::mem::replace(&mut self.stamp[victim as usize], 0);
+            self.queue.remove(&(old, victim));
+        }
+    }
+}
+
+/// The original ordered-set Landlord (debt-clock formulation).
+struct RefLandlord {
+    debt: Weight,
+    clock: u64,
+    expiries: BTreeSet<(Weight, u64, PageId)>,
+    key_of: Vec<Option<(Weight, u64)>>,
+}
+
+impl RefLandlord {
+    fn new(inst: &MlInstance) -> Self {
+        RefLandlord {
+            debt: 0,
+            clock: 0,
+            expiries: BTreeSet::new(),
+            key_of: vec![None; inst.n()],
+        }
+    }
+
+    fn set_expiry(&mut self, page: PageId, expiry: Weight) {
+        self.clock += 1;
+        let old = self.key_of[page as usize].replace((expiry, self.clock));
+        if let Some((e, s)) = old {
+            self.expiries.remove(&(e, s, page));
+        }
+        self.expiries.insert((expiry, self.clock, page));
+    }
+
+    fn drop_page(&mut self, page: PageId) {
+        let Some((e, s)) = self.key_of[page as usize].take() else {
+            return;
+        };
+        self.expiries.remove(&(e, s, page));
+    }
+}
+
+impl OnlinePolicy for RefLandlord {
+    fn name(&self) -> &str {
+        "ref-landlord"
+    }
+
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        if txn.cache().serves(req) {
+            if let Some(level) = txn.cache().level_of(req.page) {
+                let w = ctx.weight(req.page, level);
+                self.set_expiry(req.page, self.debt + w);
+            }
+            return;
+        }
+        fetch_requested(req, txn);
+        if txn.cache().occupancy() > ctx.k() {
+            let victim = self.expiries.iter().find(|&&(_, _, q)| q != req.page);
+            let Some(&(expiry, _, victim)) = victim else {
+                return;
+            };
+            self.debt = self.debt.max(expiry);
+            txn.evict_page(victim);
+            self.drop_page(victim);
+        }
+        self.set_expiry(req.page, self.debt + ctx.weight(req.page, req.level));
+    }
+}
+
+/// The original ordered-set water-filling algorithm.
+struct RefWaterFill {
+    clock: Weight,
+    deadlines: BTreeSet<(Weight, PageId)>,
+    deadline_of: Vec<Weight>,
+}
+
+impl RefWaterFill {
+    fn new(inst: &MlInstance) -> Self {
+        RefWaterFill {
+            clock: 0,
+            deadlines: BTreeSet::new(),
+            deadline_of: vec![0; inst.n()],
+        }
+    }
+
+    fn insert_deadline(&mut self, page: PageId, deadline: Weight) {
+        self.deadline_of[page as usize] = deadline;
+        self.deadlines.insert((deadline, page));
+    }
+
+    fn remove_deadline(&mut self, page: PageId) {
+        let d = std::mem::replace(&mut self.deadline_of[page as usize], 0);
+        self.deadlines.remove(&(d, page));
+    }
+}
+
+impl OnlinePolicy for RefWaterFill {
+    fn name(&self) -> &str {
+        "ref-waterfill"
+    }
+
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        if txn.cache().serves(req) {
+            return;
+        }
+        let fetched = CopyRef::new(req.page, req.level);
+        if let Some(level) = txn.cache().level_of(req.page) {
+            txn.evict_if_present(CopyRef::new(req.page, level));
+            self.remove_deadline(req.page);
+            txn.fetch_if_absent(fetched);
+            self.insert_deadline(req.page, self.clock + ctx.weight(req.page, req.level));
+            return;
+        }
+        txn.fetch_if_absent(fetched);
+        if txn.cache().occupancy() > ctx.k() {
+            let Some(&(deadline, q)) = self.deadlines.first() else {
+                return;
+            };
+            self.clock = deadline;
+            txn.evict_page(q);
+            self.remove_deadline(q);
+        }
+        self.insert_deadline(req.page, self.clock + ctx.weight(req.page, req.level));
+    }
+}
+
+/// Replay `trace` through both policies and require identical step logs.
+fn assert_step_identical(
+    inst: &MlInstance,
+    trace: &[Request],
+    shipped: &mut dyn OnlinePolicy,
+    reference: &mut dyn OnlinePolicy,
+) {
+    let a = run_policy(inst, trace, shipped, true).expect("shipped run");
+    let b = run_policy(inst, trace, reference, true).expect("reference run");
+    let (sa, sb) = (a.steps.unwrap(), b.steps.unwrap());
+    for (t, (x, y)) in sa.iter().zip(sb.iter()).enumerate() {
+        assert_eq!(
+            x,
+            y,
+            "{} diverges from {} at t={t} (req {:?})",
+            shipped.name(),
+            reference.name(),
+            trace[t]
+        );
+    }
+    assert_eq!(a.ledger, b.ledger);
+}
+
+fn instances() -> Vec<MlInstance> {
+    let ml = |k, n, seed| {
+        let rows = ml_rows_geometric(n, 3, 16, 256, 4, seed);
+        MlInstance::new(k, WeightMatrix::new(rows).unwrap()).unwrap()
+    };
+    vec![
+        MlInstance::unweighted_paging(4, 16).unwrap(),
+        MlInstance::weighted_paging(5, vec![1, 2, 4, 8, 16, 32, 64, 3, 5, 7, 9, 11]).unwrap(),
+        ml(6, 24, 13),
+    ]
+}
+
+fn traces(inst: &MlInstance) -> Vec<Vec<Request>> {
+    vec![
+        zipf_trace(inst, 0.8, 2000, LevelDist::Top, 1),
+        zipf_trace(inst, 1.2, 2000, LevelDist::Uniform, 2),
+        zipf_trace(inst, 1.0, 2000, LevelDist::GeometricUp(0.5), 3),
+    ]
+}
+
+#[test]
+fn lru_matches_ordered_set_reference() {
+    for inst in instances() {
+        for trace in traces(&inst) {
+            assert_step_identical(&inst, &trace, &mut Lru::new(&inst), &mut RefLru::new(&inst));
+        }
+    }
+}
+
+#[test]
+fn fifo_matches_ordered_set_reference() {
+    for inst in instances() {
+        for trace in traces(&inst) {
+            assert_step_identical(
+                &inst,
+                &trace,
+                &mut Fifo::new(&inst),
+                &mut RefFifo::new(&inst),
+            );
+        }
+    }
+}
+
+#[test]
+fn landlord_matches_ordered_set_reference() {
+    for inst in instances() {
+        for trace in traces(&inst) {
+            assert_step_identical(
+                &inst,
+                &trace,
+                &mut Landlord::new(&inst),
+                &mut RefLandlord::new(&inst),
+            );
+        }
+    }
+}
+
+#[test]
+fn waterfill_matches_ordered_set_reference() {
+    for inst in instances() {
+        for trace in traces(&inst) {
+            assert_step_identical(
+                &inst,
+                &trace,
+                &mut WaterFill::new(&inst),
+                &mut RefWaterFill::new(&inst),
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 use wmlp_algos::rounding::{default_beta, RoundingML, RoundingWP};
 use wmlp_algos::FracMultiplicative;
+use wmlp_core::action::StepLog;
 use wmlp_core::cache::CacheState;
 use wmlp_core::instance::MlInstance;
 use wmlp_core::policy::{CacheTxn, FracDelta, FractionalPolicy};
@@ -47,8 +48,9 @@ fn wp_cache_marginals_dominated_by_amplified_fractional() {
     for seed in 0..SEEDS {
         let mut rounding = RoundingWP::new(&inst, beta, seed);
         let mut cache = CacheState::empty(inst.n());
+        let mut log = StepLog::default();
         for (t, &req) in trace.iter().enumerate() {
-            let mut txn = CacheTxn::new(&mut cache);
+            let mut txn = CacheTxn::new(&mut cache, &mut log);
             rounding.on_step(req, &all_deltas[t], &mut txn);
             txn.finish();
         }
@@ -99,8 +101,9 @@ fn ml_prefix_marginals_dominated_by_amplified_fractional() {
     for seed in 0..SEEDS {
         let mut rounding = RoundingML::new(&inst, beta, seed);
         let mut cache = CacheState::empty(inst.n());
+        let mut log = StepLog::default();
         for (t, &req) in trace.iter().enumerate() {
-            let mut txn = CacheTxn::new(&mut cache);
+            let mut txn = CacheTxn::new(&mut cache, &mut log);
             rounding.on_step(req, &all_deltas[t], &mut txn);
             txn.finish();
         }
@@ -149,7 +152,8 @@ fn local_rule_eviction_probability_matches_formula() {
             level: 1,
             new_u: 0.1,
         }];
-        let mut txn = CacheTxn::new(&mut cache);
+        let mut log = StepLog::default();
+        let mut txn = CacheTxn::new(&mut cache, &mut log);
         // Request page 0 so it gets cached; its own delta is committed.
         rounding.on_step(wmlp_core::instance::Request::top(0), &d0, &mut txn);
         txn.finish();
@@ -167,7 +171,7 @@ fn local_rule_eviction_probability_matches_formula() {
                 new_u: 0.2,
             },
         ];
-        let mut txn = CacheTxn::new(&mut cache);
+        let mut txn = CacheTxn::new(&mut cache, &mut log);
         rounding.on_step(wmlp_core::instance::Request::top(1), &d1, &mut txn);
         txn.finish();
         if !cache.contains_page(0) {

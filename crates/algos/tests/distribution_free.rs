@@ -10,6 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wmlp_algos::rounding::{RoundingML, RoundingWP};
+use wmlp_core::action::StepLog;
 use wmlp_core::cache::CacheState;
 use wmlp_core::fractional::EPS;
 use wmlp_core::instance::{MlInstance, Request};
@@ -60,8 +61,8 @@ impl ChaoticFrac {
 }
 
 impl FractionalPolicy for ChaoticFrac {
-    fn name(&self) -> String {
-        "chaotic".into()
+    fn name(&self) -> &str {
+        "chaotic"
     }
 
     fn on_request(&mut self, _t: usize, req: Request, out: &mut Vec<FracDelta>) {
@@ -127,10 +128,11 @@ fn ml_rounding_is_distribution_free() {
         let mut rounding = RoundingML::with_default_beta(&inst, seed * 31 + 1);
         let mut cache = CacheState::empty(inst.n());
         let mut deltas = Vec::new();
+        let mut log = StepLog::default();
         for (t, &req) in trace.iter().enumerate() {
             deltas.clear();
             frac.on_request(t, req, &mut deltas);
-            let mut txn = CacheTxn::new(&mut cache);
+            let mut txn = CacheTxn::new(&mut cache, &mut log);
             rounding.on_step(req, &deltas, &mut txn);
             txn.finish();
             assert!(
@@ -151,10 +153,11 @@ fn wp_rounding_is_distribution_free() {
         let mut rounding = RoundingWP::with_default_beta(&inst, seed * 17 + 5);
         let mut cache = CacheState::empty(inst.n());
         let mut deltas = Vec::new();
+        let mut log = StepLog::default();
         for (t, &req) in trace.iter().enumerate() {
             deltas.clear();
             frac.on_request(t, req, &mut deltas);
-            let mut txn = CacheTxn::new(&mut cache);
+            let mut txn = CacheTxn::new(&mut cache, &mut log);
             rounding.on_step(req, &deltas, &mut txn);
             txn.finish();
             assert!(

@@ -19,9 +19,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wmlp_algos::{FracMultiplicative, WaterFill};
 use wmlp_core::action::Action;
+use wmlp_core::action::StepLog;
 use wmlp_core::cache::CacheState;
 use wmlp_core::instance::{MlInstance, Request};
-use wmlp_core::policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy};
+use wmlp_core::policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy, PolicyCtx};
 use wmlp_core::types::{Level, PageId};
 use wmlp_offline::{opt_multilevel_schedule, DpLimits};
 
@@ -78,6 +79,7 @@ fn theorem_4_1_potential_inequalities_hold_per_step() {
         let mut alg = WaterFill::new(&inst);
         let mut on_cache = CacheState::empty(inst.n());
         let mut off_cache = CacheState::empty(inst.n());
+        let mut log = StepLog::default();
 
         for (t, (&req, off_step)) in trace.iter().zip(&off_steps).enumerate() {
             let phi_before = phi2_waterfill(&inst, &alg, &on_cache, &off_cache);
@@ -105,9 +107,9 @@ fn theorem_4_1_potential_inequalities_hold_per_step() {
 
             // Online half-step (the proof's convention: eviction costs w,
             // a fetch earns w/2; doubled to stay integral).
-            let mut txn = CacheTxn::new(&mut on_cache);
-            alg.on_request(t, req, &mut txn);
-            let log = txn.finish();
+            let mut txn = CacheTxn::new(&mut on_cache, &mut log);
+            alg.on_request(PolicyCtx::new(&inst), t, req, &mut txn);
+            txn.finish();
             let mut on_cost2: i128 = 0;
             for &a in &log.actions {
                 let w = inst.weight(a.copy().page, a.copy().level) as i128;

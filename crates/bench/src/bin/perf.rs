@@ -1,0 +1,78 @@
+//! `perf` — the perf-baseline binary: run the B1–B4 timing grid and write
+//! `BENCH.json`.
+//!
+//! ```text
+//! cargo run -p wmlp-bench --release --bin perf                # full grid
+//! cargo run -p wmlp-bench --release --bin perf -- --smoke     # CI smoke
+//! cargo run -p wmlp-bench --release --bin perf -- \
+//!     --out target/experiments/BENCH.json --trace-len 20000 --iters 7
+//! ```
+//!
+//! See `wmlp_bench::perf` for the grid and the `BENCH.json` schema, and
+//! EXPERIMENTS.md for how to compare two revisions.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wmlp_bench::cli::{flag, flag_parse, switch};
+use wmlp_bench::perf::{run_perf, PerfConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if switch(&args, "--help") || switch(&args, "-h") {
+        println!(
+            "perf — B1–B4 timing grid, written as BENCH.json\n\n\
+             options:\n\
+             \x20 --smoke            tiny grid for CI smoke runs\n\
+             \x20 --out PATH         output path (default target/experiments/BENCH.json)\n\
+             \x20 --trace-len N      requests per fast-policy trace\n\
+             \x20 --iters N          timed iterations per cell (best-of-N)"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = if switch(&args, "--smoke") {
+        PerfConfig::smoke()
+    } else {
+        PerfConfig::standard()
+    };
+    cfg.trace_len = flag_parse(&args, "--trace-len", cfg.trace_len);
+    cfg.slow_trace_len = cfg.slow_trace_len.min(cfg.trace_len);
+    cfg.measure_iters = flag_parse(&args, "--iters", cfg.measure_iters);
+    let out = PathBuf::from(flag(&args, "--out").unwrap_or("target/experiments/BENCH.json"));
+
+    let report = run_perf(&cfg);
+    for e in &report.entries {
+        if e.throughput_rps > 0 {
+            println!(
+                "{}/{}: {:>10.3} ms   {:>12} req/s",
+                e.group,
+                e.name,
+                e.best_nanos as f64 / 1e6,
+                e.throughput_rps
+            );
+        } else {
+            println!(
+                "{}/{}: {:>10.3} ms",
+                e.group,
+                e.name,
+                e.best_nanos as f64 / 1e6
+            );
+        }
+    }
+
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[bench] {}", out.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,439 @@
+//! The perf-baseline harness behind the `perf` binary: the B1–B4 timing
+//! grid of `benches/throughput.rs`, re-run with fixed seeds and emitted as
+//! a machine-readable `BENCH.json` report so revisions can be compared
+//! mechanically.
+//!
+//! # Grid
+//!
+//! * **B1** — every policy in [`PolicyRegistry::standard`] on a 1-level
+//!   weighted Zipf trace, at each cache size `k ∈ {16, 128, 1024}`.
+//! * **B2** — water-filling scaling in `k` (per-request work is
+//!   `O(log k)`).
+//! * **B3** — the fractional algorithm and the combined randomized
+//!   algorithm across level counts `ℓ ∈ {1, 2, 4}`.
+//! * **B4** — offline optimum solvers: flow (`ℓ = 1`), exponential DP, LP.
+//!
+//! # `BENCH.json` schema
+//!
+//! The report serializes in declaration order (fields never reorder
+//! between runs; new fields bump `schema_version`):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "config": {
+//!     "smoke": false,
+//!     "trace_len": 10000,
+//!     "slow_trace_len": 2000,
+//!     "warmup_iters": 2,
+//!     "measure_iters": 5
+//!   },
+//!   "entries": [
+//!     {
+//!       "group": "b1_zipf_policies",
+//!       "name": "lru/k128",
+//!       "policy": "lru",
+//!       "k": 128, "n": 1024, "levels": 1, "trace_len": 10000,
+//!       "best_nanos": 1234567, "mean_nanos": 1250000,
+//!       "throughput_rps": 8100445
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `best_nanos` is the minimum wall time over `measure_iters` timed
+//! iterations (after `warmup_iters` discarded warm-ups), `mean_nanos` the
+//! mean, and `throughput_rps` the derived `trace_len / best` in requests
+//! per second (`0` for the B4 solver entries, which are not per-request).
+//! Wall times are machine-dependent: `BENCH.json` is a *performance*
+//! artifact and is deliberately not part of the canonical (byte-stable)
+//! manifest set.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use wmlp_algos::{FracMultiplicative, PolicyRegistry};
+use wmlp_core::instance::MlInstance;
+use wmlp_flow::weighted_paging_opt;
+use wmlp_lp::multilevel_paging_lp_opt;
+use wmlp_offline::{opt_multilevel, DpLimits};
+use wmlp_sim::engine::run_policy;
+use wmlp_sim::frac_engine::run_fractional;
+use wmlp_workloads::{weights_pow2_classes, zipf_trace, LevelDist};
+
+/// Fixed seed for instance weights.
+const WEIGHT_SEED: u64 = 1;
+/// Fixed seed for traces.
+const TRACE_SEED: u64 = 2;
+/// Fixed seed for randomized policies.
+const POLICY_SEED: u64 = 7;
+
+/// Grid parameters. Everything that shapes the timings is captured here
+/// and echoed into the report so two `BENCH.json` files are comparable at
+/// a glance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfConfig {
+    /// Tiny-grid mode for CI smoke runs.
+    pub smoke: bool,
+    /// Requests per trace for the fast (near-constant-per-request)
+    /// policies.
+    pub trace_len: usize,
+    /// Requests per trace for the fractional/randomized policies, whose
+    /// per-request work is higher.
+    pub slow_trace_len: usize,
+    /// Untimed warm-up iterations per cell.
+    pub warmup_iters: usize,
+    /// Timed iterations per cell; `best_nanos` is their minimum.
+    pub measure_iters: usize,
+}
+
+impl PerfConfig {
+    /// The standard full grid.
+    pub fn standard() -> Self {
+        PerfConfig {
+            smoke: false,
+            trace_len: 10_000,
+            slow_trace_len: 2_000,
+            warmup_iters: 2,
+            measure_iters: 5,
+        }
+    }
+
+    /// A tiny grid that finishes in seconds, for CI smoke jobs.
+    pub fn smoke() -> Self {
+        PerfConfig {
+            smoke: true,
+            trace_len: 1_000,
+            slow_trace_len: 200,
+            warmup_iters: 1,
+            measure_iters: 2,
+        }
+    }
+
+    /// B1 cache sizes.
+    fn b1_ks(&self) -> &'static [usize] {
+        if self.smoke {
+            &[16]
+        } else {
+            &[16, 128, 1024]
+        }
+    }
+
+    /// B2 cache sizes.
+    fn b2_ks(&self) -> &'static [usize] {
+        if self.smoke {
+            &[16, 64]
+        } else {
+            &[16, 64, 256, 1024]
+        }
+    }
+
+    /// B3 level counts.
+    fn b3_levels(&self) -> &'static [u8] {
+        if self.smoke {
+            &[1, 2]
+        } else {
+            &[1, 2, 4]
+        }
+    }
+}
+
+/// One timed grid cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Grid group: `b1_zipf_policies`, `b2_waterfill_k_scaling`,
+    /// `b3_fractional_levels`, or `b4_offline_solvers`.
+    pub group: String,
+    /// Cell name, unique within the group (e.g. `lru/k128`).
+    pub name: String,
+    /// Registry spec or solver id timed by this cell.
+    pub policy: String,
+    /// Cache size.
+    pub k: u64,
+    /// Universe size (pages).
+    pub n: u64,
+    /// Maximum level count of the instance.
+    pub levels: u64,
+    /// Requests in the timed trace (0 for non-trace workloads).
+    pub trace_len: u64,
+    /// Best (minimum) wall time over the measured iterations, nanoseconds.
+    pub best_nanos: u64,
+    /// Mean wall time over the measured iterations, nanoseconds.
+    pub mean_nanos: u64,
+    /// `trace_len / best` in requests per second; 0 when not per-request.
+    pub throughput_rps: u64,
+}
+
+/// The full report written to `BENCH.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version; bumped whenever a field is added or changes
+    /// meaning.
+    pub schema_version: u32,
+    /// The grid configuration that produced the entries.
+    pub config: PerfConfig,
+    /// All timed cells, in deterministic grid order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Pretty-printed JSON (field order = declaration order).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse a report back from [`BenchReport::to_json`] output.
+    pub fn from_json(text: &str) -> Result<BenchReport, serde::Error> {
+        serde::json::from_str(text)
+    }
+}
+
+/// Time `f` best-of-`iters` after `warmup` discarded runs; returns
+/// `(best_nanos, mean_nanos)`.
+fn time_best_of<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> (u64, u64) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let iters = iters.max(1);
+    let mut best = u64::MAX;
+    let mut total = 0u64;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let nanos = start.elapsed().as_nanos() as u64;
+        best = best.min(nanos);
+        total += nanos;
+    }
+    (best, total / iters as u64)
+}
+
+fn entry(
+    group: &str,
+    name: String,
+    policy: &str,
+    inst: &MlInstance,
+    trace_len: usize,
+    timing: (u64, u64),
+) -> BenchEntry {
+    let (best_nanos, mean_nanos) = timing;
+    let throughput_rps = if trace_len > 0 && best_nanos > 0 {
+        (trace_len as u128 * 1_000_000_000 / best_nanos as u128) as u64
+    } else {
+        0
+    };
+    BenchEntry {
+        group: group.to_string(),
+        name,
+        policy: policy.to_string(),
+        k: inst.k() as u64,
+        n: inst.n() as u64,
+        levels: inst.max_levels() as u64,
+        trace_len: trace_len as u64,
+        best_nanos,
+        mean_nanos,
+        throughput_rps,
+    }
+}
+
+/// B1: every registry policy on a 1-level weighted Zipf trace, per `k`.
+fn b1_zipf_policies(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
+    let registry = PolicyRegistry::standard();
+    for &k in cfg.b1_ks() {
+        let n = 8 * k;
+        let inst = MlInstance::weighted_paging(k, weights_pow2_classes(n, 6, WEIGHT_SEED)).unwrap();
+        for spec in registry.names() {
+            // The fractional-update policies do far more work per request;
+            // time them on the shorter trace so the grid stays tractable.
+            let t_len = if spec.starts_with("randomized") {
+                cfg.slow_trace_len
+            } else {
+                cfg.trace_len
+            };
+            let trace = zipf_trace(&inst, 1.0, t_len, LevelDist::Top, TRACE_SEED);
+            let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+                let mut p = registry.build(spec, &inst, POLICY_SEED).unwrap();
+                run_policy(&inst, &trace, p.as_mut(), false).unwrap().ledger
+            });
+            entries.push(entry(
+                "b1_zipf_policies",
+                format!("{spec}/k{k}"),
+                spec,
+                &inst,
+                t_len,
+                timing,
+            ));
+        }
+    }
+}
+
+/// B2: water-filling scaling in the cache size.
+fn b2_waterfill_scaling(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
+    for &k in cfg.b2_ks() {
+        let n = 4 * k;
+        let t_len = 2 * cfg.trace_len;
+        let inst =
+            MlInstance::weighted_paging(k, weights_pow2_classes(n, 6, WEIGHT_SEED + 2)).unwrap();
+        let trace = zipf_trace(&inst, 1.0, t_len, LevelDist::Top, TRACE_SEED + 2);
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            let mut p = wmlp_algos::WaterFill::new(&inst);
+            run_policy(&inst, &trace, &mut p, false).unwrap().ledger
+        });
+        entries.push(entry(
+            "b2_waterfill_k_scaling",
+            format!("k{k}"),
+            "waterfill",
+            &inst,
+            t_len,
+            timing,
+        ));
+    }
+}
+
+/// B3: fractional MW and combined randomized across level counts.
+fn b3_fractional_levels(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
+    for &levels in cfg.b3_levels() {
+        let rows: Vec<Vec<u64>> = (0..64)
+            .map(|_| {
+                (0..levels)
+                    .map(|i| 1u64 << (2 * (levels - 1 - i)))
+                    .collect()
+            })
+            .collect();
+        let inst = MlInstance::from_rows(8, rows).unwrap();
+        let t_len = cfg.slow_trace_len;
+        let trace = zipf_trace(&inst, 1.0, t_len, LevelDist::Uniform, TRACE_SEED + 3);
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            let mut p = FracMultiplicative::new(&inst);
+            run_fractional(&inst, &trace, &mut p, 0, None).unwrap().cost
+        });
+        entries.push(entry(
+            "b3_fractional_levels",
+            format!("fractional/l{levels}"),
+            "fractional",
+            &inst,
+            t_len,
+            timing,
+        ));
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            let mut p = wmlp_algos::RandomizedMlPaging::with_default_beta(&inst, POLICY_SEED + 2);
+            run_policy(&inst, &trace, &mut p, false).unwrap().ledger
+        });
+        entries.push(entry(
+            "b3_fractional_levels",
+            format!("randomized/l{levels}"),
+            "randomized",
+            &inst,
+            t_len,
+            timing,
+        ));
+    }
+}
+
+/// B4: the offline optimum solvers.
+fn b4_offline_solvers(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
+    // Flow OPT on a sizable weighted paging trace.
+    let flow_len = if cfg.smoke { 500 } else { 5_000 };
+    let inst =
+        MlInstance::weighted_paging(32, weights_pow2_classes(256, 6, WEIGHT_SEED + 10)).unwrap();
+    let trace = zipf_trace(&inst, 1.0, flow_len, LevelDist::Top, TRACE_SEED + 10);
+    let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+        weighted_paging_opt(&inst, &trace)
+    });
+    entries.push(entry(
+        "b4_offline_solvers",
+        format!("flow_opt/T{flow_len}"),
+        "flow-opt",
+        &inst,
+        0,
+        timing,
+    ));
+
+    // Exponential DP on a small RW instance.
+    let dp_len = if cfg.smoke { 50 } else { 200 };
+    let rows: Vec<Vec<u64>> = (0..8).map(|_| vec![16, 2]).collect();
+    let dp_inst = MlInstance::from_rows(3, rows).unwrap();
+    let dp_trace = zipf_trace(
+        &dp_inst,
+        0.9,
+        dp_len,
+        LevelDist::TopProb(0.3),
+        TRACE_SEED + 11,
+    );
+    let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+        opt_multilevel(&dp_inst, &dp_trace, DpLimits::default())
+    });
+    entries.push(entry(
+        "b4_offline_solvers",
+        format!("dp_opt/n8_T{dp_len}"),
+        "dp-opt",
+        &dp_inst,
+        0,
+        timing,
+    ));
+
+    // LP on a tiny instance.
+    let lp_inst = MlInstance::from_rows(2, (0..4).map(|_| vec![8, 2]).collect()).unwrap();
+    let lp_trace = zipf_trace(&lp_inst, 0.8, 16, LevelDist::TopProb(0.4), TRACE_SEED + 12);
+    let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+        multilevel_paging_lp_opt(&lp_inst, &lp_trace)
+            .expect("tiny LP instance is solvable")
+            .value
+    });
+    entries.push(entry(
+        "b4_offline_solvers",
+        "paging_lp/n4_T16".to_string(),
+        "lp-opt",
+        &lp_inst,
+        0,
+        timing,
+    ));
+}
+
+/// Run the whole grid and return the report.
+pub fn run_perf(cfg: &PerfConfig) -> BenchReport {
+    let mut entries = Vec::new();
+    b1_zipf_policies(cfg, &mut entries);
+    b2_waterfill_scaling(cfg, &mut entries);
+    b3_fractional_levels(cfg, &mut entries);
+    b4_offline_solvers(cfg, &mut entries);
+    BenchReport {
+        schema_version: 1,
+        config: cfg.clone(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_covers_every_registry_policy_and_round_trips() {
+        let report = run_perf(&PerfConfig::smoke());
+        let registry = PolicyRegistry::standard();
+        for name in registry.names() {
+            assert!(
+                report
+                    .entries
+                    .iter()
+                    .any(|e| e.group == "b1_zipf_policies" && e.policy == name),
+                "registry policy `{name}` missing from B1"
+            );
+        }
+        assert!(report.entries.iter().all(|e| e.best_nanos > 0));
+        assert!(report.entries.iter().all(|e| e.best_nanos <= e.mean_nanos));
+
+        let text = report.to_json();
+        let parsed = BenchReport::from_json(&text).expect("round-trip");
+        assert_eq!(parsed.entries.len(), report.entries.len());
+        assert_eq!(parsed.schema_version, 1);
+
+        // Stable field order: the schema's documented key sequence appears
+        // verbatim in the serialized text.
+        let i = text.find("\"schema_version\"").unwrap();
+        let j = text.find("\"config\"").unwrap();
+        let l = text.find("\"entries\"").unwrap();
+        assert!(i < j && j < l);
+    }
+}

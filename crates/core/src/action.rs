@@ -37,6 +37,13 @@ pub struct StepLog {
 }
 
 impl StepLog {
+    /// Forget all recorded actions, keeping the allocation. Used by the
+    /// simulator to reuse one log as a scratch buffer across requests.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
     /// Copies evicted this step, in order.
     pub fn evictions(&self) -> impl Iterator<Item = CopyRef> + '_ {
         self.actions.iter().filter_map(|a| match a {

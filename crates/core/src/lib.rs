@@ -30,6 +30,7 @@ pub mod action;
 pub mod cache;
 pub mod codec;
 pub mod cost;
+pub mod dense;
 pub mod fractional;
 pub mod instance;
 pub mod policy;
@@ -42,6 +43,7 @@ pub mod writeback;
 pub use action::{Action, StepLog};
 pub use cache::CacheState;
 pub use cost::{CostLedger, CostModel};
+pub use dense::{KeyedMinHeap, RecencyList};
 pub use fractional::FracState;
 pub use instance::{MlInstance, Request, Trace};
 pub use policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy};

@@ -2,30 +2,88 @@
 //!
 //! Integral algorithms implement [`OnlinePolicy`] and mutate the cache
 //! through a [`CacheTxn`], which records every action for validation and
-//! cost accounting by the simulator. Fractional algorithms implement
-//! [`FractionalPolicy`] and report, per request, the prefix variables
-//! `u(p,i,t)` that changed (the paper's LP variables, Section 2).
+//! cost accounting by the simulator. The simulator also hands every call a
+//! [`PolicyCtx`] — a read-only view of the instance parameters (`k`, `n`,
+//! the weight matrix) — so policies do not have to smuggle those through
+//! their constructors. Fractional algorithms implement [`FractionalPolicy`]
+//! and report, per request, the prefix variables `u(p,i,t)` that changed
+//! (the paper's LP variables, Section 2).
 
 use crate::action::{Action, StepLog};
 use crate::cache::{CacheError, CacheState};
-use crate::instance::Request;
-use crate::types::{CopyRef, Level, PageId};
+use crate::instance::{MlInstance, Request};
+use crate::types::{CopyRef, Level, PageId, Weight};
+
+/// Read-only view of the instance parameters, handed to a policy on every
+/// request. Policies should read `k`, `n` and weights from here rather than
+/// cloning the instance into themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx<'a> {
+    inst: &'a MlInstance,
+}
+
+impl<'a> PolicyCtx<'a> {
+    /// View of `inst`.
+    #[inline]
+    pub fn new(inst: &'a MlInstance) -> Self {
+        PolicyCtx { inst }
+    }
+
+    /// Cache capacity `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.inst.k()
+    }
+
+    /// Number of pages `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.inst.n()
+    }
+
+    /// Number of levels of `page`.
+    #[inline]
+    pub fn levels(&self, page: PageId) -> Level {
+        self.inst.levels(page)
+    }
+
+    /// Maximum number of levels over all pages.
+    #[inline]
+    pub fn max_levels(&self) -> Level {
+        self.inst.max_levels()
+    }
+
+    /// Weight `w(page, level)`.
+    #[inline]
+    pub fn weight(&self, page: PageId, level: Level) -> Weight {
+        self.inst.weight(page, level)
+    }
+
+    /// The full instance, for policies that need more than the accessors
+    /// above (e.g. to size auxiliary state lazily).
+    #[inline]
+    pub fn instance(&self) -> &'a MlInstance {
+        self.inst
+    }
+}
 
 /// A transactional view of the cache handed to a policy for one request.
 /// Mutations are applied immediately to the underlying [`CacheState`] and
-/// recorded in a [`StepLog`].
+/// recorded in a caller-owned [`StepLog`] scratch buffer, which the
+/// transaction clears on open — so a simulation loop reuses one buffer for
+/// its whole run instead of allocating a fresh log per request.
 pub struct CacheTxn<'a> {
     cache: &'a mut CacheState,
-    log: StepLog,
+    log: &'a mut StepLog,
 }
 
 impl<'a> CacheTxn<'a> {
-    /// Open a transaction on `cache`.
-    pub fn new(cache: &'a mut CacheState) -> Self {
-        CacheTxn {
-            cache,
-            log: StepLog::default(),
-        }
+    /// Open a transaction on `cache`, recording actions into `log` (which
+    /// is cleared first). After the transaction is dropped the caller reads
+    /// the recorded actions back out of `log`.
+    pub fn new(cache: &'a mut CacheState, log: &'a mut StepLog) -> Self {
+        log.clear();
+        CacheTxn { cache, log }
     }
 
     /// Read-only view of the current cache state.
@@ -74,10 +132,10 @@ impl<'a> CacheTxn<'a> {
         self.evict_if_present(copy).then_some(copy)
     }
 
-    /// Close the transaction, returning the recorded step log.
-    pub fn finish(self) -> StepLog {
-        self.log
-    }
+    /// Close the transaction. The recorded actions live in the `log`
+    /// buffer passed to [`CacheTxn::new`]; dropping the transaction has
+    /// the same effect, `finish` just makes the handover explicit.
+    pub fn finish(self) {}
 }
 
 /// An online integral algorithm for weighted multi-level paging.
@@ -86,12 +144,13 @@ impl<'a> CacheTxn<'a> {
 /// order; after the call the cache must serve the request and hold at most
 /// `k` copies (the simulator enforces both).
 pub trait OnlinePolicy {
-    /// Human-readable algorithm name for reports.
-    fn name(&self) -> String;
+    /// Human-readable algorithm name for reports. Borrowed rather than
+    /// allocated: implementations return a `'static` literal or a field.
+    fn name(&self) -> &str;
 
     /// Serve the request arriving at time `t` (0-based), mutating the cache
-    /// through `txn`.
-    fn on_request(&mut self, t: usize, req: Request, txn: &mut CacheTxn<'_>);
+    /// through `txn`. `ctx` exposes the instance parameters.
+    fn on_request(&mut self, ctx: PolicyCtx<'_>, t: usize, req: Request, txn: &mut CacheTxn<'_>);
 }
 
 /// A change to one prefix variable `u(p, i)` reported by a fractional
@@ -115,7 +174,7 @@ pub struct FracDelta {
 /// caller maintains mirrors and cost from these deltas.
 pub trait FractionalPolicy {
     /// Human-readable algorithm name for reports.
-    fn name(&self) -> String;
+    fn name(&self) -> &str;
 
     /// Serve the request arriving at time `t`, appending changed prefix
     /// variables to `out`.
@@ -132,12 +191,13 @@ mod tests {
     #[test]
     fn txn_records_actions_in_order() {
         let mut cache = CacheState::empty(3);
-        let mut txn = CacheTxn::new(&mut cache);
+        let mut log = StepLog::default();
+        let mut txn = CacheTxn::new(&mut cache, &mut log);
         txn.fetch(CopyRef::new(0, 1)).unwrap();
         txn.fetch(CopyRef::new(1, 2)).unwrap();
         assert_eq!(txn.evict_page(0), Some(CopyRef::new(0, 1)));
         assert_eq!(txn.evict_page(0), None);
-        let log = txn.finish();
+        txn.finish();
         assert_eq!(
             log.actions,
             vec![
@@ -152,10 +212,35 @@ mod tests {
     #[test]
     fn txn_propagates_cache_errors() {
         let mut cache = CacheState::empty(2);
-        let mut txn = CacheTxn::new(&mut cache);
+        let mut log = StepLog::default();
+        let mut txn = CacheTxn::new(&mut cache, &mut log);
         txn.fetch(CopyRef::new(0, 1)).unwrap();
         assert!(txn.fetch(CopyRef::new(0, 2)).is_err());
+        txn.finish();
         // The failed action is not logged.
-        assert_eq!(txn.finish().actions.len(), 1);
+        assert_eq!(log.actions.len(), 1);
+    }
+
+    #[test]
+    fn txn_clears_the_scratch_buffer() {
+        let mut cache = CacheState::empty(2);
+        let mut log = StepLog {
+            actions: vec![Action::Fetch(CopyRef::new(1, 1))],
+        };
+        let txn = CacheTxn::new(&mut cache, &mut log);
+        txn.finish();
+        assert!(log.actions.is_empty());
+    }
+
+    #[test]
+    fn ctx_exposes_instance_parameters() {
+        let inst = MlInstance::from_rows(2, vec![vec![8, 2], vec![4, 1], vec![6, 3]]).unwrap();
+        let ctx = PolicyCtx::new(&inst);
+        assert_eq!(ctx.k(), 2);
+        assert_eq!(ctx.n(), 3);
+        assert_eq!(ctx.max_levels(), 2);
+        assert_eq!(ctx.levels(0), 2);
+        assert_eq!(ctx.weight(2, 1), 6);
+        assert_eq!(ctx.instance().k(), 2);
     }
 }

@@ -205,8 +205,9 @@ impl WbCache {
 /// of generality for these problems; the paper's own algorithms run through
 /// the RW reduction instead.)
 pub trait WbPolicy {
-    /// Algorithm name for reports.
-    fn name(&self) -> String;
+    /// Algorithm name for reports. Borrowed rather than allocated:
+    /// implementations return a `'static` literal or a field.
+    fn name(&self) -> &str;
 
     /// Called on every request *after* it is known to be a hit, so the
     /// policy can update recency structures.
@@ -282,8 +283,8 @@ mod tests {
     /// Evicts the smallest-id cached page: deterministic, good for tests.
     struct EvictLowest;
     impl WbPolicy for EvictLowest {
-        fn name(&self) -> String {
-            "evict-lowest".into()
+        fn name(&self) -> &str {
+            "evict-lowest"
         }
         fn on_hit(&mut self, _: usize, _: WbRequest, _: &WbCache) {}
         fn on_fetch(&mut self, _: usize, _: WbRequest, _: &WbCache) {}

@@ -4,7 +4,7 @@
 //! | id | finding | scope |
 //! |----|---------|-------|
 //! | D1 | `HashMap`/`HashSet` (iteration-order nondeterminism) | non-test code of manifest-feeding crates (`core`, `sim`, `algos`, `offline`) |
-//! | D2 | `Instant::now`/`SystemTime` (wall time in serialized paths) | non-test code of every crate except `bench` |
+//! | D2 | `Instant::now`/`SystemTime` (wall time in serialized paths) | non-test code outside the allowlisted benchmark timing paths |
 //! | D3 | `thread_rng`/`from_entropy` (unseeded randomness) | all non-vendor code, tests included |
 //! | P1 | `.unwrap()`/`.expect(`/`panic!`/`todo!`/`unimplemented!` | library code of `core`, `sim`, `algos`, `flow`, `lp` |
 //! | F1 | `==`/`!=` with a float-literal operand | all non-test code |
@@ -79,6 +79,9 @@ pub struct FileScope {
     pub krate: String,
     /// Target kind within the crate.
     pub kind: FileKind,
+    /// Repo-relative path (with `/` separators); path-scoped allowlists
+    /// (D2) match against this.
+    pub rel: String,
 }
 
 impl FileScope {
@@ -107,7 +110,11 @@ impl FileScope {
         } else {
             FileKind::Lib
         };
-        Some(FileScope { krate, kind })
+        Some(FileScope {
+            krate,
+            kind,
+            rel: rel.to_string(),
+        })
     }
 }
 
@@ -115,15 +122,22 @@ impl FileScope {
 const D1_CRATES: &[&str] = &["core", "sim", "algos", "offline"];
 /// Crates whose library code must be panic-free: P1 applies.
 const P1_CRATES: &[&str] = &["core", "sim", "algos", "flow", "lp"];
-/// Crates allowed to read wall clocks freely (benchmarks measure time).
-const D2_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+/// Path prefixes allowed to read wall clocks: the benchmark timing loops,
+/// whose whole purpose is measuring elapsed time. Everything else —
+/// including the rest of the `bench` crate — needs a reasoned inline D2
+/// suppression (the simulation engine's single capture site carries one).
+const D2_ALLOWED_PATHS: &[&str] = &[
+    "crates/bench/benches/",
+    "crates/bench/src/perf.rs",
+    "crates/bench/src/bin/",
+];
 
 fn rule_applies(rule: &str, scope: &FileScope, in_test_region: bool) -> bool {
     let krate = scope.krate.as_str();
     let is_test = scope.kind == FileKind::Test || in_test_region;
     match rule {
         "D1" => D1_CRATES.contains(&krate) && !is_test,
-        "D2" => !D2_EXEMPT_CRATES.contains(&krate) && !is_test,
+        "D2" => !D2_ALLOWED_PATHS.iter().any(|p| scope.rel.starts_with(p)) && !is_test,
         // Seeded randomness is load-bearing even in tests: an unseeded
         // test is a flaky test.
         "D3" => true,
@@ -398,6 +412,7 @@ mod tests {
         FileScope {
             krate: krate.into(),
             kind: FileKind::Lib,
+            rel: format!("crates/{krate}/src/x.rs"),
         }
     }
 
@@ -424,6 +439,26 @@ mod tests {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(scan("sim", src).len(), 1);
         assert_eq!(scan("lp", src).len(), 0);
+    }
+
+    #[test]
+    fn d2_allowlist_is_path_scoped() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        // Timing loops are allowlisted by path, not by crate…
+        for rel in [
+            "crates/bench/benches/throughput.rs",
+            "crates/bench/src/perf.rs",
+            "crates/bench/src/bin/experiments.rs",
+        ] {
+            let scope = FileScope::from_rel_path(rel).unwrap();
+            assert!(scan_source(rel, src, &scope).is_empty(), "{rel}");
+        }
+        // …so the rest of the bench crate is back in D2 scope.
+        let rel = "crates/bench/src/table.rs";
+        let scope = FileScope::from_rel_path(rel).unwrap();
+        let d = scan_source(rel, src, &scope);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "D2");
     }
 
     #[test]

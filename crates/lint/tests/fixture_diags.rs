@@ -17,6 +17,7 @@ fn lib_scope(krate: &str) -> FileScope {
     FileScope {
         krate: krate.into(),
         kind: FileKind::Lib,
+        rel: format!("crates/{krate}/src/fixture.rs"),
     }
 }
 
@@ -92,6 +93,7 @@ fn f1_is_silent_in_test_targets() {
     let scope = FileScope {
         krate: "flow".into(),
         kind: FileKind::Test,
+        rel: "crates/flow/tests/f1.rs".into(),
     };
     assert_eq!(scan_source("f1.rs", &fixture("f1.rs"), &scope), vec![]);
 }

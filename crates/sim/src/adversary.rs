@@ -8,9 +8,10 @@
 //! plays this adversary against a policy and returns the generated trace
 //! (which can then be re-run or handed to an offline oracle).
 
+use wmlp_core::action::StepLog;
 use wmlp_core::cache::CacheState;
 use wmlp_core::instance::{MlInstance, Request, Trace};
-use wmlp_core::policy::{CacheTxn, OnlinePolicy};
+use wmlp_core::policy::{CacheTxn, OnlinePolicy, PolicyCtx};
 use wmlp_core::types::PageId;
 
 use crate::engine::SimError;
@@ -26,6 +27,8 @@ pub fn adaptive_trace(
     let universe = (inst.k() + 1).min(inst.n()) as PageId;
     let mut cache = CacheState::empty(inst.n());
     let mut trace = Vec::with_capacity(len);
+    let mut log = StepLog::default();
+    let ctx = PolicyCtx::new(inst);
     for t in 0..len {
         // Pick the smallest page in the sub-universe not serving level 1.
         let Some(victim_page) = (0..universe).find(|&p| !cache.serves(Request::top(p))) else {
@@ -38,8 +41,8 @@ pub fn adaptive_trace(
         };
         let req = Request::top(victim_page);
         trace.push(req);
-        let mut txn = CacheTxn::new(&mut cache);
-        policy.on_request(t, req, &mut txn);
+        let mut txn = CacheTxn::new(&mut cache, &mut log);
+        policy.on_request(ctx, t, req, &mut txn);
         txn.finish();
         if cache.occupancy() > inst.k() {
             return Err(SimError::OverCapacity {
@@ -61,20 +64,24 @@ mod tests {
     use wmlp_core::types::CopyRef;
 
     /// A trivial deterministic policy: fetch on miss, evict smallest page.
-    struct EvictLowest {
-        k: usize,
-    }
+    struct EvictLowest;
     impl OnlinePolicy for EvictLowest {
-        fn name(&self) -> String {
-            "evict-lowest".into()
+        fn name(&self) -> &str {
+            "evict-lowest"
         }
-        fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        fn on_request(
+            &mut self,
+            ctx: PolicyCtx<'_>,
+            _t: usize,
+            req: Request,
+            txn: &mut CacheTxn<'_>,
+        ) {
             if txn.cache().serves(req) {
                 return;
             }
             txn.evict_page(req.page);
             txn.fetch(CopyRef::new(req.page, req.level)).unwrap();
-            if txn.cache().occupancy() > self.k {
+            if txn.cache().occupancy() > ctx.k() {
                 let victim = txn
                     .cache()
                     .iter()
@@ -88,12 +95,12 @@ mod tests {
     #[test]
     fn every_request_is_a_miss() {
         let inst = MlInstance::unweighted_paging(3, 10).unwrap();
-        let mut policy = EvictLowest { k: 3 };
+        let mut policy = EvictLowest;
         let trace = adaptive_trace(&inst, &mut policy, 50).unwrap();
         assert_eq!(trace.len(), 50);
         // Re-running the same deterministic policy on the recorded trace
         // faults every time.
-        let mut policy = EvictLowest { k: 3 };
+        let mut policy = EvictLowest;
         let res = crate::engine::run_policy(&inst, &trace, &mut policy, false).unwrap();
         assert_eq!(res.ledger.fetches, 50);
         assert_eq!(res.ledger.total(CostModel::Fetch), 50);
@@ -102,7 +109,7 @@ mod tests {
     #[test]
     fn adversary_stays_in_sub_universe() {
         let inst = MlInstance::unweighted_paging(2, 8).unwrap();
-        let mut policy = EvictLowest { k: 2 };
+        let mut policy = EvictLowest;
         let trace = adaptive_trace(&inst, &mut policy, 30).unwrap();
         assert!(trace.iter().all(|r| r.page <= 2));
     }

@@ -6,7 +6,7 @@ use wmlp_core::action::StepLog;
 use wmlp_core::cache::CacheState;
 use wmlp_core::cost::CostLedger;
 use wmlp_core::instance::{MlInstance, Request};
-use wmlp_core::policy::{CacheTxn, OnlinePolicy};
+use wmlp_core::policy::{CacheTxn, OnlinePolicy, PolicyCtx};
 
 use crate::stats::RunCounters;
 
@@ -81,7 +81,8 @@ pub struct RunResult {
 /// the request must be served and the cache must hold at most `k` copies
 /// when the policy returns. With `record_steps`, the full action log is
 /// returned (needed e.g. to map an RW-paging run to its induced writeback
-/// cost).
+/// cost); without it the hot loop performs no per-request allocation — the
+/// step log is a single scratch buffer reused across all requests.
 ///
 /// ```
 /// use wmlp_core::cost::CostModel;
@@ -93,8 +94,9 @@ pub struct RunResult {
 /// // Any OnlinePolicy works here; a tiny LRU-like one from wmlp-algos:
 /// # struct Demand;
 /// # impl wmlp_core::policy::OnlinePolicy for Demand {
-/// #     fn name(&self) -> String { "demand".into() }
-/// #     fn on_request(&mut self, _t: usize, req: Request,
+/// #     fn name(&self) -> &str { "demand" }
+/// #     fn on_request(&mut self, _ctx: wmlp_core::policy::PolicyCtx<'_>,
+/// #                   _t: usize, req: Request,
 /// #                   txn: &mut wmlp_core::policy::CacheTxn<'_>) {
 /// #         if txn.cache().serves(req) { return; }
 /// #         let victim = txn.cache().iter().next();
@@ -120,14 +122,16 @@ pub fn run_policy(
     let mut ledger = CostLedger::default();
     let mut counters = RunCounters::new(inst.max_levels());
     let mut steps = record_steps.then(|| Vec::with_capacity(trace.len()));
+    let mut log = StepLog::default();
+    let ctx = PolicyCtx::new(inst);
     for (t, &req) in trace.iter().enumerate() {
         if !inst.request_valid(req) {
             return Err(SimError::BadRequest { t, req });
         }
         let hit = cache.serves(req);
-        let mut txn = CacheTxn::new(&mut cache);
-        policy.on_request(t, req, &mut txn);
-        let log = txn.finish();
+        let mut txn = CacheTxn::new(&mut cache, &mut log);
+        policy.on_request(ctx, t, req, &mut txn);
+        txn.finish();
         if cache.occupancy() > inst.k() {
             return Err(SimError::OverCapacity {
                 t,
@@ -145,7 +149,7 @@ pub fn run_policy(
         counters.record_step(hit, &log, serve_level, cache.occupancy());
         ledger.record_step(inst, &log);
         if let Some(s) = steps.as_mut() {
-            s.push(log);
+            s.push(log.clone());
         }
     }
     counters.wall_nanos = start.elapsed().as_nanos() as u64;
@@ -168,17 +172,22 @@ mod tests {
     /// other copy or the smallest-id other page when full.
     struct Demand;
     impl OnlinePolicy for Demand {
-        fn name(&self) -> String {
-            "demand".into()
+        fn name(&self) -> &str {
+            "demand"
         }
-        fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        fn on_request(
+            &mut self,
+            ctx: PolicyCtx<'_>,
+            _t: usize,
+            req: Request,
+            txn: &mut CacheTxn<'_>,
+        ) {
             if txn.cache().serves(req) {
                 return;
             }
             txn.evict_page(req.page);
             txn.fetch(CopyRef::new(req.page, req.level)).unwrap();
-            // k is not visible here; evict down to 2 for the test instance.
-            while txn.cache().occupancy() > 2 {
+            while txn.cache().occupancy() > ctx.k() {
                 let victim = txn
                     .cache()
                     .iter()
@@ -192,10 +201,10 @@ mod tests {
     /// A policy that ignores the request entirely.
     struct DoNothing;
     impl OnlinePolicy for DoNothing {
-        fn name(&self) -> String {
-            "nop".into()
+        fn name(&self) -> &str {
+            "nop"
         }
-        fn on_request(&mut self, _: usize, _: Request, _: &mut CacheTxn<'_>) {}
+        fn on_request(&mut self, _: PolicyCtx<'_>, _: usize, _: Request, _: &mut CacheTxn<'_>) {}
     }
 
     fn inst() -> MlInstance {

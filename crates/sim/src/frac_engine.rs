@@ -125,8 +125,8 @@ mod tests {
     }
 
     impl FractionalPolicy for ToyFrac {
-        fn name(&self) -> String {
-            "toy".into()
+        fn name(&self) -> &str {
+            "toy"
         }
         fn on_request(&mut self, _t: usize, req: Request, out: &mut Vec<FracDelta>) {
             let p = req.page as usize;
@@ -203,8 +203,8 @@ mod tests {
     /// Policy that claims to serve but does not.
     struct Liar;
     impl FractionalPolicy for Liar {
-        fn name(&self) -> String {
-            "liar".into()
+        fn name(&self) -> &str {
+            "liar"
         }
         fn on_request(&mut self, _: usize, _: Request, _: &mut Vec<FracDelta>) {}
         fn u(&self, _: PageId, _: Level) -> f64 {

@@ -335,16 +335,22 @@ impl Manifest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wmlp_core::policy::CacheTxn;
+    use wmlp_core::policy::{CacheTxn, PolicyCtx};
     use wmlp_core::types::CopyRef;
 
     /// Evict-all-then-fetch: correct for any instance, terrible cost.
     struct Flush;
     impl OnlinePolicy for Flush {
-        fn name(&self) -> String {
-            "flush".into()
+        fn name(&self) -> &str {
+            "flush"
         }
-        fn on_request(&mut self, _t: usize, req: Request, txn: &mut CacheTxn<'_>) {
+        fn on_request(
+            &mut self,
+            _: PolicyCtx<'_>,
+            _t: usize,
+            req: Request,
+            txn: &mut CacheTxn<'_>,
+        ) {
             if txn.cache().serves(req) {
                 return;
             }
