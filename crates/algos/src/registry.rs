@@ -172,6 +172,23 @@ impl PolicyRegistry {
         self.entries.iter().map(|e| e.name).collect()
     }
 
+    /// Registered spec shapes, in registration order: the name alone for
+    /// parameterless policies, `name(p1,p2)` otherwise. This is what
+    /// error messages and `--list-policies` print, so a typo'd spec
+    /// shows not just what exists but how to parameterize it.
+    pub fn specs(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|e| {
+                if e.params.is_empty() {
+                    e.name.to_string()
+                } else {
+                    format!("{}({})", e.name, e.params.join(","))
+                }
+            })
+            .collect()
+    }
+
     /// One `name — summary` line per policy, for CLI help.
     pub fn describe(&self) -> String {
         self.entries
@@ -207,9 +224,9 @@ impl PolicyRegistry {
             .find(|e| e.name == parsed.name)
             .ok_or_else(|| {
                 format!(
-                    "no policy named `{}`; valid names: {}",
+                    "no policy named `{}`; valid specs: {}",
                     parsed.name,
-                    self.names().join(", ")
+                    self.specs().join(", ")
                 )
             })?;
         parsed.check_params(entry.params)?;
@@ -271,6 +288,12 @@ impl WbPolicyRegistry {
         self.entries.iter().map(|e| e.name).collect()
     }
 
+    /// Registered spec shapes (all parameterless today), matching
+    /// [`PolicyRegistry::specs`].
+    pub fn specs(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.to_string()).collect()
+    }
+
     /// One `name — summary` line per policy, for CLI help.
     pub fn describe(&self) -> String {
         self.entries
@@ -294,9 +317,9 @@ impl WbPolicyRegistry {
             .find(|e| e.name == parsed.name)
             .ok_or_else(|| {
                 format!(
-                    "no writeback policy named `{}`; valid names: {}",
+                    "no writeback policy named `{}`; valid specs: {}",
                     parsed.name,
-                    self.names().join(", ")
+                    self.specs().join(", ")
                 )
             })?;
         parsed.check_params(&[])?;
@@ -362,7 +385,10 @@ mod tests {
         let Err(msg) = reg.build("unknown", &inst, 0) else {
             panic!("unknown spec accepted");
         };
-        assert!(msg.contains("valid names"));
+        // Unknown names list the full spec shapes, parameters included.
+        assert!(msg.contains("valid specs"), "{msg}");
+        assert!(msg.contains("randomized(eta,beta)"), "{msg}");
+        assert!(msg.contains("lru"), "{msg}");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!
 //! Files use the `wmlp-core::codec` text format. `--alg` takes policy-
 //! registry spec strings (so `randomized(beta=0.5)` works); an unknown
-//! name prints the list of available policies. `--opt` additionally
+//! name prints the list of available policies, and `simulate
+//! --list-policies` prints every registered spec with its summary and
+//! parameters. `--opt` additionally
 //! computes the exact offline optimum (flow for 1-level instances, DP for
 //! small multi-level ones) and prints competitive ratios. `--json <path>`
 //! writes the run manifest (costs, ledgers, engine counters) as JSON.
@@ -26,14 +28,27 @@ use wmlp_workloads::{ml_rows_geometric, zipf_trace, LevelDist};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-policies") {
+        return list_policies();
+    }
     match args.first().map(|s| s.as_str()) {
         Some("gen") => gen(&args[1..]),
         Some("run") => run(&args[1..]),
         _ => {
-            eprintln!("usage: simulate <gen|run> [flags]  (see module docs)");
+            eprintln!("usage: simulate <gen|run> [flags] | simulate --list-policies");
             ExitCode::FAILURE
         }
     }
+}
+
+/// `simulate --list-policies`: every registry entry (multi-level and
+/// writeback) with its summary and parameters.
+fn list_policies() -> ExitCode {
+    println!("multi-level policies:");
+    println!("{}", PolicyRegistry::standard().describe());
+    println!("\nwriteback policies:");
+    println!("{}", wmlp_algos::WbPolicyRegistry::standard().describe());
+    ExitCode::SUCCESS
 }
 
 use wmlp_bench::cli::{flag, flag_parse, switch};

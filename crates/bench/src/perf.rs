@@ -12,6 +12,11 @@
 //! * **B3** — the fractional algorithm and the combined randomized
 //!   algorithm across level counts `ℓ ∈ {1, 2, 4}`.
 //! * **B4** — offline optimum solvers: flow (`ℓ = 1`), exponential DP, LP.
+//! * **B5** — end-to-end loopback serving: a `wmlp-serve` server spawned
+//!   in-process, driven closed-loop by `wmlp-loadgen` over real sockets,
+//!   per shard count. `throughput_rps` here includes protocol framing and
+//!   socket round-trips, so it is the serving-stack number, not the bare
+//!   engine number of B1/B2.
 //!
 //! # `BENCH.json` schema
 //!
@@ -56,6 +61,7 @@ use serde::{Deserialize, Serialize};
 use wmlp_algos::{FracMultiplicative, PolicyRegistry};
 use wmlp_core::instance::MlInstance;
 use wmlp_flow::weighted_paging_opt;
+use wmlp_loadgen::{LoadgenConfig, Workload};
 use wmlp_lp::multilevel_paging_lp_opt;
 use wmlp_offline::{opt_multilevel, DpLimits};
 use wmlp_sim::engine::run_policy;
@@ -137,13 +143,33 @@ impl PerfConfig {
             &[1, 2, 4]
         }
     }
+
+    /// B5 shard counts for the loopback serving cells.
+    fn b5_shards(&self) -> &'static [usize] {
+        if self.smoke {
+            &[2]
+        } else {
+            &[1, 4]
+        }
+    }
+
+    /// Requests per B5 loopback run (socket round-trips dominate, so the
+    /// trace is shorter than B1's).
+    fn b5_requests(&self) -> usize {
+        if self.smoke {
+            1_000
+        } else {
+            10_000
+        }
+    }
 }
 
 /// One timed grid cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchEntry {
     /// Grid group: `b1_zipf_policies`, `b2_waterfill_k_scaling`,
-    /// `b3_fractional_levels`, or `b4_offline_solvers`.
+    /// `b3_fractional_levels`, `b4_offline_solvers`, or
+    /// `b5_loopback_serve`.
     pub group: String,
     /// Cell name, unique within the group (e.g. `lru/k128`).
     pub name: String,
@@ -390,6 +416,43 @@ fn b4_offline_solvers(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
     ));
 }
 
+/// B5: the whole serving stack — an in-process `wmlp-serve` server and
+/// closed-loop `wmlp-loadgen` clients over real loopback sockets. Each
+/// timed iteration spawns a fresh server, replays the Zipf mix, and
+/// drains it, so the number includes accept/shutdown overhead as a real
+/// deployment's would (amortized over the trace).
+fn b5_loopback_serve(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
+    let requests = cfg.b5_requests();
+    for &shards in cfg.b5_shards() {
+        let lg = LoadgenConfig {
+            conns: 4,
+            requests,
+            workload: Workload::Zipf { alpha: 0.9 },
+            seed: TRACE_SEED + 20,
+            pages: 4_096,
+            levels: 3,
+            k: 512,
+            weight_seed: WEIGHT_SEED + 20,
+            policy: "landlord".into(),
+            shards,
+            ..LoadgenConfig::default()
+        };
+        let inst = wmlp_serve::default_instance(lg.pages, lg.levels, lg.k, lg.weight_seed)
+            .expect("B5 instance tuple is feasible");
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            wmlp_loadgen::run(&lg).expect("loopback serving run")
+        });
+        entries.push(entry(
+            "b5_loopback_serve",
+            format!("landlord/s{shards}c4"),
+            "landlord",
+            &inst,
+            requests,
+            timing,
+        ));
+    }
+}
+
 /// Run the whole grid and return the report.
 pub fn run_perf(cfg: &PerfConfig) -> BenchReport {
     let mut entries = Vec::new();
@@ -397,6 +460,7 @@ pub fn run_perf(cfg: &PerfConfig) -> BenchReport {
     b2_waterfill_scaling(cfg, &mut entries);
     b3_fractional_levels(cfg, &mut entries);
     b4_offline_solvers(cfg, &mut entries);
+    b5_loopback_serve(cfg, &mut entries);
     BenchReport {
         schema_version: 1,
         config: cfg.clone(),
@@ -423,6 +487,13 @@ mod tests {
         }
         assert!(report.entries.iter().all(|e| e.best_nanos > 0));
         assert!(report.entries.iter().all(|e| e.best_nanos <= e.mean_nanos));
+        assert!(
+            report
+                .entries
+                .iter()
+                .any(|e| e.group == "b5_loopback_serve" && e.throughput_rps > 0),
+            "B5 loopback serving cell missing or zero-throughput"
+        );
 
         let text = report.to_json();
         let parsed = BenchReport::from_json(&text).expect("round-trip");

@@ -21,8 +21,10 @@
 //! The crate provides instances, request traces, integral cache states with
 //! feasibility checking ([`cache`]), fractional cache states ([`fractional`]),
 //! cost accounting ([`cost`]), schedule validation ([`validate`]), the
-//! reductions between the problem variants ([`reduction`]), and the traits
-//! implemented by online algorithms ([`policy`]).
+//! reductions between the problem variants ([`reduction`]), the traits
+//! implemented by online algorithms ([`policy`]), and the interchange
+//! formats: a diff-friendly text codec ([`codec`]) and the binary wire
+//! protocol spoken by the serving stack ([`wire`]).
 
 #![warn(missing_docs)]
 
@@ -38,6 +40,7 @@ pub mod reduction;
 pub mod types;
 pub mod validate;
 pub mod weights;
+pub mod wire;
 pub mod writeback;
 
 pub use action::{Action, StepLog};
@@ -49,3 +52,4 @@ pub use instance::{MlInstance, Request, Trace};
 pub use policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy};
 pub use types::{weight_class, CopyRef, Level, PageId, Weight};
 pub use weights::WeightMatrix;
+pub use wire::{Frame, FrameReader, WireError, WireStats};

@@ -1,0 +1,653 @@
+//! The `wmlp-serve` binary wire protocol: length-prefixed frames with a
+//! versioned header.
+//!
+//! Where [`crate::codec`] is the diff-friendly *text* interchange format
+//! for instances and traces, this module is the compact *binary* format
+//! spoken on the socket between `wmlp-serve` and `wmlp-loadgen` (and any
+//! other client). See `PROTOCOL.md` at the repository root for the full
+//! specification.
+//!
+//! # Frame layout
+//!
+//! Every frame is an 8-byte header followed by an opcode-specific payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  "WM" (0x57 0x4D)
+//! 2       1     version (currently 1)
+//! 3       1     opcode
+//! 4       4     payload length, u32 little-endian
+//! 8       len   payload
+//! ```
+//!
+//! Request opcodes: `GET` (0x01), `PUT` (0x02), `STATS` (0x03),
+//! `SHUTDOWN` (0x04). Response opcodes: `SERVED` (0x81), `STATS_REPLY`
+//! (0x83), `BYE` (0x84), `ERROR` (0xFF). All multi-byte integers are
+//! little-endian.
+//!
+//! Decoding is incremental and allocation-light: [`decode`] returns
+//! `Ok(None)` when the buffer holds only a *truncated* frame (read more
+//! bytes and retry) and an error only for *corrupt* input (bad magic,
+//! unknown version/opcode, length mismatch, oversized payload), so a
+//! server can cleanly distinguish "not yet" from "never".
+
+use std::io::{Read, Write};
+
+use crate::instance::Request;
+use crate::types::{Level, PageId, Weight};
+
+/// Frame magic, the first two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"WM";
+
+/// Current protocol version, byte 2 of every frame.
+pub const VERSION: u8 = 1;
+
+/// Header length in bytes (magic + version + opcode + payload length).
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a payload length. Nothing in the protocol comes close;
+/// the bound exists so a corrupt length field cannot make a reader buffer
+/// gigabytes.
+pub const MAX_PAYLOAD: u32 = 64 * 1024;
+
+/// Opcode byte values, one per [`Frame`] variant.
+pub mod opcode {
+    /// Read `page` at `level`.
+    pub const GET: u8 = 0x01;
+    /// Write `page` (a level-1 request).
+    pub const PUT: u8 = 0x02;
+    /// Request aggregate server counters.
+    pub const STATS: u8 = 0x03;
+    /// Ask the server to drain and exit.
+    pub const SHUTDOWN: u8 = 0x04;
+    /// Response to GET/PUT.
+    pub const SERVED: u8 = 0x81;
+    /// Response to STATS.
+    pub const STATS_REPLY: u8 = 0x83;
+    /// Response to SHUTDOWN.
+    pub const BYE: u8 = 0x84;
+    /// Request-level failure.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request referenced a page or level outside the instance.
+    BadRequest,
+    /// The server is draining and no longer accepts requests.
+    ShuttingDown,
+    /// The shard engine rejected the step (a policy bug, not the client).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire byte for this code.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::ShuttingDown => 2,
+            ErrorCode::Internal => 3,
+        }
+    }
+
+    /// Parse a wire byte.
+    pub fn from_byte(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::BadRequest),
+            2 => Some(ErrorCode::ShuttingDown),
+            3 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::Internal => "internal error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Aggregate server counters carried by [`Frame::StatsReply`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Requests served (GET + PUT).
+    pub requests: u64,
+    /// Requests served from cache without a fetch.
+    pub hits: u64,
+    /// Copies fetched.
+    pub fetches: u64,
+    /// Copies evicted.
+    pub evictions: u64,
+    /// Total fetch cost paid, in weight units.
+    pub cost: u64,
+}
+
+/// A decoded protocol frame (request or response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Read `page`; served by any cached copy at level `≤ level`.
+    Get {
+        /// Requested page.
+        page: PageId,
+        /// Requested level (1-based).
+        level: Level,
+    },
+    /// Write `page`: a level-1 request (the most expensive copy).
+    Put {
+        /// Written page.
+        page: PageId,
+    },
+    /// Request aggregate counters.
+    Stats,
+    /// Ask the server to drain in-flight requests and exit.
+    Shutdown,
+    /// GET/PUT response.
+    Served {
+        /// Whether the cache already served the request (no fetch).
+        hit: bool,
+        /// The level of the copy serving the request after the step.
+        level: Level,
+        /// Fetch cost paid by this request, in weight units.
+        cost: Weight,
+    },
+    /// STATS response.
+    StatsReply(WireStats),
+    /// SHUTDOWN acknowledgement; the server drains and exits after this.
+    Bye,
+    /// Request-level failure.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// A corrupt frame. Truncated input is *not* an error — [`decode`] returns
+/// `Ok(None)` for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// First two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Payload length does not match the opcode's payload shape.
+    BadLength {
+        /// The frame's opcode.
+        opcode: u8,
+        /// The declared payload length.
+        len: u32,
+    },
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// Payload bytes violate the opcode's payload shape.
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected \"WM\")"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::BadLength { opcode, len } => {
+                write!(f, "payload length {len} invalid for opcode 0x{opcode:02x}")
+            }
+            WireError::Oversize(len) => {
+                write!(f, "payload length {len} exceeds the {MAX_PAYLOAD} cap")
+            }
+            WireError::BadPayload(why) => write!(f, "bad payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn push_header(out: &mut Vec<u8>, op: u8, payload_len: usize) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(op);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Append the encoding of `frame` to `out`.
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Get { page, level } => {
+            push_header(out, opcode::GET, 5);
+            out.extend_from_slice(&page.to_le_bytes());
+            out.push(*level);
+        }
+        Frame::Put { page } => {
+            push_header(out, opcode::PUT, 4);
+            out.extend_from_slice(&page.to_le_bytes());
+        }
+        Frame::Stats => push_header(out, opcode::STATS, 0),
+        Frame::Shutdown => push_header(out, opcode::SHUTDOWN, 0),
+        Frame::Served { hit, level, cost } => {
+            push_header(out, opcode::SERVED, 10);
+            out.push(*hit as u8);
+            out.push(*level);
+            out.extend_from_slice(&cost.to_le_bytes());
+        }
+        Frame::StatsReply(s) => {
+            push_header(out, opcode::STATS_REPLY, 40);
+            for v in [s.requests, s.hits, s.fetches, s.evictions, s.cost] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Frame::Bye => push_header(out, opcode::BYE, 0),
+        Frame::Error { code, detail } => {
+            let detail = &detail.as_bytes()[..detail.len().min(MAX_PAYLOAD as usize - 1)];
+            push_header(out, opcode::ERROR, 1 + detail.len());
+            out.push(code.as_byte());
+            out.extend_from_slice(detail);
+        }
+    }
+}
+
+/// The encoding of `frame` as a fresh byte vector.
+pub fn encode_to_vec(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 8);
+    encode(frame, &mut out);
+    out
+}
+
+fn read_u32(b: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(b.get(..4)?.try_into().ok()?))
+}
+
+fn read_u64(b: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(b.get(..8)?.try_into().ok()?))
+}
+
+/// Decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some((frame, consumed)))` on success, `Ok(None)` when `buf`
+/// holds only a prefix of a frame (truncated — read more and retry), and
+/// `Err` when the bytes can never become a valid frame.
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        // Validate what we can see so corrupt streams fail fast even when
+        // short: magic first, then version.
+        if buf.len() >= 2 && buf[..2] != MAGIC {
+            return Err(WireError::BadMagic([buf[0], buf[1]]));
+        }
+        if buf.len() >= 3 && buf[2] != VERSION {
+            return Err(WireError::BadVersion(buf[2]));
+        }
+        return Ok(None);
+    }
+    if buf[..2] != MAGIC {
+        return Err(WireError::BadMagic([buf[0], buf[1]]));
+    }
+    if buf[2] != VERSION {
+        return Err(WireError::BadVersion(buf[2]));
+    }
+    let op = buf[3];
+    let Some(len) = read_u32(&buf[4..8]) else {
+        return Ok(None);
+    };
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let expect = |want: bool| -> Result<(), WireError> {
+        if want {
+            Ok(())
+        } else {
+            Err(WireError::BadLength { opcode: op, len })
+        }
+    };
+    // Length validation happens before waiting for the payload, so a
+    // corrupt header is rejected without reading `len` more bytes.
+    match op {
+        opcode::GET => expect(len == 5)?,
+        opcode::PUT => expect(len == 4)?,
+        opcode::STATS | opcode::SHUTDOWN | opcode::BYE => expect(len == 0)?,
+        opcode::SERVED => expect(len == 10)?,
+        opcode::STATS_REPLY => expect(len == 40)?,
+        opcode::ERROR => expect(len >= 1)?,
+        other => return Err(WireError::BadOpcode(other)),
+    }
+    let total = HEADER_LEN + len as usize;
+    let Some(payload) = buf.get(HEADER_LEN..total) else {
+        return Ok(None);
+    };
+    let bad = WireError::BadPayload;
+    let frame = match op {
+        opcode::GET => {
+            let page = read_u32(payload).ok_or(bad("missing page"))?;
+            let level = payload[4];
+            if level == 0 {
+                return Err(bad("GET level must be ≥ 1"));
+            }
+            Frame::Get { page, level }
+        }
+        opcode::PUT => Frame::Put {
+            page: read_u32(payload).ok_or(bad("missing page"))?,
+        },
+        opcode::STATS => Frame::Stats,
+        opcode::SHUTDOWN => Frame::Shutdown,
+        opcode::SERVED => {
+            if payload[0] > 1 {
+                return Err(bad("hit flag must be 0 or 1"));
+            }
+            let level = payload[1];
+            if level == 0 {
+                return Err(bad("serve level must be ≥ 1"));
+            }
+            Frame::Served {
+                hit: payload[0] == 1,
+                level,
+                cost: read_u64(&payload[2..]).ok_or(bad("missing cost"))?,
+            }
+        }
+        opcode::STATS_REPLY => {
+            let f = |i: usize| read_u64(&payload[8 * i..]).ok_or(bad("short stats"));
+            Frame::StatsReply(WireStats {
+                requests: f(0)?,
+                hits: f(1)?,
+                fetches: f(2)?,
+                evictions: f(3)?,
+                cost: f(4)?,
+            })
+        }
+        opcode::BYE => Frame::Bye,
+        opcode::ERROR => Frame::Error {
+            code: ErrorCode::from_byte(payload[0]).ok_or(bad("unknown error code"))?,
+            detail: String::from_utf8_lossy(&payload[1..]).into_owned(),
+        },
+        // Unreachable: unknown opcodes were rejected above.
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    Ok(Some((frame, total)))
+}
+
+/// The request frame a trace request maps to on the wire: level-1
+/// requests are writes (PUT), deeper levels are reads (GET), mirroring the
+/// RW-paging convention where level 1 is the write copy.
+pub fn request_frame(req: Request) -> Frame {
+    if req.level == 1 {
+        Frame::Put { page: req.page }
+    } else {
+        Frame::Get {
+            page: req.page,
+            level: req.level,
+        }
+    }
+}
+
+/// Incremental frame reader over any [`Read`], buffering partial frames
+/// across reads. [`FrameReader::next_frame`] blocks until a full frame,
+/// EOF, or corruption.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` holding live (undecoded) data.
+    filled: usize,
+}
+
+/// Why [`FrameReader::next_frame`] stopped without a frame.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The stream carried a corrupt frame.
+    Wire(WireError),
+    /// EOF in the middle of a frame.
+    TruncatedEof,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "read failed: {e}"),
+            ReadError::Wire(e) => write!(f, "corrupt frame: {e}"),
+            ReadError::TruncatedEof => write!(f, "connection closed mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<WireError> for ReadError {
+    fn from(e: WireError) -> Self {
+        ReadError::Wire(e)
+    }
+}
+
+impl<R: Read> FrameReader<R> {
+    /// A reader over `inner` with an empty buffer.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: vec![0; 4096],
+            filled: 0,
+        }
+    }
+
+    /// The next frame, `Ok(None)` on a clean EOF (no partial frame
+    /// buffered), or an error for I/O failure, corruption, or EOF
+    /// mid-frame.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ReadError> {
+        loop {
+            if let Some((frame, used)) = decode(&self.buf[..self.filled])? {
+                self.buf.copy_within(used..self.filled, 0);
+                self.filled -= used;
+                return Ok(Some(frame));
+            }
+            if self.filled == self.buf.len() {
+                // A valid frame never exceeds HEADER_LEN + MAX_PAYLOAD;
+                // grow toward that bound as needed.
+                let cap = (self.buf.len() * 2).min(HEADER_LEN + MAX_PAYLOAD as usize);
+                self.buf.resize(cap, 0);
+            }
+            let n = self.inner.read(&mut self.buf[self.filled..])?;
+            if n == 0 {
+                return if self.filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(ReadError::TruncatedEof)
+                };
+            }
+            self.filled += n;
+        }
+    }
+}
+
+/// Encode and write one frame, flushing the writer.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
+    let bytes = encode_to_vec(frame);
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Get { page: 7, level: 2 },
+            Frame::Put { page: 123456 },
+            Frame::Stats,
+            Frame::Shutdown,
+            Frame::Served {
+                hit: true,
+                level: 1,
+                cost: 0,
+            },
+            Frame::Served {
+                hit: false,
+                level: 3,
+                cost: 987654321,
+            },
+            Frame::StatsReply(WireStats {
+                requests: 1,
+                hits: 2,
+                fetches: 3,
+                evictions: 4,
+                cost: 5,
+            }),
+            Frame::Bye,
+            Frame::Error {
+                code: ErrorCode::BadRequest,
+                detail: "page 9 out of range".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in all_frames() {
+            let bytes = encode_to_vec(&frame);
+            let (back, used) = decode(&bytes).unwrap().expect("complete");
+            assert_eq!(back, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete_not_corrupt() {
+        for frame in all_frames() {
+            let bytes = encode_to_vec(&frame);
+            for cut in 0..bytes.len() {
+                let r = decode(&bytes[..cut]);
+                assert_eq!(r, Ok(None), "cut at {cut} of {frame:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence() {
+        let mut bytes = Vec::new();
+        for frame in all_frames() {
+            encode(&frame, &mut bytes);
+        }
+        let mut at = 0;
+        let mut got = Vec::new();
+        while let Some((f, used)) = decode(&bytes[at..]).unwrap() {
+            got.push(f);
+            at += used;
+        }
+        assert_eq!(got, all_frames());
+        assert_eq!(at, bytes.len());
+    }
+
+    #[test]
+    fn corrupt_magic_version_opcode_are_rejected() {
+        let good = encode_to_vec(&Frame::Stats);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode(&bad), Err(WireError::BadMagic(_))));
+        // Bad magic is detected from just two bytes.
+        assert!(matches!(decode(&bad[..2]), Err(WireError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[2] = 9;
+        assert!(matches!(decode(&bad), Err(WireError::BadVersion(9))));
+        let mut bad = good.clone();
+        bad[3] = 0x42;
+        assert!(matches!(decode(&bad), Err(WireError::BadOpcode(0x42))));
+    }
+
+    #[test]
+    fn corrupt_lengths_and_payloads_are_rejected() {
+        // STATS must carry no payload.
+        let mut bad = encode_to_vec(&Frame::Stats);
+        bad[4] = 3;
+        assert!(matches!(
+            decode(&bad),
+            Err(WireError::BadLength {
+                opcode: opcode::STATS,
+                len: 3
+            })
+        ));
+        // An oversized declared length is rejected from the header alone.
+        let mut bad = encode_to_vec(&Frame::Error {
+            code: ErrorCode::Internal,
+            detail: "x".into(),
+        });
+        bad[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(decode(&bad), Err(WireError::Oversize(_))));
+        // GET with level 0 violates the 1-based level convention.
+        let mut bad = encode_to_vec(&Frame::Get { page: 0, level: 1 });
+        bad[HEADER_LEN + 4] = 0;
+        assert!(matches!(decode(&bad), Err(WireError::BadPayload(_))));
+        // Unknown error code byte.
+        let mut bad = encode_to_vec(&Frame::Error {
+            code: ErrorCode::BadRequest,
+            detail: String::new(),
+        });
+        bad[HEADER_LEN] = 77;
+        assert!(matches!(decode(&bad), Err(WireError::BadPayload(_))));
+    }
+
+    #[test]
+    fn reader_reassembles_split_frames() {
+        /// Yields the wrapped bytes one at a time, the worst-case split.
+        struct OneByte(Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let take = buf.len().min(1);
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let mut bytes = Vec::new();
+        for frame in all_frames() {
+            encode(&frame, &mut bytes);
+        }
+        let mut reader = FrameReader::new(OneByte(Cursor::new(bytes)));
+        for want in all_frames() {
+            assert_eq!(reader.next_frame().unwrap(), Some(want));
+        }
+        assert!(matches!(reader.next_frame(), Ok(None)));
+    }
+
+    #[test]
+    fn reader_flags_eof_mid_frame() {
+        let bytes = encode_to_vec(&Frame::Put { page: 3 });
+        let mut reader = FrameReader::new(Cursor::new(bytes[..6].to_vec()));
+        assert!(matches!(reader.next_frame(), Err(ReadError::TruncatedEof)));
+    }
+
+    #[test]
+    fn request_frames_follow_rw_convention() {
+        assert_eq!(request_frame(Request::new(4, 1)), Frame::Put { page: 4 });
+        assert_eq!(
+            request_frame(Request::new(4, 2)),
+            Frame::Get { page: 4, level: 2 }
+        );
+    }
+
+    #[test]
+    fn long_error_details_are_clipped_to_max_payload() {
+        let frame = Frame::Error {
+            code: ErrorCode::Internal,
+            detail: "e".repeat(MAX_PAYLOAD as usize * 2),
+        };
+        let bytes = encode_to_vec(&frame);
+        let (back, _) = decode(&bytes).unwrap().expect("complete");
+        match back {
+            Frame::Error { detail, .. } => {
+                assert_eq!(detail.len(), MAX_PAYLOAD as usize - 1)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

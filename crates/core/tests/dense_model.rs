@@ -1,0 +1,186 @@
+//! Model-based property tests for `wmlp_core::dense`.
+//!
+//! Both hot-path structures claim behavioural equality with an obvious
+//! reference: [`RecencyList`] with an order-keeping `Vec`, and
+//! [`KeyedMinHeap`] with a `BTreeSet<(K, PageId)>` (whose iteration order
+//! is the tie-breaking contract). These tests drive random op sequences
+//! from seeded generators against structure and model in lock-step and
+//! require every observable — membership, length, order, minima,
+//! exclusion queries — to agree at every step. Policies built on these
+//! structures (LRU, Landlord, WaterFill) inherit their determinism from
+//! exactly this equivalence.
+
+use std::collections::BTreeSet;
+
+use wmlp_core::dense::{KeyedMinHeap, RecencyList};
+use wmlp_core::types::PageId;
+
+/// Deterministic xorshift; the repo bans entropy-seeded RNGs in tests.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Reference model for [`RecencyList`]: pages in order, front first.
+#[derive(Default)]
+struct ListModel {
+    order: Vec<PageId>,
+}
+
+impl ListModel {
+    fn contains(&self, page: PageId) -> bool {
+        self.order.contains(&page)
+    }
+
+    fn remove(&mut self, page: PageId) -> bool {
+        match self.order.iter().position(|&p| p == page) {
+            Some(i) => {
+                self.order.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn touch(&mut self, page: PageId) {
+        self.remove(page);
+        self.order.push(page);
+    }
+
+    fn front_excluding(&self, skip: PageId) -> Option<PageId> {
+        self.order.iter().copied().find(|&p| p != skip)
+    }
+}
+
+#[test]
+fn recency_list_matches_vec_model_under_random_ops() {
+    for seed in [1u64, 0xdead_beef, 0x9e37_79b9_7f4a_7c15] {
+        let n = 48usize;
+        let mut rng = XorShift::new(seed);
+        let mut list = RecencyList::new(n);
+        let mut model = ListModel::default();
+        for step in 0..6000 {
+            let page = (rng.next() % n as u64) as PageId;
+            match rng.next() % 5 {
+                0 => {
+                    // push_back requires an unlinked page.
+                    if !model.contains(page) {
+                        model.order.push(page);
+                        list.push_back(page);
+                    }
+                }
+                1 => {
+                    list.touch(page);
+                    model.touch(page);
+                }
+                2 => {
+                    assert_eq!(list.remove(page), model.remove(page), "seed {seed} @{step}");
+                }
+                3 => {
+                    let got = list.pop_front();
+                    let want = if model.order.is_empty() {
+                        None
+                    } else {
+                        Some(model.order.remove(0))
+                    };
+                    assert_eq!(got, want, "seed {seed} @{step}");
+                }
+                _ => {
+                    let skip = (rng.next() % n as u64) as PageId;
+                    assert_eq!(
+                        list.front_excluding(skip),
+                        model.front_excluding(skip),
+                        "seed {seed} @{step}"
+                    );
+                }
+            }
+            // Invariants checked after every op, not just at the end.
+            assert_eq!(list.len(), model.order.len(), "seed {seed} @{step}");
+            assert_eq!(list.is_empty(), model.order.is_empty());
+            assert_eq!(list.front(), model.order.first().copied());
+            assert_eq!(list.contains(page), model.contains(page));
+        }
+        // Drain: the full order must match, not just the front.
+        let mut drained = Vec::new();
+        while let Some(p) = list.pop_front() {
+            drained.push(p);
+        }
+        assert_eq!(drained, model.order, "seed {seed} drain");
+    }
+}
+
+#[test]
+fn keyed_min_heap_matches_btreeset_model_under_random_ops() {
+    for seed in [2u64, 0xc0ff_ee11, 0x1234_5678_9abc_def0] {
+        let n = 48usize;
+        let mut rng = XorShift::new(seed);
+        let mut heap: KeyedMinHeap<u64> = KeyedMinHeap::new(n);
+        let mut model: BTreeSet<(u64, PageId)> = BTreeSet::new();
+        let key_in_model = |model: &BTreeSet<(u64, PageId)>, page: PageId| {
+            model.iter().find(|&&(_, p)| p == page).map(|&(k, _)| k)
+        };
+        for step in 0..6000 {
+            let page = (rng.next() % n as u64) as PageId;
+            match rng.next() % 6 {
+                0 | 1 => {
+                    // Small key range to force plenty of ties.
+                    let key = rng.next() % 16;
+                    if let Some(old) = key_in_model(&model, page) {
+                        model.remove(&(old, page));
+                    }
+                    model.insert((key, page));
+                    heap.insert(page, key);
+                }
+                2 => {
+                    let want = key_in_model(&model, page);
+                    if let Some(k) = want {
+                        model.remove(&(k, page));
+                    }
+                    assert_eq!(heap.remove(page), want, "seed {seed} @{step}");
+                }
+                3 => {
+                    let got = heap.pop_min();
+                    let want = model.iter().next().copied();
+                    if let Some(min) = want {
+                        model.remove(&min);
+                    }
+                    assert_eq!(got, want, "seed {seed} @{step}");
+                }
+                4 => {
+                    let skip = (rng.next() % n as u64) as PageId;
+                    let want = model.iter().find(|&&(_, p)| p != skip).copied();
+                    assert_eq!(heap.peek_min_excluding(skip), want, "seed {seed} @{step}");
+                }
+                _ => {
+                    assert_eq!(heap.key_of(page), key_in_model(&model, page));
+                    assert_eq!(heap.contains(page), key_in_model(&model, page).is_some());
+                }
+            }
+            assert_eq!(heap.len(), model.len(), "seed {seed} @{step}");
+            assert_eq!(heap.is_empty(), model.is_empty());
+            assert_eq!(heap.peek_min(), model.iter().next().copied());
+        }
+        // Drain in sorted order — the tie-break contract, end to end.
+        let mut drained = Vec::new();
+        while let Some(pair) = heap.pop_min() {
+            drained.push(pair);
+        }
+        assert_eq!(
+            drained,
+            model.iter().copied().collect::<Vec<_>>(),
+            "seed {seed} drain"
+        );
+    }
+}

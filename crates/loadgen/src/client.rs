@@ -1,0 +1,87 @@
+//! The closed-loop client connection.
+//!
+//! Each connection thread replays its slice of the trace strictly
+//! one-at-a-time: write a request frame, block for the reply, record the
+//! round-trip latency, repeat. Closed-loop load keeps the protocol free
+//! of request ids (replies can't interleave) and makes the measured
+//! latency the honest end-to-end service time under the offered
+//! concurrency (= number of connections).
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpStream};
+
+use wmlp_core::instance::Request;
+use wmlp_core::wire::{request_frame, write_frame, Frame, FrameReader, ReadError, WireStats};
+use wmlp_sim::Histogram;
+
+use crate::report::Totals;
+use crate::timing::Stopwatch;
+
+/// What one connection measured.
+#[derive(Debug, Default)]
+pub struct ConnOutcome {
+    /// Round-trip latencies, nanoseconds.
+    pub hist: Histogram,
+    /// Reply counts.
+    pub totals: Totals,
+}
+
+fn read_reply(reader: &mut FrameReader<TcpStream>) -> Result<Frame, String> {
+    match reader.next_frame() {
+        Ok(Some(f)) => Ok(f),
+        Ok(None) => Err("server closed the connection".into()),
+        Err(ReadError::Io(e)) => Err(format!("read failed: {e}")),
+        Err(ReadError::Wire(e)) => Err(format!("corrupt reply: {e}")),
+        Err(ReadError::TruncatedEof) => Err("server closed mid-frame".into()),
+    }
+}
+
+fn open(addr: &SocketAddr) -> Result<(BufWriter<TcpStream>, FrameReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let write_half = stream
+        .try_clone()
+        .map_err(|e| format!("clone socket: {e}"))?;
+    Ok((BufWriter::new(write_half), FrameReader::new(stream)))
+}
+
+/// Replay `reqs` over one connection, closed-loop, timing every
+/// round-trip.
+pub fn run_requests(addr: &SocketAddr, reqs: &[Request]) -> Result<ConnOutcome, String> {
+    let (mut writer, mut reader) = open(addr)?;
+    let mut out = ConnOutcome::default();
+    for &req in reqs {
+        let frame = request_frame(req);
+        let sw = Stopwatch::start();
+        write_frame(&mut writer, &frame).map_err(|e| format!("write failed: {e}"))?;
+        let reply = read_reply(&mut reader)?;
+        out.hist.record(sw.elapsed_nanos());
+        match reply {
+            Frame::Served { hit, cost, .. } => {
+                out.totals.sent += 1;
+                out.totals.hits += hit as u64;
+                out.totals.cost += cost;
+            }
+            Frame::Error { .. } => out.totals.errors += 1,
+            other => return Err(format!("unexpected reply {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Fetch server counters and (optionally) shut the server down over a
+/// fresh control connection. Returns the STATS snapshot and whether
+/// SHUTDOWN was acknowledged with BYE (`false` when not requested).
+pub fn stats_and_shutdown(addr: &SocketAddr, shutdown: bool) -> Result<(WireStats, bool), String> {
+    let (mut writer, mut reader) = open(addr)?;
+    write_frame(&mut writer, &Frame::Stats).map_err(|e| format!("write failed: {e}"))?;
+    let stats = match read_reply(&mut reader)? {
+        Frame::StatsReply(s) => s,
+        other => return Err(format!("unexpected STATS reply {other:?}")),
+    };
+    if !shutdown {
+        return Ok((stats, false));
+    }
+    write_frame(&mut writer, &Frame::Shutdown).map_err(|e| format!("write failed: {e}"))?;
+    let clean = matches!(read_reply(&mut reader)?, Frame::Bye);
+    Ok((stats, clean))
+}

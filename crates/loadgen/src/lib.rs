@@ -1,0 +1,305 @@
+//! # wmlp-loadgen — closed-loop load generator for `wmlp-serve`
+//!
+//! Replays seeded `wmlp-workloads` traces against a server over real
+//! sockets, measures per-request round-trip latency into the
+//! log-bucketed [`wmlp_sim::Histogram`], and emits a schema-documented
+//! SERVE.json report ([`report`]).
+//!
+//! The request stream is fully deterministic (instance tuple, workload,
+//! seed); only the measured latencies and throughput are
+//! machine-dependent. All wall-clock access lives in [`timing`], the one
+//! lint-allowlisted timing site in the serving stack.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod report;
+pub mod timing;
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_serve::server::{start, ServeConfig, ServerHandle};
+use wmlp_sim::Histogram;
+use wmlp_workloads::{cyclic_trace, zipf_trace, LevelDist};
+
+use report::{LatencySummary, ReportConfig, ServeReport, Totals, SCHEMA_VERSION};
+use timing::Stopwatch;
+
+/// The request mixes the generator can offer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Zipf(`alpha`) page popularity, levels uniform per page.
+    Zipf {
+        /// Skew exponent (> 0).
+        alpha: f64,
+    },
+    /// The k+1-page adversarial cycle of top-level requests.
+    Cyclic,
+    /// Zipf(`alpha`) pages; level 1 ("write") with probability `q`, else
+    /// the page's deepest level ("read") — the RW-paging mix.
+    Writeback {
+        /// Skew exponent (> 0).
+        alpha: f64,
+        /// Write probability in `[0, 1]`.
+        q: f64,
+    },
+}
+
+impl Workload {
+    /// Parse a workload name with its parameters.
+    pub fn parse(name: &str, alpha: f64, q: f64) -> Result<Self, String> {
+        match name {
+            "zipf" => Ok(Workload::Zipf { alpha }),
+            "cyclic" => Ok(Workload::Cyclic),
+            "writeback" => Ok(Workload::Writeback { alpha, q }),
+            other => Err(format!(
+                "unknown workload `{other}`; valid: zipf, cyclic, writeback"
+            )),
+        }
+    }
+
+    /// Stable label recorded in SERVE.json.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::Zipf { alpha } => format!("zipf(alpha={alpha})"),
+            Workload::Cyclic => "cyclic".into(),
+            Workload::Writeback { alpha, q } => format!("writeback(alpha={alpha},q={q})"),
+        }
+    }
+
+    /// The deterministic request trace for this mix.
+    pub fn trace(&self, inst: &MlInstance, len: usize, seed: u64) -> Vec<Request> {
+        match *self {
+            Workload::Zipf { alpha } => zipf_trace(inst, alpha, len, LevelDist::Uniform, seed),
+            Workload::Cyclic => cyclic_trace(inst, len),
+            Workload::Writeback { alpha, q } => {
+                zipf_trace(inst, alpha, len, LevelDist::TopProb(q), seed)
+            }
+        }
+    }
+}
+
+/// A full load-run configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server to target, or `None` to spawn an in-process server on a
+    /// loopback port (it still serves over a real socket).
+    pub addr: Option<SocketAddr>,
+    /// Concurrent closed-loop connections (≥ 1).
+    pub conns: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Request mix.
+    pub workload: Workload,
+    /// Trace seed (and the spawned server's policy seed).
+    pub seed: u64,
+    /// Instance pages — must match the server's tuple.
+    pub pages: usize,
+    /// Instance levels.
+    pub levels: u8,
+    /// Instance cache capacity.
+    pub k: usize,
+    /// Instance weight seed.
+    pub weight_seed: u64,
+    /// Policy spec for a spawned server (recorded either way).
+    pub policy: String,
+    /// Shard count for a spawned server (recorded either way).
+    pub shards: usize,
+    /// Send SHUTDOWN when done.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: None,
+            conns: 4,
+            requests: 20_000,
+            workload: Workload::Zipf { alpha: 0.9 },
+            seed: 42,
+            pages: 16_384,
+            levels: 3,
+            k: 1024,
+            weight_seed: 7,
+            policy: "lru".into(),
+            shards: 4,
+            shutdown: true,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The small, fast configuration used by CI's serve-smoke job.
+    pub fn smoke() -> Self {
+        LoadgenConfig {
+            conns: 2,
+            requests: 2_000,
+            pages: 1_024,
+            k: 128,
+            shards: 2,
+            ..LoadgenConfig::default()
+        }
+    }
+}
+
+/// Run the full load: (spawn and) target a server, replay the workload
+/// over `conns` connections, and assemble the report.
+pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
+    let inst = Arc::new(wmlp_serve::default_instance(
+        cfg.pages,
+        cfg.levels,
+        cfg.k,
+        cfg.weight_seed,
+    )?);
+    let spawned: Option<ServerHandle> = match cfg.addr {
+        Some(_) => None,
+        None => Some(
+            start(
+                Arc::clone(&inst),
+                &ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    shards: cfg.shards,
+                    queue_depth: 64,
+                    policy: cfg.policy.clone(),
+                    seed: cfg.seed,
+                },
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+    };
+    let addr = cfg
+        .addr
+        .or_else(|| spawned.as_ref().map(|h| h.addr()))
+        .ok_or_else(|| "no server address".to_string())?;
+
+    let trace = cfg.workload.trace(&inst, cfg.requests, cfg.seed);
+    let conns = cfg.conns.max(1);
+    // Round-robin partition: connection c replays requests c, c+conns, …
+    // in trace order, so the union of what the server sees is the trace
+    // (interleaved by scheduling, as real concurrent clients would be).
+    let slices: Vec<Vec<Request>> = (0..conns)
+        .map(|c| trace.iter().copied().skip(c).step_by(conns).collect())
+        .collect();
+
+    let wall = Stopwatch::start();
+    let outcomes: Vec<Result<client::ConnOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .iter()
+            .map(|slice| scope.spawn(move || client::run_requests(&addr, slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err("connection thread panicked".into()),
+            })
+            .collect()
+    });
+    let mut hist = Histogram::new();
+    let mut totals = Totals::default();
+    for outcome in outcomes {
+        let o = outcome?;
+        hist.merge(&o.hist);
+        totals.sent += o.totals.sent;
+        totals.hits += o.totals.hits;
+        totals.errors += o.totals.errors;
+        totals.cost += o.totals.cost;
+    }
+
+    let (server_stats, shutdown_clean) = client::stats_and_shutdown(&addr, cfg.shutdown)?;
+    let wall_nanos = wall.elapsed_nanos();
+    if let Some(handle) = spawned {
+        // The SHUTDOWN frame (or its absence) decides the server's fate;
+        // make sure a spawned one is fully drained before we report.
+        handle.shutdown_and_join();
+    }
+
+    Ok(ServeReport {
+        schema_version: SCHEMA_VERSION,
+        config: ReportConfig {
+            addr: cfg
+                .addr
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "in-process".into()),
+            workload: cfg.workload.label(),
+            policy: cfg.policy.clone(),
+            shards: cfg.shards as u64,
+            conns: conns as u64,
+            requests: cfg.requests as u64,
+            pages: cfg.pages as u64,
+            levels: cfg.levels as u64,
+            k: cfg.k as u64,
+            seed: cfg.seed,
+            weight_seed: cfg.weight_seed,
+        },
+        totals,
+        latency: LatencySummary::from_histogram(&hist),
+        wall_nanos,
+        throughput_rps: if wall_nanos == 0 {
+            0.0
+        } else {
+            totals.sent as f64 / (wall_nanos as f64 / 1e9)
+        },
+        server: server_stats.into(),
+        shutdown_clean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_parsing_and_labels() {
+        assert_eq!(
+            Workload::parse("zipf", 0.8, 0.0).unwrap().label(),
+            "zipf(alpha=0.8)"
+        );
+        assert_eq!(
+            Workload::parse("cyclic", 0.8, 0.0).unwrap().label(),
+            "cyclic"
+        );
+        assert_eq!(
+            Workload::parse("writeback", 1.0, 0.25).unwrap().label(),
+            "writeback(alpha=1,q=0.25)"
+        );
+        assert!(Workload::parse("nope", 0.8, 0.0).is_err());
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_sized() {
+        let inst = wmlp_serve::default_instance(64, 3, 8, 7).unwrap();
+        for w in [
+            Workload::Zipf { alpha: 0.9 },
+            Workload::Cyclic,
+            Workload::Writeback { alpha: 0.9, q: 0.3 },
+        ] {
+            let a = w.trace(&inst, 100, 5);
+            let b = w.trace(&inst, 100, 5);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 100);
+            assert!(inst.validate_trace(&a).is_ok());
+        }
+    }
+
+    #[test]
+    fn smoke_run_in_process_end_to_end() {
+        let report = run(&LoadgenConfig {
+            requests: 500,
+            ..LoadgenConfig::smoke()
+        })
+        .unwrap();
+        assert_eq!(report.totals.sent, 500);
+        assert_eq!(report.totals.errors, 0);
+        assert_eq!(report.server.requests, 500);
+        assert_eq!(report.latency.count, 500);
+        assert!(report.latency.p50 <= report.latency.p99);
+        assert!(report.shutdown_clean);
+        assert!(report.throughput_rps > 0.0);
+        // Client- and server-side cost accounting must agree exactly.
+        assert_eq!(report.totals.cost, report.server.cost);
+        assert_eq!(report.totals.hits, report.server.hits);
+    }
+}

@@ -1,0 +1,94 @@
+//! `wmlp-loadgen` — drive a `wmlp-serve` instance and write SERVE.json.
+//!
+//! ```text
+//! # against a running server (instance tuples must match):
+//! wmlp-loadgen --addr 127.0.0.1:4600 --requests 100000 --conns 8 \
+//!              --workload zipf --alpha 0.9 --out SERVE.json
+//!
+//! # self-contained: spawn an in-process server on a loopback port
+//! wmlp-loadgen --spawn --policy "landlord(eta=0.5)" --shards 8
+//!
+//! # CI smoke: small run, exits nonzero unless throughput > 0 and the
+//! # shutdown handshake completed
+//! wmlp-loadgen --smoke --out SERVE.json
+//! ```
+
+use wmlp_loadgen::{run, LoadgenConfig, Workload};
+use wmlp_serve::cli::{flag, flag_parse, switch};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("wmlp-loadgen: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let base = if switch(&args, "--smoke") {
+        LoadgenConfig::smoke()
+    } else {
+        LoadgenConfig::default()
+    };
+
+    let addr = match flag(&args, "--addr") {
+        Some(a) if !switch(&args, "--spawn") => match a.parse() {
+            Ok(sock) => Some(sock),
+            Err(e) => fail(&format!("--addr {a}: {e}")),
+        },
+        _ => None, // --spawn (or no --addr): in-process server
+    };
+    let workload = match Workload::parse(
+        flag(&args, "--workload").unwrap_or("zipf"),
+        flag_parse(&args, "--alpha", 0.9f64),
+        flag_parse(&args, "--write-ratio", 0.3f64),
+    ) {
+        Ok(w) => w,
+        Err(e) => fail(&e),
+    };
+    let cfg = LoadgenConfig {
+        addr,
+        conns: flag_parse(&args, "--conns", base.conns),
+        requests: flag_parse(&args, "--requests", base.requests),
+        workload,
+        seed: flag_parse(&args, "--seed", base.seed),
+        pages: flag_parse(&args, "--pages", base.pages),
+        levels: flag_parse(&args, "--levels", base.levels),
+        k: flag_parse(&args, "--k", base.k),
+        weight_seed: flag_parse(&args, "--weight-seed", base.weight_seed),
+        policy: flag(&args, "--policy").unwrap_or(&base.policy).to_string(),
+        shards: flag_parse(&args, "--shards", base.shards),
+        shutdown: !switch(&args, "--no-shutdown"),
+    };
+
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => fail(&e),
+    };
+    if let Some(path) = flag(&args, "--out") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            fail(&format!("--out {path}: {e}"));
+        }
+    }
+    println!(
+        "{} served / {} errors | p50 {}ns p95 {}ns p99 {}ns max {}ns | {:.0} req/s | shutdown {}",
+        report.totals.sent,
+        report.totals.errors,
+        report.latency.p50,
+        report.latency.p95,
+        report.latency.p99,
+        report.latency.max,
+        report.throughput_rps,
+        if report.shutdown_clean {
+            "clean"
+        } else {
+            "skipped"
+        },
+    );
+    // Smoke contract for CI: nonzero throughput, no errors, clean
+    // handshake when shutdown was requested.
+    let ok = report.totals.sent > 0
+        && report.totals.errors == 0
+        && (!cfg.shutdown || report.shutdown_clean);
+    if !ok {
+        fail("smoke contract violated (no throughput, errors, or unclean shutdown)");
+    }
+}

@@ -1,0 +1,244 @@
+//! The SERVE.json report schema.
+//!
+//! A load run emits exactly one [`ServeReport`], serialized with the
+//! workspace serde shim. Schema (`schema_version` 1):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "config": {             // what was run (replayable part)
+//!     "addr": str,          // server address ("in-process" when spawned)
+//!     "workload": str,      // "zipf(alpha=0.9)" | "cyclic" | "writeback(q=0.3)"
+//!     "policy": str,        // server policy spec (informational)
+//!     "shards": u64,        // server shard count (informational)
+//!     "conns": u64,         // client connections
+//!     "requests": u64,      // total requests attempted
+//!     "pages": u64, "levels": u64, "k": u64,
+//!     "seed": u64, "weight_seed": u64
+//!   },
+//!   "totals": {             // client-side outcome counts
+//!     "sent": u64,          // requests that received a Served reply
+//!     "hits": u64,          // ... that were cache hits
+//!     "errors": u64,        // Error replies (any code)
+//!     "cost": u64           // sum of reported fetch costs
+//!   },
+//!   "latency": {            // per-request round-trip, nanoseconds
+//!     "count": u64,
+//!     "p50": u64, "p90": u64, "p95": u64, "p99": u64,
+//!     "max": u64, "mean": u64
+//!   },
+//!   "wall_nanos": u64,      // whole-run wall time (machine-dependent)
+//!   "throughput_rps": f64,  // sent / wall seconds (machine-dependent)
+//!   "server": {             // final STATS reply from the server
+//!     "requests": u64, "hits": u64, "fetches": u64,
+//!     "evictions": u64, "cost": u64
+//!   },
+//!   "shutdown_clean": bool  // server acknowledged SHUTDOWN with BYE
+//! }
+//! ```
+//!
+//! Everything under `latency`, `wall_nanos` and `throughput_rps` is
+//! machine-dependent; everything else is deterministic for a fixed
+//! config.
+
+use serde::{Deserialize, Serialize};
+use wmlp_core::wire::WireStats;
+use wmlp_sim::Histogram;
+
+/// Replayable run parameters, echoed into the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportConfig {
+    /// Server address, or `"in-process"` for a spawned server.
+    pub addr: String,
+    /// Workload label, e.g. `"zipf(alpha=0.9)"`.
+    pub workload: String,
+    /// Server policy spec (informational; the server owns the policy).
+    pub policy: String,
+    /// Server shard count (informational).
+    pub shards: u64,
+    /// Concurrent client connections.
+    pub conns: u64,
+    /// Total requests attempted.
+    pub requests: u64,
+    /// Instance pages.
+    pub pages: u64,
+    /// Instance levels.
+    pub levels: u64,
+    /// Instance cache capacity.
+    pub k: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Instance weight seed.
+    pub weight_seed: u64,
+}
+
+/// Client-side outcome counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Totals {
+    /// Requests answered with a `Served` frame.
+    pub sent: u64,
+    /// Served replies that were cache hits.
+    pub hits: u64,
+    /// Requests answered with an `Error` frame.
+    pub errors: u64,
+    /// Sum of server-reported fetch costs.
+    pub cost: u64,
+}
+
+/// Latency quantiles in nanoseconds, extracted from a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Arithmetic mean, rounded down.
+    pub mean: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram of nanosecond samples.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max(),
+            mean: h.mean() as u64,
+        }
+    }
+}
+
+/// Mirror of the server's STATS reply (the wire struct is not a serde
+/// type; this one is).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests the server processed.
+    pub requests: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Fetches (misses).
+    pub fetches: u64,
+    /// Evicted copies.
+    pub evictions: u64,
+    /// Total fetch cost.
+    pub cost: u64,
+}
+
+impl From<WireStats> for ServerStats {
+    fn from(s: WireStats) -> Self {
+        ServerStats {
+            requests: s.requests,
+            hits: s.hits,
+            fetches: s.fetches,
+            evictions: s.evictions,
+            cost: s.cost,
+        }
+    }
+}
+
+/// The complete SERVE.json document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Schema version of this document (currently 1).
+    pub schema_version: u32,
+    /// What was run.
+    pub config: ReportConfig,
+    /// Client-side outcome counts.
+    pub totals: Totals,
+    /// Round-trip latency summary (nanoseconds; machine-dependent).
+    pub latency: LatencySummary,
+    /// Whole-run wall time in nanoseconds (machine-dependent).
+    pub wall_nanos: u64,
+    /// Served requests per wall-clock second (machine-dependent).
+    pub throughput_rps: f64,
+    /// The server's final STATS counters.
+    pub server: ServerStats,
+    /// Whether SHUTDOWN was acknowledged with BYE.
+    pub shutdown_clean: bool,
+}
+
+/// Current `schema_version` written by this crate.
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl ServeReport {
+    /// Pretty-printed JSON (the SERVE.json bytes).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse a report back from [`ServeReport::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        let mut h = Histogram::new();
+        for v in [5u64, 10, 10, 200, 3_000_000] {
+            h.record(v);
+        }
+        ServeReport {
+            schema_version: SCHEMA_VERSION,
+            config: ReportConfig {
+                addr: "in-process".into(),
+                workload: "zipf(alpha=0.9)".into(),
+                policy: "landlord".into(),
+                shards: 8,
+                conns: 4,
+                requests: 5,
+                pages: 1024,
+                levels: 3,
+                k: 128,
+                seed: 42,
+                weight_seed: 7,
+            },
+            totals: Totals {
+                sent: 5,
+                hits: 2,
+                errors: 0,
+                cost: 91,
+            },
+            latency: LatencySummary::from_histogram(&h),
+            wall_nanos: 123,
+            throughput_rps: 40.6,
+            server: ServerStats {
+                requests: 5,
+                hits: 2,
+                fetches: 3,
+                evictions: 1,
+                cost: 91,
+            },
+            shutdown_clean: true,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let back = ServeReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn latency_summary_orders_quantiles() {
+        let l = sample().latency;
+        assert_eq!(l.count, 5);
+        assert!(l.p50 <= l.p90 && l.p90 <= l.p95 && l.p95 <= l.p99 && l.p99 <= l.max);
+        assert_eq!(l.max, 3_000_000);
+    }
+}

@@ -1,0 +1,45 @@
+//! The only timing site in the serving stack.
+//!
+//! Latency measurement is inherently wall-clock, which the repo's lint
+//! otherwise bans (determinism rule D2). All `Instant` use is confined to
+//! this file — `crates/loadgen/src/timing.rs` is path-allowlisted in
+//! `wmlp-lint` — so everything else in `wmlp-serve`/`wmlp-loadgen` stays
+//! mechanically clock-free. Measured durations only ever flow into
+//! reports (SERVE.json), never into request generation or policy
+//! decisions, so load runs stay replayable even though their latencies
+//! are not.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating at `u64::MAX`.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+    }
+}

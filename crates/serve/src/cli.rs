@@ -1,0 +1,42 @@
+//! Minimal flag parsing for the `wmlp-serve` binary (same shape as the
+//! helpers in `wmlp-bench`, kept dependency-free on purpose; also used by
+//! `wmlp-loadgen`).
+
+/// The value following `name` in `args`, if present.
+pub fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// Parse the value following `name`, falling back to `default` when the
+/// flag is absent or unparsable.
+pub fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Is the bare switch `name` present?
+pub fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_like_bench_cli() {
+        let a: Vec<String> = ["--shards", "8", "--smoke"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag(&a, "--shards"), Some("8"));
+        assert_eq!(flag_parse(&a, "--shards", 1usize), 8);
+        assert_eq!(flag_parse(&a, "--missing", 3u64), 3);
+        assert!(switch(&a, "--smoke"));
+        assert!(!switch(&a, "--replay"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # wmlp-serve — a sharded TCP cache server driven by paging policies
+//!
+//! Turns the simulation stack into a network service: clients speak the
+//! length-prefixed binary protocol of [`wmlp_core::wire`] (see
+//! PROTOCOL.md at the repo root) to a server that hash-shards the page
+//! space across independent [`wmlp_sim::SimSession`] engines, each
+//! running an online policy built from a [`wmlp_algos::PolicyRegistry`]
+//! spec string such as `"landlord(eta=0.5)"`.
+//!
+//! * [`spsc`] — the bounded single-producer/single-consumer rings feeding
+//!   each shard worker.
+//! * [`shard`] — the page → shard map, per-shard instance splitting, the
+//!   worker loop, and lock-free stat counters.
+//! * [`server`] — acceptor/router/connection threads, graceful shutdown
+//!   with in-flight draining, and the [`server::ServerHandle`] lifecycle.
+//! * [`replay`] — `--replay` mode: a single-engine canonical reference
+//!   run whose JSON manifest is byte-identical across repeats, machines,
+//!   and shard counts.
+//!
+//! The companion `wmlp-loadgen` crate is the matching closed-loop client.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod replay;
+pub mod server;
+pub mod shard;
+pub mod spsc;
+
+pub use replay::replay_manifest;
+pub use server::{start, ServeConfig, ServeError, ServerHandle};
+pub use shard::{shard_instances, ShardMap, ShardStats};
+
+use wmlp_core::instance::MlInstance;
+use wmlp_workloads::ml_rows_geometric;
+
+/// The instance both `wmlp-serve` and `wmlp-loadgen` construct when no
+/// `--instance` file is given: geometric per-level weights, identical to
+/// the `simulate gen` defaults, so the same `(pages, levels, k,
+/// weight_seed)` tuple always names the same instance on both sides of
+/// the socket.
+pub fn default_instance(
+    pages: usize,
+    levels: u8,
+    k: usize,
+    weight_seed: u64,
+) -> Result<MlInstance, String> {
+    let rows = ml_rows_geometric(pages, levels, 16, 256, 4, weight_seed);
+    MlInstance::from_rows(k, rows).map_err(|e| format!("bad instance shape: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_instance_is_deterministic() {
+        let a = default_instance(64, 3, 8, 7).unwrap();
+        let b = default_instance(64, 3, 8, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.n(), 64);
+        assert_eq!(a.k(), 8);
+        assert_eq!(a.max_levels(), 3);
+        assert!(default_instance(8, 3, 8, 7).is_err());
+    }
+}

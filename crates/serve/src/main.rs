@@ -1,0 +1,106 @@
+//! `wmlp-serve` — serve a paging policy over TCP, or replay a trace
+//! deterministically.
+//!
+//! ```text
+//! # serve (runs until a client sends SHUTDOWN)
+//! wmlp-serve --addr 127.0.0.1:4600 --shards 8 --k 4096 --pages 65536 \
+//!            --levels 3 --policy "landlord(eta=0.5)" --seed 42
+//!
+//! # canonical replay: single engine, byte-stable JSON manifest
+//! wmlp-serve --replay trace.txt --policy lru --out manifest.json
+//! ```
+//!
+//! The instance is read from `--instance <file>` (wmlp-instance v1
+//! format) or generated from `--pages/--levels/--k/--weight-seed` exactly
+//! like `simulate gen`, so a loadgen configured with the same tuple
+//! targets the same instance.
+
+use std::sync::Arc;
+
+use wmlp_core::codec;
+use wmlp_core::instance::MlInstance;
+use wmlp_serve::cli::{flag, flag_parse};
+use wmlp_serve::{default_instance, replay_manifest, server, ServeConfig};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("wmlp-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn load_instance(args: &[String]) -> Arc<MlInstance> {
+    let inst = match flag(args, "--instance") {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match codec::parse_instance(&text) {
+                Ok(inst) => inst,
+                Err(e) => fail(&format!("--instance {path}: {e}")),
+            },
+            Err(e) => fail(&format!("--instance {path}: {e}")),
+        },
+        None => {
+            let pages = flag_parse(args, "--pages", 65_536usize);
+            let levels = flag_parse(args, "--levels", 3u8);
+            let k = flag_parse(args, "--k", 4096usize);
+            let weight_seed = flag_parse(args, "--weight-seed", 7u64);
+            match default_instance(pages, levels, k, weight_seed) {
+                Ok(inst) => inst,
+                Err(e) => fail(&e),
+            }
+        }
+    };
+    Arc::new(inst)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let policy = flag(&args, "--policy").unwrap_or("lru").to_string();
+    let seed = flag_parse(&args, "--seed", 0u64);
+    let inst = load_instance(&args);
+
+    if let Some(trace_path) = flag(&args, "--replay") {
+        let text = match std::fs::read_to_string(trace_path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("--replay {trace_path}: {e}")),
+        };
+        let trace = match codec::parse_trace(&text) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("--replay {trace_path}: {e}")),
+        };
+        if let Err(e) = inst.validate_trace(&trace) {
+            fail(&format!("--replay {trace_path}: {e}"));
+        }
+        let json = match replay_manifest(inst, trace, &policy, seed) {
+            Ok(j) => j,
+            Err(e) => fail(&e),
+        };
+        match flag(&args, "--out") {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    fail(&format!("--out {path}: {e}"));
+                }
+                println!("wrote {path}");
+            }
+            None => println!("{json}"),
+        }
+        return;
+    }
+
+    let cfg = ServeConfig {
+        addr: flag(&args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        shards: flag_parse(&args, "--shards", 1usize),
+        queue_depth: flag_parse(&args, "--queue-depth", 64usize),
+        policy,
+        seed,
+    };
+    let handle = match server::start(inst, &cfg) {
+        Ok(h) => h,
+        Err(e) => fail(&e.to_string()),
+    };
+    // Scripts (and the loadgen --wait-banner mode) parse this line for
+    // the resolved port, so keep its shape stable.
+    println!("listening on {}", handle.addr());
+    let stats = handle.join();
+    println!(
+        "served {} requests ({} hits, {} fetches, {} evictions, cost {})",
+        stats.requests, stats.hits, stats.fetches, stats.evictions, stats.cost
+    );
+}

@@ -1,0 +1,70 @@
+//! Deterministic replay mode: a canonical, single-threaded reference run.
+//!
+//! `wmlp-serve --replay <trace>` does not open a socket at all — it feeds
+//! the whole trace through one engine (the semantics of shard count 1)
+//! via the scenario [`Runner`] and emits the run's canonical JSON
+//! manifest. "Canonical" zeroes wall-clock fields, so the output is a
+//! pure function of (instance, trace, policy spec, seed): repeated runs,
+//! different machines, and different `--shards` values all produce
+//! byte-identical bytes. This is the ground truth a sharded deployment
+//! can be audited against.
+
+use std::sync::Arc;
+
+use wmlp_algos::PolicyRegistry;
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_sim::runner::{Runner, Scenario};
+
+/// Run `trace` through `policy` on one engine and return the canonical
+/// manifest JSON (byte-stable across repeats, machines, and shard
+/// counts).
+pub fn replay_manifest(
+    inst: Arc<MlInstance>,
+    trace: Vec<Request>,
+    policy: &str,
+    seed: u64,
+) -> Result<String, String> {
+    let registry = PolicyRegistry::standard();
+    let runner = Runner::new(
+        |spec: &str, inst: &MlInstance, seed: u64| -> Result<_, String> {
+            registry.build(spec, inst, seed)
+        },
+    );
+    let scenario = Scenario::new("replay", inst, trace)
+        .policies([policy])
+        .seeds([seed]);
+    let manifest = runner
+        .run("replay", &[scenario])
+        .map_err(|e| e.to_string())?;
+    Ok(manifest.canonical().to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmlp_workloads::{zipf_trace, LevelDist};
+
+    fn setup() -> (Arc<MlInstance>, Vec<Request>) {
+        let inst = Arc::new(
+            MlInstance::from_rows(8, (0..64).map(|p| vec![8 + p % 7, 2, 1]).collect()).unwrap(),
+        );
+        let trace = zipf_trace(&inst, 0.9, 400, LevelDist::Uniform, 11);
+        (inst, trace)
+    }
+
+    #[test]
+    fn replay_is_byte_identical_across_runs() {
+        let (inst, trace) = setup();
+        let a = replay_manifest(Arc::clone(&inst), trace.clone(), "landlord", 3).unwrap();
+        let b = replay_manifest(inst, trace, "landlord", 3).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"policy\": \"landlord\""));
+    }
+
+    #[test]
+    fn replay_reports_unknown_policies() {
+        let (inst, trace) = setup();
+        let err = replay_manifest(inst, trace, "definitely-not-a-policy", 0).unwrap_err();
+        assert!(err.contains("definitely-not-a-policy"), "{err}");
+    }
+}

@@ -1,0 +1,391 @@
+//! The TCP server: acceptor, router, connection handlers, and lifecycle.
+//!
+//! Thread topology (all std threads, no async runtime):
+//!
+//! ```text
+//! acceptor ──spawns──▶ connection threads (one per client)
+//!                         │  (shard_idx, ShardJob) over a shared mpsc
+//!                         ▼
+//!                      router ──SPSC ring per shard──▶ shard workers
+//!                         ▲                                │
+//!                         └──────── reply mpsc ◀───────────┘
+//! ```
+//!
+//! Connections are closed-loop: each decodes one frame, routes it, waits
+//! for the shard's reply, writes it back, and only then reads the next
+//! frame — so per-connection ordering is trivial and the reply channel
+//! never interleaves. The router is the *single* producer into every
+//! shard ring, which is what lets the rings be true SPSC with blocking
+//! backpressure.
+//!
+//! Graceful shutdown (a SHUTDOWN frame or [`ServerHandle::shutdown`])
+//! sets a flag, wakes the acceptor with a loopback connection, and
+//! half-closes client sockets to unblock their reads. Requests already
+//! queued in shard rings are still served and answered — the rings drain
+//! before the workers exit — while requests arriving after the flag are
+//! refused with [`ErrorCode::ShuttingDown`].
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use wmlp_algos::PolicyRegistry;
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::wire::{write_frame, ErrorCode, Frame, FrameReader, ReadError, WireStats};
+
+use crate::shard::{run_shard, shard_instances, ShardJob, ShardMap, ShardStats};
+use crate::spsc;
+
+/// Everything the server needs besides the instance itself.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Number of shard workers (≥ 1).
+    pub shards: usize,
+    /// Per-shard ring capacity; a full ring back-pressures the router.
+    pub queue_depth: usize,
+    /// Policy spec, in [`PolicyRegistry`] syntax (e.g.
+    /// `"landlord(eta=0.5)"`).
+    pub policy: String,
+    /// Policy seed; shard `s` gets `seed + s` so randomized policies
+    /// don't move in lock-step.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 1,
+            queue_depth: 64,
+            policy: "lru".into(),
+            seed: 0,
+        }
+    }
+}
+
+/// Server startup/configuration failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure while binding or accepting.
+    Io(std::io::Error),
+    /// The instance cannot be split as requested.
+    BadConfig(String),
+    /// The policy spec was rejected by the registry.
+    Policy(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::BadConfig(m) => write!(f, "bad config: {m}"),
+            ServeError::Policy(m) => write!(f, "bad policy: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// State shared between the handle, acceptor, and connection threads.
+struct Inner {
+    addr: SocketAddr,
+    inst: Arc<MlInstance>,
+    map: ShardMap,
+    shutdown: AtomicBool,
+    /// Handles to live client sockets keyed by connection id, half-closed
+    /// on shutdown to unblock their reads. Connection threads deregister
+    /// themselves on exit (and fully close the socket then — the
+    /// registered duplicate fd would otherwise hold it open and starve
+    /// clients waiting on EOF).
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    stats: Vec<Arc<ShardStats>>,
+}
+
+fn lock_conns(inner: &Inner) -> std::sync::MutexGuard<'_, Vec<(u64, TcpStream)>> {
+    match inner.conns.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl Inner {
+    /// Flip the shutdown flag; on the first call, wake the acceptor and
+    /// unblock every connection's pending read.
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for (_, c) in lock_conns(self).iter() {
+            let _ = c.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown_and_join`] (or have a client send SHUTDOWN
+/// and then [`ServerHandle::join`]).
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    router: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Aggregate stats across shards, racy but monotone.
+    pub fn stats(&self) -> WireStats {
+        ShardStats::aggregate(&self.inner.stats)
+    }
+
+    /// Request shutdown without blocking; idempotent.
+    pub fn shutdown(&self) {
+        self.inner.trigger_shutdown();
+    }
+
+    /// Wait for the server to stop (a SHUTDOWN frame or a prior
+    /// [`ServerHandle::shutdown`] call) and return the final aggregate
+    /// stats after every shard has drained.
+    pub fn join(mut self) -> WireStats {
+        // The acceptor joins its connection threads before returning,
+        // which drops the last router sender; the router then exits,
+        // closing the shard rings; the shards drain and exit. This
+        // ordering is what guarantees in-flight requests are served.
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
+        ShardStats::aggregate(&self.inner.stats)
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) -> WireStats {
+        self.shutdown();
+        self.join()
+    }
+}
+
+/// Bind, spawn the worker topology, and return a handle.
+///
+/// Fails fast — before binding — if the instance cannot be sharded or the
+/// policy spec is invalid.
+pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, ServeError> {
+    let shard_insts = shard_instances(&inst, cfg.shards).map_err(ServeError::BadConfig)?;
+    // Validate the spec against every shard instance up front (policies
+    // are not Send, so the real builds happen inside the shard threads).
+    let registry = PolicyRegistry::standard();
+    for (s, si) in shard_insts.iter().enumerate() {
+        registry
+            .build(&cfg.policy, si, cfg.seed.wrapping_add(s as u64))
+            .map_err(ServeError::Policy)?;
+    }
+
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let stats: Vec<Arc<ShardStats>> = shard_insts
+        .iter()
+        .map(|_| Arc::new(ShardStats::default()))
+        .collect();
+    let inner = Arc::new(Inner {
+        addr,
+        inst,
+        map: ShardMap::new(shard_insts.len()),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+        stats: stats.clone(),
+    });
+
+    // Shard workers, each on its own ring.
+    let mut rings = Vec::with_capacity(shard_insts.len());
+    let mut shard_handles = Vec::with_capacity(shard_insts.len());
+    for (s, (si, st)) in shard_insts.into_iter().zip(stats).enumerate() {
+        let (tx, rx) = spsc::channel(cfg.queue_depth.max(1));
+        rings.push(tx);
+        let spec = cfg.policy.clone();
+        let seed = cfg.seed.wrapping_add(s as u64);
+        shard_handles.push(std::thread::spawn(move || {
+            // Already validated above; a failure here would be a
+            // non-deterministic registry, which none of the policies are.
+            if let Ok(mut policy) = PolicyRegistry::standard().build(&spec, &si, seed) {
+                run_shard(&si, policy.as_mut(), rx, &st);
+            }
+        }));
+    }
+
+    // Router: sole producer into every ring.
+    let (route_tx, route_rx) = mpsc::channel::<(usize, ShardJob)>();
+    let router = std::thread::spawn(move || {
+        while let Ok((s, job)) = route_rx.recv() {
+            if rings[s].send(job).is_err() {
+                break; // shard died; nothing sensible left to do
+            }
+        }
+        // Dropping `rings` here closes the shard rings; workers drain
+        // whatever is queued and exit.
+    });
+
+    // Acceptor: owns the listener and every connection handle.
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || {
+            let mut conn_handles = Vec::new();
+            let mut next_id = 0u64;
+            for stream in listener.incoming() {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break; // the wake connection, or a late client
+                }
+                let Ok(stream) = stream else { continue };
+                next_id += 1;
+                let id = next_id;
+                if let Ok(registered) = stream.try_clone() {
+                    lock_conns(&inner).push((id, registered));
+                }
+                let inner = Arc::clone(&inner);
+                let route_tx = route_tx.clone();
+                conn_handles.push(std::thread::spawn(move || {
+                    serve_connection(&inner, id, stream, &route_tx);
+                }));
+            }
+            for h in conn_handles {
+                let _ = h.join();
+            }
+            // `route_tx` (the original) drops here, after every clone in
+            // the connection threads — the router sees the channel close
+            // only once all in-flight requests have been routed.
+        })
+    };
+
+    Ok(ServerHandle {
+        inner,
+        acceptor: Some(acceptor),
+        router: Some(router),
+        shards: shard_handles,
+    })
+}
+
+/// One client connection: decode → route → await reply → respond.
+fn serve_connection(
+    inner: &Inner,
+    id: u64,
+    stream: TcpStream,
+    route_tx: &mpsc::Sender<(usize, ShardJob)>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        lock_conns(inner).retain(|(cid, _)| *cid != id);
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = FrameReader::new(stream);
+    let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+    loop {
+        let frame = match reader.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => break, // clean EOF
+            Err(ReadError::Wire(e)) => {
+                // Protocol violation: explain, then hang up (framing is
+                // unrecoverable once the byte stream is off the rails).
+                let _ = respond(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::BadRequest,
+                        detail: e.to_string(),
+                    },
+                );
+                break;
+            }
+            Err(_) => break, // io error or truncated EOF
+        };
+        let req = match frame {
+            Frame::Get { page, level } => Request::new(page, level),
+            Frame::Put { page } => Request::new(page, 1),
+            Frame::Stats => {
+                let reply = Frame::StatsReply(ShardStats::aggregate(&inner.stats));
+                if respond(&mut writer, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Frame::Shutdown => {
+                let _ = respond(&mut writer, &Frame::Bye);
+                inner.trigger_shutdown();
+                break;
+            }
+            // Response opcodes are meaningless as requests.
+            _ => {
+                let reply = Frame::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: "not a request frame".into(),
+                };
+                if respond(&mut writer, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let reply = if inner.shutdown.load(Ordering::SeqCst) {
+            Frame::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: "server is draining".into(),
+            }
+        } else if !inner.inst.request_valid(req) {
+            Frame::Error {
+                code: ErrorCode::BadRequest,
+                detail: format!(
+                    "request ({}, {}) outside instance (n = {}, max level {})",
+                    req.page,
+                    req.level,
+                    inner.inst.n(),
+                    inner.inst.max_levels()
+                ),
+            }
+        } else {
+            let shard = inner.map.shard_of(req.page);
+            let job = ShardJob {
+                req: inner.map.localize(req),
+                reply: reply_tx.clone(),
+            };
+            if route_tx.send((shard, job)).is_err() {
+                break; // router gone: server is tearing down
+            }
+            match reply_rx.recv() {
+                Ok(f) => f,
+                Err(_) => break,
+            }
+        };
+        if respond(&mut writer, &reply).is_err() {
+            break;
+        }
+    }
+    // Close the socket for real (the registry's duplicate fd would keep
+    // it open and leave the client waiting on an EOF that never comes),
+    // then drop our registration.
+    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+    lock_conns(inner).retain(|(cid, _)| *cid != id);
+}
+
+/// Write one frame and flush (closed-loop clients block on the reply).
+fn respond<W: Write>(writer: &mut W, frame: &Frame) -> std::io::Result<()> {
+    write_frame(writer, frame)
+}

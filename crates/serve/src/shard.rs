@@ -1,0 +1,283 @@
+//! Key-space sharding and the shard worker loop.
+//!
+//! The server hash-shards pages across `N` independent shard workers with
+//! the deterministic map `shard(p) = p mod N`, `local(p) = p div N` — each
+//! shard owns an [`MlInstance`] over its slice of the page universe plus
+//! its slice `k_s` of the total cache capacity, and drives its own policy
+//! through an incremental [`SimSession`]. Shards share nothing but their
+//! input ring and a snapshot-friendly [`ShardStats`] block, so they scale
+//! without synchronization on the eviction hot path.
+//!
+//! Sharded capacity is *partitioned*, not pooled: `N` shards of capacity
+//! `k/N` behave like `N` small caches, not one big one. The canonical
+//! single-engine semantics (what `--replay` reports) are those of shard
+//! count 1.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::policy::OnlinePolicy;
+use wmlp_core::wire::{ErrorCode, Frame, WireStats};
+use wmlp_sim::engine::SimSession;
+
+use crate::spsc;
+
+/// The deterministic page → shard map.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A map over `shards ≥ 1` shards.
+    pub fn new(shards: usize) -> Self {
+        ShardMap {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `page`.
+    #[inline]
+    pub fn shard_of(&self, page: u32) -> usize {
+        page as usize % self.shards
+    }
+
+    /// The page id of `page` within its owning shard's instance.
+    #[inline]
+    pub fn local_of(&self, page: u32) -> u32 {
+        page / self.shards as u32
+    }
+
+    /// Rewrite a global request into the owning shard's id space.
+    #[inline]
+    pub fn localize(&self, req: Request) -> Request {
+        Request {
+            page: self.local_of(req.page),
+            level: req.level,
+        }
+    }
+}
+
+/// Split a global instance into per-shard instances: shard `s` owns the
+/// pages `p ≡ s (mod N)` (with their global weight rows) and capacity
+/// `⌊k/N⌋` plus one of the `k mod N` remainder slots. Errors if any shard
+/// would violate the `n > k` instance invariant.
+pub fn shard_instances(global: &MlInstance, shards: usize) -> Result<Vec<MlInstance>, String> {
+    let map = ShardMap::new(shards);
+    let n = global.n();
+    let k = global.k();
+    if shards > k {
+        return Err(format!("{shards} shards need k ≥ {shards}, got k = {k}"));
+    }
+    let mut out = Vec::with_capacity(map.shards());
+    for s in 0..map.shards() {
+        let rows: Vec<Vec<u64>> = (s..n)
+            .step_by(map.shards())
+            .map(|p| global.weights().row(p as u32).to_vec())
+            .collect();
+        let k_s = k / map.shards() + usize::from(s < k % map.shards());
+        let inst = MlInstance::from_rows(k_s, rows).map_err(|e| {
+            format!(
+                "shard {s}/{shards} is infeasible (local k = {k_s}): {e}; \
+                 use more pages or fewer shards"
+            )
+        })?;
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+/// Monotone per-shard counters, updated by the shard worker and read by
+/// any thread answering a STATS frame.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    fetches: AtomicU64,
+    evictions: AtomicU64,
+    cost: AtomicU64,
+    /// Steps rejected by the engine (policy misbehaviour).
+    errors: AtomicU64,
+}
+
+impl ShardStats {
+    /// A point-in-time snapshot as wire stats.
+    pub fn snapshot(&self) -> WireStats {
+        WireStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cost: self.cost.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Engine-rejected steps so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Sum a slice of shard stats into one aggregate.
+    pub fn aggregate(all: &[Arc<ShardStats>]) -> WireStats {
+        let mut total = WireStats::default();
+        for s in all {
+            let snap = s.snapshot();
+            total.requests += snap.requests;
+            total.hits += snap.hits;
+            total.fetches += snap.fetches;
+            total.evictions += snap.evictions;
+            total.cost += snap.cost;
+        }
+        total
+    }
+}
+
+/// One unit of work routed to a shard: a shard-local request plus the
+/// originating connection's reply channel.
+pub struct ShardJob {
+    /// The request, already rewritten into the shard's local id space.
+    pub req: Request,
+    /// Where the response frame goes (the connection's outbox).
+    pub reply: mpsc::Sender<Frame>,
+}
+
+/// The shard worker loop: drain the input ring, step the engine once per
+/// job, reply with a [`Frame::Served`] (or [`Frame::Error`] if the policy
+/// misbehaves), and publish counters. Returns when the ring closes and
+/// every queued job has been served — the graceful-shutdown drain.
+pub fn run_shard(
+    inst: &MlInstance,
+    policy: &mut dyn OnlinePolicy,
+    rx: spsc::Receiver<ShardJob>,
+    stats: &ShardStats,
+) {
+    let mut session = SimSession::new(inst);
+    while let Some(job) = rx.recv() {
+        let frame = match session.step(inst, policy, job.req) {
+            Ok(out) => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                stats.hits.fetch_add(out.hit as u64, Ordering::Relaxed);
+                stats
+                    .fetches
+                    .fetch_add((!out.hit) as u64, Ordering::Relaxed);
+                stats
+                    .evictions
+                    .fetch_add(out.evictions as u64, Ordering::Relaxed);
+                stats.cost.fetch_add(out.fetch_cost, Ordering::Relaxed);
+                Frame::Served {
+                    hit: out.hit,
+                    level: out.serve_level,
+                    cost: out.fetch_cost,
+                }
+            }
+            Err(e) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                Frame::Error {
+                    code: ErrorCode::Internal,
+                    detail: e.to_string(),
+                }
+            }
+        };
+        // A send failure just means the connection hung up before its
+        // response; the step itself is already accounted.
+        let _ = job.reply.send(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn global() -> MlInstance {
+        MlInstance::from_rows(4, (0..10).map(|p| vec![10 + p as u64, 2]).collect()).unwrap()
+    }
+
+    #[test]
+    fn map_partitions_the_page_space() {
+        let map = ShardMap::new(3);
+        for p in 0..30u32 {
+            assert_eq!(map.shard_of(p), p as usize % 3);
+        }
+        // local ids are dense per shard: 0,1,2,… in global page order.
+        assert_eq!(map.local_of(0), 0);
+        assert_eq!(map.local_of(3), 1);
+        assert_eq!(map.local_of(7), 2);
+        let r = map.localize(Request::new(7, 2));
+        assert_eq!((r.page, r.level), (2, 2));
+    }
+
+    #[test]
+    fn shard_instances_split_pages_and_capacity() {
+        let g = global();
+        let shards = shard_instances(&g, 3).unwrap();
+        assert_eq!(shards.len(), 3);
+        // 10 pages → 4/3/3; k = 4 → 2/1/1.
+        assert_eq!(shards[0].n(), 4);
+        assert_eq!(shards[1].n(), 3);
+        assert_eq!(shards[2].n(), 3);
+        assert_eq!(shards[0].k(), 2);
+        assert_eq!(shards[1].k(), 1);
+        assert_eq!(shards[2].k(), 1);
+        // Shard 1 owns global pages 1, 4, 7 with their global weights.
+        assert_eq!(shards[1].weight(0, 1), 11);
+        assert_eq!(shards[1].weight(1, 1), 14);
+        assert_eq!(shards[1].weight(2, 1), 17);
+        // One shard is the identity split.
+        let one = shard_instances(&g, 1).unwrap();
+        assert_eq!(one[0], g);
+    }
+
+    #[test]
+    fn infeasible_splits_are_rejected() {
+        let g = global();
+        // More shards than capacity slots.
+        assert!(shard_instances(&g, 5).is_err());
+        // A 5-page universe over 4 shards gives some shard n = 1 = k.
+        let small = MlInstance::from_rows(4, (0..5).map(|_| vec![4]).collect()).unwrap();
+        let err = shard_instances(&small, 4).unwrap_err();
+        assert!(err.contains("infeasible"), "{err}");
+    }
+
+    #[test]
+    fn worker_serves_jobs_and_drains_on_close() {
+        use wmlp_algos::PolicyRegistry;
+        let inst = global();
+        let mut policy = PolicyRegistry::standard().build("lru", &inst, 0).unwrap();
+        let stats = ShardStats::default();
+        let (tx, rx) = spsc::channel(8);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for page in [0u32, 1, 0, 9] {
+            assert!(tx
+                .send(ShardJob {
+                    req: Request::top(page),
+                    reply: reply_tx.clone(),
+                })
+                .is_ok());
+        }
+        drop(tx);
+        run_shard(&inst, policy.as_mut(), rx, &stats);
+        let frames: Vec<Frame> = reply_rx.try_iter().collect();
+        assert_eq!(frames.len(), 4);
+        assert!(matches!(
+            frames[0],
+            Frame::Served {
+                hit: false,
+                level: 1,
+                cost: 10
+            }
+        ));
+        assert!(matches!(frames[2], Frame::Served { hit: true, .. }));
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 4);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.cost, 10 + 11 + 19);
+        assert_eq!(stats.errors(), 0);
+    }
+}

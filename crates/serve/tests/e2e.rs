@@ -1,0 +1,192 @@
+//! End-to-end tests: a real server on a loopback socket driven by a
+//! hand-rolled protocol client, plus replay-mode determinism through the
+//! actual `wmlp-serve` binary.
+
+use std::io::{BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use wmlp_core::codec;
+use wmlp_core::instance::Request;
+use wmlp_core::wire::{request_frame, write_frame, ErrorCode, Frame, FrameReader};
+use wmlp_serve::server::{start, ServeConfig};
+use wmlp_serve::{default_instance, replay_manifest};
+
+struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: FrameReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = BufWriter::new(stream.try_clone().expect("clone"));
+        Client {
+            writer,
+            reader: FrameReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, frame: &Frame) -> Frame {
+        write_frame(&mut self.writer, frame).expect("write");
+        self.reader
+            .next_frame()
+            .expect("read")
+            .expect("reply before EOF")
+    }
+}
+
+fn serve_cfg(shards: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards,
+        queue_depth: 8,
+        policy: "landlord".into(),
+        seed: 5,
+    }
+}
+
+#[test]
+fn sharded_server_serves_gets_puts_stats_and_shuts_down() {
+    let inst = Arc::new(default_instance(256, 3, 32, 7).unwrap());
+    let handle = start(Arc::clone(&inst), &serve_cfg(4)).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let mut served = 0u64;
+    let mut cost_sum = 0u64;
+    for page in 0..64u32 {
+        let level = 1 + (page % u32::from(inst.levels(page))) as u8;
+        let reply = client.roundtrip(&request_frame(Request::new(page, level)));
+        match reply {
+            Frame::Served { level: l, cost, .. } => {
+                assert!(l >= 1 && l <= level, "served deeper than requested");
+                served += 1;
+                cost_sum += cost;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    // A repeat of the last page must be a hit somewhere in the cache.
+    match client.roundtrip(&request_frame(Request::new(63, 3))) {
+        Frame::Served { hit, cost, .. } => {
+            assert!(hit);
+            assert_eq!(cost, 0);
+            served += 1;
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    match client.roundtrip(&Frame::Stats) {
+        Frame::StatsReply(stats) => {
+            assert_eq!(stats.requests, served);
+            assert_eq!(stats.cost, cost_sum);
+            assert!(stats.hits >= 1);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Out-of-universe page and out-of-range level are rejected without
+    // touching any shard.
+    for bad in [Request::new(9999, 1), Request::new(0, 9)] {
+        match client.roundtrip(&request_frame(bad)) {
+            Frame::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    assert!(matches!(client.roundtrip(&Frame::Shutdown), Frame::Bye));
+    let final_stats = handle.join();
+    assert_eq!(final_stats.requests, served);
+    assert_eq!(final_stats.cost, cost_sum);
+}
+
+#[test]
+fn corrupt_bytes_get_an_error_then_disconnect() {
+    let inst = Arc::new(default_instance(64, 2, 8, 7).unwrap());
+    let handle = start(inst, &serve_cfg(1)).unwrap();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(b"GET / HTTP/1.1\r\n").unwrap(); // wrong protocol
+    writer.flush().unwrap();
+    let mut reader = FrameReader::new(stream);
+    match reader.next_frame().unwrap() {
+        Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    // The server hangs up after a framing error.
+    assert!(matches!(reader.next_frame(), Ok(None) | Err(_)));
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn requests_after_shutdown_are_refused_but_drained_work_completes() {
+    let inst = Arc::new(default_instance(64, 2, 8, 7).unwrap());
+    let handle = start(inst, &serve_cfg(2)).unwrap();
+    let mut a = Client::connect(handle.addr());
+    let mut b = Client::connect(handle.addr());
+    assert!(matches!(
+        a.roundtrip(&request_frame(Request::top(3))),
+        Frame::Served { .. }
+    ));
+    assert!(matches!(b.roundtrip(&Frame::Shutdown), Frame::Bye));
+    // `a`'s next request races the shutdown flag: it must be either
+    // refused (ShuttingDown) or fail at the socket — never hang, never
+    // be half-served.
+    write_frame(&mut a.writer, &request_frame(Request::top(4))).ok();
+    match a.reader.next_frame() {
+        Ok(Some(Frame::Error { code, .. })) => assert_eq!(code, ErrorCode::ShuttingDown),
+        Ok(Some(Frame::Served { .. })) | Ok(None) | Err(_) => {}
+        Ok(Some(other)) => panic!("unexpected reply {other:?}"),
+    }
+    let stats = handle.join();
+    assert!(stats.requests >= 1);
+}
+
+/// The `--replay` acceptance criterion: byte-identical manifests across
+/// repeated runs and across `--shards` values, through the real binary.
+#[test]
+fn replay_binary_is_byte_identical_across_runs_and_shard_counts() {
+    let inst = default_instance(128, 3, 16, 7).unwrap();
+    let trace = wmlp_workloads::zipf_trace(&inst, 0.9, 500, wmlp_workloads::LevelDist::Uniform, 13);
+    let dir = std::env::temp_dir().join(format!("wmlp-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst_path = dir.join("inst.wmlp");
+    let trace_path = dir.join("trace.wmlp");
+    std::fs::write(&inst_path, codec::write_instance(&inst)).unwrap();
+    std::fs::write(&trace_path, codec::write_trace(&trace)).unwrap();
+
+    let run = |shards: &str| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_wmlp-serve"))
+            .args([
+                "--replay",
+                trace_path.to_str().unwrap(),
+                "--instance",
+                inst_path.to_str().unwrap(),
+                "--policy",
+                "landlord",
+                "--seed",
+                "3",
+                "--shards",
+                shards,
+            ])
+            .output()
+            .expect("run wmlp-serve --replay");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run("1");
+    assert_eq!(first, run("1"), "repeat run diverged");
+    assert_eq!(first, run("8"), "shard count leaked into replay output");
+
+    // And the library path agrees with the binary's payload.
+    let json = replay_manifest(Arc::new(inst), trace, "landlord", 3).unwrap();
+    assert_eq!(
+        String::from_utf8(first).unwrap().trim_end(),
+        json.trim_end()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,11 +2,12 @@
 
 use std::time::Instant;
 
-use wmlp_core::action::StepLog;
+use wmlp_core::action::{Action, StepLog};
 use wmlp_core::cache::CacheState;
 use wmlp_core::cost::CostLedger;
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::policy::{CacheTxn, OnlinePolicy, PolicyCtx};
+use wmlp_core::types::{Level, Weight};
 
 use crate::stats::RunCounters;
 
@@ -77,6 +78,138 @@ pub struct RunResult {
     pub counters: RunCounters,
 }
 
+/// What one [`SimSession::step`] did, as seen by the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Whether the cache served the request before the policy acted.
+    pub hit: bool,
+    /// Level of the copy serving the request after the step.
+    pub serve_level: Level,
+    /// Fetch cost paid by this step, in weight units.
+    pub fetch_cost: Weight,
+    /// Copies evicted by this step.
+    pub evictions: u32,
+}
+
+/// An incremental simulation engine: the per-request half of
+/// [`run_policy`], exposed so callers that receive requests one at a time
+/// — the `wmlp-serve` shard workers — can drive a policy without owning a
+/// whole trace up front.
+///
+/// A session owns the cache, the cost ledger, the run counters and the
+/// scratch [`StepLog`]; [`SimSession::step`] serves one request with the
+/// same validation (`served`, `≤ k` copies) and the same zero-allocation
+/// hot path as the batch runner. [`run_policy`] is a thin loop over this
+/// type, so batch and incremental execution cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    cache: CacheState,
+    ledger: CostLedger,
+    counters: RunCounters,
+    log: StepLog,
+    t: usize,
+}
+
+impl SimSession {
+    /// A fresh session over an empty cache for `inst`.
+    pub fn new(inst: &MlInstance) -> Self {
+        SimSession {
+            cache: CacheState::empty(inst.n()),
+            ledger: CostLedger::default(),
+            counters: RunCounters::new(inst.max_levels()),
+            log: StepLog::default(),
+            t: 0,
+        }
+    }
+
+    /// Serve one request: validate it, let `policy` act, enforce
+    /// feasibility, and record costs and counters. Time advances by one
+    /// per call (also past a [`SimError::BadRequest`], which faithfully
+    /// consumes a trace slot; the cache is untouched in that case).
+    pub fn step(
+        &mut self,
+        inst: &MlInstance,
+        policy: &mut dyn OnlinePolicy,
+        req: Request,
+    ) -> Result<StepOutcome, SimError> {
+        let t = self.t;
+        self.t += 1;
+        if !inst.request_valid(req) {
+            return Err(SimError::BadRequest { t, req });
+        }
+        let hit = self.cache.serves(req);
+        let mut txn = CacheTxn::new(&mut self.cache, &mut self.log);
+        policy.on_request(PolicyCtx::new(inst), t, req, &mut txn);
+        txn.finish();
+        if self.cache.occupancy() > inst.k() {
+            return Err(SimError::OverCapacity {
+                t,
+                occupancy: self.cache.occupancy(),
+            });
+        }
+        if !self.cache.serves(req) {
+            return Err(SimError::NotServed { t, req });
+        }
+        let Some(serve_level) = self.cache.level_of(req.page) else {
+            // Unreachable after the serves() check above, but propagate
+            // rather than panic if the cache ever contradicts itself.
+            return Err(SimError::NotServed { t, req });
+        };
+        let mut fetch_cost: Weight = 0;
+        let mut evictions: u32 = 0;
+        for a in &self.log.actions {
+            match a {
+                Action::Fetch(c) => fetch_cost += inst.weight(c.page, c.level),
+                Action::Evict(_) => evictions += 1,
+            }
+        }
+        self.counters
+            .record_step(hit, &self.log, serve_level, self.cache.occupancy());
+        self.ledger.record_step(inst, &self.log);
+        Ok(StepOutcome {
+            hit,
+            serve_level,
+            fetch_cost,
+            evictions,
+        })
+    }
+
+    /// Requests stepped so far (including failed ones).
+    #[inline]
+    pub fn time(&self) -> usize {
+        self.t
+    }
+
+    /// The action log of the most recent step.
+    #[inline]
+    pub fn last_step(&self) -> &StepLog {
+        &self.log
+    }
+
+    /// Accumulated costs.
+    #[inline]
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Accumulated counters.
+    #[inline]
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    /// The current cache state.
+    #[inline]
+    pub fn cache(&self) -> &CacheState {
+        &self.cache
+    }
+
+    /// Consume the session into `(ledger, counters, final_cache)`.
+    pub fn finish(self) -> (CostLedger, RunCounters, CacheState) {
+        (self.ledger, self.counters, self.cache)
+    }
+}
+
 /// Run `policy` over `trace` from an empty cache. Each step is validated:
 /// the request must be served and the cache must hold at most `k` copies
 /// when the policy returns. With `record_steps`, the full action log is
@@ -118,45 +251,20 @@ pub fn run_policy(
     // lint:allow(D2): the runner's sole wall-time capture site; the value
     // only feeds `counters.wall_nanos`, which `Manifest::canonical` zeroes.
     let start = Instant::now();
-    let mut cache = CacheState::empty(inst.n());
-    let mut ledger = CostLedger::default();
-    let mut counters = RunCounters::new(inst.max_levels());
+    let mut session = SimSession::new(inst);
     let mut steps = record_steps.then(|| Vec::with_capacity(trace.len()));
-    let mut log = StepLog::default();
-    let ctx = PolicyCtx::new(inst);
-    for (t, &req) in trace.iter().enumerate() {
-        if !inst.request_valid(req) {
-            return Err(SimError::BadRequest { t, req });
-        }
-        let hit = cache.serves(req);
-        let mut txn = CacheTxn::new(&mut cache, &mut log);
-        policy.on_request(ctx, t, req, &mut txn);
-        txn.finish();
-        if cache.occupancy() > inst.k() {
-            return Err(SimError::OverCapacity {
-                t,
-                occupancy: cache.occupancy(),
-            });
-        }
-        if !cache.serves(req) {
-            return Err(SimError::NotServed { t, req });
-        }
-        let Some(serve_level) = cache.level_of(req.page) else {
-            // Unreachable after the serves() check above, but propagate
-            // rather than panic if the cache ever contradicts itself.
-            return Err(SimError::NotServed { t, req });
-        };
-        counters.record_step(hit, &log, serve_level, cache.occupancy());
-        ledger.record_step(inst, &log);
+    for &req in trace {
+        session.step(inst, policy, req)?;
         if let Some(s) = steps.as_mut() {
-            s.push(log.clone());
+            s.push(session.last_step().clone());
         }
     }
+    let (ledger, mut counters, final_cache) = session.finish();
     counters.wall_nanos = start.elapsed().as_nanos() as u64;
     Ok(RunResult {
         ledger,
         steps,
-        final_cache: cache,
+        final_cache,
         counters,
     })
 }
@@ -269,5 +377,55 @@ mod tests {
         let inst = inst();
         let res = run_policy(&inst, &[Request::new(9, 1)], &mut DoNothing, false);
         assert!(matches!(res, Err(SimError::BadRequest { t: 0, .. })));
+    }
+
+    #[test]
+    fn session_stepping_matches_batch_run() {
+        let inst = inst();
+        let trace = vec![
+            Request::new(0, 2),
+            Request::new(0, 2),
+            Request::new(1, 1),
+            Request::new(0, 1),
+            Request::new(2, 2),
+        ];
+        let batch = run_policy(&inst, &trace, &mut Demand, false).unwrap();
+        let mut session = SimSession::new(&inst);
+        let mut outcomes = Vec::new();
+        for &req in &trace {
+            outcomes.push(session.step(&inst, &mut Demand, req).unwrap());
+        }
+        assert_eq!(session.time(), trace.len());
+        // First request misses and fetches (0,2) at weight 2; the second
+        // hits the cached copy.
+        assert!(!outcomes[0].hit);
+        assert_eq!(outcomes[0].fetch_cost, 2);
+        assert!(outcomes[1].hit);
+        assert_eq!(outcomes[1].fetch_cost, 0);
+        assert_eq!(outcomes[1].serve_level, 2);
+        let (ledger, counters, cache) = session.finish();
+        assert_eq!(ledger, batch.ledger);
+        assert_eq!(counters.requests, batch.counters.requests);
+        assert_eq!(counters.hits, batch.counters.hits);
+        assert_eq!(counters.fetches, batch.counters.fetches);
+        assert_eq!(counters.serve_levels, batch.counters.serve_levels);
+        assert_eq!(cache.to_vec(), batch.final_cache.to_vec());
+    }
+
+    #[test]
+    fn session_bad_request_consumes_a_slot_without_mutation() {
+        let inst = inst();
+        let mut session = SimSession::new(&inst);
+        assert!(matches!(
+            session.step(&inst, &mut Demand, Request::new(9, 1)),
+            Err(SimError::BadRequest { t: 0, .. })
+        ));
+        assert_eq!(session.time(), 1);
+        assert_eq!(session.cache().occupancy(), 0);
+        let out = session
+            .step(&inst, &mut Demand, Request::new(0, 1))
+            .unwrap();
+        assert!(!out.hit);
+        assert_eq!(session.counters().requests, 1);
     }
 }

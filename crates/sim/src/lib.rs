@@ -26,8 +26,8 @@ pub mod sweep;
 
 pub use adversary::adaptive_trace;
 
-pub use engine::{run_policy, RunResult, SimError};
+pub use engine::{run_policy, RunResult, SimError, SimSession, StepOutcome};
 pub use frac_engine::{run_fractional, FracRunResult};
 pub use runner::{Manifest, RunRecord, Runner, Scenario};
-pub use stats::{miss_timeline, ClassBreakdown, RunCounters};
+pub use stats::{miss_timeline, ClassBreakdown, Histogram, RunCounters};
 pub use sweep::{geo_mean, mean_and_stdev, par_grid, par_seeds};

@@ -1,0 +1,75 @@
+//! Export generated traces in the `wmlp-serve` wire format.
+//!
+//! A trace exported with [`trace_wire_bytes`] is the exact byte stream a
+//! closed-loop client would write for it — one GET/PUT frame per request
+//! (level-1 requests become PUTs, deeper ones GETs, matching
+//! [`wmlp_core::wire::request_frame`]). Useful for canned protocol
+//! fixtures, piping a workload at a server with netcat-style tools, and
+//! fuzzing decoders with realistic input.
+
+use wmlp_core::instance::Request;
+use wmlp_core::wire::{decode, encode, request_frame, Frame, WireError};
+
+/// Encode `trace` as a concatenation of request frames, in trace order.
+pub fn trace_wire_bytes(trace: &[Request]) -> Vec<u8> {
+    // GET frames are 13 bytes, PUT frames 12 — reserve for the larger.
+    let mut out = Vec::with_capacity(trace.len() * 13);
+    for &req in trace {
+        encode(&request_frame(req), &mut out);
+    }
+    out
+}
+
+/// Decode a [`trace_wire_bytes`] stream back into requests. Rejects
+/// corrupt frames, trailing garbage, and non-request opcodes.
+pub fn trace_from_wire(mut bytes: &[u8]) -> Result<Vec<Request>, WireError> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        match decode(bytes)? {
+            Some((Frame::Get { page, level }, used)) => {
+                out.push(Request::new(page, level));
+                bytes = &bytes[used..];
+            }
+            Some((Frame::Put { page }, used)) => {
+                out.push(Request::new(page, 1));
+                bytes = &bytes[used..];
+            }
+            Some((other, _)) => {
+                return Err(WireError::BadPayload(match other {
+                    Frame::Stats | Frame::Shutdown => "control frame in trace stream",
+                    _ => "response frame in trace stream",
+                }))
+            }
+            None => return Err(WireError::BadPayload("truncated trace stream")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::{zipf_trace, LevelDist};
+    use wmlp_core::instance::MlInstance;
+
+    #[test]
+    fn wire_export_round_trips() {
+        let inst = MlInstance::from_rows(4, (0..32).map(|_| vec![9, 3, 1]).collect()).unwrap();
+        let trace = zipf_trace(&inst, 1.0, 200, LevelDist::Uniform, 3);
+        let bytes = trace_wire_bytes(&trace);
+        let back = trace_from_wire(&bytes).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn wire_export_rejects_garbage() {
+        let inst = MlInstance::from_rows(2, (0..8).map(|_| vec![5]).collect()).unwrap();
+        let trace = zipf_trace(&inst, 1.0, 10, LevelDist::Top, 3);
+        let mut bytes = trace_wire_bytes(&trace);
+        bytes.pop(); // truncate the final frame
+        assert!(trace_from_wire(&bytes).is_err());
+        bytes.clear();
+        bytes.extend_from_slice(b"not frames");
+        assert!(trace_from_wire(&bytes).is_err());
+    }
+}
