@@ -6,7 +6,14 @@
 //! cargo run -p wmlp-bench --release --bin perf -- --smoke     # CI smoke
 //! cargo run -p wmlp-bench --release --bin perf -- \
 //!     --out target/experiments/BENCH.json --trace-len 20000 --iters 7
+//! cargo run -p wmlp-bench --release --bin perf -- \
+//!     --compare BENCH_BASELINE.json --tolerance 25
 //! ```
+//!
+//! With `--compare`, the freshly measured grid is checked cell-by-cell
+//! against the baseline report: per-entry speedup ratios are printed and
+//! the exit code is non-zero if any shared cell slowed down by more than
+//! `--tolerance` percent (default 25) or a baseline cell disappeared.
 //!
 //! See `wmlp_bench::perf` for the grid and the `BENCH.json` schema, and
 //! EXPERIMENTS.md for how to compare two revisions.
@@ -15,7 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wmlp_bench::cli::{flag, flag_parse, switch};
-use wmlp_bench::perf::{run_perf, PerfConfig};
+use wmlp_bench::perf::{compare_reports, run_perf, BenchReport, PerfConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,7 +33,10 @@ fn main() -> ExitCode {
              \x20 --smoke            tiny grid for CI smoke runs\n\
              \x20 --out PATH         output path (default target/experiments/BENCH.json)\n\
              \x20 --trace-len N      requests per fast-policy trace\n\
-             \x20 --iters N          timed iterations per cell (best-of-N)"
+             \x20 --iters N          timed iterations per cell (best-of-N)\n\
+             \x20 --compare PATH     compare against a baseline BENCH.json;\n\
+             \x20                    exit 1 on regression or missing cells\n\
+             \x20 --tolerance PCT    regression threshold for --compare (default 25)"
         );
         return ExitCode::SUCCESS;
     }
@@ -74,5 +84,47 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("[bench] {}", out.display());
+
+    if let Some(baseline_path) = flag(&args, "--compare") {
+        let tolerance: f64 = flag_parse(&args, "--tolerance", 25.0);
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match BenchReport::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: cannot parse baseline {baseline_path}: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let outcome = compare_reports(&baseline, &report, tolerance);
+        println!("\n[compare] baseline {baseline_path} (tolerance {tolerance}%)");
+        for row in &outcome.rows {
+            println!(
+                "{}/{}: {:>10.3} ms -> {:>10.3} ms   {:>6.2}x{}",
+                row.group,
+                row.name,
+                row.old_best as f64 / 1e6,
+                row.new_best as f64 / 1e6,
+                row.speedup,
+                if row.regressed { "   REGRESSED" } else { "" }
+            );
+        }
+        for cell in &outcome.missing {
+            println!("{cell}: MISSING from current report");
+        }
+        for cell in &outcome.added {
+            println!("{cell}: new cell (no baseline)");
+        }
+        if outcome.failed {
+            eprintln!("[compare] FAILED: regression beyond {tolerance}% or missing cells");
+            return ExitCode::FAILURE;
+        }
+        println!("[compare] ok");
+    }
     ExitCode::SUCCESS
 }

@@ -25,6 +25,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod opt;
 pub mod perf;
 pub mod table;
 

@@ -1,0 +1,132 @@
+//! Process-wide shared OPT handle for the experiment suite.
+//!
+//! Every competitive-ratio experiment divides by an exact offline optimum
+//! — the `ℓ = 1` min-cost-flow OPT, the exponential DP, or the multi-level
+//! LP — and grids ask for the *same* `(instance, trace)` optimum once per
+//! policy row. [`shared_opt`] hands out a process-wide [`SharedOpt`] that
+//! memoizes all three solvers behind [`wmlp_sim::opt_cache::OptCache`]
+//! content keys, so each distinct OPT is solved exactly once per process
+//! and shared across policy rows, experiment phases, and rayon workers.
+//!
+//! Determinism: the solvers are pure functions of the hashed inputs, and a
+//! cache hit returns exactly the value the miss computed — canonical run
+//! manifests are byte-identical with or without the cache.
+
+use std::sync::{Mutex, OnceLock};
+
+use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::types::Weight;
+use wmlp_flow::{weighted_paging_opt_with, PagingOptScratch};
+use wmlp_lp::{multilevel_paging_lp_opt, PagingLpError};
+use wmlp_offline::{opt_multilevel, DpLimits, DpResult};
+use wmlp_sim::opt_cache::{opt_key, OptCache};
+
+/// Memoized access to the three offline-OPT solvers.
+///
+/// Obtain the process-wide instance through [`shared_opt`]; constructing
+/// separate instances is only useful in tests.
+#[derive(Debug, Default)]
+pub struct SharedOpt {
+    flow: OptCache<Weight>,
+    dp: OptCache<DpResult>,
+    lp: OptCache<Result<f64, PagingLpError>>,
+    /// Reusable flow-network buffers; guarded separately so the solver can
+    /// run with `&self` (lock order: cache map, then scratch).
+    flow_scratch: Mutex<PagingOptScratch>,
+}
+
+impl SharedOpt {
+    /// Fresh, empty caches (tests only; use [`shared_opt`] otherwise).
+    pub fn new() -> Self {
+        SharedOpt::default()
+    }
+
+    /// Memoized [`wmlp_flow::weighted_paging_opt`] (fetch-model, `ℓ = 1`).
+    pub fn flow_opt(&self, inst: &MlInstance, trace: &[Request]) -> Weight {
+        let key = opt_key("flow-fetch", inst, trace, &[]);
+        self.flow.get_or_compute(key, || {
+            let mut scratch = self.flow_scratch.lock().unwrap_or_else(|e| e.into_inner());
+            weighted_paging_opt_with(inst, trace, &mut scratch)
+        })
+    }
+
+    /// Memoized [`wmlp_offline::opt_multilevel`] (exact DP, both cost
+    /// models). The limits participate in the key: different rails are
+    /// different computations.
+    pub fn dp_opt(&self, inst: &MlInstance, trace: &[Request], limits: DpLimits) -> DpResult {
+        let extra = [limits.max_pages as u64, limits.max_states as u64];
+        let key = opt_key("dp-multilevel", inst, trace, &extra);
+        self.dp
+            .get_or_compute(key, || opt_multilevel(inst, trace, limits))
+    }
+
+    /// Memoized [`wmlp_lp::multilevel_paging_lp_opt`] objective value.
+    /// Errors (size rails) are cached too — they are just as deterministic.
+    pub fn lp_opt_value(&self, inst: &MlInstance, trace: &[Request]) -> Result<f64, PagingLpError> {
+        let key = opt_key("lp-multilevel", inst, trace, &[]);
+        self.lp.get_or_compute(key, || {
+            multilevel_paging_lp_opt(inst, trace).map(|s| s.value)
+        })
+    }
+
+    /// `(hits, misses)` per solver cache, in `(flow, dp, lp)` order.
+    pub fn stats(&self) -> [(u64, u64); 3] {
+        [self.flow.stats(), self.dp.stats(), self.lp.stats()]
+    }
+}
+
+/// The process-wide [`SharedOpt`] handle used by all experiments.
+pub fn shared_opt() -> &'static SharedOpt {
+    static SHARED: OnceLock<SharedOpt> = OnceLock::new();
+    SHARED.get_or_init(SharedOpt::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_opt_matches_uncached_solver() {
+        let inst = MlInstance::weighted_paging(2, vec![3, 5, 7]).unwrap();
+        let trace: Vec<Request> = [0u32, 1, 2, 0, 1, 2, 0].map(Request::top).to_vec();
+        let shared = SharedOpt::new();
+        let a = shared.flow_opt(&inst, &trace);
+        let b = shared.flow_opt(&inst, &trace);
+        assert_eq!(a, wmlp_flow::weighted_paging_opt(&inst, &trace));
+        assert_eq!(a, b);
+        assert_eq!(shared.stats()[0], (1, 1));
+    }
+
+    #[test]
+    fn dp_opt_keys_on_limits() {
+        let inst = MlInstance::weighted_paging(2, vec![3, 5, 7]).unwrap();
+        let trace: Vec<Request> = [0u32, 1, 2, 0].map(Request::top).to_vec();
+        let shared = SharedOpt::new();
+        let d1 = shared.dp_opt(&inst, &trace, DpLimits::default());
+        let d2 = shared.dp_opt(
+            &inst,
+            &trace,
+            DpLimits {
+                max_pages: 8,
+                ..DpLimits::default()
+            },
+        );
+        assert_eq!(d1, d2, "same instance, different rails, same optimum");
+        assert_eq!(
+            shared.stats()[1],
+            (0, 2),
+            "distinct limits are distinct keys"
+        );
+    }
+
+    #[test]
+    fn lp_value_is_cached() {
+        let inst = MlInstance::weighted_paging(2, vec![3, 5, 7]).unwrap();
+        let trace: Vec<Request> = [0u32, 1, 2, 0].map(Request::top).to_vec();
+        let shared = SharedOpt::new();
+        let v1 = shared.lp_opt_value(&inst, &trace).unwrap();
+        let v2 = shared.lp_opt_value(&inst, &trace).unwrap();
+        assert_eq!(v1.to_bits(), v2.to_bits(), "hit must be the exact value");
+        assert_eq!(shared.stats()[2], (1, 1));
+    }
+}

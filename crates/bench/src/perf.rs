@@ -60,7 +60,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 use wmlp_algos::{FracMultiplicative, PolicyRegistry};
 use wmlp_core::instance::MlInstance;
-use wmlp_flow::weighted_paging_opt;
+use wmlp_flow::{weighted_paging_opt_with, PagingOptScratch};
 use wmlp_loadgen::{LoadgenConfig, Workload};
 use wmlp_lp::multilevel_paging_lp_opt;
 use wmlp_offline::{opt_multilevel, DpLimits};
@@ -356,64 +356,98 @@ fn b3_fractional_levels(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
     }
 }
 
-/// B4: the offline optimum solvers.
+/// B4: the offline optimum solvers, as a scaling grid over trace length
+/// (flow), page count (DP), and `(n, T, ℓ)` (LP). The historical cell
+/// names (`flow_opt/T5000`, `dp_opt/n8_T200`, `paging_lp/n4_T16`) are kept
+/// so old and new `BENCH.json` files stay comparable cell-by-cell.
 fn b4_offline_solvers(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
-    // Flow OPT on a sizable weighted paging trace.
-    let flow_len = if cfg.smoke { 500 } else { 5_000 };
+    // Flow OPT, scaling in the trace length T. The scratch is built once
+    // and reused across iterations — the allocation-free grid path.
+    let flow_lens: &[usize] = if cfg.smoke {
+        &[500]
+    } else {
+        &[1_000, 5_000, 20_000]
+    };
     let inst =
         MlInstance::weighted_paging(32, weights_pow2_classes(256, 6, WEIGHT_SEED + 10)).unwrap();
-    let trace = zipf_trace(&inst, 1.0, flow_len, LevelDist::Top, TRACE_SEED + 10);
-    let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
-        weighted_paging_opt(&inst, &trace)
-    });
-    entries.push(entry(
-        "b4_offline_solvers",
-        format!("flow_opt/T{flow_len}"),
-        "flow-opt",
-        &inst,
-        0,
-        timing,
-    ));
+    let mut flow_scratch = PagingOptScratch::new();
+    for &flow_len in flow_lens {
+        let trace = zipf_trace(&inst, 1.0, flow_len, LevelDist::Top, TRACE_SEED + 10);
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            weighted_paging_opt_with(&inst, &trace, &mut flow_scratch)
+        });
+        entries.push(entry(
+            "b4_offline_solvers",
+            format!("flow_opt/T{flow_len}"),
+            "flow-opt",
+            &inst,
+            0,
+            timing,
+        ));
+    }
 
-    // Exponential DP on a small RW instance.
+    // Exponential DP on small RW instances, scaling in the page count n
+    // (the state space is exponential in n, so the grid stops at 10).
     let dp_len = if cfg.smoke { 50 } else { 200 };
-    let rows: Vec<Vec<u64>> = (0..8).map(|_| vec![16, 2]).collect();
-    let dp_inst = MlInstance::from_rows(3, rows).unwrap();
-    let dp_trace = zipf_trace(
-        &dp_inst,
-        0.9,
-        dp_len,
-        LevelDist::TopProb(0.3),
-        TRACE_SEED + 11,
-    );
-    let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
-        opt_multilevel(&dp_inst, &dp_trace, DpLimits::default())
-    });
-    entries.push(entry(
-        "b4_offline_solvers",
-        format!("dp_opt/n8_T{dp_len}"),
-        "dp-opt",
-        &dp_inst,
-        0,
-        timing,
-    ));
+    let dp_ns: &[usize] = if cfg.smoke { &[8] } else { &[6, 8, 10] };
+    for &dp_n in dp_ns {
+        let rows: Vec<Vec<u64>> = (0..dp_n).map(|_| vec![16, 2]).collect();
+        let dp_inst = MlInstance::from_rows(3, rows).unwrap();
+        let dp_trace = zipf_trace(
+            &dp_inst,
+            0.9,
+            dp_len,
+            LevelDist::TopProb(0.3),
+            TRACE_SEED + 11,
+        );
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            opt_multilevel(&dp_inst, &dp_trace, DpLimits::default())
+        });
+        entries.push(entry(
+            "b4_offline_solvers",
+            format!("dp_opt/n{dp_n}_T{dp_len}"),
+            "dp-opt",
+            &dp_inst,
+            0,
+            timing,
+        ));
+    }
 
-    // LP on a tiny instance.
-    let lp_inst = MlInstance::from_rows(2, (0..4).map(|_| vec![8, 2]).collect()).unwrap();
-    let lp_trace = zipf_trace(&lp_inst, 0.8, 16, LevelDist::TopProb(0.4), TRACE_SEED + 12);
-    let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
-        multilevel_paging_lp_opt(&lp_inst, &lp_trace)
-            .expect("tiny LP instance is solvable")
-            .value
-    });
-    entries.push(entry(
-        "b4_offline_solvers",
-        "paging_lp/n4_T16".to_string(),
-        "lp-opt",
-        &lp_inst,
-        0,
-        timing,
-    ));
+    // LP, scaling jointly in pages, trace length, and level count.
+    let lp_cells: &[(usize, usize, usize)] = if cfg.smoke {
+        &[(4, 16, 2)]
+    } else {
+        &[(4, 16, 2), (4, 32, 2), (6, 24, 3)]
+    };
+    for &(lp_n, lp_t, lp_l) in lp_cells {
+        let row: Vec<u64> = (0..lp_l).map(|i| 1u64 << (2 * (lp_l - 1 - i))).collect();
+        let rows: Vec<Vec<u64>> = if lp_l == 2 {
+            (0..lp_n).map(|_| vec![8, 2]).collect()
+        } else {
+            (0..lp_n).map(|_| row.clone()).collect()
+        };
+        let lp_inst = MlInstance::from_rows(2, rows).unwrap();
+        let lp_trace = zipf_trace(
+            &lp_inst,
+            0.8,
+            lp_t,
+            LevelDist::TopProb(0.4),
+            TRACE_SEED + 12,
+        );
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            multilevel_paging_lp_opt(&lp_inst, &lp_trace)
+                .expect("B4 LP instance is solvable")
+                .value
+        });
+        entries.push(entry(
+            "b4_offline_solvers",
+            format!("paging_lp/n{lp_n}_T{lp_t}"),
+            "lp-opt",
+            &lp_inst,
+            0,
+            timing,
+        ));
+    }
 }
 
 /// B5: the whole serving stack — an in-process `wmlp-serve` server and
@@ -450,6 +484,85 @@ fn b5_loopback_serve(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
             requests,
             timing,
         ));
+    }
+}
+
+/// One cell of a baseline-vs-current comparison ([`compare_reports`]).
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Grid group of the cell.
+    pub group: String,
+    /// Cell name within the group.
+    pub name: String,
+    /// Baseline best wall time, nanoseconds.
+    pub old_best: u64,
+    /// Current best wall time, nanoseconds.
+    pub new_best: u64,
+    /// `old_best / new_best` — above 1.0 means the cell got faster.
+    pub speedup: f64,
+    /// Did the cell slow down beyond the tolerance?
+    pub regressed: bool,
+}
+
+/// Outcome of [`compare_reports`].
+#[derive(Debug, Clone)]
+pub struct CompareOutcome {
+    /// Per-cell rows for every cell present in both reports, in the
+    /// current report's order.
+    pub rows: Vec<CompareRow>,
+    /// Cells in the baseline but absent from the current report. A
+    /// non-empty list fails the comparison: a silently dropped cell would
+    /// otherwise mask a regression.
+    pub missing: Vec<String>,
+    /// Cells in the current report with no baseline (new grid cells);
+    /// informational only.
+    pub added: Vec<String>,
+    /// Any cell regressed beyond tolerance, or a baseline cell went
+    /// missing.
+    pub failed: bool,
+}
+
+/// Compare `new` against the baseline `old`, cell by cell (matched on
+/// `group/name`). A cell regresses when its best time exceeds the baseline
+/// by more than `tolerance_pct` percent.
+pub fn compare_reports(old: &BenchReport, new: &BenchReport, tolerance_pct: f64) -> CompareOutcome {
+    let cell = |e: &BenchEntry| format!("{}/{}", e.group, e.name);
+    let mut rows = Vec::new();
+    let mut added = Vec::new();
+    for e in &new.entries {
+        match old.entries.iter().find(|o| cell(o) == cell(e)) {
+            Some(o) => {
+                let speedup = if e.best_nanos > 0 {
+                    o.best_nanos as f64 / e.best_nanos as f64
+                } else {
+                    f64::INFINITY
+                };
+                let regressed =
+                    e.best_nanos as f64 > o.best_nanos as f64 * (1.0 + tolerance_pct / 100.0);
+                rows.push(CompareRow {
+                    group: e.group.clone(),
+                    name: e.name.clone(),
+                    old_best: o.best_nanos,
+                    new_best: e.best_nanos,
+                    speedup,
+                    regressed,
+                });
+            }
+            None => added.push(cell(e)),
+        }
+    }
+    let missing: Vec<String> = old
+        .entries
+        .iter()
+        .map(&cell)
+        .filter(|c| !new.entries.iter().any(|e| cell(e) == *c))
+        .collect();
+    let failed = !missing.is_empty() || rows.iter().any(|r| r.regressed);
+    CompareOutcome {
+        rows,
+        missing,
+        added,
+        failed,
     }
 }
 
@@ -506,5 +619,57 @@ mod tests {
         let j = text.find("\"config\"").unwrap();
         let l = text.find("\"entries\"").unwrap();
         assert!(i < j && j < l);
+    }
+
+    fn cell(group: &str, name: &str, best: u64) -> BenchEntry {
+        BenchEntry {
+            group: group.into(),
+            name: name.into(),
+            policy: "p".into(),
+            k: 1,
+            n: 2,
+            levels: 1,
+            trace_len: 0,
+            best_nanos: best,
+            mean_nanos: best,
+            throughput_rps: 0,
+        }
+    }
+
+    fn report(entries: Vec<BenchEntry>) -> BenchReport {
+        BenchReport {
+            schema_version: 1,
+            config: PerfConfig::smoke(),
+            entries,
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_tolerance() {
+        let old = report(vec![cell("b1", "a", 1_000), cell("b4", "b", 1_000)]);
+        // `a` is 20% slower (within 25%), `b` is 2x slower (regression).
+        let new = report(vec![cell("b1", "a", 1_200), cell("b4", "b", 2_000)]);
+        let out = compare_reports(&old, &new, 25.0);
+        assert!(out.failed);
+        assert_eq!(out.rows.len(), 2);
+        assert!(!out.rows[0].regressed);
+        assert!(out.rows[1].regressed);
+        assert!((out.rows[1].speedup - 0.5).abs() < 1e-12);
+        assert!(out.missing.is_empty() && out.added.is_empty());
+
+        let lenient = compare_reports(&old, &new, 150.0);
+        assert!(!lenient.failed, "2x is within a 150% tolerance");
+    }
+
+    #[test]
+    fn compare_fails_on_missing_cells_and_reports_added_ones() {
+        let old = report(vec![cell("b1", "a", 1_000), cell("b1", "gone", 1_000)]);
+        let new = report(vec![cell("b1", "a", 900), cell("b1", "fresh", 10)]);
+        let out = compare_reports(&old, &new, 25.0);
+        assert!(out.failed, "dropped baseline cell must fail");
+        assert_eq!(out.missing, vec!["b1/gone".to_string()]);
+        assert_eq!(out.added, vec!["b1/fresh".to_string()]);
+        assert!((out.rows[0].speedup - 1_000.0 / 900.0).abs() < 1e-12);
+        assert!(!out.rows[0].regressed);
     }
 }

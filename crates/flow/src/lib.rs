@@ -1,8 +1,11 @@
 //! # wmlp-flow — min-cost flow and exact offline weighted paging
 //!
 //! * [`mcmf`] — a successive-shortest-paths min-cost max-flow solver with
-//!   Johnson potentials (Dijkstra augmentations after a Bellman–Ford
-//!   initialization, so one-shot negative arc costs are supported).
+//!   Johnson potentials over a flat CSR residual network (early-exit
+//!   Dijkstra augmentations after a topological-order potential
+//!   initialization — Bellman–Ford only as the cyclic fallback — so
+//!   one-shot negative arc costs are supported) and reusable
+//!   [`McmfScratch`] buffers for allocation-free repeated solves.
 //! * [`paging_opt`] — the exact offline optimum for *weighted paging*
 //!   (`ℓ = 1`) in polynomial time, by the classic retention-interval
 //!   reduction: between consecutive requests to the same page the page is
@@ -20,5 +23,5 @@
 pub mod mcmf;
 pub mod paging_opt;
 
-pub use mcmf::MinCostFlow;
-pub use paging_opt::weighted_paging_opt;
+pub use mcmf::{McmfScratch, MinCostFlow};
+pub use paging_opt::{weighted_paging_opt, weighted_paging_opt_with, PagingOptScratch};

@@ -21,7 +21,26 @@
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::types::Weight;
 
-use crate::mcmf::MinCostFlow;
+use crate::mcmf::{McmfScratch, MinCostFlow};
+
+/// Reusable buffers for [`weighted_paging_opt_with`]: the flow network,
+/// the solver scratch, and the interval-collection vectors. One scratch
+/// held across a scenario grid makes repeated OPT solves allocation-free
+/// once the buffers have grown to the largest trace seen.
+#[derive(Debug, Clone, Default)]
+pub struct PagingOptScratch {
+    flow: MinCostFlow,
+    mcmf: McmfScratch,
+    last: Vec<Option<usize>>,
+    intervals: Vec<(usize, usize, i64)>,
+}
+
+impl PagingOptScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Exact fetch-model offline optimum cost for a weighted paging instance
 /// (`ℓ = 1`); every request must have `level == 1`.
@@ -36,6 +55,16 @@ use crate::mcmf::MinCostFlow;
 /// assert_eq!(weighted_paging_opt(&inst, &trace), 11);
 /// ```
 pub fn weighted_paging_opt(inst: &MlInstance, trace: &[Request]) -> Weight {
+    weighted_paging_opt_with(inst, trace, &mut PagingOptScratch::new())
+}
+
+/// [`weighted_paging_opt`] with caller-provided reusable buffers — the
+/// allocation-free path for grids that solve many OPTs in a row.
+pub fn weighted_paging_opt_with(
+    inst: &MlInstance,
+    trace: &[Request],
+    scratch: &mut PagingOptScratch,
+) -> Weight {
     assert_eq!(inst.max_levels(), 1, "flow OPT requires a 1-level instance");
     assert!(
         trace.iter().all(|r| r.level == 1),
@@ -50,8 +79,11 @@ pub fn weighted_paging_opt(inst: &MlInstance, trace: &[Request]) -> Weight {
     let mut total: i64 = trace.iter().map(|r| inst.weight(r.page, 1) as i64).sum();
 
     // Collect retention intervals between consecutive same-page requests.
-    let mut last: Vec<Option<usize>> = vec![None; inst.n()];
-    let mut intervals: Vec<(usize, usize, i64)> = Vec::new();
+    let last = &mut scratch.last;
+    last.clear();
+    last.resize(inst.n(), None);
+    let intervals = &mut scratch.intervals;
+    intervals.clear();
     for (t, r) in trace.iter().enumerate() {
         let p = r.page as usize;
         if let Some(a) = last[p] {
@@ -74,15 +106,16 @@ pub fn weighted_paging_opt(inst: &MlInstance, trace: &[Request]) -> Weight {
     // (a+1) → b, occupying interior times a+1 .. b−1 at the cuts between
     // consecutive nodes.
     let n_nodes = t_len;
-    let mut g = MinCostFlow::new(n_nodes);
+    let g = &mut scratch.flow;
+    g.reset(n_nodes);
     let cap = (inst.k() - 1) as i64;
     for t in 0..n_nodes - 1 {
         g.add_edge(t, t + 1, cap, 0);
     }
-    for &(a, b, w) in &intervals {
+    for &(a, b, w) in intervals.iter() {
         g.add_edge(a + 1, b, 1, -w);
     }
-    let (_, cost) = g.min_cost_flow(0, n_nodes - 1, cap);
+    let (_, cost) = g.min_cost_flow_with(0, n_nodes - 1, cap, &mut scratch.mcmf);
     // `cost` is −(max savings); it is never positive.
     (total + cost) as Weight
 }

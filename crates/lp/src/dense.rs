@@ -1,0 +1,261 @@
+//! The legacy dense two-phase tableau simplex, kept as a
+//! differential-testing oracle for the sparse solver and as the fallback
+//! on numerical breakdown.
+//!
+//! Solves the same problems as [`crate::sparse`] with Bland's
+//! anti-cycling rule throughout; finite upper bounds are materialized as
+//! explicit `x ≤ u` rows, so both solvers answer the identical
+//! mathematical program. No sparsity, no revised factorizations —
+//! `O(m·(n+m))` per pivot — which is exactly why [`LpProblem::solve`]
+//! routes to the sparse path.
+
+use crate::simplex::{Cmp, LpOutcome, LpProblem};
+
+const EPS: f64 = 1e-9;
+
+/// One constraint row as stored on [`LpProblem`]: sparse terms,
+/// comparison, right-hand side.
+type RawRow = (Vec<(usize, f64)>, Cmp, f64);
+
+/// Solve `lp` with the dense two-phase tableau method.
+#[allow(clippy::needless_range_loop)] // tableau code reads best indexed
+pub fn solve_dense(lp: &LpProblem) -> LpOutcome {
+    let n = lp.num_vars;
+    // Materialize finite upper bounds as explicit rows so the tableau
+    // method (which only knows x >= 0) sees the full problem.
+    let bound_rows: Vec<RawRow> = lp
+        .upper
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.is_finite())
+        .map(|(j, &u)| (vec![(j, 1.0)], Cmp::Le, u))
+        .collect();
+    let all_rows: Vec<&RawRow> = lp.rows.iter().chain(bound_rows.iter()).collect();
+    let m = all_rows.len();
+
+    // Count auxiliary columns: one slack per Le, one surplus per Ge,
+    // one artificial per Ge/Eq row (after normalizing b >= 0).
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    // Normalized rows: (dense coeffs, rhs, needs_slack(+1/-1/0), needs_art)
+    struct Row {
+        a: Vec<f64>,
+        b: f64,
+        slack: i8,
+        art: bool,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(m);
+    for (terms, cmp, rhs) in all_rows {
+        let mut a = vec![0.0; n];
+        for &(j, v) in terms {
+            a[j] += v;
+        }
+        let mut b = *rhs;
+        let mut cmp = *cmp;
+        if b < 0.0 {
+            for v in &mut a {
+                *v = -*v;
+            }
+            b = -b;
+            cmp = match cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+        let (slack, art) = match cmp {
+            Cmp::Le => (1, false),
+            Cmp::Ge => (-1, true),
+            Cmp::Eq => (0, true),
+        };
+        if slack != 0 {
+            n_slack += 1;
+        }
+        if art {
+            n_art += 1;
+        }
+        rows.push(Row { a, b, slack, art });
+    }
+
+    let total = n + n_slack + n_art;
+    // Tableau: m rows of `total + 1` (last = rhs).
+    let mut tab = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut s_idx = n;
+    let mut a_idx = n + n_slack;
+    for (i, row) in rows.iter().enumerate() {
+        tab[i][..n].copy_from_slice(&row.a);
+        tab[i][total] = row.b;
+        if row.slack != 0 {
+            tab[i][s_idx] = row.slack as f64;
+            if row.slack == 1 {
+                basis[i] = s_idx;
+            }
+            s_idx += 1;
+        }
+        if row.art {
+            tab[i][a_idx] = 1.0;
+            basis[i] = a_idx;
+            a_idx += 1;
+        }
+    }
+    debug_assert!(basis.iter().all(|&b| b != usize::MAX));
+
+    // Phase 1: minimize sum of artificials.
+    if n_art > 0 {
+        let mut obj = vec![0.0f64; total + 1];
+        for (i, row) in rows.iter().enumerate() {
+            if row.art {
+                // objective row = -(sum of artificial basic rows), so
+                // reduced costs start consistent with the basis.
+                for j in 0..=total {
+                    obj[j] -= tab[i][j];
+                }
+            }
+        }
+        // Zero out artificial columns in the objective (they're basic).
+        for j in n + n_slack..total {
+            obj[j] = 0.0;
+        }
+        if !simplex_iterate(&mut tab, &mut basis, &mut obj, total) {
+            // Phase 1 is never unbounded (objective bounded below by 0).
+            unreachable!("phase 1 cannot be unbounded");
+        }
+        if -obj[total] > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any remaining artificial variables out of the basis.
+        for i in 0..m {
+            if basis[i] >= n + n_slack {
+                // Find a non-artificial column with nonzero coefficient.
+                if let Some(j) = (0..n + n_slack).find(|&j| tab[i][j].abs() > EPS) {
+                    pivot(&mut tab, &mut basis, i, j, total, None);
+                }
+                // Otherwise the row is redundant (all-zero); keep the
+                // artificial basic at value 0 — harmless for phase 2 as
+                // long as its column is never entered (cost stays 0 and
+                // we restrict entering columns below).
+            }
+        }
+    }
+
+    // Phase 2: minimize the real objective, restricted to structural +
+    // slack columns.
+    let mut obj = vec![0.0f64; total + 1];
+    obj[..n].copy_from_slice(&lp.objective);
+    // Express objective in terms of the current basis.
+    for i in 0..m {
+        let bj = basis[i];
+        let coeff = obj[bj];
+        if coeff.abs() > EPS {
+            for j in 0..=total {
+                obj[j] -= coeff * tab[i][j];
+            }
+        }
+    }
+    // Forbid artificial columns from re-entering.
+    let enter_limit = n + n_slack;
+    if !simplex_iterate_limited(&mut tab, &mut basis, &mut obj, total, enter_limit) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0f64; n];
+    for (i, &bj) in basis.iter().enumerate() {
+        if bj < n {
+            x[bj] = tab[i][total];
+        }
+    }
+    let value: f64 = x.iter().zip(&lp.objective).map(|(xi, ci)| xi * ci).sum();
+    LpOutcome::Optimal { value, x }
+}
+
+/// Pivot the tableau on `(row, col)`, updating the basis and optionally an
+/// objective row.
+#[allow(clippy::needless_range_loop)] // tableau code reads best indexed
+fn pivot(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+    obj: Option<&mut Vec<f64>>,
+) {
+    let pv = tab[row][col];
+    debug_assert!(pv.abs() > EPS);
+    for j in 0..=total {
+        tab[row][j] /= pv;
+    }
+    tab[row][col] = 1.0;
+    for i in 0..tab.len() {
+        if i == row {
+            continue;
+        }
+        let f = tab[i][col];
+        if f.abs() > EPS {
+            // Split borrows: copy the pivot row values on the fly.
+            for j in 0..=total {
+                let v = tab[row][j];
+                tab[i][j] -= f * v;
+            }
+            tab[i][col] = 0.0;
+        }
+    }
+    if let Some(obj) = obj {
+        let f = obj[col];
+        if f.abs() > EPS {
+            for j in 0..=total {
+                obj[j] -= f * tab[row][j];
+            }
+            obj[col] = 0.0;
+        }
+    }
+    basis[row] = col;
+}
+
+fn simplex_iterate(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut Vec<f64>,
+    total: usize,
+) -> bool {
+    simplex_iterate_limited(tab, basis, obj, total, total)
+}
+
+/// Run simplex iterations with Bland's rule, only allowing columns
+/// `< enter_limit` to enter. Returns `false` when unbounded.
+fn simplex_iterate_limited(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut Vec<f64>,
+    total: usize,
+    enter_limit: usize,
+) -> bool {
+    loop {
+        // Bland: the lowest-index column with a negative reduced cost.
+        let Some(col) = (0..enter_limit).find(|&j| obj[j] < -EPS) else {
+            return true;
+        };
+        // Ratio test; Bland tie-break on the lowest basis index.
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis_var, row)
+        for (i, row) in tab.iter().enumerate() {
+            if row[col] > EPS {
+                let ratio = row[total] / row[col];
+                let cand = (ratio, basis[i], i);
+                best = Some(match best {
+                    None => cand,
+                    Some(b) => {
+                        if cand.0 < b.0 - EPS || (cand.0 < b.0 + EPS && cand.1 < b.1) {
+                            cand
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        let Some((_, _, row)) = best else {
+            return false; // unbounded
+        };
+        pivot(tab, basis, row, col, total, Some(obj));
+    }
+}

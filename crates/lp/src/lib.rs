@@ -3,10 +3,12 @@
 //! The Rust ecosystem has no std-quality exact LP solver, and the paper's
 //! constructions (the multi-level paging LP of Section 2, fractional set
 //! cover for Section 3's reduction and the Theorem 1.4 integrality gap)
-//! only need small dense instances — so this crate implements a textbook
-//! **two-phase dense simplex** from scratch ([`simplex`]) plus builders
-//! for the two LP families used by the evaluation suite ([`paging_lp`],
-//! [`setcover_lp`]).
+//! only need small-to-medium sparse instances — so this crate implements
+//! simplex from scratch: a **sparse bounded-variable revised simplex**
+//! ([`sparse`], the default behind [`LpProblem::solve`]) with the legacy
+//! **two-phase dense tableau** ([`dense`]) kept as differential-testing
+//! oracle and numerical-breakdown fallback, plus builders for the two LP
+//! families used by the evaluation suite ([`paging_lp`], [`setcover_lp`]).
 //!
 //! The paging LP replaces the paper's exponential constraint family
 //! `Σ_{p∈S} u(p,ℓ,t) ≥ |S| − k` (for all `S ⊆ [n]`) by the single `S = [n]`
@@ -15,9 +17,11 @@
 
 #![warn(missing_docs)]
 
+pub mod dense;
 pub mod paging_lp;
 pub mod setcover_lp;
 pub mod simplex;
+pub mod sparse;
 
 pub use paging_lp::{multilevel_paging_lp_opt, PagingLpError, PagingLpSolution};
 pub use setcover_lp::{fractional_set_cover, SetCoverLpError};

@@ -121,8 +121,9 @@ pub fn multilevel_paging_lp_opt(
         for p in 0..n {
             let levels = inst.levels(p as PageId);
             for i in 1..=levels {
-                // Box.
-                lp.add_row(vec![(u_var(t, p, i), 1.0)], Cmp::Le, 1.0);
+                // Box: an implicit variable bound, not an explicit row —
+                // the sparse solver keeps it out of the basis.
+                lp.set_upper(u_var(t, p, i), 1.0);
                 // Monotonicity (level 1 is bounded by u(p,0) = 1 = box).
                 if i >= 2 {
                     lp.add_row(

@@ -1,8 +1,17 @@
-//! A dense two-phase primal simplex solver.
+//! LP problem types and the solver entry point.
 //!
-//! Solves `min cᵀx` subject to `aᵢ·x {≤,=,≥} bᵢ` and `x ≥ 0`, with Bland's
-//! anti-cycling rule. Intended for the small dense LPs of this workspace
-//! (hundreds of rows/columns); no sparsity, no revised factorizations.
+//! Solves `min cᵀx` subject to `aᵢ·x {≤,=,≥} bᵢ` and `0 ≤ x ≤ u` (upper
+//! bounds optional, default `+∞`). [`LpProblem::solve`] runs the sparse
+//! bounded-variable revised simplex of [`crate::sparse`]; the legacy dense
+//! two-phase tableau survives as [`LpProblem::solve_dense`]
+//! ([`crate::dense`]) and is kept as a differential-testing oracle — the
+//! two must agree on every solvable instance.
+//!
+//! Upper bounds are handled *implicitly* by the sparse solver (a nonbasic
+//! variable may sit at either bound), so callers like the paging LP no
+//! longer pay one explicit `x ≤ 1` row per variable: declaring
+//! [`LpProblem::set_upper`] is free, while an explicit box row enlarges
+//! the basis the solver has to factor.
 
 /// Row comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +44,7 @@ pub enum LpOutcome {
 /// and right-hand side.
 pub type LpRow = (Vec<(usize, f64)>, Cmp, f64);
 
-/// A linear program `min cᵀx, aᵢ·x {≤,=,≥} bᵢ, x ≥ 0`.
+/// A linear program `min cᵀx, aᵢ·x {≤,=,≥} bᵢ, 0 ≤ x ≤ u`.
 ///
 /// ```
 /// use wmlp_lp::simplex::{Cmp, LpOutcome, LpProblem};
@@ -43,28 +52,30 @@ pub type LpRow = (Vec<(usize, f64)>, Cmp, f64);
 /// // min x + 2y  s.t.  x + y >= 3,  x <= 2.
 /// let mut lp = LpProblem::minimize(vec![1.0, 2.0]);
 /// lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 3.0);
-/// lp.add_row(vec![(0, 1.0)], Cmp::Le, 2.0);
+/// lp.set_upper(0, 2.0); // implicit bound, no explicit row needed
 /// let LpOutcome::Optimal { value, x } = lp.solve() else { panic!() };
 /// assert!((value - 4.0).abs() < 1e-7);
 /// assert!((x[0] - 2.0).abs() < 1e-7);
 /// ```
 #[derive(Debug, Clone)]
 pub struct LpProblem {
-    num_vars: usize,
-    objective: Vec<f64>,
-    rows: Vec<LpRow>,
+    pub(crate) num_vars: usize,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) rows: Vec<LpRow>,
+    /// Per-variable upper bounds; `f64::INFINITY` when unbounded above.
+    pub(crate) upper: Vec<f64>,
 }
-
-const EPS: f64 = 1e-9;
 
 impl LpProblem {
     /// A minimization problem over `num_vars` non-negative variables with
     /// the given objective coefficients.
     pub fn minimize(objective: Vec<f64>) -> Self {
+        let n = objective.len();
         LpProblem {
-            num_vars: objective.len(),
+            num_vars: n,
             objective,
             rows: Vec::new(),
+            upper: vec![f64::INFINITY; n],
         }
     }
 
@@ -84,16 +95,34 @@ impl LpProblem {
         self.rows.push((terms, cmp, rhs));
     }
 
+    /// Declare the implicit bound `x_j ≤ u`. Unlike an explicit `≤` row,
+    /// a bound adds no row to the basis — the sparse solver keeps
+    /// nonbasic variables at either bound.
+    pub fn set_upper(&mut self, var: usize, u: f64) {
+        debug_assert!(var < self.num_vars);
+        debug_assert!(u >= 0.0);
+        self.upper[var] = u;
+    }
+
+    /// The upper bound of variable `j` (`+∞` when unbounded above).
+    pub fn upper(&self, j: usize) -> f64 {
+        self.upper[j]
+    }
+
     /// Objective value of an assignment.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.num_vars);
         x.iter().zip(&self.objective).map(|(xi, ci)| xi * ci).sum()
     }
 
-    /// Does `x ≥ 0` satisfy every constraint within `tol`? An independent
-    /// check of solver output (no tableau arithmetic involved).
+    /// Does `0 ≤ x ≤ u` satisfy every constraint within `tol`? An
+    /// independent check of solver output (no tableau arithmetic
+    /// involved).
     pub fn check_feasible(&self, x: &[f64], tol: f64) -> bool {
         if x.len() != self.num_vars || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        if x.iter().zip(&self.upper).any(|(&v, &u)| v > u + tol) {
             return false;
         }
         self.rows.iter().all(|(terms, cmp, rhs)| {
@@ -106,19 +135,24 @@ impl LpProblem {
         })
     }
 
-    /// The LP dual, for problems whose rows are all `≥` (covering form):
-    /// the dual of `min cᵀx, Ax ≥ b, x ≥ 0` is `max bᵀy, Aᵀy ≤ c, y ≥ 0`,
-    /// returned as the equivalent minimization `min (−b)ᵀy` — so by strong
-    /// duality `self.solve().value == −self.dual().solve().value`.
+    /// The LP dual, for problems whose rows are all `≥` (covering form)
+    /// and whose variables carry no finite upper bounds: the dual of
+    /// `min cᵀx, Ax ≥ b, x ≥ 0` is `max bᵀy, Aᵀy ≤ c, y ≥ 0`, returned as
+    /// the equivalent minimization `min (−b)ᵀy` — so by strong duality
+    /// `self.solve().value == −self.dual().solve().value`.
     ///
     /// # Panics
-    /// If any row is not `Cmp::Ge`.
+    /// If any row is not `Cmp::Ge`, or any variable has a finite upper
+    /// bound (bounds would add box terms to the dual objective).
     pub fn dual(&self) -> LpProblem {
         assert!(
             self.rows.iter().all(|(_, cmp, _)| *cmp == Cmp::Ge),
             "dual() requires a covering LP (all rows >=)"
         );
-        let m = self.rows.len();
+        assert!(
+            self.upper.iter().all(|u| u.is_infinite()),
+            "dual() requires unbounded variables"
+        );
         let mut dual = LpProblem::minimize(self.rows.iter().map(|&(_, _, b)| -b).collect());
         // One dual row per primal variable: Σ_i a_{ij} y_i <= c_j.
         let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.num_vars];
@@ -130,241 +164,27 @@ impl LpProblem {
         for (j, col) in cols.into_iter().enumerate() {
             dual.add_row(col, Cmp::Le, self.objective[j]);
         }
-        let _ = m;
         dual
     }
 
-    /// Solve with the two-phase simplex method.
-    #[allow(clippy::needless_range_loop)] // tableau code reads best indexed
+    /// Solve with the sparse bounded-variable revised simplex
+    /// ([`crate::sparse`]): CSR column storage, implicit `0 ≤ x ≤ u`
+    /// bounds, Dantzig pricing over a candidate list, Bland fallback for
+    /// anti-cycling. Falls back to the dense tableau on (never yet
+    /// observed) numerical breakdown, so the outcome is always defined.
     pub fn solve(&self) -> LpOutcome {
-        let m = self.rows.len();
-        let n = self.num_vars;
-
-        // Count auxiliary columns: one slack per Le, one surplus per Ge,
-        // one artificial per Ge/Eq row (after normalizing b >= 0).
-        let mut n_slack = 0;
-        let mut n_art = 0;
-        // Normalized rows: (dense coeffs, rhs, needs_slack(+1/-1/0), needs_art)
-        struct Row {
-            a: Vec<f64>,
-            b: f64,
-            slack: i8,
-            art: bool,
-        }
-        let mut rows: Vec<Row> = Vec::with_capacity(m);
-        for (terms, cmp, rhs) in &self.rows {
-            let mut a = vec![0.0; n];
-            for &(j, v) in terms {
-                a[j] += v;
-            }
-            let mut b = *rhs;
-            let mut cmp = *cmp;
-            if b < 0.0 {
-                for v in &mut a {
-                    *v = -*v;
-                }
-                b = -b;
-                cmp = match cmp {
-                    Cmp::Le => Cmp::Ge,
-                    Cmp::Ge => Cmp::Le,
-                    Cmp::Eq => Cmp::Eq,
-                };
-            }
-            let (slack, art) = match cmp {
-                Cmp::Le => (1, false),
-                Cmp::Ge => (-1, true),
-                Cmp::Eq => (0, true),
-            };
-            if slack != 0 {
-                n_slack += 1;
-            }
-            if art {
-                n_art += 1;
-            }
-            rows.push(Row { a, b, slack, art });
-        }
-
-        let total = n + n_slack + n_art;
-        // Tableau: m rows of `total + 1` (last = rhs).
-        let mut tab = vec![vec![0.0f64; total + 1]; m];
-        let mut basis = vec![usize::MAX; m];
-        let mut s_idx = n;
-        let mut a_idx = n + n_slack;
-        for (i, row) in rows.iter().enumerate() {
-            tab[i][..n].copy_from_slice(&row.a);
-            tab[i][total] = row.b;
-            if row.slack != 0 {
-                tab[i][s_idx] = row.slack as f64;
-                if row.slack == 1 {
-                    basis[i] = s_idx;
-                }
-                s_idx += 1;
-            }
-            if row.art {
-                tab[i][a_idx] = 1.0;
-                basis[i] = a_idx;
-                a_idx += 1;
-            }
-        }
-        debug_assert!(basis.iter().all(|&b| b != usize::MAX));
-
-        // Phase 1: minimize sum of artificials.
-        if n_art > 0 {
-            let mut obj = vec![0.0f64; total + 1];
-            for (i, row) in rows.iter().enumerate() {
-                if row.art {
-                    // objective row = -(sum of artificial basic rows), so
-                    // reduced costs start consistent with the basis.
-                    for j in 0..=total {
-                        obj[j] -= tab[i][j];
-                    }
-                }
-            }
-            // Zero out artificial columns in the objective (they're basic).
-            for j in n + n_slack..total {
-                obj[j] = 0.0;
-            }
-            if !simplex_iterate(&mut tab, &mut basis, &mut obj, total) {
-                // Phase 1 is never unbounded (objective bounded below by 0).
-                unreachable!("phase 1 cannot be unbounded");
-            }
-            if -obj[total] > 1e-6 {
-                return LpOutcome::Infeasible;
-            }
-            // Drive any remaining artificial variables out of the basis.
-            for i in 0..m {
-                if basis[i] >= n + n_slack {
-                    // Find a non-artificial column with nonzero coefficient.
-                    if let Some(j) = (0..n + n_slack).find(|&j| tab[i][j].abs() > EPS) {
-                        pivot(&mut tab, &mut basis, i, j, total, None);
-                    }
-                    // Otherwise the row is redundant (all-zero); keep the
-                    // artificial basic at value 0 — harmless for phase 2 as
-                    // long as its column is never entered (cost stays 0 and
-                    // we restrict entering columns below).
-                }
-            }
-        }
-
-        // Phase 2: minimize the real objective, restricted to structural +
-        // slack columns.
-        let mut obj = vec![0.0f64; total + 1];
-        obj[..n].copy_from_slice(&self.objective);
-        // Express objective in terms of the current basis.
-        for i in 0..m {
-            let bj = basis[i];
-            let coeff = obj[bj];
-            if coeff.abs() > EPS {
-                for j in 0..=total {
-                    obj[j] -= coeff * tab[i][j];
-                }
-            }
-        }
-        // Forbid artificial columns from re-entering.
-        let enter_limit = n + n_slack;
-        if !simplex_iterate_limited(&mut tab, &mut basis, &mut obj, total, enter_limit) {
-            return LpOutcome::Unbounded;
-        }
-
-        let mut x = vec![0.0f64; n];
-        for (i, &bj) in basis.iter().enumerate() {
-            if bj < n {
-                x[bj] = tab[i][total];
-            }
-        }
-        let value: f64 = x.iter().zip(&self.objective).map(|(xi, ci)| xi * ci).sum();
-        LpOutcome::Optimal { value, x }
-    }
-}
-
-/// Pivot the tableau on `(row, col)`, updating the basis and optionally an
-/// objective row.
-#[allow(clippy::needless_range_loop)] // tableau code reads best indexed
-fn pivot(
-    tab: &mut [Vec<f64>],
-    basis: &mut [usize],
-    row: usize,
-    col: usize,
-    total: usize,
-    obj: Option<&mut Vec<f64>>,
-) {
-    let pv = tab[row][col];
-    debug_assert!(pv.abs() > EPS);
-    for j in 0..=total {
-        tab[row][j] /= pv;
-    }
-    tab[row][col] = 1.0;
-    for i in 0..tab.len() {
-        if i == row {
-            continue;
-        }
-        let f = tab[i][col];
-        if f.abs() > EPS {
-            // Split borrows: copy the pivot row values on the fly.
-            for j in 0..=total {
-                let v = tab[row][j];
-                tab[i][j] -= f * v;
-            }
-            tab[i][col] = 0.0;
+        match crate::sparse::solve_sparse(self) {
+            Some(outcome) => outcome,
+            None => crate::dense::solve_dense(self),
         }
     }
-    if let Some(obj) = obj {
-        let f = obj[col];
-        if f.abs() > EPS {
-            for j in 0..=total {
-                obj[j] -= f * tab[row][j];
-            }
-            obj[col] = 0.0;
-        }
-    }
-    basis[row] = col;
-}
 
-fn simplex_iterate(
-    tab: &mut [Vec<f64>],
-    basis: &mut [usize],
-    obj: &mut Vec<f64>,
-    total: usize,
-) -> bool {
-    simplex_iterate_limited(tab, basis, obj, total, total)
-}
-
-/// Run simplex iterations with Bland's rule, only allowing columns
-/// `< enter_limit` to enter. Returns `false` when unbounded.
-fn simplex_iterate_limited(
-    tab: &mut [Vec<f64>],
-    basis: &mut [usize],
-    obj: &mut Vec<f64>,
-    total: usize,
-    enter_limit: usize,
-) -> bool {
-    loop {
-        // Bland: the lowest-index column with a negative reduced cost.
-        let Some(col) = (0..enter_limit).find(|&j| obj[j] < -EPS) else {
-            return true;
-        };
-        // Ratio test; Bland tie-break on the lowest basis index.
-        let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis_var, row)
-        for (i, row) in tab.iter().enumerate() {
-            if row[col] > EPS {
-                let ratio = row[total] / row[col];
-                let cand = (ratio, basis[i], i);
-                best = Some(match best {
-                    None => cand,
-                    Some(b) => {
-                        if cand.0 < b.0 - EPS || (cand.0 < b.0 + EPS && cand.1 < b.1) {
-                            cand
-                        } else {
-                            b
-                        }
-                    }
-                });
-            }
-        }
-        let Some((_, _, row)) = best else {
-            return false; // unbounded
-        };
-        pivot(tab, basis, row, col, total, Some(obj));
+    /// Solve with the legacy dense two-phase tableau simplex
+    /// ([`crate::dense`]). Finite upper bounds are materialized as
+    /// explicit `≤` rows first, so dense and sparse answer the same
+    /// mathematical problem — kept as the differential-testing oracle.
+    pub fn solve_dense(&self) -> LpOutcome {
+        crate::dense::solve_dense(self)
     }
 }
 
@@ -379,13 +199,40 @@ mod tests {
         }
     }
 
+    /// Run both solvers and assert they agree before returning the sparse
+    /// outcome — every unit fixture doubles as a differential test.
+    fn solve_both(lp: &LpProblem) -> LpOutcome {
+        let sparse = lp.solve();
+        let dense = lp.solve_dense();
+        match (&sparse, &dense) {
+            (LpOutcome::Optimal { value: vs, x: xs }, LpOutcome::Optimal { value: vd, .. }) => {
+                assert!((vs - vd).abs() < 1e-6, "sparse {vs} != dense {vd}");
+                assert!(lp.check_feasible(xs, 1e-6), "sparse solution infeasible");
+            }
+            (a, b) => assert_eq!(a, b, "sparse/dense outcome kind mismatch"),
+        }
+        sparse
+    }
+
     #[test]
     fn simple_min_with_ge_rows() {
         // min x + 2y  s.t. x + y >= 3, x <= 2  ->  x=2, y=1, value 4.
         let mut lp = LpProblem::minimize(vec![1.0, 2.0]);
         lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 3.0);
         lp.add_row(vec![(0, 1.0)], Cmp::Le, 2.0);
-        let (v, x) = optimal(lp.solve());
+        let (v, x) = optimal(solve_both(&lp));
+        assert!((v - 4.0).abs() < 1e-7, "value {v}");
+        assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn implicit_upper_bound_replaces_box_row() {
+        // Same optimum as `simple_min_with_ge_rows`, but the x <= 2 row
+        // becomes an implicit bound.
+        let mut lp = LpProblem::minimize(vec![1.0, 2.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 3.0);
+        lp.set_upper(0, 2.0);
+        let (v, x) = optimal(solve_both(&lp));
         assert!((v - 4.0).abs() < 1e-7, "value {v}");
         assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
     }
@@ -396,7 +243,7 @@ mod tests {
         let mut lp = LpProblem::minimize(vec![1.0, 1.0]);
         lp.add_row(vec![(0, 1.0), (1, 2.0)], Cmp::Eq, 4.0);
         lp.add_row(vec![(0, 1.0), (1, -1.0)], Cmp::Eq, 1.0);
-        let (v, x) = optimal(lp.solve());
+        let (v, x) = optimal(solve_both(&lp));
         assert!((v - 3.0).abs() < 1e-7);
         assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
     }
@@ -406,7 +253,15 @@ mod tests {
         let mut lp = LpProblem::minimize(vec![1.0]);
         lp.add_row(vec![(0, 1.0)], Cmp::Ge, 5.0);
         lp.add_row(vec![(0, 1.0)], Cmp::Le, 3.0);
-        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+        assert_eq!(solve_both(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_infeasible_via_bounds() {
+        let mut lp = LpProblem::minimize(vec![1.0]);
+        lp.add_row(vec![(0, 1.0)], Cmp::Ge, 5.0);
+        lp.set_upper(0, 3.0);
+        assert_eq!(solve_both(&lp), LpOutcome::Infeasible);
     }
 
     #[test]
@@ -414,7 +269,19 @@ mod tests {
         // min -x s.t. x >= 1: unbounded below.
         let mut lp = LpProblem::minimize(vec![-1.0]);
         lp.add_row(vec![(0, 1.0)], Cmp::Ge, 1.0);
-        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+        assert_eq!(solve_both(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn bound_caps_otherwise_unbounded_objective() {
+        // min -x s.t. x >= 1, x <= 7: bound flip carries x to its upper
+        // bound, value -7.
+        let mut lp = LpProblem::minimize(vec![-1.0]);
+        lp.add_row(vec![(0, 1.0)], Cmp::Ge, 1.0);
+        lp.set_upper(0, 7.0);
+        let (v, x) = optimal(solve_both(&lp));
+        assert!((v + 7.0).abs() < 1e-7, "value {v}");
+        assert!((x[0] - 7.0).abs() < 1e-7);
     }
 
     #[test]
@@ -422,13 +289,14 @@ mod tests {
         // min x s.t. -x <= -2  (i.e. x >= 2).
         let mut lp = LpProblem::minimize(vec![1.0]);
         lp.add_row(vec![(0, -1.0)], Cmp::Le, -2.0);
-        let (v, _) = optimal(lp.solve());
+        let (v, _) = optimal(solve_both(&lp));
         assert!((v - 2.0).abs() < 1e-7);
     }
 
     #[test]
     fn degenerate_lp_terminates() {
-        // A classic cycling-prone LP; Bland's rule must terminate.
+        // A classic cycling-prone LP; the anti-cycling fallback must
+        // terminate.
         let mut lp = LpProblem::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
         lp.add_row(
             vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
@@ -441,7 +309,7 @@ mod tests {
             0.0,
         );
         lp.add_row(vec![(2, 1.0)], Cmp::Le, 1.0);
-        let (v, _) = optimal(lp.solve());
+        let (v, _) = optimal(solve_both(&lp));
         assert!((v - (-0.05)).abs() < 1e-6, "value {v}");
     }
 
@@ -451,7 +319,7 @@ mod tests {
         let mut lp = LpProblem::minimize(vec![1.0, 1.0]);
         lp.add_row(vec![(0, 2.0), (1, 1.0)], Cmp::Ge, 2.0);
         lp.add_row(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 2.0);
-        let (v, x) = optimal(lp.solve());
+        let (v, x) = optimal(solve_both(&lp));
         assert!((v - 4.0 / 3.0).abs() < 1e-7);
         assert!((x[0] - 2.0 / 3.0).abs() < 1e-7);
     }
@@ -461,11 +329,12 @@ mod tests {
         let mut lp = LpProblem::minimize(vec![1.0, 2.0, 0.5]);
         lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 3.0);
         lp.add_row(vec![(1, 1.0), (2, 2.0)], Cmp::Ge, 4.0);
-        lp.add_row(vec![(0, 1.0)], Cmp::Le, 2.0);
-        let (v, x) = optimal(lp.solve());
+        lp.set_upper(0, 2.0);
+        let (v, x) = optimal(solve_both(&lp));
         assert!(lp.check_feasible(&x, 1e-7));
         assert!((lp.objective_value(&x) - v).abs() < 1e-9);
         assert!(!lp.check_feasible(&[0.0, 0.0, 0.0], 1e-7));
+        assert!(!lp.check_feasible(&[3.0, 0.0, 2.0], 1e-7), "x0 over bound");
     }
 
     #[test]
@@ -489,9 +358,9 @@ mod tests {
                 }
                 lp.add_row(terms, Cmp::Ge, rng.gen_range(1..=4) as f64);
             }
-            let (vp, xp) = optimal(lp.solve());
+            let (vp, xp) = optimal(solve_both(&lp));
             let dual = lp.dual();
-            let (vd, xd) = optimal(dual.solve());
+            let (vd, xd) = optimal(solve_both(&dual));
             assert!(
                 (vp + vd).abs() < 1e-6,
                 "trial {trial}: primal {vp} != dual {}",
@@ -511,13 +380,43 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unbounded variables")]
+    fn dual_rejects_bounded_variables() {
+        let mut lp = LpProblem::minimize(vec![1.0]);
+        lp.add_row(vec![(0, 1.0)], Cmp::Ge, 1.0);
+        lp.set_upper(0, 2.0);
+        lp.dual();
+    }
+
+    #[test]
     fn redundant_equality_rows_are_handled() {
         // x + y = 2 twice (redundant): still solvable.
         let mut lp = LpProblem::minimize(vec![1.0, 3.0]);
         lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
         lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
-        let (v, x) = optimal(lp.solve());
+        let (v, x) = optimal(solve_both(&lp));
         assert!((v - 2.0).abs() < 1e-7);
         assert!((x[0] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn all_variables_at_upper_bound() {
+        // min -x - y, x + y <= 10, x <= 1, y <= 1: both at their bound.
+        let mut lp = LpProblem::minimize(vec![-1.0, -1.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Le, 10.0);
+        lp.set_upper(0, 1.0);
+        lp.set_upper(1, 1.0);
+        let (v, x) = optimal(solve_both(&lp));
+        assert!((v + 2.0).abs() < 1e-7, "value {v}");
+        assert!((x[0] - 1.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duplicate_terms_in_a_row_accumulate() {
+        // (x + x) >= 4 means x >= 2 in both solvers.
+        let mut lp = LpProblem::minimize(vec![1.0]);
+        lp.add_row(vec![(0, 1.0), (0, 1.0)], Cmp::Ge, 4.0);
+        let (v, _) = optimal(solve_both(&lp));
+        assert!((v - 2.0).abs() < 1e-7, "value {v}");
     }
 }

@@ -12,6 +12,9 @@
 //! * [`runner`] — the scenario runner: declarative [`runner::Scenario`]
 //!   grids (policy × workload × k × seed) executed in parallel with
 //!   deterministic, thread-count-independent output and JSON manifests.
+//! * [`opt_cache`] — a content-hash-keyed memo cache so a grid solves each
+//!   distinct offline OPT exactly once, shared across policy rows and
+//!   parallel workers.
 //! * [`sweep`] — rayon-powered helpers for running experiment grids in
 //!   parallel.
 
@@ -20,11 +23,13 @@
 pub mod adversary;
 pub mod engine;
 pub mod frac_engine;
+pub mod opt_cache;
 pub mod runner;
 pub mod stats;
 pub mod sweep;
 
 pub use adversary::adaptive_trace;
+pub use opt_cache::{opt_key, OptCache};
 
 pub use engine::{run_policy, RunResult, SimError, SimSession, StepOutcome};
 pub use frac_engine::{run_fractional, FracRunResult};

@@ -1,0 +1,252 @@
+//! Cross-grid OPT memo cache.
+//!
+//! A scenario grid evaluates many policy rows against the same
+//! `(instance, trace)` pair, and every row pays for the identical offline
+//! optimum. [`OptCache`] memoizes those solves behind a 128-bit *content*
+//! key ([`opt_key`]): two independent FNV-1a streams over a canonical
+//! serialization of the instance (k, per-page weight rows), the trace
+//! (page, level per request), a solver tag, and any extra solver
+//! parameters. Keying by content — not by identity or by grid position —
+//! means the cache is shared across policy rows, scenario cells, and
+//! parallel workers, and survives any re-ordering of the grid.
+//!
+//! **Determinism.** A hit returns a clone of the exact value a miss
+//! computed; the solvers themselves are deterministic functions of the
+//! key's preimage, so cached and uncached runs produce byte-identical
+//! canonical manifests. Computation happens under the map lock, so each
+//! distinct key is solved exactly once no matter how many rayon workers
+//! race for it (the trade-off — workers briefly serializing on the lock —
+//! is far cheaper than duplicate OPT solves, which dominate grid time).
+//!
+//! The map is a `BTreeMap`, keeping the crate HashMap-free (wmlp-lint rule
+//! D1: deterministic iteration for anything that can feed a manifest), and
+//! the hash is hand-rolled FNV-1a rather than `std::hash::Hasher` — no
+//! dependence on std's unspecified hasher internals.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use wmlp_core::instance::{MlInstance, Request};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis of the second stream; any constant distinct from
+/// [`FNV_OFFSET`] de-correlates the two streams enough for a 128-bit key.
+const FNV_OFFSET_B: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// Two independent FNV-1a streams, yielding a 128-bit content hash.
+#[derive(Debug, Clone, Copy)]
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    fn new() -> Self {
+        Fnv2 {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    fn write_byte(&mut self, byte: u8) {
+        self.a = (self.a ^ byte as u64).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.write_byte(byte);
+        }
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        // Length prefix keeps concatenated fields unambiguous.
+        self.write_u64(bytes.len() as u64);
+        for &byte in bytes {
+            self.write_byte(byte);
+        }
+    }
+
+    fn finish(self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+}
+
+/// 128-bit content key for an offline-OPT solve: covers the solver `tag`
+/// (e.g. `"flow-fetch"`), the full instance (k and every weight), the full
+/// trace, and any `extra` solver parameters (cost model, DP limits, …).
+/// Two solves get the same key iff they would compute the same value.
+pub fn opt_key(tag: &str, inst: &MlInstance, trace: &[Request], extra: &[u64]) -> (u64, u64) {
+    let mut h = Fnv2::new();
+    h.write_bytes(tag.as_bytes());
+    h.write_u64(inst.k() as u64);
+    h.write_u64(inst.n() as u64);
+    for p in 0..inst.n() {
+        let row = inst.weights().row(p as u32);
+        h.write_u64(row.len() as u64);
+        for &w in row {
+            h.write_u64(w);
+        }
+    }
+    h.write_u64(trace.len() as u64);
+    for r in trace {
+        h.write_u64(r.page as u64);
+        h.write_u64(r.level as u64);
+    }
+    h.write_u64(extra.len() as u64);
+    for &v in extra {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+/// A thread-safe memo cache for offline-OPT values, keyed by [`opt_key`].
+///
+/// Values are whatever the caller solves for (a `Weight`, an `f64` LP
+/// value, a full DP result) as long as they clone cheaply.
+#[derive(Debug)]
+pub struct OptCache<V> {
+    map: Mutex<BTreeMap<(u64, u64), V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for OptCache<V> {
+    fn default() -> Self {
+        OptCache {
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V: Clone> OptCache<V> {
+    /// Empty cache.
+    pub fn new() -> Self {
+        OptCache::default()
+    }
+
+    /// Look up `key`, running `compute` on a miss. The computation happens
+    /// under the cache lock, so each key is computed exactly once even
+    /// under concurrent access.
+    pub fn get_or_compute(&self, key: (u64, u64), compute: impl FnOnce() -> V) -> V {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        map.insert(key, v.clone());
+        v
+    }
+
+    /// `(hits, misses)` so far — misses equal the number of distinct keys
+    /// ever computed.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn inst(k: usize, weights: Vec<u64>) -> MlInstance {
+        MlInstance::weighted_paging(k, weights).unwrap()
+    }
+
+    #[test]
+    fn key_is_content_based() {
+        let a = inst(2, vec![3, 5, 7]);
+        let b = inst(2, vec![3, 5, 7]);
+        let trace = vec![Request::top(0), Request::top(1)];
+        assert_eq!(
+            opt_key("flow", &a, &trace, &[]),
+            opt_key("flow", &b, &trace, &[]),
+            "structurally equal inputs must collide"
+        );
+    }
+
+    #[test]
+    fn key_separates_every_component() {
+        let base = inst(2, vec![3, 5, 7]);
+        let trace = vec![Request::top(0), Request::top(1)];
+        let k0 = opt_key("flow", &base, &trace, &[]);
+        assert_ne!(k0, opt_key("dp", &base, &trace, &[]), "tag");
+        assert_ne!(
+            k0,
+            opt_key("flow", &inst(1, vec![3, 5, 7]), &trace, &[]),
+            "k"
+        );
+        assert_ne!(
+            k0,
+            opt_key("flow", &inst(2, vec![3, 6, 7]), &trace, &[]),
+            "weights"
+        );
+        assert_ne!(
+            k0,
+            opt_key("flow", &base, &[Request::top(1), Request::top(0)], &[]),
+            "trace order"
+        );
+        assert_ne!(k0, opt_key("flow", &base, &trace, &[1]), "extra params");
+    }
+
+    #[test]
+    fn computes_each_key_once() {
+        let cache: OptCache<u64> = OptCache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_compute((1, 2), || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats(), (4, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn parallel_access_computes_once_per_key() {
+        use rayon::prelude::*;
+        let cache: OptCache<u64> = OptCache::new();
+        let calls = AtomicUsize::new(0);
+        let ids: Vec<u64> = (0..64).collect();
+        let results: Vec<u64> = ids
+            .par_iter()
+            .map(|&i| {
+                let key = (i % 4, 0);
+                cache.get_or_compute(key, || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    (i % 4) * 10
+                })
+            })
+            .collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, (i as u64 % 4) * 10);
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 4);
+        assert_eq!(hits, 60);
+    }
+}

@@ -1,0 +1,115 @@
+//! Differential tests for the three offline-OPT solvers after the sparse
+//! simplex / allocation-free MCMF overhaul: on random small instances the
+//! min-cost-flow OPT, the exponential DP, and the paging LP must agree
+//! wherever their cost models coincide.
+//!
+//! * `ℓ = 1`: flow fetch-OPT equals DP fetch-OPT exactly, and the LP value
+//!   equals the DP eviction-OPT to LP tolerance (the ℓ = 1 relaxation is
+//!   integral on these instances — the prefix and per-copy objectives
+//!   coincide).
+//! * `ℓ ∈ {2, 3}` (factor-2 separated weights): the documented sandwich
+//!   `OPT_ev ≤ LP ≤ 2·OPT_ev` from Section 2 of the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmlp::core::instance::{MlInstance, Request};
+use wmlp::flow::{weighted_paging_opt, weighted_paging_opt_with, PagingOptScratch};
+use wmlp::lp::multilevel_paging_lp_opt;
+use wmlp::offline::{opt_multilevel, DpLimits};
+
+const LP_TOL: f64 = 1e-6;
+
+fn top_trace(rng: &mut StdRng, n: usize, len: usize) -> Vec<Request> {
+    (0..len)
+        .map(|_| Request::top(rng.gen_range(0..n as u32)))
+        .collect()
+}
+
+#[test]
+fn flow_dp_and_lp_agree_on_single_level_instances() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut scratch = PagingOptScratch::new();
+    for trial in 0..25 {
+        let n = rng.gen_range(3..=6);
+        let k = rng.gen_range(1..=(n - 1).min(3));
+        let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=32)).collect();
+        let inst = MlInstance::weighted_paging(k, weights).unwrap();
+        let len = rng.gen_range(8..=16);
+        let trace = top_trace(&mut rng, n, len);
+
+        let flow = weighted_paging_opt_with(&inst, &trace, &mut scratch);
+        let dp = opt_multilevel(&inst, &trace, DpLimits::default());
+        assert_eq!(flow, dp.fetch_cost, "trial {trial}: flow vs DP fetch OPT");
+
+        let lp = multilevel_paging_lp_opt(&inst, &trace)
+            .expect("tiny instance fits the LP rails")
+            .value;
+        let dp_ev = dp.eviction_cost as f64;
+        assert!(
+            (lp - dp_ev).abs() <= LP_TOL * (1.0 + dp_ev),
+            "trial {trial}: LP {lp} vs DP eviction {dp_ev}"
+        );
+    }
+}
+
+#[test]
+fn scratch_reuse_matches_the_allocating_entry_point() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut scratch = PagingOptScratch::new();
+    for _ in 0..10 {
+        let n = rng.gen_range(3..=6);
+        let k = rng.gen_range(1..=(n - 1).min(3));
+        let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=32)).collect();
+        let inst = MlInstance::weighted_paging(k, weights).unwrap();
+        let trace = top_trace(&mut rng, n, 20);
+        assert_eq!(
+            weighted_paging_opt_with(&inst, &trace, &mut scratch),
+            weighted_paging_opt(&inst, &trace),
+        );
+    }
+}
+
+#[test]
+fn lp_sandwiches_dp_on_multi_level_instances() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for levels in [2usize, 3] {
+        for trial in 0..10 {
+            let n = rng.gen_range(3..=4);
+            let k = rng.gen_range(1..=(n - 1).min(2));
+            let rows: Vec<Vec<u64>> = (0..n)
+                .map(|_| {
+                    // Factor-2 separated per-level weights, as Section 2
+                    // requires for the LP/2 lower bound.
+                    let mut w = rng.gen_range(4..=16) << levels;
+                    (0..levels)
+                        .map(|_| {
+                            let cur = w;
+                            w = (w / 2).max(1);
+                            cur
+                        })
+                        .collect()
+                })
+                .collect();
+            let inst = MlInstance::from_rows(k, rows).unwrap();
+            let trace: Vec<Request> = (0..10)
+                .map(|_| {
+                    let p = rng.gen_range(0..n as u32);
+                    Request::new(p, rng.gen_range(1..=inst.levels(p)))
+                })
+                .collect();
+
+            let lp = multilevel_paging_lp_opt(&inst, &trace)
+                .expect("tiny instance fits the LP rails")
+                .value;
+            let dp_ev = opt_multilevel(&inst, &trace, DpLimits::default()).eviction_cost as f64;
+            assert!(
+                lp >= dp_ev - LP_TOL * (1.0 + dp_ev),
+                "l={levels} trial {trial}: LP {lp} below eviction OPT {dp_ev}"
+            );
+            assert!(
+                lp <= 2.0 * dp_ev + LP_TOL * (1.0 + dp_ev),
+                "l={levels} trial {trial}: LP {lp} above 2x eviction OPT {dp_ev}"
+            );
+        }
+    }
+}
