@@ -13,10 +13,11 @@
 //!   algorithm across level counts `ℓ ∈ {1, 2, 4}`.
 //! * **B4** — offline optimum solvers: flow (`ℓ = 1`), exponential DP, LP.
 //! * **B5** — end-to-end loopback serving: a `wmlp-serve` server spawned
-//!   in-process, driven closed-loop by `wmlp-loadgen` over real sockets,
-//!   per shard count. `throughput_rps` here includes protocol framing and
-//!   socket round-trips, so it is the serving-stack number, not the bare
-//!   engine number of B1/B2.
+//!   in-process, driven by `wmlp-loadgen` over real sockets, per shard
+//!   count — closed-loop cells (`s{N}c4`) and pipelined cells
+//!   (`s{N}c4p32`, a 32-deep per-connection window). `throughput_rps`
+//!   here includes protocol framing and socket round-trips, so it is the
+//!   serving-stack number, not the bare engine number of B1/B2.
 //!
 //! # `BENCH.json` schema
 //!
@@ -144,12 +145,25 @@ impl PerfConfig {
         }
     }
 
-    /// B5 shard counts for the loopback serving cells.
+    /// B5 shard counts for the closed-loop loopback serving cells.
     fn b5_shards(&self) -> &'static [usize] {
         if self.smoke {
             &[2]
         } else {
             &[1, 4]
+        }
+    }
+
+    /// B5 shard counts for the pipelined loopback serving cells. The
+    /// 8-shard cell is the headline serving-stack number: with a deep
+    /// per-connection window the server's batch drain and pipelined
+    /// writers are actually exercised, unlike the closed-loop cells where
+    /// at most `conns` requests are ever in flight.
+    fn b5_pipeline_shards(&self) -> &'static [usize] {
+        if self.smoke {
+            &[2]
+        } else {
+            &[1, 8]
         }
     }
 
@@ -457,20 +471,21 @@ fn b4_offline_solvers(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
 /// deployment's would (amortized over the trace).
 fn b5_loopback_serve(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
     let requests = cfg.b5_requests();
+    let base = |shards: usize| LoadgenConfig {
+        conns: 4,
+        requests,
+        workload: Workload::Zipf { alpha: 0.9 },
+        seed: TRACE_SEED + 20,
+        pages: 4_096,
+        levels: 3,
+        k: 512,
+        weight_seed: WEIGHT_SEED + 20,
+        policy: "landlord".into(),
+        shards,
+        ..LoadgenConfig::default()
+    };
     for &shards in cfg.b5_shards() {
-        let lg = LoadgenConfig {
-            conns: 4,
-            requests,
-            workload: Workload::Zipf { alpha: 0.9 },
-            seed: TRACE_SEED + 20,
-            pages: 4_096,
-            levels: 3,
-            k: 512,
-            weight_seed: WEIGHT_SEED + 20,
-            policy: "landlord".into(),
-            shards,
-            ..LoadgenConfig::default()
-        };
+        let lg = base(shards);
         let inst = wmlp_serve::default_instance(lg.pages, lg.levels, lg.k, lg.weight_seed)
             .expect("B5 instance tuple is feasible");
         let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
@@ -479,6 +494,28 @@ fn b5_loopback_serve(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
         entries.push(entry(
             "b5_loopback_serve",
             format!("landlord/s{shards}c4"),
+            "landlord",
+            &inst,
+            requests,
+            timing,
+        ));
+    }
+    // Pipelined cells: same trace and instance, but each connection keeps
+    // a 32-deep window in flight, so the server's SPSC batch drain and
+    // per-connection writer reorder buffers carry real load.
+    for &shards in cfg.b5_pipeline_shards() {
+        let lg = LoadgenConfig {
+            pipeline: 32,
+            ..base(shards)
+        };
+        let inst = wmlp_serve::default_instance(lg.pages, lg.levels, lg.k, lg.weight_seed)
+            .expect("B5 instance tuple is feasible");
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            wmlp_loadgen::run(&lg).expect("pipelined loopback serving run")
+        });
+        entries.push(entry(
+            "b5_loopback_serve",
+            format!("landlord/s{shards}c4p32"),
             "landlord",
             &inst,
             requests,
@@ -606,6 +643,12 @@ mod tests {
                 .iter()
                 .any(|e| e.group == "b5_loopback_serve" && e.throughput_rps > 0),
             "B5 loopback serving cell missing or zero-throughput"
+        );
+        assert!(
+            report.entries.iter().any(|e| e.group == "b5_loopback_serve"
+                && e.name.ends_with("p32")
+                && e.throughput_rps > 0),
+            "B5 pipelined serving cell missing or zero-throughput"
         );
 
         let text = report.to_json();

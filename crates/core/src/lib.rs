@@ -24,13 +24,15 @@
 //! reductions between the problem variants ([`reduction`]), the traits
 //! implemented by online algorithms ([`policy`]), and the interchange
 //! formats: a diff-friendly text codec ([`codec`]) and the binary wire
-//! protocol spoken by the serving stack ([`wire`]).
+//! protocol spoken by the serving stack — split into the pure frame
+//! codec ([`wire`]) and its transport adapters ([`conn`]).
 
 #![warn(missing_docs)]
 
 pub mod action;
 pub mod cache;
 pub mod codec;
+pub mod conn;
 pub mod cost;
 pub mod dense;
 pub mod fractional;
@@ -45,6 +47,7 @@ pub mod writeback;
 
 pub use action::{Action, StepLog};
 pub use cache::CacheState;
+pub use conn::{Conn, FrameBuf, FrameReader};
 pub use cost::{CostLedger, CostModel};
 pub use dense::{KeyedMinHeap, RecencyList};
 pub use fractional::FracState;
@@ -52,4 +55,4 @@ pub use instance::{MlInstance, Request, Trace};
 pub use policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy};
 pub use types::{weight_class, CopyRef, Level, PageId, Weight};
 pub use weights::WeightMatrix;
-pub use wire::{Frame, FrameReader, WireError, WireStats};
+pub use wire::{Frame, ShardLoad, StatsPayload, WireError, WireStats};

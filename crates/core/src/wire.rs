@@ -1,11 +1,19 @@
-//! The `wmlp-serve` binary wire protocol: length-prefixed frames with a
-//! versioned header.
+//! The `wmlp-serve` binary wire protocol: the pure frame codec.
 //!
 //! Where [`crate::codec`] is the diff-friendly *text* interchange format
 //! for instances and traces, this module is the compact *binary* format
-//! spoken on the socket between `wmlp-serve` and `wmlp-loadgen` (and any
-//! other client). See `PROTOCOL.md` at the repository root for the full
+//! spoken between `wmlp-serve` and `wmlp-loadgen` (and any other
+//! client). See `PROTOCOL.md` at the repository root for the full
 //! specification.
+//!
+//! This module is **transport-free**: it defines frame types and
+//! byte-level [`encode`]/[`decode`] only, and performs no I/O. The
+//! companion [`crate::conn`] module layers incremental buffering
+//! ([`crate::conn::FrameBuf`]), blocking-stream adapters
+//! ([`crate::conn::FrameReader`], [`crate::conn::write_frame`]) and the
+//! transport-independent duplex [`crate::conn::Conn`] state machine on
+//! top of this codec, so a readiness-based transport can slot in without
+//! touching the protocol.
 //!
 //! # Frame layout
 //!
@@ -14,7 +22,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  "WM" (0x57 0x4D)
-//! 2       1     version (currently 1)
+//! 2       1     version (currently 2)
 //! 3       1     opcode
 //! 4       4     payload length, u32 little-endian
 //! 8       len   payload
@@ -25,13 +33,15 @@
 //! (0x83), `BYE` (0x84), `ERROR` (0xFF). All multi-byte integers are
 //! little-endian.
 //!
+//! Version 2 allows protocol pipelining (many request frames in flight
+//! per connection, responses in request order) and extends STATS_REPLY
+//! with per-shard load counters; see PROTOCOL.md.
+//!
 //! Decoding is incremental and allocation-light: [`decode`] returns
 //! `Ok(None)` when the buffer holds only a *truncated* frame (read more
 //! bytes and retry) and an error only for *corrupt* input (bad magic,
 //! unknown version/opcode, length mismatch, oversized payload), so a
 //! server can cleanly distinguish "not yet" from "never".
-
-use std::io::{Read, Write};
 
 use crate::instance::Request;
 use crate::types::{Level, PageId, Weight};
@@ -39,8 +49,9 @@ use crate::types::{Level, PageId, Weight};
 /// Frame magic, the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"WM";
 
-/// Current protocol version, byte 2 of every frame.
-pub const VERSION: u8 = 1;
+/// Current protocol version, byte 2 of every frame. Version 2 permits
+/// pipelined requests and carries per-shard load counters in STATS_REPLY.
+pub const VERSION: u8 = 2;
 
 /// Header length in bytes (magic + version + opcode + payload length).
 pub const HEADER_LEN: usize = 8;
@@ -128,6 +139,31 @@ pub struct WireStats {
     pub cost: u64,
 }
 
+/// Per-shard load counters carried by [`Frame::StatsReply`] since
+/// protocol version 2 — the observability groundwork for skew-aware
+/// sharding: a hot-key workload shows up as one shard's `requests` and
+/// `queue_depth` running far above its siblings'.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Requests this shard served.
+    pub requests: u64,
+    /// Requests this shard served from cache.
+    pub hits: u64,
+    /// Requests currently routed to this shard but not yet answered (its
+    /// queue backlog plus any batch in progress) at snapshot time.
+    pub queue_depth: u64,
+}
+
+/// The full STATS_REPLY payload: aggregate counters plus one
+/// [`ShardLoad`] per shard, in shard-index order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsPayload {
+    /// Counters summed across all shards.
+    pub total: WireStats,
+    /// Per-shard load, indexed by shard id.
+    pub shards: Vec<ShardLoad>,
+}
+
 /// A decoded protocol frame (request or response).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -157,7 +193,7 @@ pub enum Frame {
         cost: Weight,
     },
     /// STATS response.
-    StatsReply(WireStats),
+    StatsReply(StatsPayload),
     /// SHUTDOWN acknowledgement; the server drains and exits after this.
     Bye,
     /// Request-level failure.
@@ -239,9 +275,21 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             out.extend_from_slice(&cost.to_le_bytes());
         }
         Frame::StatsReply(s) => {
-            push_header(out, opcode::STATS_REPLY, 40);
-            for v in [s.requests, s.hits, s.fetches, s.evictions, s.cost] {
+            // Aggregate (40 bytes) + shard count (u32) + 24 bytes/shard.
+            // The MAX_PAYLOAD cap bounds the shard count; anything beyond
+            // it is clipped rather than emitting an undecodable frame.
+            let max_shards = (MAX_PAYLOAD as usize - 44) / 24;
+            let shards = &s.shards[..s.shards.len().min(max_shards)];
+            push_header(out, opcode::STATS_REPLY, 44 + 24 * shards.len());
+            let t = &s.total;
+            for v in [t.requests, t.hits, t.fetches, t.evictions, t.cost] {
                 out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+            for sh in shards {
+                for v in [sh.requests, sh.hits, sh.queue_depth] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
             }
         }
         Frame::Bye => push_header(out, opcode::BYE, 0),
@@ -313,7 +361,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
         opcode::PUT => expect(len == 4)?,
         opcode::STATS | opcode::SHUTDOWN | opcode::BYE => expect(len == 0)?,
         opcode::SERVED => expect(len == 10)?,
-        opcode::STATS_REPLY => expect(len == 40)?,
+        opcode::STATS_REPLY => expect(len >= 44 && (len - 44) % 24 == 0)?,
         opcode::ERROR => expect(len >= 1)?,
         other => return Err(WireError::BadOpcode(other)),
     }
@@ -352,13 +400,29 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
         }
         opcode::STATS_REPLY => {
             let f = |i: usize| read_u64(&payload[8 * i..]).ok_or(bad("short stats"));
-            Frame::StatsReply(WireStats {
+            let total = WireStats {
                 requests: f(0)?,
                 hits: f(1)?,
                 fetches: f(2)?,
                 evictions: f(3)?,
                 cost: f(4)?,
-            })
+            };
+            let count = read_u32(&payload[40..]).ok_or(bad("missing shard count"))? as usize;
+            if payload.len() != 44 + 24 * count {
+                return Err(bad("shard count disagrees with payload length"));
+            }
+            let mut shards = Vec::with_capacity(count);
+            for s in 0..count {
+                let g = |i: usize| {
+                    read_u64(&payload[44 + 24 * s + 8 * i..]).ok_or(bad("short shard load"))
+                };
+                shards.push(ShardLoad {
+                    requests: g(0)?,
+                    hits: g(1)?,
+                    queue_depth: g(2)?,
+                });
+            }
+            Frame::StatsReply(StatsPayload { total, shards })
         }
         opcode::BYE => Frame::Bye,
         opcode::ERROR => Frame::Error {
@@ -385,102 +449,9 @@ pub fn request_frame(req: Request) -> Frame {
     }
 }
 
-/// Incremental frame reader over any [`Read`], buffering partial frames
-/// across reads. [`FrameReader::next_frame`] blocks until a full frame,
-/// EOF, or corruption.
-#[derive(Debug)]
-pub struct FrameReader<R> {
-    inner: R,
-    buf: Vec<u8>,
-    /// Bytes of `buf` holding live (undecoded) data.
-    filled: usize,
-}
-
-/// Why [`FrameReader::next_frame`] stopped without a frame.
-#[derive(Debug)]
-pub enum ReadError {
-    /// The underlying reader failed.
-    Io(std::io::Error),
-    /// The stream carried a corrupt frame.
-    Wire(WireError),
-    /// EOF in the middle of a frame.
-    TruncatedEof,
-}
-
-impl std::fmt::Display for ReadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ReadError::Io(e) => write!(f, "read failed: {e}"),
-            ReadError::Wire(e) => write!(f, "corrupt frame: {e}"),
-            ReadError::TruncatedEof => write!(f, "connection closed mid-frame"),
-        }
-    }
-}
-
-impl std::error::Error for ReadError {}
-
-impl From<std::io::Error> for ReadError {
-    fn from(e: std::io::Error) -> Self {
-        ReadError::Io(e)
-    }
-}
-
-impl From<WireError> for ReadError {
-    fn from(e: WireError) -> Self {
-        ReadError::Wire(e)
-    }
-}
-
-impl<R: Read> FrameReader<R> {
-    /// A reader over `inner` with an empty buffer.
-    pub fn new(inner: R) -> Self {
-        FrameReader {
-            inner,
-            buf: vec![0; 4096],
-            filled: 0,
-        }
-    }
-
-    /// The next frame, `Ok(None)` on a clean EOF (no partial frame
-    /// buffered), or an error for I/O failure, corruption, or EOF
-    /// mid-frame.
-    pub fn next_frame(&mut self) -> Result<Option<Frame>, ReadError> {
-        loop {
-            if let Some((frame, used)) = decode(&self.buf[..self.filled])? {
-                self.buf.copy_within(used..self.filled, 0);
-                self.filled -= used;
-                return Ok(Some(frame));
-            }
-            if self.filled == self.buf.len() {
-                // A valid frame never exceeds HEADER_LEN + MAX_PAYLOAD;
-                // grow toward that bound as needed.
-                let cap = (self.buf.len() * 2).min(HEADER_LEN + MAX_PAYLOAD as usize);
-                self.buf.resize(cap, 0);
-            }
-            let n = self.inner.read(&mut self.buf[self.filled..])?;
-            if n == 0 {
-                return if self.filled == 0 {
-                    Ok(None)
-                } else {
-                    Err(ReadError::TruncatedEof)
-                };
-            }
-            self.filled += n;
-        }
-    }
-}
-
-/// Encode and write one frame, flushing the writer.
-pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
-    let bytes = encode_to_vec(frame);
-    w.write_all(&bytes)?;
-    w.flush()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
 
     fn all_frames() -> Vec<Frame> {
         vec![
@@ -498,12 +469,36 @@ mod tests {
                 level: 3,
                 cost: 987654321,
             },
-            Frame::StatsReply(WireStats {
-                requests: 1,
-                hits: 2,
-                fetches: 3,
-                evictions: 4,
-                cost: 5,
+            Frame::StatsReply(StatsPayload {
+                total: WireStats {
+                    requests: 1,
+                    hits: 2,
+                    fetches: 3,
+                    evictions: 4,
+                    cost: 5,
+                },
+                shards: Vec::new(),
+            }),
+            Frame::StatsReply(StatsPayload {
+                total: WireStats {
+                    requests: 10,
+                    hits: 4,
+                    fetches: 6,
+                    evictions: 3,
+                    cost: 99,
+                },
+                shards: vec![
+                    ShardLoad {
+                        requests: 7,
+                        hits: 3,
+                        queue_depth: 2,
+                    },
+                    ShardLoad {
+                        requests: 3,
+                        hits: 1,
+                        queue_depth: 0,
+                    },
+                ],
             }),
             Frame::Bye,
             Frame::Error {
@@ -599,31 +594,20 @@ mod tests {
     }
 
     #[test]
-    fn reader_reassembles_split_frames() {
-        /// Yields the wrapped bytes one at a time, the worst-case split.
-        struct OneByte(Cursor<Vec<u8>>);
-        impl Read for OneByte {
-            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-                let take = buf.len().min(1);
-                self.0.read(&mut buf[..take])
-            }
-        }
-        let mut bytes = Vec::new();
-        for frame in all_frames() {
-            encode(&frame, &mut bytes);
-        }
-        let mut reader = FrameReader::new(OneByte(Cursor::new(bytes)));
-        for want in all_frames() {
-            assert_eq!(reader.next_frame().unwrap(), Some(want));
-        }
-        assert!(matches!(reader.next_frame(), Ok(None)));
-    }
-
-    #[test]
-    fn reader_flags_eof_mid_frame() {
-        let bytes = encode_to_vec(&Frame::Put { page: 3 });
-        let mut reader = FrameReader::new(Cursor::new(bytes[..6].to_vec()));
-        assert!(matches!(reader.next_frame(), Err(ReadError::TruncatedEof)));
+    fn stats_reply_shard_count_must_match_length() {
+        let frame = Frame::StatsReply(StatsPayload {
+            total: WireStats::default(),
+            shards: vec![ShardLoad::default(); 2],
+        });
+        let mut bad = encode_to_vec(&frame);
+        // Claim 3 shards while carrying bytes for 2.
+        bad[HEADER_LEN + 40..HEADER_LEN + 44].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(WireError::BadPayload(_))));
+        // A payload length that cannot hold the aggregate + count is a
+        // length error, not a payload error.
+        let mut bad = encode_to_vec(&frame);
+        bad[4..8].copy_from_slice(&40u32.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(WireError::BadLength { .. })));
     }
 
     #[test]

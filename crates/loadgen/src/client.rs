@@ -1,27 +1,42 @@
-//! The closed-loop client connection.
+//! Client connections: closed-loop and pipelined.
 //!
-//! Each connection thread replays its slice of the trace strictly
-//! one-at-a-time: write a request frame, block for the reply, record the
-//! round-trip latency, repeat. Closed-loop load keeps the protocol free
-//! of request ids (replies can't interleave) and makes the measured
-//! latency the honest end-to-end service time under the offered
-//! concurrency (= number of connections).
+//! [`run_requests`] is the classic closed-loop connection — write a
+//! request frame, block for the reply, record the round-trip, repeat —
+//! whose measured latency is the honest end-to-end service time under
+//! the offered concurrency (= number of connections).
+//!
+//! [`run_pipelined`] keeps up to a *window* of requests in flight per
+//! connection (the server answers in request order, so no wire ids are
+//! needed) and optionally paces sends against an **open-loop arrival
+//! schedule** of intended-start times. Latency is then measured from the
+//! *intended* start, not the actual send — the standard coordinated-
+//! omission correction: a client that falls behind schedule charges the
+//! queueing it caused to the requests that suffered it. The gap between
+//! actual and intended send is reported separately as *send lag*.
 
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
+use wmlp_core::conn::{write_frame, FrameReader, ReadError};
 use wmlp_core::instance::Request;
-use wmlp_core::wire::{request_frame, write_frame, Frame, FrameReader, ReadError, WireStats};
+use wmlp_core::wire::{encode, request_frame, Frame, StatsPayload};
 use wmlp_sim::Histogram;
 
 use crate::report::Totals;
-use crate::timing::Stopwatch;
+use crate::timing::{Clock, Stopwatch};
 
 /// What one connection measured.
 #[derive(Debug, Default)]
 pub struct ConnOutcome {
-    /// Round-trip latencies, nanoseconds.
+    /// Per-request latencies, nanoseconds: round-trips for the
+    /// closed-loop client, intended-start → completion for the pipelined
+    /// one.
     pub hist: Histogram,
+    /// Actual-send minus intended-send per request, nanoseconds (empty
+    /// for the closed-loop client, which has no schedule to lag).
+    pub send_lag: Histogram,
     /// Reply counts.
     pub totals: Totals,
 }
@@ -68,10 +83,171 @@ pub fn run_requests(addr: &SocketAddr, reqs: &[Request]) -> Result<ConnOutcome, 
     Ok(out)
 }
 
+/// Replay `reqs` over one connection with up to `window` requests in
+/// flight, recording coordinated-omission-corrected latency.
+///
+/// When `schedule` is given it holds one intended-start time (nanoseconds
+/// on `clock`) per request; sends are paced to it and latency is measured
+/// from it. Without a schedule the connection is closed-loop-pipelined:
+/// the intended start *is* the send time, and the window alone sets the
+/// offered concurrency.
+pub fn run_pipelined(
+    addr: &SocketAddr,
+    reqs: &[Request],
+    window: usize,
+    schedule: Option<&[u64]>,
+    clock: Clock,
+) -> Result<ConnOutcome, String> {
+    if let Some(s) = schedule {
+        if s.len() != reqs.len() {
+            return Err("schedule length mismatch".into());
+        }
+    }
+    let (mut writer, mut reader) = open(addr)?;
+    let window = window.max(1);
+    let n = reqs.len();
+    // In-flight slot counter, bumped by this (send) side and released by
+    // the reader thread; `dead` short-circuits the wait if the reader
+    // exits early.
+    let inflight = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let dead = Arc::new(AtomicBool::new(false));
+    // Per-request (intended, actual_send) metadata; replies come back in
+    // request order, so a FIFO channel pairs them up exactly.
+    let (meta_tx, meta_rx) = mpsc::channel::<(u64, u64)>();
+
+    let reader_thread = {
+        let inflight = Arc::clone(&inflight);
+        let dead = Arc::clone(&dead);
+        std::thread::spawn(move || -> Result<ConnOutcome, String> {
+            let mut out = ConnOutcome::default();
+            let release = |k: &Arc<(Mutex<usize>, Condvar)>| {
+                let mut held = match k.0.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                *held = held.saturating_sub(1);
+                drop(held);
+                k.1.notify_one();
+            };
+            for _ in 0..n {
+                let reply = match read_reply(&mut reader) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        dead.store(true, Ordering::SeqCst);
+                        inflight.1.notify_all();
+                        return Err(e);
+                    }
+                };
+                let (intended, actual) = match meta_rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break, // sender died mid-run
+                };
+                let now = clock.now_nanos();
+                out.hist.record(now.saturating_sub(intended));
+                out.send_lag.record(actual.saturating_sub(intended));
+                release(&inflight);
+                match reply {
+                    Frame::Served { hit, cost, .. } => {
+                        out.totals.sent += 1;
+                        out.totals.hits += hit as u64;
+                        out.totals.cost += cost;
+                    }
+                    Frame::Error { .. } => out.totals.errors += 1,
+                    other => {
+                        dead.store(true, Ordering::SeqCst);
+                        inflight.1.notify_all();
+                        return Err(format!("unexpected reply {other:?}"));
+                    }
+                }
+            }
+            Ok(out)
+        })
+    };
+
+    let mut scratch = Vec::new();
+    let mut send_err = None;
+    let mut written = 0usize;
+    for (i, &req) in reqs.iter().enumerate() {
+        if let Some(sched) = schedule {
+            clock.sleep_until(sched[i]);
+        }
+        // Take a window slot; flush buffered frames before blocking so
+        // the server can generate the replies that free the window.
+        {
+            let mut held = match inflight.0.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if *held >= window {
+                drop(held);
+                if writer.flush().is_err() {
+                    send_err = Some("write failed: flush".to_string());
+                    break;
+                }
+                held = match inflight.0.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                while *held >= window && !dead.load(Ordering::SeqCst) {
+                    held = match inflight.1.wait(held) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                }
+            }
+            if dead.load(Ordering::SeqCst) {
+                break;
+            }
+            *held += 1;
+        }
+        let intended = match schedule {
+            Some(s) => s[i],
+            None => clock.now_nanos(),
+        };
+        let actual = clock.now_nanos();
+        if meta_tx.send((intended, actual)).is_err() {
+            break;
+        }
+        scratch.clear();
+        encode(&request_frame(req), &mut scratch);
+        if writer.write_all(&scratch).is_err() {
+            send_err = Some("write failed".to_string());
+            break;
+        }
+        written += 1;
+        // Paced sends flush immediately — the schedule, not the buffer,
+        // sets the batch size; windowed sends batch until the window
+        // fills or the run ends.
+        if schedule.is_some() && writer.flush().is_err() {
+            send_err = Some("write failed: flush".to_string());
+            break;
+        }
+    }
+    let _ = writer.flush();
+    drop(meta_tx);
+    if written < n {
+        // The reader is waiting for replies that will never be sent;
+        // kill the socket so its blocking read fails instead of hanging.
+        let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+    let outcome = match reader_thread.join() {
+        Ok(r) => r,
+        Err(_) => Err("reader thread panicked".into()),
+    };
+    match (outcome, send_err) {
+        (Err(e), _) => Err(e),
+        (Ok(_), Some(e)) => Err(e),
+        (Ok(o), None) => Ok(o),
+    }
+}
+
 /// Fetch server counters and (optionally) shut the server down over a
 /// fresh control connection. Returns the STATS snapshot and whether
 /// SHUTDOWN was acknowledged with BYE (`false` when not requested).
-pub fn stats_and_shutdown(addr: &SocketAddr, shutdown: bool) -> Result<(WireStats, bool), String> {
+pub fn stats_and_shutdown(
+    addr: &SocketAddr,
+    shutdown: bool,
+) -> Result<(StatsPayload, bool), String> {
     let (mut writer, mut reader) = open(addr)?;
     write_frame(&mut writer, &Frame::Stats).map_err(|e| format!("write failed: {e}"))?;
     let stats = match read_reply(&mut reader)? {

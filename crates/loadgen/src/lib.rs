@@ -1,9 +1,12 @@
-//! # wmlp-loadgen — closed-loop load generator for `wmlp-serve`
+//! # wmlp-loadgen — load generator for `wmlp-serve`
 //!
 //! Replays seeded `wmlp-workloads` traces against a server over real
-//! sockets, measures per-request round-trip latency into the
-//! log-bucketed [`wmlp_sim::Histogram`], and emits a schema-documented
-//! SERVE.json report ([`report`]).
+//! sockets — closed-loop, pipelined (a bounded window of requests in
+//! flight per connection), or open-loop against an arrival schedule with
+//! coordinated-omission-corrected latency — measures per-request latency
+//! into the log-bucketed [`wmlp_sim::Histogram`], and emits a
+//! schema-documented SERVE.json report ([`report`]), optionally with a
+//! throughput-vs-p99 sweep across offered rates.
 //!
 //! The request stream is fully deterministic (instance tuple, workload,
 //! seed); only the measured latencies and throughput are
@@ -24,8 +27,8 @@ use wmlp_serve::server::{start, ServeConfig, ServerHandle};
 use wmlp_sim::Histogram;
 use wmlp_workloads::{cyclic_trace, zipf_trace, LevelDist};
 
-use report::{LatencySummary, ReportConfig, ServeReport, Totals, SCHEMA_VERSION};
-use timing::Stopwatch;
+use report::{LatencySummary, ReportConfig, ServeReport, SweepPoint, Totals, SCHEMA_VERSION};
+use timing::{Clock, Stopwatch};
 
 /// The request mixes the generator can offer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +110,16 @@ pub struct LoadgenConfig {
     pub policy: String,
     /// Shard count for a spawned server (recorded either way).
     pub shards: usize,
+    /// Per-connection in-flight window; 1 = classic closed-loop, > 1 =
+    /// pipelined.
+    pub pipeline: usize,
+    /// Open-loop target arrival rate across all connections, requests
+    /// per second; 0 = unpaced (the window alone sets the load).
+    pub rate: f64,
+    /// Offered rates for a throughput-vs-p99 sweep after the main run
+    /// (each point replays the trace open-loop at that rate); empty =
+    /// no sweep.
+    pub sweep: Vec<f64>,
     /// Send SHUTDOWN when done.
     pub shutdown: bool,
 }
@@ -125,6 +138,9 @@ impl Default for LoadgenConfig {
             weight_seed: 7,
             policy: "lru".into(),
             shards: 4,
+            pipeline: 1,
+            rate: 0.0,
+            sweep: Vec::new(),
             shutdown: true,
         }
     }
@@ -142,6 +158,92 @@ impl LoadgenConfig {
             ..LoadgenConfig::default()
         }
     }
+}
+
+/// What one wave of connections (the main run, or one sweep point)
+/// measured, merged across connections.
+struct WaveOutcome {
+    hist: Histogram,
+    send_lag: Histogram,
+    totals: Totals,
+    wall_nanos: u64,
+}
+
+impl WaveOutcome {
+    fn throughput_rps(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.totals.sent as f64 / (self.wall_nanos as f64 / 1e9)
+        }
+    }
+}
+
+/// Replay `slices` (one per connection) against `addr` concurrently and
+/// merge the outcomes. `pipeline` ≤ 1 with no rate uses the closed-loop
+/// client; otherwise the pipelined client, paced by a shared open-loop
+/// schedule when `rate > 0`: request `g` of the round-robin-interleaved
+/// trace is *intended* to leave at `g / rate` seconds, whichever
+/// connection owns it — one global arrival process split across sockets.
+fn run_wave(
+    addr: SocketAddr,
+    slices: &[Vec<Request>],
+    pipeline: usize,
+    rate: f64,
+) -> Result<WaveOutcome, String> {
+    let conns = slices.len().max(1);
+    let schedules: Option<Vec<Vec<u64>>> = (rate > 0.0).then(|| {
+        let interval = 1e9 / rate;
+        (0..conns)
+            .map(|c| {
+                (0..slices[c].len())
+                    .map(|j| ((c + j * conns) as f64 * interval) as u64)
+                    .collect()
+            })
+            .collect()
+    });
+    let clock = Clock::start();
+    let wall = Stopwatch::start();
+    let outcomes: Vec<Result<client::ConnOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .iter()
+            .enumerate()
+            .map(|(c, slice)| {
+                let schedule = schedules.as_ref().map(|s| s[c].as_slice());
+                scope.spawn(move || {
+                    if pipeline <= 1 && schedule.is_none() {
+                        client::run_requests(&addr, slice)
+                    } else {
+                        client::run_pipelined(&addr, slice, pipeline.max(1), schedule, clock)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err("connection thread panicked".into()),
+            })
+            .collect()
+    });
+    let wall_nanos = wall.elapsed_nanos();
+    let mut out = WaveOutcome {
+        hist: Histogram::new(),
+        send_lag: Histogram::new(),
+        totals: Totals::default(),
+        wall_nanos,
+    };
+    for outcome in outcomes {
+        let o = outcome?;
+        out.hist.merge(&o.hist);
+        out.send_lag.merge(&o.send_lag);
+        out.totals.sent += o.totals.sent;
+        out.totals.hits += o.totals.hits;
+        out.totals.errors += o.totals.errors;
+        out.totals.cost += o.totals.cost;
+    }
+    Ok(out)
 }
 
 /// Run the full load: (spawn and) target a server, replay the workload
@@ -164,6 +266,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
                     queue_depth: 64,
                     policy: cfg.policy.clone(),
                     seed: cfg.seed,
+                    ..ServeConfig::default()
                 },
             )
             .map_err(|e| e.to_string())?,
@@ -183,33 +286,28 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
         .map(|c| trace.iter().copied().skip(c).step_by(conns).collect())
         .collect();
 
-    let wall = Stopwatch::start();
-    let outcomes: Vec<Result<client::ConnOutcome, String>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = slices
-            .iter()
-            .map(|slice| scope.spawn(move || client::run_requests(&addr, slice)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(_) => Err("connection thread panicked".into()),
-            })
-            .collect()
-    });
-    let mut hist = Histogram::new();
-    let mut totals = Totals::default();
-    for outcome in outcomes {
-        let o = outcome?;
-        hist.merge(&o.hist);
-        totals.sent += o.totals.sent;
-        totals.hits += o.totals.hits;
-        totals.errors += o.totals.errors;
-        totals.cost += o.totals.cost;
+    let main = run_wave(addr, &slices, cfg.pipeline, cfg.rate)?;
+
+    // The sweep replays the same trace open-loop at each offered rate,
+    // against the same (now warm) server; each point is a fresh set of
+    // connections so points don't share sockets or windows.
+    let mut sweep = Vec::with_capacity(cfg.sweep.len());
+    for &target in &cfg.sweep {
+        if target <= 0.0 {
+            continue;
+        }
+        let w = run_wave(addr, &slices, cfg.pipeline.max(2), target)?;
+        sweep.push(SweepPoint {
+            target_rps: target,
+            achieved_rps: w.throughput_rps(),
+            p50: w.hist.quantile(0.50),
+            p99: w.hist.quantile(0.99),
+            sent: w.totals.sent,
+            errors: w.totals.errors,
+        });
     }
 
     let (server_stats, shutdown_clean) = client::stats_and_shutdown(&addr, cfg.shutdown)?;
-    let wall_nanos = wall.elapsed_nanos();
     if let Some(handle) = spawned {
         // The SHUTDOWN frame (or its absence) decides the server's fate;
         // make sure a spawned one is fully drained before we report.
@@ -227,6 +325,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
             policy: cfg.policy.clone(),
             shards: cfg.shards as u64,
             conns: conns as u64,
+            pipeline: cfg.pipeline.max(1) as u64,
+            rate_rps: cfg.rate.max(0.0),
             requests: cfg.requests as u64,
             pages: cfg.pages as u64,
             levels: cfg.levels as u64,
@@ -234,14 +334,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
             seed: cfg.seed,
             weight_seed: cfg.weight_seed,
         },
-        totals,
-        latency: LatencySummary::from_histogram(&hist),
-        wall_nanos,
-        throughput_rps: if wall_nanos == 0 {
-            0.0
-        } else {
-            totals.sent as f64 / (wall_nanos as f64 / 1e9)
-        },
+        totals: main.totals,
+        latency: LatencySummary::from_histogram(&main.hist),
+        send_lag: LatencySummary::from_histogram(&main.send_lag),
+        wall_nanos: main.wall_nanos,
+        throughput_rps: main.throughput_rps(),
+        sweep,
         server: server_stats.into(),
         shutdown_clean,
     })
@@ -291,6 +389,7 @@ mod tests {
             ..LoadgenConfig::smoke()
         })
         .unwrap();
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
         assert_eq!(report.totals.sent, 500);
         assert_eq!(report.totals.errors, 0);
         assert_eq!(report.server.requests, 500);
@@ -301,5 +400,72 @@ mod tests {
         // Client- and server-side cost accounting must agree exactly.
         assert_eq!(report.totals.cost, report.server.cost);
         assert_eq!(report.totals.hits, report.server.hits);
+        // Closed-loop runs have no schedule, hence no send lag samples.
+        assert_eq!(report.config.pipeline, 1);
+        assert_eq!(report.send_lag.count, 0);
+        assert!(report.sweep.is_empty());
+        // Per-shard load triples cover the spawned server's shards.
+        assert_eq!(report.server.per_shard.len(), 2);
+        let per_shard_reqs: u64 = report.server.per_shard.iter().map(|s| s.requests).sum();
+        assert_eq!(per_shard_reqs, 500);
+    }
+
+    /// Pipelined and closed-loop runs see the same deterministic request
+    /// stream, so client/server cost accounting must agree under
+    /// pipelining too — and the answers must match the closed-loop run's.
+    #[test]
+    fn pipelined_run_matches_closed_loop_accounting() {
+        let base = LoadgenConfig {
+            requests: 600,
+            conns: 1,
+            shards: 2,
+            ..LoadgenConfig::smoke()
+        };
+        let closed = run(&base).unwrap();
+        let piped = run(&LoadgenConfig {
+            pipeline: 32,
+            ..base
+        })
+        .unwrap();
+        assert_eq!(piped.totals.sent, 600);
+        assert_eq!(piped.totals.errors, 0);
+        assert_eq!(piped.config.pipeline, 32);
+        // Single connection ⇒ the server processes the identical request
+        // sequence per shard, so *all* deterministic outcomes agree.
+        assert_eq!(piped.totals, closed.totals);
+        assert_eq!(piped.server.requests, closed.server.requests);
+        assert_eq!(piped.server.cost, closed.server.cost);
+        // Windowed-but-unpaced: intended = actual send, so lag is
+        // recorded (count > 0) but tiny.
+        assert_eq!(piped.send_lag.count, 600);
+    }
+
+    #[test]
+    fn open_loop_run_records_send_lag_and_sweep() {
+        let report = run(&LoadgenConfig {
+            requests: 400,
+            pipeline: 16,
+            rate: 50_000.0,
+            sweep: vec![25_000.0, 50_000.0],
+            ..LoadgenConfig::smoke()
+        })
+        .unwrap();
+        assert_eq!(report.totals.sent, 400);
+        assert_eq!(report.totals.errors, 0);
+        assert!((report.config.rate_rps - 50_000.0).abs() < 1e-9);
+        // Every request has an intended-start and hence a lag sample.
+        assert_eq!(report.send_lag.count, 400);
+        assert_eq!(report.latency.count, 400);
+        // Two sweep points, each a full replay of the trace.
+        assert_eq!(report.sweep.len(), 2);
+        for (point, target) in report.sweep.iter().zip([25_000.0, 50_000.0]) {
+            assert!((point.target_rps - target).abs() < 1e-9);
+            assert_eq!(point.sent, 400);
+            assert_eq!(point.errors, 0);
+            assert!(point.achieved_rps > 0.0);
+            assert!(point.p50 <= point.p99);
+        }
+        // The server saw the main run plus both sweep replays.
+        assert_eq!(report.server.requests, 3 * 400);
     }
 }

@@ -8,9 +8,17 @@
 //! # self-contained: spawn an in-process server on a loopback port
 //! wmlp-loadgen --spawn --policy "landlord(eta=0.5)" --shards 8
 //!
+//! # pipelined: keep up to 64 requests in flight per connection
+//! wmlp-loadgen --spawn --conns 8 --pipeline 64
+//!
+//! # open-loop at 200K req/s with coordinated-omission-corrected
+//! # latency, then sweep offered rates for the throughput-vs-p99 curve
+//! wmlp-loadgen --spawn --pipeline 64 --rate 200000 \
+//!              --sweep 50000,100000,200000,400000 --out SERVE.json
+//!
 //! # CI smoke: small run, exits nonzero unless throughput > 0 and the
 //! # shutdown handshake completed
-//! wmlp-loadgen --smoke --out SERVE.json
+//! wmlp-loadgen --smoke --pipeline 16 --out SERVE.json
 //! ```
 
 use wmlp_loadgen::{run, LoadgenConfig, Workload};
@@ -56,6 +64,19 @@ fn main() {
         weight_seed: flag_parse(&args, "--weight-seed", base.weight_seed),
         policy: flag(&args, "--policy").unwrap_or(&base.policy).to_string(),
         shards: flag_parse(&args, "--shards", base.shards),
+        pipeline: flag_parse(&args, "--pipeline", base.pipeline),
+        rate: flag_parse(&args, "--rate", base.rate),
+        sweep: match flag(&args, "--sweep") {
+            None => base.sweep.clone(),
+            Some(spec) => match spec
+                .split(',')
+                .map(|r| r.trim().parse::<f64>())
+                .collect::<Result<Vec<f64>, _>>()
+            {
+                Ok(rates) => rates,
+                Err(e) => fail(&format!("--sweep {spec}: {e}")),
+            },
+        },
         shutdown: !switch(&args, "--no-shutdown"),
     };
 

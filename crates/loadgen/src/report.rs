@@ -1,17 +1,19 @@
 //! The SERVE.json report schema.
 //!
 //! A load run emits exactly one [`ServeReport`], serialized with the
-//! workspace serde shim. Schema (`schema_version` 1):
+//! workspace serde shim. Schema (`schema_version` 2):
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "config": {             // what was run (replayable part)
 //!     "addr": str,          // server address ("in-process" when spawned)
 //!     "workload": str,      // "zipf(alpha=0.9)" | "cyclic" | "writeback(q=0.3)"
 //!     "policy": str,        // server policy spec (informational)
 //!     "shards": u64,        // server shard count (informational)
 //!     "conns": u64,         // client connections
+//!     "pipeline": u64,      // per-connection in-flight window (1 = closed-loop)
+//!     "rate_rps": f64,      // open-loop target arrival rate (0 = unpaced)
 //!     "requests": u64,      // total requests attempted
 //!     "pages": u64, "levels": u64, "k": u64,
 //!     "seed": u64, "weight_seed": u64
@@ -22,27 +24,45 @@
 //!     "errors": u64,        // Error replies (any code)
 //!     "cost": u64           // sum of reported fetch costs
 //!   },
-//!   "latency": {            // per-request round-trip, nanoseconds
-//!     "count": u64,
-//!     "p50": u64, "p90": u64, "p95": u64, "p99": u64,
-//!     "max": u64, "mean": u64
+//!   "latency": {            // per-request, nanoseconds: closed-loop
+//!     "count": u64,         // round-trips, or intended-start → completion
+//!     "p50": u64, "p90": u64, "p95": u64, "p99": u64,   // (coordinated-
+//!     "max": u64, "mean": u64                           // omission-corrected)
 //!   },
+//!   "send_lag": {           // actual-send minus intended-send, ns; how
+//!     ... same shape ...    // far the client fell behind its schedule
+//!   },                      // (count 0 for closed-loop runs)
 //!   "wall_nanos": u64,      // whole-run wall time (machine-dependent)
 //!   "throughput_rps": f64,  // sent / wall seconds (machine-dependent)
+//!   "sweep": [              // optional throughput-vs-latency sweep
+//!     { "target_rps": f64, "achieved_rps": f64,
+//!       "p50": u64, "p99": u64, "sent": u64, "errors": u64 }, ...
+//!   ],
 //!   "server": {             // final STATS reply from the server
 //!     "requests": u64, "hits": u64, "fetches": u64,
-//!     "evictions": u64, "cost": u64
+//!     "evictions": u64, "cost": u64,
+//!     "per_shard": [        // protocol-v2 per-shard load triples
+//!       { "requests": u64, "hits": u64, "queue_depth": u64 }, ...
+//!     ]
 //!   },
 //!   "shutdown_clean": bool  // server acknowledged SHUTDOWN with BYE
 //! }
 //! ```
 //!
-//! Everything under `latency`, `wall_nanos` and `throughput_rps` is
-//! machine-dependent; everything else is deterministic for a fixed
-//! config.
+//! **v1 → v2**: added `config.pipeline`, `config.rate_rps`, `send_lag`,
+//! `sweep`, and `server.per_shard` (the loadgen grew pipelined
+//! connections, open-loop schedules with coordinated-omission-corrected
+//! latency, and a throughput-vs-p99 sweep; the server's STATS reply grew
+//! per-shard load counters). All v1 fields are unchanged in meaning,
+//! except that `latency` in a paced run now measures from the intended
+//! start rather than the actual send.
+//!
+//! Everything under `latency`, `send_lag`, `wall_nanos`,
+//! `throughput_rps` and `sweep` is machine-dependent; everything else is
+//! deterministic for a fixed config.
 
 use serde::{Deserialize, Serialize};
-use wmlp_core::wire::WireStats;
+use wmlp_core::wire::StatsPayload;
 use wmlp_sim::Histogram;
 
 /// Replayable run parameters, echoed into the report.
@@ -58,6 +78,11 @@ pub struct ReportConfig {
     pub shards: u64,
     /// Concurrent client connections.
     pub conns: u64,
+    /// Per-connection in-flight window (1 = closed-loop).
+    pub pipeline: u64,
+    /// Open-loop target arrival rate across all connections, requests
+    /// per second (0 = unpaced).
+    pub rate_rps: f64,
     /// Total requests attempted.
     pub requests: u64,
     /// Instance pages.
@@ -119,9 +144,38 @@ impl LatencySummary {
     }
 }
 
+/// One shard's load triple, mirrored from the protocol-v2 STATS reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLoadStats {
+    /// Requests this shard served.
+    pub requests: u64,
+    /// Requests this shard served from cache.
+    pub hits: u64,
+    /// Requests routed but unanswered at snapshot time.
+    pub queue_depth: u64,
+}
+
+/// One point of the throughput-vs-latency sweep: an open-loop run at
+/// `target_rps` and what it actually achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered arrival rate, requests/second.
+    pub target_rps: f64,
+    /// Served requests per wall second at that offered rate.
+    pub achieved_rps: f64,
+    /// Median coordinated-omission-corrected latency, nanoseconds.
+    pub p50: u64,
+    /// 99th-percentile corrected latency, nanoseconds.
+    pub p99: u64,
+    /// Requests answered with a `Served` frame.
+    pub sent: u64,
+    /// Requests answered with an `Error` frame.
+    pub errors: u64,
+}
+
 /// Mirror of the server's STATS reply (the wire struct is not a serde
 /// type; this one is).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Requests the server processed.
     pub requests: u64,
@@ -133,16 +187,27 @@ pub struct ServerStats {
     pub evictions: u64,
     /// Total fetch cost.
     pub cost: u64,
+    /// Per-shard load triples, in shard order.
+    pub per_shard: Vec<ShardLoadStats>,
 }
 
-impl From<WireStats> for ServerStats {
-    fn from(s: WireStats) -> Self {
+impl From<StatsPayload> for ServerStats {
+    fn from(s: StatsPayload) -> Self {
         ServerStats {
-            requests: s.requests,
-            hits: s.hits,
-            fetches: s.fetches,
-            evictions: s.evictions,
-            cost: s.cost,
+            requests: s.total.requests,
+            hits: s.total.hits,
+            fetches: s.total.fetches,
+            evictions: s.total.evictions,
+            cost: s.total.cost,
+            per_shard: s
+                .shards
+                .iter()
+                .map(|sh| ShardLoadStats {
+                    requests: sh.requests,
+                    hits: sh.hits,
+                    queue_depth: sh.queue_depth,
+                })
+                .collect(),
         }
     }
 }
@@ -156,20 +221,28 @@ pub struct ServeReport {
     pub config: ReportConfig,
     /// Client-side outcome counts.
     pub totals: Totals,
-    /// Round-trip latency summary (nanoseconds; machine-dependent).
+    /// Latency summary, nanoseconds (coordinated-omission-corrected for
+    /// paced runs; machine-dependent).
     pub latency: LatencySummary,
+    /// Actual-send minus intended-send summary, nanoseconds (count 0
+    /// for closed-loop runs; machine-dependent).
+    pub send_lag: LatencySummary,
     /// Whole-run wall time in nanoseconds (machine-dependent).
     pub wall_nanos: u64,
     /// Served requests per wall-clock second (machine-dependent).
     pub throughput_rps: f64,
+    /// Throughput-vs-latency sweep points (empty unless requested).
+    pub sweep: Vec<SweepPoint>,
     /// The server's final STATS counters.
     pub server: ServerStats,
     /// Whether SHUTDOWN was acknowledged with BYE.
     pub shutdown_clean: bool,
 }
 
-/// Current `schema_version` written by this crate.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Current `schema_version` written by this crate. Bumped 1 → 2 when the
+/// pipelined/open-loop loadgen landed; see the module docs for the field
+/// diff.
+pub const SCHEMA_VERSION: u32 = 2;
 
 impl ServeReport {
     /// Pretty-printed JSON (the SERVE.json bytes).
@@ -200,6 +273,8 @@ mod tests {
                 policy: "landlord".into(),
                 shards: 8,
                 conns: 4,
+                pipeline: 32,
+                rate_rps: 50_000.0,
                 requests: 5,
                 pages: 1024,
                 levels: 3,
@@ -214,14 +289,35 @@ mod tests {
                 cost: 91,
             },
             latency: LatencySummary::from_histogram(&h),
+            send_lag: LatencySummary::default(),
             wall_nanos: 123,
             throughput_rps: 40.6,
+            sweep: vec![SweepPoint {
+                target_rps: 50_000.0,
+                achieved_rps: 48_211.5,
+                p50: 900,
+                p99: 41_000,
+                sent: 5,
+                errors: 0,
+            }],
             server: ServerStats {
                 requests: 5,
                 hits: 2,
                 fetches: 3,
                 evictions: 1,
                 cost: 91,
+                per_shard: vec![
+                    ShardLoadStats {
+                        requests: 3,
+                        hits: 1,
+                        queue_depth: 0,
+                    },
+                    ShardLoadStats {
+                        requests: 2,
+                        hits: 1,
+                        queue_depth: 0,
+                    },
+                ],
             },
             shutdown_clean: true,
         }

@@ -31,6 +31,40 @@ impl Stopwatch {
     }
 }
 
+/// A shared epoch for open-loop schedules: every timestamp is
+/// "nanoseconds since this clock started", so intended-start times
+/// computed up front and actual send/completion times observed later
+/// are directly comparable — the basis of coordinated-omission-corrected
+/// latency (service time measured from when the request *should* have
+/// been sent, not from when a backed-up client finally sent it).
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// Start a new epoch now.
+    pub fn start() -> Self {
+        Clock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the epoch, saturating at `u64::MAX`.
+    pub fn now_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Sleep until `deadline_nanos` on this clock (returns immediately
+    /// if the deadline already passed).
+    pub fn sleep_until(&self, deadline_nanos: u64) {
+        let now = self.now_nanos();
+        if deadline_nanos > now {
+            std::thread::sleep(std::time::Duration::from_nanos(deadline_nanos - now));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +75,15 @@ mod tests {
         let a = sw.elapsed_nanos();
         let b = sw.elapsed_nanos();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_advances_and_sleep_until_reaches_deadline() {
+        let clock = Clock::start();
+        let a = clock.now_nanos();
+        clock.sleep_until(a + 1_000_000); // 1ms
+        assert!(clock.now_nanos() >= a + 1_000_000);
+        // Past deadlines return immediately.
+        clock.sleep_until(0);
     }
 }

@@ -11,13 +11,15 @@
 //!   each shard worker.
 //! * [`shard`] — the page → shard map, per-shard instance splitting, the
 //!   worker loop, and lock-free stat counters.
-//! * [`server`] — acceptor/router/connection threads, graceful shutdown
-//!   with in-flight draining, and the [`server::ServerHandle`] lifecycle.
+//! * [`server`] — acceptor, per-connection reader/writer thread pairs
+//!   with pipelined in-order replies, the router, graceful shutdown with
+//!   in-flight draining, and the [`server::ServerHandle`] lifecycle.
 //! * [`replay`] — `--replay` mode: a single-engine canonical reference
 //!   run whose JSON manifest is byte-identical across repeats, machines,
 //!   and shard counts.
 //!
-//! The companion `wmlp-loadgen` crate is the matching closed-loop client.
+//! The companion `wmlp-loadgen` crate is the matching client: closed
+//! loop, pipelined, or paced by an open-loop arrival schedule.
 
 #![warn(missing_docs)]
 

@@ -4,7 +4,8 @@
 //! ```text
 //! # serve (runs until a client sends SHUTDOWN)
 //! wmlp-serve --addr 127.0.0.1:4600 --shards 8 --k 4096 --pages 65536 \
-//!            --levels 3 --policy "landlord(eta=0.5)" --seed 42
+//!            --levels 3 --policy "landlord(eta=0.5)" --seed 42 \
+//!            --batch 64 --max-inflight 256
 //!
 //! # canonical replay: single engine, byte-stable JSON manifest
 //! wmlp-serve --replay trace.txt --policy lru --out manifest.json
@@ -90,6 +91,8 @@ fn main() {
         queue_depth: flag_parse(&args, "--queue-depth", 64usize),
         policy,
         seed,
+        batch: flag_parse(&args, "--batch", 64usize),
+        max_inflight: flag_parse(&args, "--max-inflight", 256usize),
     };
     let handle = match server::start(inst, &cfg) {
         Ok(h) => h,

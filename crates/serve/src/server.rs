@@ -3,20 +3,26 @@
 //! Thread topology (all std threads, no async runtime):
 //!
 //! ```text
-//! acceptor ──spawns──▶ connection threads (one per client)
+//! acceptor ──spawns──▶ connection reader + writer thread pairs
 //!                         │  (shard_idx, ShardJob) over a shared mpsc
 //!                         ▼
 //!                      router ──SPSC ring per shard──▶ shard workers
 //!                         ▲                                │
-//!                         └──────── reply mpsc ◀───────────┘
+//!                         └── per-connection reply mpsc ◀──┘
 //! ```
 //!
-//! Connections are closed-loop: each decodes one frame, routes it, waits
-//! for the shard's reply, writes it back, and only then reads the next
-//! frame — so per-connection ordering is trivial and the reply channel
-//! never interleaves. The router is the *single* producer into every
-//! shard ring, which is what lets the rings be true SPSC with blocking
-//! backpressure.
+//! Connections are *pipelined*: the reader thread decodes and routes
+//! frames continuously, tagging each with a per-connection sequence
+//! number, while a paired writer thread reorders shard replies by
+//! sequence and writes them back in request order — so many requests
+//! ride each connection concurrently and the socket round-trip is
+//! amortized away. A bounded in-flight window ([`ServeConfig::
+//! max_inflight`]) back-pressures the reader so a client that never
+//! drains responses cannot pin unbounded server memory. The router is
+//! the *single* producer into every shard ring, which is what lets the
+//! rings be true SPSC with blocking backpressure, and shards drain a
+//! batch of jobs per ring wakeup into [`wmlp_sim::engine::
+//! SimSession::step_batch`].
 //!
 //! Graceful shutdown (a SHUTDOWN frame or [`ServerHandle::shutdown`])
 //! sets a flag, wakes the acceptor with a loopback connection, and
@@ -25,15 +31,17 @@
 //! before the workers exit — while requests arriving after the flag are
 //! refused with [`ErrorCode::ShuttingDown`].
 
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use wmlp_algos::PolicyRegistry;
+use wmlp_core::conn::{FrameReader, ReadError};
 use wmlp_core::instance::{MlInstance, Request};
-use wmlp_core::wire::{write_frame, ErrorCode, Frame, FrameReader, ReadError, WireStats};
+use wmlp_core::wire::{encode, ErrorCode, Frame, WireStats};
 
 use crate::shard::{run_shard, shard_instances, ShardJob, ShardMap, ShardStats};
 use crate::spsc;
@@ -54,6 +62,12 @@ pub struct ServeConfig {
     /// Policy seed; shard `s` gets `seed + s` so randomized policies
     /// don't move in lock-step.
     pub seed: u64,
+    /// Max requests a shard drains per ring wakeup into one
+    /// [`wmlp_sim::engine::SimSession::step_batch`] call (≥ 1).
+    pub batch: usize,
+    /// Per-connection cap on pipelined requests awaiting responses
+    /// (≥ 1); a reader at the cap blocks until its writer catches up.
+    pub max_inflight: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +78,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             policy: "lru".into(),
             seed: 0,
+            batch: 64,
+            max_inflight: 256,
         }
     }
 }
@@ -102,6 +118,7 @@ struct Inner {
     addr: SocketAddr,
     inst: Arc<MlInstance>,
     map: ShardMap,
+    max_inflight: usize,
     shutdown: AtomicBool,
     /// Handles to live client sockets keyed by connection id, half-closed
     /// on shutdown to unblock their reads. Connection threads deregister
@@ -212,6 +229,7 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
         addr,
         inst,
         map: ShardMap::new(shard_insts.len()),
+        max_inflight: cfg.max_inflight.max(1),
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         stats: stats.clone(),
@@ -225,11 +243,12 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
         rings.push(tx);
         let spec = cfg.policy.clone();
         let seed = cfg.seed.wrapping_add(s as u64);
+        let batch = cfg.batch.max(1);
         shard_handles.push(std::thread::spawn(move || {
             // Already validated above; a failure here would be a
             // non-deterministic registry, which none of the policies are.
             if let Ok(mut policy) = PolicyRegistry::standard().build(&spec, &si, seed) {
-                run_shard(&si, policy.as_mut(), rx, &st);
+                run_shard(&si, policy.as_mut(), rx, &st, batch);
             }
         }));
     }
@@ -285,7 +304,67 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
     })
 }
 
-/// One client connection: decode → route → await reply → respond.
+/// The per-connection in-flight window: the reader takes a slot per
+/// sequenced frame, the writer returns it once the response hits the
+/// socket. Bounds both the shard-side queueing a single connection can
+/// cause and the writer's reorder buffer.
+struct Window {
+    state: Mutex<(usize, bool)>,
+    freed: Condvar,
+    cap: usize,
+}
+
+impl Window {
+    fn new(cap: usize) -> Self {
+        Window {
+            state: Mutex::new((0, false)),
+            freed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (usize, bool)> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Take a slot, blocking at the cap until the writer frees one (or
+    /// the window is poisoned because the writer died).
+    fn acquire(&self) {
+        let mut state = self.lock();
+        while state.0 >= self.cap && !state.1 {
+            state = match self.freed.wait(state) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        state.0 += 1;
+    }
+
+    /// Return a slot (writer side, one per frame written).
+    fn release(&self) {
+        let mut state = self.lock();
+        state.0 = state.0.saturating_sub(1);
+        drop(state);
+        self.freed.notify_one();
+    }
+
+    /// Stop ever blocking acquirers again — called when the writer exits
+    /// early (socket error) and will free no more slots.
+    fn poison(&self) {
+        self.lock().1 = true;
+        self.freed.notify_all();
+    }
+}
+
+/// One client connection, pipelined: this (reader) thread decodes and
+/// routes frames, assigning each a sequence number; a paired writer
+/// thread reorders replies by sequence and writes them back in request
+/// order. Control frames (STATS, SHUTDOWN, protocol errors) are answered
+/// inline but still sequenced, so every response leaves in the order its
+/// request arrived.
 fn serve_connection(
     inner: &Inner,
     id: u64,
@@ -296,9 +375,14 @@ fn serve_connection(
         lock_conns(inner).retain(|(cid, _)| *cid != id);
         return;
     };
-    let mut writer = std::io::BufWriter::new(write_half);
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Frame)>();
+    let window = Arc::new(Window::new(inner.max_inflight));
+    let writer = {
+        let window = Arc::clone(&window);
+        std::thread::spawn(move || write_replies(write_half, reply_rx, &window))
+    };
     let mut reader = FrameReader::new(stream);
-    let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+    let mut next_seq = 0u64;
     loop {
         let frame = match reader.next_frame() {
             Ok(Some(f)) => f,
@@ -306,86 +390,132 @@ fn serve_connection(
             Err(ReadError::Wire(e)) => {
                 // Protocol violation: explain, then hang up (framing is
                 // unrecoverable once the byte stream is off the rails).
-                let _ = respond(
-                    &mut writer,
-                    &Frame::Error {
+                window.acquire();
+                let _ = reply_tx.send((
+                    next_seq,
+                    Frame::Error {
                         code: ErrorCode::BadRequest,
                         detail: e.to_string(),
                     },
-                );
+                ));
                 break;
             }
             Err(_) => break, // io error or truncated EOF
         };
+        window.acquire();
+        let seq = next_seq;
+        next_seq += 1;
         let req = match frame {
             Frame::Get { page, level } => Request::new(page, level),
             Frame::Put { page } => Request::new(page, 1),
             Frame::Stats => {
-                let reply = Frame::StatsReply(ShardStats::aggregate(&inner.stats));
-                if respond(&mut writer, &reply).is_err() {
-                    break;
-                }
+                let _ = reply_tx.send((seq, Frame::StatsReply(ShardStats::payload(&inner.stats))));
                 continue;
             }
             Frame::Shutdown => {
-                let _ = respond(&mut writer, &Frame::Bye);
+                let _ = reply_tx.send((seq, Frame::Bye));
                 inner.trigger_shutdown();
                 break;
             }
             // Response opcodes are meaningless as requests.
             _ => {
-                let reply = Frame::Error {
-                    code: ErrorCode::BadRequest,
-                    detail: "not a request frame".into(),
-                };
-                if respond(&mut writer, &reply).is_err() {
-                    break;
-                }
+                let _ = reply_tx.send((
+                    seq,
+                    Frame::Error {
+                        code: ErrorCode::BadRequest,
+                        detail: "not a request frame".into(),
+                    },
+                ));
                 continue;
             }
         };
-        let reply = if inner.shutdown.load(Ordering::SeqCst) {
-            Frame::Error {
-                code: ErrorCode::ShuttingDown,
-                detail: "server is draining".into(),
-            }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            let _ = reply_tx.send((
+                seq,
+                Frame::Error {
+                    code: ErrorCode::ShuttingDown,
+                    detail: "server is draining".into(),
+                },
+            ));
         } else if !inner.inst.request_valid(req) {
-            Frame::Error {
-                code: ErrorCode::BadRequest,
-                detail: format!(
-                    "request ({}, {}) outside instance (n = {}, max level {})",
-                    req.page,
-                    req.level,
-                    inner.inst.n(),
-                    inner.inst.max_levels()
-                ),
-            }
+            let _ = reply_tx.send((
+                seq,
+                Frame::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: format!(
+                        "request ({}, {}) outside instance (n = {}, max level {})",
+                        req.page,
+                        req.level,
+                        inner.inst.n(),
+                        inner.inst.max_levels()
+                    ),
+                },
+            ));
         } else {
             let shard = inner.map.shard_of(req.page);
+            inner.stats[shard].note_enqueued();
             let job = ShardJob {
                 req: inner.map.localize(req),
+                seq,
                 reply: reply_tx.clone(),
             };
             if route_tx.send((shard, job)).is_err() {
-                break; // router gone: server is tearing down
+                // Router gone: server is tearing down. The job (and its
+                // reply sender) died inside the failed send.
+                inner.stats[shard].note_done();
+                break;
             }
-            match reply_rx.recv() {
-                Ok(f) => f,
-                Err(_) => break,
-            }
-        };
-        if respond(&mut writer, &reply).is_err() {
-            break;
         }
     }
+    // Dropping our reply sender lets the writer exit once every routed
+    // job's clone has replied — i.e. after all in-flight responses are
+    // on the wire. Join it before closing the socket.
+    drop(reply_tx);
+    let _ = writer.join();
     // Close the socket for real (the registry's duplicate fd would keep
     // it open and leave the client waiting on an EOF that never comes),
     // then drop our registration.
-    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
-    lock_conns(inner).retain(|(cid, _)| *cid != id);
+    lock_conns(inner).retain(|(cid, stream)| {
+        if *cid == id {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        *cid != id
+    });
 }
 
-/// Write one frame and flush (closed-loop clients block on the reply).
-fn respond<W: Write>(writer: &mut W, frame: &Frame) -> std::io::Result<()> {
-    write_frame(writer, frame)
+/// The connection's writer half: reorder `(seq, frame)` replies into
+/// sequence order and write maximal contiguous runs per flush, freeing a
+/// window slot per frame. Exits when every reply sender is gone (reader
+/// done *and* all routed jobs answered) or on a socket error.
+fn write_replies(stream: TcpStream, rx: mpsc::Receiver<(u64, Frame)>, window: &Window) {
+    let mut out = std::io::BufWriter::new(stream);
+    let mut pending: BTreeMap<u64, Frame> = BTreeMap::new();
+    let mut next = 0u64;
+    let mut scratch = Vec::new();
+    'drain: while let Ok((seq, frame)) = rx.recv() {
+        pending.insert(seq, frame);
+        // Take whatever else is already queued before touching the
+        // socket, so one syscall covers a burst of replies.
+        while let Ok((s, f)) = rx.try_recv() {
+            pending.insert(s, f);
+        }
+        let mut wrote = false;
+        while let Some(frame) = pending.remove(&next) {
+            scratch.clear();
+            encode(&frame, &mut scratch);
+            if out.write_all(&scratch).is_err() {
+                break 'drain;
+            }
+            next += 1;
+            wrote = true;
+            window.release();
+        }
+        if wrote && out.flush().is_err() {
+            break;
+        }
+    }
+    // On early exit (socket error) the reader may be parked on a full
+    // window that will never drain; let it through so it can notice the
+    // dead socket itself.
+    window.poison();
 }

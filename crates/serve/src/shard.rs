@@ -18,8 +18,8 @@ use std::sync::{mpsc, Arc};
 
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::policy::OnlinePolicy;
-use wmlp_core::wire::{ErrorCode, Frame, WireStats};
-use wmlp_sim::engine::SimSession;
+use wmlp_core::wire::{ErrorCode, Frame, ShardLoad, StatsPayload, WireStats};
+use wmlp_sim::engine::{BatchLog, SimSession};
 
 use crate::spsc;
 
@@ -105,6 +105,10 @@ pub struct ShardStats {
     cost: AtomicU64,
     /// Steps rejected by the engine (policy misbehaviour).
     errors: AtomicU64,
+    /// Gauge, not a counter: requests routed to this shard but not yet
+    /// answered. Incremented by the router side on enqueue, decremented
+    /// by the worker after replying.
+    queued: AtomicU64,
 }
 
 impl ShardStats {
@@ -124,6 +128,26 @@ impl ShardStats {
         self.errors.load(Ordering::Relaxed)
     }
 
+    /// Record a request routed toward this shard (bumps the queue gauge).
+    pub fn note_enqueued(&self) {
+        self.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a routed request answered (drops the queue gauge).
+    pub fn note_done(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The per-shard load triple carried in STATS_REPLY since protocol
+    /// version 2.
+    pub fn load(&self) -> ShardLoad {
+        ShardLoad {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            queue_depth: self.queued.load(Ordering::Relaxed),
+        }
+    }
+
     /// Sum a slice of shard stats into one aggregate.
     pub fn aggregate(all: &[Arc<ShardStats>]) -> WireStats {
         let mut total = WireStats::default();
@@ -137,57 +161,90 @@ impl ShardStats {
         }
         total
     }
+
+    /// The full STATS_REPLY payload: aggregate plus per-shard load, in
+    /// shard order. Racy but monotone, like [`ShardStats::aggregate`].
+    pub fn payload(all: &[Arc<ShardStats>]) -> StatsPayload {
+        StatsPayload {
+            total: ShardStats::aggregate(all),
+            shards: all.iter().map(|s| s.load()).collect(),
+        }
+    }
 }
 
 /// One unit of work routed to a shard: a shard-local request plus the
-/// originating connection's reply channel.
+/// originating connection's reply channel and the sequence slot the
+/// reply must fill on that connection.
 pub struct ShardJob {
     /// The request, already rewritten into the shard's local id space.
     pub req: Request,
-    /// Where the response frame goes (the connection's outbox).
-    pub reply: mpsc::Sender<Frame>,
+    /// Position in the originating connection's response order; the
+    /// connection's writer emits replies in `seq` order regardless of
+    /// shard completion order.
+    pub seq: u64,
+    /// Where the response frame goes (the connection's writer inbox).
+    pub reply: mpsc::Sender<(u64, Frame)>,
 }
 
-/// The shard worker loop: drain the input ring, step the engine once per
-/// job, reply with a [`Frame::Served`] (or [`Frame::Error`] if the policy
-/// misbehaves), and publish counters. Returns when the ring closes and
-/// every queued job has been served — the graceful-shutdown drain.
+/// The shard worker loop: drain a *batch* of jobs per ring wakeup (up to
+/// `batch_max`), step the engine over the whole batch with
+/// [`SimSession::step_batch`], then reply per job with a
+/// [`Frame::Served`] (or [`Frame::Error`] if the policy misbehaves) and
+/// publish counters. Returns when the ring closes and every queued job
+/// has been served — the graceful-shutdown drain.
 pub fn run_shard(
     inst: &MlInstance,
     policy: &mut dyn OnlinePolicy,
     rx: spsc::Receiver<ShardJob>,
     stats: &ShardStats,
+    batch_max: usize,
 ) {
     let mut session = SimSession::new(inst);
-    while let Some(job) = rx.recv() {
-        let frame = match session.step(inst, policy, job.req) {
-            Ok(out) => {
-                stats.requests.fetch_add(1, Ordering::Relaxed);
-                stats.hits.fetch_add(out.hit as u64, Ordering::Relaxed);
-                stats
-                    .fetches
-                    .fetch_add((!out.hit) as u64, Ordering::Relaxed);
-                stats
-                    .evictions
-                    .fetch_add(out.evictions as u64, Ordering::Relaxed);
-                stats.cost.fetch_add(out.fetch_cost, Ordering::Relaxed);
-                Frame::Served {
-                    hit: out.hit,
-                    level: out.serve_level,
-                    cost: out.fetch_cost,
+    let mut jobs: Vec<ShardJob> = Vec::with_capacity(batch_max.max(1));
+    let mut reqs: Vec<Request> = Vec::with_capacity(batch_max.max(1));
+    let mut log = BatchLog::new();
+    loop {
+        jobs.clear();
+        if rx.recv_batch(&mut jobs, batch_max.max(1)) == 0 {
+            return;
+        }
+        reqs.clear();
+        reqs.extend(jobs.iter().map(|j| j.req));
+        session.step_batch(inst, policy, &reqs, &mut log);
+        for (job, outcome) in jobs.drain(..).zip(log.outcomes()) {
+            let frame = match outcome {
+                Ok(out) => {
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    stats.hits.fetch_add(out.hit as u64, Ordering::Relaxed);
+                    stats
+                        .fetches
+                        .fetch_add((!out.hit) as u64, Ordering::Relaxed);
+                    stats
+                        .evictions
+                        .fetch_add(out.evictions as u64, Ordering::Relaxed);
+                    stats.cost.fetch_add(out.fetch_cost, Ordering::Relaxed);
+                    Frame::Served {
+                        hit: out.hit,
+                        level: out.serve_level,
+                        cost: out.fetch_cost,
+                    }
                 }
-            }
-            Err(e) => {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-                Frame::Error {
-                    code: ErrorCode::Internal,
-                    detail: e.to_string(),
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    Frame::Error {
+                        code: ErrorCode::Internal,
+                        detail: e.to_string(),
+                    }
                 }
-            }
-        };
-        // A send failure just means the connection hung up before its
-        // response; the step itself is already accounted.
-        let _ = job.reply.send(frame);
+            };
+            // Decrement the queue gauge *before* the reply leaves: a
+            // client that has read reply i must never observe request i
+            // still queued in a STATS snapshot.
+            stats.note_done();
+            // A send failure just means the connection hung up before its
+            // response; the step itself is already accounted.
+            let _ = job.reply.send((job.seq, frame));
+        }
     }
 }
 
@@ -253,31 +310,69 @@ mod tests {
         let stats = ShardStats::default();
         let (tx, rx) = spsc::channel(8);
         let (reply_tx, reply_rx) = mpsc::channel();
-        for page in [0u32, 1, 0, 9] {
+        for (seq, page) in [0u32, 1, 0, 9].into_iter().enumerate() {
+            stats.note_enqueued();
             assert!(tx
                 .send(ShardJob {
                     req: Request::top(page),
+                    seq: seq as u64,
                     reply: reply_tx.clone(),
                 })
                 .is_ok());
         }
         drop(tx);
-        run_shard(&inst, policy.as_mut(), rx, &stats);
-        let frames: Vec<Frame> = reply_rx.try_iter().collect();
+        run_shard(&inst, policy.as_mut(), rx, &stats, 64);
+        let frames: Vec<(u64, Frame)> = reply_rx.try_iter().collect();
         assert_eq!(frames.len(), 4);
+        // Replies are tagged with their request's sequence slot, in order.
+        assert!(frames.iter().map(|(s, _)| *s).eq(0..4));
         assert!(matches!(
-            frames[0],
+            frames[0].1,
             Frame::Served {
                 hit: false,
                 level: 1,
                 cost: 10
             }
         ));
-        assert!(matches!(frames[2], Frame::Served { hit: true, .. }));
+        assert!(matches!(frames[2].1, Frame::Served { hit: true, .. }));
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 4);
         assert_eq!(snap.hits, 1);
         assert_eq!(snap.cost, 10 + 11 + 19);
         assert_eq!(stats.errors(), 0);
+        // The queue gauge returns to zero once everything is answered.
+        assert_eq!(stats.load().queue_depth, 0);
+        assert_eq!(stats.load().requests, 4);
+        assert_eq!(stats.load().hits, 1);
+    }
+
+    #[test]
+    fn worker_batches_match_one_at_a_time_stepping() {
+        use wmlp_algos::PolicyRegistry;
+        let inst = global();
+        let pages = [0u32, 1, 2, 0, 3, 1, 0, 2, 3, 1, 0, 2];
+        let collect = |batch_max: usize, ring_cap: usize| -> Vec<Frame> {
+            let mut policy = PolicyRegistry::standard().build("lru", &inst, 0).unwrap();
+            let stats = ShardStats::default();
+            let (tx, rx) = spsc::channel(ring_cap);
+            let (reply_tx, reply_rx) = mpsc::channel();
+            for (seq, &page) in pages.iter().enumerate() {
+                stats.note_enqueued();
+                assert!(tx
+                    .send(ShardJob {
+                        req: Request::top(page),
+                        seq: seq as u64,
+                        reply: reply_tx.clone(),
+                    })
+                    .is_ok());
+            }
+            drop(tx);
+            run_shard(&inst, policy.as_mut(), rx, &stats, batch_max);
+            reply_rx.try_iter().map(|(_, f)| f).collect()
+        };
+        let one_at_a_time = collect(1, 16);
+        for batch_max in [2, 5, 64] {
+            assert_eq!(collect(batch_max, 16), one_at_a_time, "batch {batch_max}");
+        }
     }
 }

@@ -105,6 +105,38 @@ impl<T> Receiver<T> {
             };
         }
     }
+
+    /// Dequeue a *batch*: block for the first item, then drain whatever
+    /// else is already queued, up to `max` items, without blocking again.
+    /// One wakeup amortizes across the whole batch. Appends to `out` and
+    /// returns the number of items taken; 0 means the sender is gone and
+    /// the ring has drained.
+    pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut state = match self.shared.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if !state.queue.is_empty() {
+                let take = state.queue.len().min(max);
+                out.extend(state.queue.drain(..take));
+                // Everything taken frees capacity; wake the producer even
+                // if it was multiple slots (it re-checks under the lock).
+                self.shared.not_full.notify_one();
+                return take;
+            }
+            if state.closed {
+                return 0;
+            }
+            state = match self.shared.not_empty.wait(state) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
 }
 
 fn close<T>(shared: &Shared<T>) {
@@ -181,5 +213,44 @@ mod tests {
         assert_eq!(rx.recv(), Some(1));
         assert_eq!(rx.recv(), Some(2));
         assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn recv_batch_drains_up_to_max_in_order() {
+        let (tx, rx) = channel(16);
+        for i in 0..10u32 {
+            tx.send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.recv_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv_batch(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().copied().eq(0..10));
+        drop(tx);
+        assert_eq!(rx.recv_batch(&mut out, 4), 0);
+    }
+
+    #[test]
+    fn recv_batch_blocks_for_the_first_item_then_takes_what_is_there() {
+        let (tx, rx) = channel(8);
+        let producer = thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        let mut batch = Vec::new();
+        loop {
+            batch.clear();
+            let n = rx.recv_batch(&mut batch, 8);
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 8);
+            got.extend_from_slice(&batch);
+        }
+        producer.join().unwrap();
+        assert!(got.iter().copied().eq(0..100));
     }
 }

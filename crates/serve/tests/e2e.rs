@@ -7,8 +7,9 @@ use std::net::TcpStream;
 use std::sync::Arc;
 
 use wmlp_core::codec;
+use wmlp_core::conn::{write_frame, FrameReader};
 use wmlp_core::instance::Request;
-use wmlp_core::wire::{request_frame, write_frame, ErrorCode, Frame, FrameReader};
+use wmlp_core::wire::{request_frame, ErrorCode, Frame};
 use wmlp_serve::server::{start, ServeConfig};
 use wmlp_serve::{default_instance, replay_manifest};
 
@@ -43,6 +44,8 @@ fn serve_cfg(shards: usize) -> ServeConfig {
         queue_depth: 8,
         policy: "landlord".into(),
         seed: 5,
+        batch: 4,
+        max_inflight: 16,
     }
 }
 
@@ -78,9 +81,18 @@ fn sharded_server_serves_gets_puts_stats_and_shuts_down() {
 
     match client.roundtrip(&Frame::Stats) {
         Frame::StatsReply(stats) => {
-            assert_eq!(stats.requests, served);
-            assert_eq!(stats.cost, cost_sum);
-            assert!(stats.hits >= 1);
+            assert_eq!(stats.total.requests, served);
+            assert_eq!(stats.total.cost, cost_sum);
+            assert!(stats.total.hits >= 1);
+            // Per-shard load triples are present and sum to the totals.
+            assert_eq!(stats.shards.len(), 4);
+            let shard_reqs: u64 = stats.shards.iter().map(|s| s.requests).sum();
+            let shard_hits: u64 = stats.shards.iter().map(|s| s.hits).sum();
+            assert_eq!(shard_reqs, served);
+            assert_eq!(shard_hits, stats.total.hits);
+            // A closed-loop client never has requests outstanding when
+            // the STATS reply is assembled.
+            assert!(stats.shards.iter().all(|s| s.queue_depth == 0));
         }
         other => panic!("unexpected reply {other:?}"),
     }
@@ -98,6 +110,75 @@ fn sharded_server_serves_gets_puts_stats_and_shuts_down() {
     let final_stats = handle.join();
     assert_eq!(final_stats.requests, served);
     assert_eq!(final_stats.cost, cost_sum);
+}
+
+/// Pipelining: blast every request down the socket without reading a
+/// single reply, then read all replies — they must come back exactly in
+/// request order, and must match what a closed-loop client sees.
+#[test]
+fn pipelined_requests_get_in_order_replies_matching_closed_loop() {
+    let inst = Arc::new(default_instance(256, 3, 32, 7).unwrap());
+    let reqs: Vec<Request> = (0..200u32)
+        .map(|i| {
+            let page = (i * 13) % 256;
+            Request::new(page, 1 + (i % u32::from(inst.levels(page))) as u8)
+        })
+        .collect();
+
+    // Closed-loop reference on a fresh server.
+    let handle = start(Arc::clone(&inst), &serve_cfg(4)).unwrap();
+    let mut closed = Client::connect(handle.addr());
+    let reference: Vec<Frame> = reqs
+        .iter()
+        .map(|&r| closed.roundtrip(&request_frame(r)))
+        .collect();
+    assert!(matches!(closed.roundtrip(&Frame::Shutdown), Frame::Bye));
+    handle.join();
+
+    // Pipelined run: write everything, reader thread collects replies
+    // concurrently (the bounded in-flight window would otherwise
+    // deadlock a writer that never drains responses).
+    let handle = start(Arc::clone(&inst), &serve_cfg(4)).unwrap();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let read_half = stream.try_clone().unwrap();
+    let n = reqs.len();
+    let reader = std::thread::spawn(move || {
+        let mut reader = FrameReader::new(read_half);
+        let mut got = Vec::with_capacity(n);
+        for _ in 0..n {
+            got.push(reader.next_frame().expect("read").expect("reply"));
+        }
+        got
+    });
+    let mut writer = BufWriter::new(stream);
+    for &r in &reqs {
+        write_frame(&mut writer, &request_frame(r)).unwrap();
+    }
+    writer.flush().unwrap();
+    let got = reader.join().unwrap();
+    assert_eq!(got, reference, "pipelined replies diverge from closed-loop");
+
+    // Control frames are sequenced with the stream: STATS pipelined
+    // behind requests answers after them, in order.
+    write_frame(&mut writer, &request_frame(reqs[0])).unwrap();
+    write_frame(&mut writer, &Frame::Stats).unwrap();
+    let mut reader = FrameReader::new(writer.get_ref().try_clone().unwrap());
+    assert!(matches!(
+        reader.next_frame().unwrap().unwrap(),
+        Frame::Served { .. }
+    ));
+    match reader.next_frame().unwrap().unwrap() {
+        Frame::StatsReply(stats) => {
+            // Reply *order* is guaranteed; the snapshot *content* may or
+            // may not include the request still in flight ahead of it.
+            assert!(stats.total.requests >= n as u64);
+            assert_eq!(stats.shards.len(), 4);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    write_frame(&mut writer, &Frame::Shutdown).unwrap();
+    assert!(matches!(reader.next_frame().unwrap().unwrap(), Frame::Bye));
+    handle.join();
 }
 
 #[test]
@@ -180,6 +261,7 @@ fn replay_binary_is_byte_identical_across_runs_and_shard_counts() {
     };
     let first = run("1");
     assert_eq!(first, run("1"), "repeat run diverged");
+    assert_eq!(first, run("2"), "shard count leaked into replay output");
     assert_eq!(first, run("8"), "shard count leaked into replay output");
 
     // And the library path agrees with the binary's payload.

@@ -11,6 +11,11 @@ use wmlp_core::types::{Level, Weight};
 
 use crate::stats::RunCounters;
 
+/// Chunk size [`run_policy`] feeds to [`SimSession::step_batch`]. Large
+/// enough that per-chunk bookkeeping vanishes, small enough that the
+/// fail-fast check after each chunk stays prompt.
+const RUN_POLICY_BATCH: usize = 512;
+
 /// A policy misbehaved at time `t`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -91,6 +96,67 @@ pub struct StepOutcome {
     pub evictions: u32,
 }
 
+/// Per-request results of one [`SimSession::step_batch`] call.
+///
+/// A batch log is a reusable scratch buffer, like the engine's internal
+/// [`StepLog`]: [`SimSession::step_batch`] clears it and fills one entry
+/// per request, so a caller that drains requests in batches (the
+/// `wmlp-serve` shard workers) performs no per-request allocation in
+/// steady state. Every request gets an entry — a failed step records its
+/// [`SimError`] and the batch continues, mirroring how a server answers
+/// each pipelined request individually.
+#[derive(Debug, Clone, Default)]
+pub struct BatchLog {
+    outcomes: Vec<Result<StepOutcome, SimError>>,
+    steps: Option<Vec<StepLog>>,
+}
+
+impl BatchLog {
+    /// An empty batch log that records outcomes only.
+    pub fn new() -> Self {
+        BatchLog::default()
+    }
+
+    /// An empty batch log that additionally keeps each step's full action
+    /// log (one [`StepLog`] per request, cloned out of the engine's
+    /// scratch buffer).
+    pub fn recording() -> Self {
+        BatchLog {
+            outcomes: Vec::new(),
+            steps: Some(Vec::new()),
+        }
+    }
+
+    /// Forget all entries, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.outcomes.clear();
+        if let Some(s) = self.steps.as_mut() {
+            s.clear();
+        }
+    }
+
+    /// One entry per request of the last batch, in request order.
+    pub fn outcomes(&self) -> &[Result<StepOutcome, SimError>] {
+        &self.outcomes
+    }
+
+    /// Per-request action logs, present only for a [`BatchLog::recording`]
+    /// log (a failed step records an empty log for its slot).
+    pub fn steps(&self) -> Option<&[StepLog]> {
+        self.steps.as_deref()
+    }
+
+    /// Entries recorded by the last batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the last batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+}
+
 /// An incremental simulation engine: the per-request half of
 /// [`run_policy`], exposed so callers that receive requests one at a time
 /// — the `wmlp-serve` shard workers — can drive a policy without owning a
@@ -122,10 +188,49 @@ impl SimSession {
         }
     }
 
-    /// Serve one request: validate it, let `policy` act, enforce
-    /// feasibility, and record costs and counters. Time advances by one
-    /// per call (also past a [`SimError::BadRequest`], which faithfully
-    /// consumes a trace slot; the cache is untouched in that case).
+    /// Serve a batch of requests in order, draining each through the same
+    /// scratch-[`StepLog`] machinery as [`SimSession::step`], recording
+    /// one entry per request into `out` (cleared first).
+    ///
+    /// Batching amortizes the caller's per-wakeup overhead — a `wmlp-serve`
+    /// shard drains its whole queue into one `step_batch` call instead of
+    /// paying a ring handoff per request — while the engine semantics stay
+    /// exactly those of stepping each request individually: a batch of one
+    /// is [`SimSession::step`], and any split of a trace into batches
+    /// yields the same ledger, counters, and cache state.
+    ///
+    /// Errors do not abort the batch: a [`SimError::BadRequest`] consumes
+    /// its slot with the cache untouched, and a policy-bug error
+    /// ([`SimError::NotServed`]/[`SimError::OverCapacity`]) records the
+    /// failure and moves on, mirroring how a server answers each pipelined
+    /// request individually. Callers that want fail-fast semantics scan
+    /// [`BatchLog::outcomes`] for the first `Err` (see [`run_policy`]).
+    pub fn step_batch(
+        &mut self,
+        inst: &MlInstance,
+        policy: &mut dyn OnlinePolicy,
+        reqs: &[Request],
+        out: &mut BatchLog,
+    ) {
+        out.clear();
+        for &req in reqs {
+            let outcome = self.step(inst, policy, req);
+            if let Some(steps) = out.steps.as_mut() {
+                // A failed step keeps its slot (empty for BadRequest, the
+                // policy's partial actions otherwise) so steps stay
+                // index-aligned with outcomes.
+                steps.push(self.log.clone());
+            }
+            out.outcomes.push(outcome);
+        }
+    }
+
+    /// Serve one request — the batch-of-one case of
+    /// [`SimSession::step_batch`]: validate the request, let `policy` act,
+    /// enforce feasibility, and record costs and counters. Time advances
+    /// by one per call (also past a [`SimError::BadRequest`], which
+    /// faithfully consumes a trace slot; the cache is untouched in that
+    /// case).
     pub fn step(
         &mut self,
         inst: &MlInstance,
@@ -135,6 +240,10 @@ impl SimSession {
         let t = self.t;
         self.t += 1;
         if !inst.request_valid(req) {
+            // Clear the scratch log so `last_step` (and the batch slot a
+            // `step_batch` caller records) reflects this no-op step, not
+            // the previous request's actions.
+            self.log.clear();
             return Err(SimError::BadRequest { t, req });
         }
         let hit = self.cache.serves(req);
@@ -253,10 +362,23 @@ pub fn run_policy(
     let start = Instant::now();
     let mut session = SimSession::new(inst);
     let mut steps = record_steps.then(|| Vec::with_capacity(trace.len()));
-    for &req in trace {
-        session.step(inst, policy, req)?;
-        if let Some(s) = steps.as_mut() {
-            s.push(session.last_step().clone());
+    let mut batch = if record_steps {
+        BatchLog::recording()
+    } else {
+        BatchLog::new()
+    };
+    // Drive the trace through the batch API in fixed-size chunks — the
+    // same code path the serving shards use — failing fast on the first
+    // errored step, like the historical per-request loop.
+    for chunk in trace.chunks(RUN_POLICY_BATCH.max(1)) {
+        session.step_batch(inst, policy, chunk, &mut batch);
+        for (i, outcome) in batch.outcomes().iter().enumerate() {
+            if let Err(e) = outcome {
+                return Err(e.clone());
+            }
+            if let (Some(all), Some(recorded)) = (steps.as_mut(), batch.steps()) {
+                all.push(recorded[i].clone());
+            }
         }
     }
     let (ledger, mut counters, final_cache) = session.finish();
@@ -410,6 +532,87 @@ mod tests {
         assert_eq!(counters.fetches, batch.counters.fetches);
         assert_eq!(counters.serve_levels, batch.counters.serve_levels);
         assert_eq!(cache.to_vec(), batch.final_cache.to_vec());
+    }
+
+    #[test]
+    fn step_batch_matches_per_request_stepping_for_any_split() {
+        let inst = inst();
+        let trace = [
+            Request::new(0, 2),
+            Request::new(0, 2),
+            Request::new(1, 1),
+            Request::new(0, 1),
+            Request::new(2, 2),
+            Request::new(1, 1),
+            Request::new(2, 1),
+        ];
+        let mut reference = SimSession::new(&inst);
+        let mut ref_policy = Demand;
+        let ref_outcomes: Vec<_> = trace
+            .iter()
+            .map(|&r| reference.step(&inst, &mut ref_policy, r).unwrap())
+            .collect();
+        // Every way of cutting the trace into two batches (including the
+        // empty prefix/suffix) gives identical outcomes and final state.
+        for cut in 0..=trace.len() {
+            let mut session = SimSession::new(&inst);
+            let mut policy = Demand;
+            let mut log = BatchLog::new();
+            let mut outcomes = Vec::new();
+            for part in [&trace[..cut], &trace[cut..]] {
+                session.step_batch(&inst, &mut policy, part, &mut log);
+                assert_eq!(log.len(), part.len());
+                outcomes.extend(log.outcomes().iter().map(|o| *o.as_ref().unwrap()));
+            }
+            assert_eq!(outcomes, ref_outcomes, "split at {cut}");
+            assert_eq!(session.time(), reference.time());
+            assert_eq!(session.ledger(), reference.ledger());
+            assert_eq!(session.cache().to_vec(), reference.cache().to_vec());
+        }
+    }
+
+    #[test]
+    fn step_batch_records_step_logs_aligned_with_outcomes() {
+        let inst = inst();
+        let reqs = vec![
+            Request::new(0, 2), // miss: fetch
+            Request::new(9, 1), // invalid: consumes a slot, empty log
+            Request::new(0, 2), // hit: empty log
+        ];
+        let mut session = SimSession::new(&inst);
+        let mut log = BatchLog::recording();
+        session.step_batch(&inst, &mut Demand, &reqs, &mut log);
+        assert_eq!(log.len(), 3);
+        assert!(log.outcomes()[0].is_ok());
+        assert!(matches!(
+            log.outcomes()[1],
+            Err(SimError::BadRequest { t: 1, .. })
+        ));
+        assert!(log.outcomes()[2].as_ref().unwrap().hit);
+        let steps = log.steps().unwrap();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].actions.len(), 1, "the miss fetched");
+        assert!(steps[1].actions.is_empty(), "bad request mutates nothing");
+        assert!(steps[2].actions.is_empty(), "the hit needed no actions");
+        // The scratch is reusable: a second batch clears the first.
+        session.step_batch(&inst, &mut Demand, &reqs[2..], &mut log);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.steps().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn step_batch_continues_past_policy_errors() {
+        let inst = inst();
+        let reqs = vec![Request::new(0, 1), Request::new(1, 1)];
+        let mut session = SimSession::new(&inst);
+        let mut log = BatchLog::new();
+        session.step_batch(&inst, &mut DoNothing, &reqs, &mut log);
+        assert_eq!(log.len(), 2);
+        assert!(log
+            .outcomes()
+            .iter()
+            .all(|o| matches!(o, Err(SimError::NotServed { .. }))));
+        assert_eq!(session.time(), 2);
     }
 
     #[test]
