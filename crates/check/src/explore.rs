@@ -1,0 +1,119 @@
+//! DFS exploration driver: repeatedly runs the checked body, backtracking
+//! the deepest scheduling decision with an unexplored candidate.
+
+use std::sync::Arc;
+
+use crate::runtime::{run_once, Config, Node};
+
+/// A property violation found during exploration.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub message: String,
+    /// The full schedule (one line per scheduling decision) that produced it.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        writeln!(f, "schedule ({} decisions):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Complete executions explored.
+    pub schedules: usize,
+    /// Executions pruned by sleep sets (redundant interleavings).
+    pub pruned: usize,
+    pub failure: Option<Failure>,
+    /// True when `max_schedules` stopped the search before exhaustion.
+    pub truncated: bool,
+}
+
+impl Report {
+    /// Panic with the failing schedule if the exploration found a violation.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model checking failed after {} schedules:\n{f}",
+                self.schedules
+            );
+        }
+    }
+}
+
+/// Exhaustively explore the interleavings of `body` under `cfg` bounds.
+///
+/// `body` is re-run once per schedule, so it must be repeatable: construct
+/// every shim primitive inside it and make no irreversible external effects.
+/// Exploration is fully deterministic — same body and bounds give the same
+/// schedule count, prune count, and verdict.
+pub fn explore(cfg: Config, body: impl Fn() + Send + Sync + 'static) -> Report {
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut schedules = 0usize;
+    let mut pruned = 0usize;
+    let mut truncated = false;
+    loop {
+        let out = run_once(cfg, nodes, &body);
+        nodes = out.nodes;
+        if let Some(message) = out.failure {
+            return Report {
+                schedules,
+                pruned,
+                failure: Some(Failure {
+                    message,
+                    trace: out.trace,
+                }),
+                truncated,
+            };
+        }
+        if out.sleep_blocked {
+            pruned += 1;
+        } else {
+            schedules += 1;
+        }
+        if schedules + pruned >= cfg.max_schedules {
+            truncated = true;
+            break;
+        }
+        // Backtrack: advance the deepest node with an unexplored candidate.
+        loop {
+            match nodes.last_mut() {
+                None => {
+                    return Report {
+                        schedules,
+                        pruned,
+                        failure: None,
+                        truncated,
+                    }
+                }
+                Some(n) => {
+                    if n.advance() {
+                        break;
+                    }
+                    nodes.pop();
+                }
+            }
+        }
+    }
+    Report {
+        schedules,
+        pruned,
+        failure: None,
+        truncated,
+    }
+}
+
+/// [`explore`] with default bounds, panicking on any violation.
+pub fn check(body: impl Fn() + Send + Sync + 'static) -> Report {
+    let report = explore(Config::default(), body);
+    report.assert_ok();
+    report
+}

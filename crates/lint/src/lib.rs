@@ -16,6 +16,15 @@
 //!   the algorithmic crates.
 //! * **F1** — no `==`/`!=` against float literals.
 //!
+//! PR 7 added the concurrency family, enforcing the discipline the
+//! `wmlp-check` model checker assumes:
+//!
+//! * **C1** — condvar waits sit inside a `while`/`loop` recheck.
+//! * **C2** — no `.lock().unwrap()`; poison is recovered, not cascaded.
+//! * **C3** — every `Ordering::X` use is declared in a per-file
+//!   `lint:orderings` header with a reason.
+//! * **C4** — serve/loadgen threads go through `spawn_named`.
+//!
 //! Pre-existing violations live in `lint-baseline.toml` and are ratcheted
 //! down (see [`baseline`]); new code must be clean or carry an inline
 //! `// lint:allow(RULE): reason` suppression.

@@ -78,6 +78,8 @@ fn main() -> ExitCode {
             }
             out!("\nsuppress a single finding (reason is mandatory):");
             out!("    // lint:allow(D2): wall time is display-only, zeroed in manifests");
+            out!("\ndeclare a file's memory-ordering palette for C3 (reason is mandatory):");
+            out!("    // lint:orderings(Relaxed, SeqCst): counters are advisory; the latch is one-shot");
             out!("\nbaseline ratchet: pre-existing counts live in lint-baseline.toml;");
             out!("fix violations, then shrink it with --fix-baseline.");
             ExitCode::SUCCESS

@@ -1,5 +1,5 @@
 //! The rule engine: scopes, test-region detection, suppressions, and the
-//! five determinism/hygiene rules.
+//! determinism/hygiene/concurrency rules.
 //!
 //! | id | finding | scope |
 //! |----|---------|-------|
@@ -9,12 +9,23 @@
 //! | P1 | `.unwrap()`/`.expect(`/`panic!`/`todo!`/`unimplemented!` | library code of `core`, `sim`, `algos`, `flow`, `lp` |
 //! | F1 | `==`/`!=` with a float-literal operand | all non-test code |
 //! | S1 | malformed suppression comment (missing reason) | everywhere |
+//! | C1 | `.wait(…)` on a condvar outside a `while`/`loop` recheck | all non-test code |
+//! | C2 | `.lock().unwrap()`/`.expect(` (poison cascades) | all non-test code |
+//! | C3 | `Ordering::X` not declared in a `lint:orderings` header | everywhere, tests included |
+//! | C4 | bare `spawn(` instead of the named-thread helper | non-test code of `serve`/`loadgen` |
 //!
 //! A violation is suppressed by a comment on the same line, or by a
 //! comment (possibly spanning several lines) immediately preceding the
 //! offending line: `// lint:allow(D2): reason text`. The reason is
 //! mandatory — a reasonless `lint:allow` suppresses nothing and is itself
 //! an S1 error.
+//!
+//! C3 works the other way around: a file that touches memory orderings
+//! declares its whole palette once, up front, with a reasoned comment —
+//! `// lint:orderings(Relaxed, SeqCst): why these are sound` — and every
+//! `Ordering::X` use outside the declared set (or in a file with no
+//! declaration) is a violation. The declaration is a review artefact: it
+//! forces each file to state its memory-model story in one place.
 
 use crate::diagnostics::{line_snippet, Diagnostic, Severity};
 use crate::lexer::{lex, Token, TokenKind};
@@ -53,6 +64,22 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "S1",
         summary: "lint:allow suppressions must carry a reason: `// lint:allow(RULE): why`",
+    },
+    RuleInfo {
+        id: "C1",
+        summary: "condvar waits must sit inside a `while`/`loop` predicate recheck; spurious and stolen wakeups break a bare `if` wait",
+    },
+    RuleInfo {
+        id: "C2",
+        summary: "no `.lock().unwrap()`/`.expect()`: recover poisoned mutexes with `match`/`into_inner` so one panicked thread doesn't cascade",
+    },
+    RuleInfo {
+        id: "C3",
+        summary: "every `Ordering::X` use must appear in the file's `// lint:orderings(X, …): reason` declaration",
+    },
+    RuleInfo {
+        id: "C4",
+        summary: "threads in serve/loadgen must be spawned via `wmlp_check::thread::spawn_named` (named + model-checkable), not bare `spawn(`",
     },
 ];
 
@@ -138,6 +165,13 @@ const D2_ALLOWED_PATHS: &[&str] = &[
     // serving stack (including all of `wmlp-serve`) stays clock-free.
     "crates/loadgen/src/timing.rs",
 ];
+/// Crates whose threads must be spawned through the named-thread helper
+/// (`wmlp_check::thread::spawn_named`): C4 applies.
+const C4_CRATES: &[&str] = &["serve", "loadgen"];
+/// The `std::sync::atomic::Ordering` variants C3 recognises. (`cmp::
+/// Ordering` variants — `Less`/`Equal`/`Greater` — are not in this list,
+/// so comparison code never trips the rule.)
+const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 fn rule_applies(rule: &str, scope: &FileScope, in_test_region: bool) -> bool {
     let krate = scope.krate.as_str();
@@ -153,6 +187,11 @@ fn rule_applies(rule: &str, scope: &FileScope, in_test_region: bool) -> bool {
         "D3" => true,
         "P1" => P1_CRATES.contains(&krate) && scope.kind == FileKind::Lib && !is_test,
         "F1" => !is_test,
+        "C1" | "C2" => !is_test,
+        // Memory orderings are load-bearing everywhere — a test that uses
+        // the wrong ordering documents the wrong contract.
+        "C3" => true,
+        "C4" => C4_CRATES.contains(&krate) && !is_test,
         _ => false,
     }
 }
@@ -228,6 +267,84 @@ fn collect_suppressions(
     (sups, diags)
 }
 
+/// Parse the file's `lint:orderings` declarations — marker, then a
+/// parenthesised ordering list, then `: reason` — out of comment tokens.
+/// Returns the union of declared ordering names plus C3 diagnostics for
+/// malformed declarations (missing reason, unknown ordering name). A
+/// reasonless declaration declares nothing — exactly the S1 semantics
+/// for `lint:allow`.
+fn collect_ordering_decls(
+    file: &str,
+    src: &str,
+    tokens: &[Token],
+) -> (std::collections::BTreeSet<String>, Vec<Diagnostic>) {
+    let mut declared = std::collections::BTreeSet::new();
+    let mut diags = Vec::new();
+    let mut c3 = |tok: &Token, message: String| {
+        diags.push(Diagnostic {
+            rule: "C3",
+            severity: Severity::Error,
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            snippet: line_snippet(src, tok.start),
+            message,
+        });
+    };
+    for tok in tokens {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = tok.text(src);
+        let Some(at) = text.find("lint:orderings(") else {
+            continue;
+        };
+        let rest = &text[at + "lint:orderings(".len()..];
+        let Some((names, tail)) = rest.split_once(')') else {
+            c3(
+                tok,
+                "malformed ordering declaration; expected `lint:orderings(A, B): reason`".into(),
+            );
+            continue;
+        };
+        if tail.strip_prefix(':').is_none_or(|r| r.trim().is_empty()) {
+            c3(
+                tok,
+                "ordering declaration has no reason; write `lint:orderings(…): why these orderings are sound`"
+                    .into(),
+            );
+            continue;
+        }
+        for name in names.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            if MEMORY_ORDERINGS.contains(&name) {
+                declared.insert(name.to_string());
+            } else {
+                c3(
+                    tok,
+                    format!("unknown memory ordering `{name}` in lint:orderings declaration"),
+                );
+            }
+        }
+    }
+    (declared, diags)
+}
+
+/// What introduced the current brace block, for C1's loop detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    /// `loop` / `while` / `for` body: a wait here is rechecked.
+    LoopLike,
+    /// `fn` body: reaching this without a LoopLike means a bare wait.
+    Fn,
+    /// Anything else (`if`, `match` arms, plain blocks, closures…);
+    /// transparent to the search.
+    Other,
+}
+
 /// Byte spans of `#[cfg(test)]`-gated items (the following item, brace- or
 /// semicolon-terminated). Tokens inside these spans count as test code.
 fn test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
@@ -292,6 +409,8 @@ fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
 pub fn scan_source(rel_path: &str, src: &str, scope: &FileScope) -> Vec<Diagnostic> {
     let tokens = lex(src);
     let (sups, mut diags) = collect_suppressions(rel_path, src, &tokens);
+    let (declared_orderings, ordering_diags) = collect_ordering_decls(rel_path, src, &tokens);
+    diags.extend(ordering_diags);
     let regions = test_regions(src, &tokens);
     let code: Vec<&Token> = tokens
         .iter()
@@ -332,9 +451,32 @@ pub fn scan_source(rel_path: &str, src: &str, scope: &FileScope) -> Vec<Diagnost
         });
     };
 
+    // C1's brace-block stack: which construct opened each enclosing `{`.
+    // A keyword arms `pending`; the next `{` consumes it. `;` disarms a
+    // keyword that never reached its block (e.g. `break` inside a loop
+    // header expression — rare, but cheap to be safe about).
+    let mut blocks: Vec<BlockKind> = Vec::new();
+    let mut pending = BlockKind::Other;
+
     for (i, tok) in code.iter().enumerate() {
         let prev = |n: usize| i.checked_sub(n).map(|j| code[j]);
         let next = |n: usize| code.get(i + n).copied();
+        match tok.kind {
+            TokenKind::Ident => match tok.text(src) {
+                "loop" | "while" | "for" => pending = BlockKind::LoopLike,
+                "fn" => pending = BlockKind::Fn,
+                _ => {}
+            },
+            TokenKind::Punct(b'{') => {
+                blocks.push(pending);
+                pending = BlockKind::Other;
+            }
+            TokenKind::Punct(b'}') => {
+                blocks.pop();
+            }
+            TokenKind::Punct(b';') => pending = BlockKind::Other,
+            _ => {}
+        }
         match tok.kind {
             TokenKind::Ident => {
                 let text = tok.text(src);
@@ -369,12 +511,51 @@ pub fn scan_source(rel_path: &str, src: &str, scope: &FileScope) -> Vec<Diagnost
                         if prev(1).map(|t| t.kind) == Some(TokenKind::Punct(b'.'))
                             && next(1).map(|t| t.kind) == Some(TokenKind::Punct(b'(')) =>
                     {
+                        if prev(2).map(|t| t.kind) == Some(TokenKind::Punct(b')'))
+                            && prev(3).map(|t| t.kind) == Some(TokenKind::Punct(b'('))
+                            && prev(4).is_some_and(|t| t.text(src) == "lock")
+                        {
+                            push(
+                                "C2",
+                                tok,
+                                format!("`.lock().{text}(…)` turns one panicked thread into a poison cascade; recover with `match … Err(p) => p.into_inner()`"),
+                            );
+                        }
                         push(
                             "P1",
                             tok,
                             format!("`.{text}(…)` can panic in library code; propagate a `Result` instead"),
                         )
                     }
+                    "wait" | "wait_timeout" | "wait_while"
+                        if prev(1).map(|t| t.kind) == Some(TokenKind::Punct(b'.'))
+                            && next(1).map(|t| t.kind) == Some(TokenKind::Punct(b'(')) =>
+                    {
+                        // Walk out through the enclosing blocks: a
+                        // LoopLike before the owning fn means the wait's
+                        // predicate is rechecked.
+                        let rechecked = blocks
+                            .iter()
+                            .rev()
+                            .find_map(|b| match b {
+                                BlockKind::LoopLike => Some(true),
+                                BlockKind::Fn => Some(false),
+                                BlockKind::Other => None,
+                            })
+                            .unwrap_or(false);
+                        if !rechecked {
+                            push(
+                                "C1",
+                                tok,
+                                format!("`.{text}(…)` outside a `while`/`loop`; condvar waits must re-test their predicate (spurious and stolen wakeups)"),
+                            );
+                        }
+                    }
+                    "spawn" if next(1).map(|t| t.kind) == Some(TokenKind::Punct(b'(')) => push(
+                        "C4",
+                        tok,
+                        "bare `spawn(…)` in the serving stack; use `wmlp_check::thread::spawn_named` so the thread is named and model-checkable".into(),
+                    ),
                     "panic" | "todo" | "unimplemented"
                         if next(1).map(|t| t.kind) == Some(TokenKind::Punct(b'!')) =>
                     {
@@ -382,6 +563,18 @@ pub fn scan_source(rel_path: &str, src: &str, scope: &FileScope) -> Vec<Diagnost
                             "P1",
                             tok,
                             format!("`{text}!` in library code; return an error instead"),
+                        )
+                    }
+                    name if MEMORY_ORDERINGS.contains(&name)
+                        && prev(1).map(|t| t.kind) == Some(TokenKind::Punct(b':'))
+                        && prev(2).map(|t| t.kind) == Some(TokenKind::Punct(b':'))
+                        && prev(3).is_some_and(|t| t.text(src) == "Ordering")
+                        && !declared_orderings.contains(name) =>
+                    {
+                        push(
+                            "C3",
+                            tok,
+                            format!("`Ordering::{name}` is not declared; add `// lint:orderings({name}): why` near the top of the file"),
                         )
                     }
                     _ => {}
@@ -514,6 +707,90 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert!(d.iter().any(|d| d.rule == "S1"));
         assert!(d.iter().any(|d| d.rule == "D3"));
+    }
+
+    #[test]
+    fn c1_wait_needs_a_loop() {
+        // Bare `if`-wait inside a fn: flagged.
+        let src = "fn f() { if q.is_empty() { g = cv.wait(g); } }\n";
+        let d = scan("serve", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "C1");
+        // `while`-wait: clean, including with the poison-recovery match.
+        let src = "fn f() { while q.is_empty() { g = match cv.wait(g) { Ok(g) => g, Err(p) => p.into_inner() }; } }\n";
+        assert!(scan("serve", src).is_empty());
+        // A wait inside a `loop { match … }` is still rechecked.
+        let src = "fn f() { loop { match x { _ => { g = cv.wait(g); } } } }\n";
+        assert!(scan("serve", src).is_empty());
+        // `wait_timeout` outside any loop: flagged too.
+        let src = "fn f() { let r = cv.wait_timeout(g, d); }\n";
+        assert_eq!(scan("serve", src)[0].rule, "C1");
+    }
+
+    #[test]
+    fn c2_lock_unwrap_is_flagged() {
+        let src = "fn f() { let g = m.lock().unwrap(); }\n";
+        let d = scan("serve", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "C2");
+        let src = "fn f() { let g = m.lock().expect(\"poisoned\"); }\n";
+        assert_eq!(scan("serve", src)[0].rule, "C2");
+        // The recovery idiom is clean; unrelated unwraps are not C2.
+        let src = "fn f() { let g = match m.lock() { Ok(g) => g, Err(p) => p.into_inner() }; }\n";
+        assert!(scan("serve", src).is_empty());
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+        assert!(scan("serve", src).is_empty(), "serve is not a P1 crate");
+    }
+
+    #[test]
+    fn c3_orderings_must_be_declared() {
+        // Undeclared use: flagged, in any crate, tests included.
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }\n";
+        assert_eq!(scan("flow", src)[0].rule, "C3");
+        let src =
+            "#[cfg(test)]\nmod tests { fn f(a: &AtomicU64) { a.load(Ordering::Acquire); } }\n";
+        assert_eq!(scan("serve", src)[0].rule, "C3");
+        // Declared palette: clean; an ordering outside the palette is not.
+        let src = "// lint:orderings(Relaxed, SeqCst): counters are monotonic\nfn f(a: &AtomicU64) { a.load(Ordering::Relaxed); a.store(1, Ordering::SeqCst); }\n";
+        assert!(scan("serve", src).is_empty());
+        let src = "// lint:orderings(Relaxed): counters\nfn f(a: &AtomicU64) { a.load(Ordering::Acquire); }\n";
+        let d = scan("serve", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Ordering::Acquire"));
+        // `cmp::Ordering` never trips the rule.
+        let src = "fn f(a: u32, b: u32) -> Ordering { Ordering::Less }\n";
+        assert!(scan("serve", src).is_empty());
+    }
+
+    #[test]
+    fn c3_declaration_must_be_well_formed() {
+        // Reasonless declaration: flagged, and declares nothing.
+        let src = "// lint:orderings(SeqCst)\nfn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }\n";
+        let d = scan("serve", src);
+        assert_eq!(d.len(), 2, "decl error + undeclared use: {d:?}");
+        assert!(d.iter().all(|d| d.rule == "C3"));
+        // Unknown ordering name: flagged at the declaration.
+        let src = "// lint:orderings(Sequential): typo\nfn f() {}\n";
+        let d = scan("serve", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Sequential"));
+    }
+
+    #[test]
+    fn c4_spawns_must_be_named() {
+        let src = "fn f() { thread::spawn(|| {}); }\n";
+        let d = scan("serve", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "C4");
+        // The helpers are different identifiers: clean.
+        let src = "fn f() { spawn_named(\"router\", || {}); }\n";
+        assert!(scan("serve", src).is_empty());
+        // Out of scope crates unaffected.
+        let src = "fn f() { thread::spawn(|| {}); }\n";
+        assert!(scan("sim", src).is_empty());
+        // Scoped spawns count too.
+        let src = "fn f(s: &Scope) { s.spawn(|| {}); }\n";
+        assert_eq!(scan("loadgen", src)[0].rule, "C4");
     }
 
     #[test]

@@ -111,6 +111,50 @@ fn suppressions_require_reasons_and_attach_to_the_next_code_line() {
 }
 
 #[test]
+fn c_rules_fire_at_exact_positions_in_the_serving_stack() {
+    // Line 11: `if`-wait (the `while`-wait on line 21 stays silent).
+    // Line 19: `.lock().unwrap()` (the `.wait(g).expect(…)` lookalike on
+    //          line 21 is not C2 — the receiver is a wait, not a lock).
+    // Line 26: bare `std::thread::spawn` (`spawn_named` on 27 is clean).
+    // Lines 31/32/46: undeclared `Ordering::` uses — including line 46
+    //          inside `#[cfg(test)]`, since C3 covers tests; the
+    //          `cmp::Ordering::Less` on line 33 never trips the rule.
+    // The test-region `if`-wait (41), lock-unwrap (39), and spawn (43)
+    // are exempt.
+    assert_eq!(
+        triples("c_rules.rs", "serve"),
+        vec![
+            ("C1", 11, 22),
+            ("C2", 19, 26),
+            ("C4", 26, 18),
+            ("C3", 31, 30),
+            ("C3", 32, 22),
+            ("C3", 46, 27),
+        ]
+    );
+}
+
+#[test]
+fn c4_is_scoped_to_serve_and_loadgen() {
+    // Under `sim`, the bare spawn is out of C4 scope. C1/C2/C3 are
+    // crate-independent — and since `sim` is also a P1 (panic-free)
+    // crate, the `.unwrap()`/`.expect(` calls additionally trip P1: the
+    // same token can violate the poison rule and the panic rule at once.
+    assert_eq!(
+        triples("c_rules.rs", "sim"),
+        vec![
+            ("C1", 11, 22),
+            ("C2", 19, 26),
+            ("P1", 19, 26),
+            ("P1", 21, 24),
+            ("C3", 31, 30),
+            ("C3", 32, 22),
+            ("C3", 46, 27),
+        ]
+    );
+}
+
+#[test]
 fn diagnostics_render_as_file_line_col() {
     let d = &scan_source("d_rules.rs", &fixture("d_rules.rs"), &lib_scope("sim"))[0];
     let rendered = d.to_string();

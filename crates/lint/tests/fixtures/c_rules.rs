@@ -1,0 +1,48 @@
+// C-rule fixtures: condvar discipline, poison handling, orderings,
+// named threads. Scanned under crate scope `serve` (and `sim` for the
+// scope tests); never compiled.
+
+fn bare_if_wait(cv: &Condvar, m: &Mutex<u32>) {
+    let mut g = match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    if *g == 0 {
+        g = match cv.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+    }
+}
+
+fn looped_wait(cv: &Condvar, m: &Mutex<u32>) {
+    let mut g = m.lock().unwrap();
+    while *g == 0 {
+        g = cv.wait(g).expect("poisoned");
+    }
+}
+
+fn spawns() {
+    std::thread::spawn(|| {});
+    spawn_named("router", || {});
+}
+
+fn orderings(a: &AtomicU64) {
+    a.fetch_add(1, Ordering::Relaxed);
+    a.load(Ordering::SeqCst);
+    let _ = std::cmp::Ordering::Less;
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_only(cv: &Condvar, m: &Mutex<u32>) {
+        let g = m.lock().unwrap();
+        if true {
+            let _ = cv.wait(g);
+        }
+        std::thread::spawn(|| {});
+    }
+    fn orderings_still_lint() {
+        let _ = Ordering::Acquire;
+    }
+}

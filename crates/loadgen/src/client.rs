@@ -14,10 +14,17 @@
 //! queueing it caused to the requests that suffered it. The gap between
 //! actual and intended send is reported separately as *send lag*.
 
+// lint:orderings(SeqCst): `dead` is a one-shot reader-death latch paired
+// with a condvar broadcast; it is off every per-request fast path, so the
+// strongest ordering is the cheapest correct choice to reason about.
+
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc};
+
+use wmlp_check::sync::atomic::{AtomicBool, Ordering};
+use wmlp_check::sync::{Condvar, Mutex};
+use wmlp_check::thread::spawn_named;
 
 use wmlp_core::conn::{write_frame, FrameReader, ReadError};
 use wmlp_core::instance::Request;
@@ -118,7 +125,7 @@ pub fn run_pipelined(
     let reader_thread = {
         let inflight = Arc::clone(&inflight);
         let dead = Arc::clone(&dead);
-        std::thread::spawn(move || -> Result<ConnOutcome, String> {
+        spawn_named("lg-reader", move || -> Result<ConnOutcome, String> {
             let mut out = ConnOutcome::default();
             let release = |k: &Arc<(Mutex<usize>, Condvar)>| {
                 let mut held = match k.0.lock() {

@@ -210,7 +210,7 @@ fn run_wave(
             .enumerate()
             .map(|(c, slice)| {
                 let schedule = schedules.as_ref().map(|s| s[c].as_slice());
-                scope.spawn(move || {
+                wmlp_check::thread::spawn_scoped_named(scope, format!("lg-conn-{c}"), move || {
                     if pipeline <= 1 && schedule.is_none() {
                         client::run_requests(&addr, slice)
                     } else {

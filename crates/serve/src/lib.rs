@@ -11,9 +11,19 @@
 //!   each shard worker.
 //! * [`shard`] — the page → shard map, per-shard instance splitting, the
 //!   worker loop, and lock-free stat counters.
+//! * [`window`] — the per-connection in-flight window bounding pipelined
+//!   requests awaiting responses.
+//! * [`reorder`] — the sequence-order reorder buffer connection writers
+//!   drain shard replies through.
 //! * [`server`] — acceptor, per-connection reader/writer thread pairs
 //!   with pipelined in-order replies, the router, graceful shutdown with
 //!   in-flight draining, and the [`server::ServerHandle`] lifecycle.
+//!
+//! All synchronisation (and thread spawning) goes through the
+//! `wmlp_check` shim layer — a passthrough to `std` in normal builds —
+//! so the concurrency protocol of every piece above is exhaustively
+//! explored by the `wmlp-check` model checker in `tests/model.rs`; see
+//! the "Concurrency model" section of DESIGN.md.
 //! * [`replay`] — `--replay` mode: a single-engine canonical reference
 //!   run whose JSON manifest is byte-identical across repeats, machines,
 //!   and shard counts.
@@ -24,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod reorder;
 pub mod replay;
 pub mod server;
 pub mod shard;
 pub mod spsc;
+pub mod window;
 
 pub use replay::replay_manifest;
 pub use server::{start, ServeConfig, ServeError, ServerHandle};

@@ -1,6 +1,10 @@
 //! The TCP server: acceptor, router, connection handlers, and lifecycle.
 //!
-//! Thread topology (all std threads, no async runtime):
+//! Thread topology (plain threads, no async runtime; every thread is
+//! named via `wmlp_check::thread::spawn_named` — `acceptor`, `router`,
+//! `shard-{i}`, `conn-{id}-rd`, `conn-{id}-wr` — so panics and `/proc`
+//! identify the actor, and all synchronisation goes through the
+//! `wmlp_check` shim so the same code runs under the model checker):
 //!
 //! ```text
 //! acceptor ──spawns──▶ connection reader + writer thread pairs
@@ -31,20 +35,27 @@
 //! before the workers exit — while requests arriving after the flag are
 //! refused with [`ErrorCode::ShuttingDown`].
 
-use std::collections::BTreeMap;
+// lint:orderings(SeqCst): the shutdown latch is a one-shot flag read by
+// the acceptor, every connection thread, and the SHUTDOWN handler; it is
+// set at most once per process and sits nowhere near a fast path, so the
+// strongest ordering is the cheapest correct choice to reason about.
+
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{mpsc, Arc};
 
 use wmlp_algos::PolicyRegistry;
+use wmlp_check::sync::atomic::{AtomicBool, Ordering};
+use wmlp_check::sync::{Mutex, MutexGuard};
+use wmlp_check::thread::{spawn_named, JoinHandle};
 use wmlp_core::conn::{FrameReader, ReadError};
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::wire::{encode, ErrorCode, Frame, WireStats};
 
+use crate::reorder::Reorder;
 use crate::shard::{run_shard, shard_instances, ShardJob, ShardMap, ShardStats};
 use crate::spsc;
+use crate::window::Window;
 
 /// Everything the server needs besides the instance itself.
 #[derive(Debug, Clone)]
@@ -129,7 +140,7 @@ struct Inner {
     stats: Vec<Arc<ShardStats>>,
 }
 
-fn lock_conns(inner: &Inner) -> std::sync::MutexGuard<'_, Vec<(u64, TcpStream)>> {
+fn lock_conns(inner: &Inner) -> MutexGuard<'_, Vec<(u64, TcpStream)>> {
     match inner.conns.lock() {
         Ok(g) => g,
         Err(p) => p.into_inner(),
@@ -244,7 +255,7 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
         let spec = cfg.policy.clone();
         let seed = cfg.seed.wrapping_add(s as u64);
         let batch = cfg.batch.max(1);
-        shard_handles.push(std::thread::spawn(move || {
+        shard_handles.push(spawn_named(format!("shard-{s}"), move || {
             // Already validated above; a failure here would be a
             // non-deterministic registry, which none of the policies are.
             if let Ok(mut policy) = PolicyRegistry::standard().build(&spec, &si, seed) {
@@ -255,7 +266,7 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
 
     // Router: sole producer into every ring.
     let (route_tx, route_rx) = mpsc::channel::<(usize, ShardJob)>();
-    let router = std::thread::spawn(move || {
+    let router = spawn_named("router", move || {
         while let Ok((s, job)) = route_rx.recv() {
             if rings[s].send(job).is_err() {
                 break; // shard died; nothing sensible left to do
@@ -268,7 +279,7 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
     // Acceptor: owns the listener and every connection handle.
     let acceptor = {
         let inner = Arc::clone(&inner);
-        std::thread::spawn(move || {
+        spawn_named("acceptor", move || {
             let mut conn_handles = Vec::new();
             let mut next_id = 0u64;
             for stream in listener.incoming() {
@@ -283,7 +294,7 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
                 }
                 let inner = Arc::clone(&inner);
                 let route_tx = route_tx.clone();
-                conn_handles.push(std::thread::spawn(move || {
+                conn_handles.push(spawn_named(format!("conn-{id}-rd"), move || {
                     serve_connection(&inner, id, stream, &route_tx);
                 }));
             }
@@ -302,61 +313,6 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
         router: Some(router),
         shards: shard_handles,
     })
-}
-
-/// The per-connection in-flight window: the reader takes a slot per
-/// sequenced frame, the writer returns it once the response hits the
-/// socket. Bounds both the shard-side queueing a single connection can
-/// cause and the writer's reorder buffer.
-struct Window {
-    state: Mutex<(usize, bool)>,
-    freed: Condvar,
-    cap: usize,
-}
-
-impl Window {
-    fn new(cap: usize) -> Self {
-        Window {
-            state: Mutex::new((0, false)),
-            freed: Condvar::new(),
-            cap: cap.max(1),
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, (usize, bool)> {
-        match self.state.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        }
-    }
-
-    /// Take a slot, blocking at the cap until the writer frees one (or
-    /// the window is poisoned because the writer died).
-    fn acquire(&self) {
-        let mut state = self.lock();
-        while state.0 >= self.cap && !state.1 {
-            state = match self.freed.wait(state) {
-                Ok(g) => g,
-                Err(p) => p.into_inner(),
-            };
-        }
-        state.0 += 1;
-    }
-
-    /// Return a slot (writer side, one per frame written).
-    fn release(&self) {
-        let mut state = self.lock();
-        state.0 = state.0.saturating_sub(1);
-        drop(state);
-        self.freed.notify_one();
-    }
-
-    /// Stop ever blocking acquirers again — called when the writer exits
-    /// early (socket error) and will free no more slots.
-    fn poison(&self) {
-        self.lock().1 = true;
-        self.freed.notify_all();
-    }
 }
 
 /// One client connection, pipelined: this (reader) thread decodes and
@@ -379,7 +335,9 @@ fn serve_connection(
     let window = Arc::new(Window::new(inner.max_inflight));
     let writer = {
         let window = Arc::clone(&window);
-        std::thread::spawn(move || write_replies(write_half, reply_rx, &window))
+        spawn_named(format!("conn-{id}-wr"), move || {
+            write_replies(write_half, reply_rx, &window)
+        })
     };
     let mut reader = FrameReader::new(stream);
     let mut next_seq = 0u64;
@@ -489,8 +447,7 @@ fn serve_connection(
 /// done *and* all routed jobs answered) or on a socket error.
 fn write_replies(stream: TcpStream, rx: mpsc::Receiver<(u64, Frame)>, window: &Window) {
     let mut out = std::io::BufWriter::new(stream);
-    let mut pending: BTreeMap<u64, Frame> = BTreeMap::new();
-    let mut next = 0u64;
+    let mut pending: Reorder<Frame> = Reorder::new();
     let mut scratch = Vec::new();
     'drain: while let Ok((seq, frame)) = rx.recv() {
         pending.insert(seq, frame);
@@ -500,13 +457,12 @@ fn write_replies(stream: TcpStream, rx: mpsc::Receiver<(u64, Frame)>, window: &W
             pending.insert(s, f);
         }
         let mut wrote = false;
-        while let Some(frame) = pending.remove(&next) {
+        while let Some(frame) = pending.pop_next() {
             scratch.clear();
             encode(&frame, &mut scratch);
             if out.write_all(&scratch).is_err() {
                 break 'drain;
             }
-            next += 1;
             wrote = true;
             window.release();
         }

@@ -13,8 +13,14 @@
 //! single-engine semantics (what `--replay` reports) are those of shard
 //! count 1.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// lint:orderings(Relaxed): every atomic here is an independent monotonic
+// stats counter (or the queue-depth gauge, whose pairing is enforced by
+// a debug assertion, not by ordering); no cross-counter invariant exists
+// for readers, so snapshots are advisory and Relaxed is sufficient.
+
 use std::sync::{mpsc, Arc};
+
+use wmlp_check::sync::atomic::{AtomicU64, Ordering};
 
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::policy::OnlinePolicy;
@@ -134,8 +140,19 @@ impl ShardStats {
     }
 
     /// Record a routed request answered (drops the queue gauge).
+    ///
+    /// Every `note_done` must pair with a prior [`ShardStats::note_enqueued`];
+    /// debug builds assert the pairing, release builds saturate at zero so a
+    /// miscounted decrement can never wrap the gauge to 2⁶⁴−1 and poison
+    /// STATS snapshots.
     pub fn note_done(&self) {
-        self.queued.fetch_sub(1, Ordering::Relaxed);
+        let res = self
+            .queued
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |q| q.checked_sub(1));
+        debug_assert!(
+            res.is_ok(),
+            "ShardStats::note_done without a matching note_enqueued"
+        );
     }
 
     /// The per-shard load triple carried in STATS_REPLY since protocol

@@ -12,7 +12,9 @@
 //! shutdown never loses an in-flight request).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use wmlp_check::sync::{Condvar, Mutex};
 
 struct State<T> {
     queue: VecDeque<T>,

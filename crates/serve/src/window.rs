@@ -1,0 +1,121 @@
+//! The per-connection in-flight window.
+//!
+//! The connection's reader takes a slot per sequenced frame
+//! ([`Window::acquire`]), the paired writer returns it once the response
+//! hits the socket ([`Window::release`]). Capping the outstanding slots
+//! bounds both the shard-side queueing a single pipelined connection can
+//! cause and the writer's reorder buffer — a client that never drains its
+//! responses stalls at the cap instead of pinning unbounded server memory.
+//!
+//! Built on the `wmlp_check` shim primitives so the acquire/release/poison
+//! protocol is explored under the model checker (`tests/model.rs`): the
+//! checked invariants are that the in-flight count never exceeds the cap
+//! and that a poisoned window never blocks an acquirer again.
+
+use wmlp_check::sync::{Condvar, Mutex, MutexGuard};
+
+/// Counting in-flight window with a poison latch (see module docs).
+pub struct Window {
+    /// `(in_flight, poisoned)`.
+    state: Mutex<(usize, bool)>,
+    /// Signalled when the writer frees a slot or the window is poisoned.
+    freed: Condvar,
+    cap: usize,
+}
+
+impl Window {
+    /// A window allowing at most `cap ≥ 1` outstanding slots.
+    pub fn new(cap: usize) -> Self {
+        Window {
+            state: Mutex::new((0, false)),
+            freed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, (usize, bool)> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Take a slot, blocking at the cap until the writer frees one (or
+    /// the window is poisoned because the writer died).
+    pub fn acquire(&self) {
+        let mut state = self.lock();
+        while state.0 >= self.cap && !state.1 {
+            state = match self.freed.wait(state) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        state.0 += 1;
+    }
+
+    /// Return a slot (writer side, one per frame written).
+    pub fn release(&self) {
+        let mut state = self.lock();
+        state.0 = state.0.saturating_sub(1);
+        drop(state);
+        self.freed.notify_one();
+    }
+
+    /// Stop ever blocking acquirers again — called when the writer exits
+    /// early (socket error) and will free no more slots.
+    pub fn poison(&self) {
+        self.lock().1 = true;
+        self.freed.notify_all();
+    }
+
+    /// Current outstanding slot count (may exceed `cap` only after a
+    /// poison, when acquirers are waved through).
+    pub fn inflight(&self) -> usize {
+        self.lock().0
+    }
+
+    /// The configured cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wmlp_check::thread::spawn_named;
+
+    #[test]
+    fn acquire_blocks_at_the_cap_until_released() {
+        let w = Arc::new(Window::new(2));
+        w.acquire();
+        w.acquire();
+        assert_eq!(w.inflight(), 2);
+        let w2 = Arc::clone(&w);
+        let t = spawn_named("acquirer", move || {
+            w2.acquire(); // blocks until the release below
+            w2.inflight()
+        });
+        w.release();
+        assert_eq!(t.join().expect("join acquirer"), 2);
+    }
+
+    #[test]
+    fn poison_waves_blocked_acquirers_through() {
+        let w = Arc::new(Window::new(1));
+        w.acquire();
+        let w2 = Arc::clone(&w);
+        let t = spawn_named("acquirer", move || w2.acquire());
+        w.poison();
+        t.join().expect("join acquirer");
+        assert!(w.inflight() >= 1);
+    }
+
+    #[test]
+    fn release_below_zero_saturates() {
+        let w = Window::new(4);
+        w.release();
+        assert_eq!(w.inflight(), 0);
+    }
+}

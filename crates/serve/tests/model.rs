@@ -1,0 +1,252 @@
+//! Model-checked properties of the serving stack's concurrency primitives.
+//!
+//! Every test runs the *real* production code (`spsc`, `Window`,
+//! `Reorder`-driven writer loop, `run_shard`) under the `wmlp-check`
+//! exhaustive interleaving explorer. The checked properties, per ISSUE 7:
+//!
+//! 1. no lost wakeups   — every blocking handoff completes in every schedule
+//! 2. no deadlock       — detected automatically by the explorer
+//! 3. close drains all items
+//! 4. `recv_batch` ≡ sequential `recv` × n
+//! 5. in-flight never exceeds the window cap
+//! 6. shutdown never drops an accepted request (ring drain through the
+//!    real `run_shard` worker)
+//!
+//! Fixtures are deliberately tiny (ring capacities 1–2, ≤ 3 threads,
+//! 2–4 items) — exhaustive exploration is exponential in yield points —
+//! and each test also asserts determinism where the schedule count is part
+//! of the contract.
+
+use std::sync::{mpsc, Arc};
+
+use wmlp_check::{explore, Config};
+use wmlp_serve::shard::{run_shard, ShardJob, ShardStats};
+use wmlp_serve::spsc;
+use wmlp_serve::window::Window;
+
+use wmlp_check::thread::spawn_named;
+use wmlp_core::instance::{MlInstance, Request};
+
+fn cfg() -> Config {
+    Config::default()
+}
+
+/// Properties 1 + 2: a capacity-1 ring forces strict producer/consumer
+/// alternation through both condvars; any lost wakeup or deadlock in the
+/// notify protocol fails some schedule.
+#[test]
+fn spsc_capacity_one_handoff_never_loses_a_wakeup() {
+    let report = explore(cfg(), || {
+        let (tx, rx) = spsc::channel::<u32>(1);
+        let producer = spawn_named("producer", move || {
+            for i in 0..3u32 {
+                assert!(tx.send(i).is_ok(), "receiver alive during send");
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2], "items in order, none lost");
+        producer.join().expect("join producer");
+    });
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(!report.truncated, "fixture must be exhaustively explored");
+}
+
+/// Property 3: dropping the sender closes the ring, and the receiver still
+/// sees every item that was accepted before the close.
+#[test]
+fn spsc_close_drains_all_accepted_items() {
+    let report = explore(cfg(), || {
+        let (tx, rx) = spsc::channel::<u32>(4);
+        let producer = spawn_named("producer", move || {
+            for i in 0..3u32 {
+                assert!(tx.send(i).is_ok());
+            }
+            // tx drops here: the ring closes with items possibly queued.
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2], "close must drain, not drop");
+        producer.join().expect("join producer");
+    });
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(!report.truncated);
+}
+
+/// Property 4: under every interleaving, draining via `recv_batch` yields
+/// exactly the sequence sequential `recv` calls would — the batch API is
+/// an amortization, not a semantic change.
+#[test]
+fn spsc_recv_batch_equals_sequential_recv() {
+    let run = |batched: bool| {
+        explore(cfg(), move || {
+            let (tx, rx) = spsc::channel::<u32>(2);
+            let producer = spawn_named("producer", move || {
+                for i in 0..3u32 {
+                    assert!(tx.send(i).is_ok());
+                }
+            });
+            let mut got = Vec::new();
+            if batched {
+                let mut batch = Vec::new();
+                loop {
+                    batch.clear();
+                    let n = rx.recv_batch(&mut batch, 2);
+                    if n == 0 {
+                        break;
+                    }
+                    assert!(n <= 2, "batch respects max");
+                    got.extend_from_slice(&batch);
+                }
+            } else {
+                while let Some(v) = rx.recv() {
+                    got.push(v);
+                }
+            }
+            assert_eq!(got, vec![0, 1, 2], "same drain order either way");
+            producer.join().expect("join producer");
+        })
+    };
+    let batched = run(true);
+    let sequential = run(false);
+    assert!(batched.failure.is_none(), "{}", batched.failure.unwrap());
+    assert!(
+        sequential.failure.is_none(),
+        "{}",
+        sequential.failure.unwrap()
+    );
+    assert!(!batched.truncated && !sequential.truncated);
+}
+
+/// Property 5: the reader/writer window handoff — reader acquires a slot
+/// per request, writer releases per emitted reply — never exceeds the cap
+/// and never wedges. Uses the real `Window` + `spsc` + the writer's
+/// drain-then-release discipline with a capacity-1 window.
+#[test]
+fn window_inflight_never_exceeds_cap() {
+    let report = explore(cfg(), || {
+        let window = Arc::new(Window::new(1));
+        let (tx, rx) = spsc::channel::<u64>(2);
+        let w2 = Arc::clone(&window);
+        let reader = spawn_named("conn-rd", move || {
+            for seq in 0..3u64 {
+                w2.acquire();
+                assert!(w2.inflight() <= w2.cap(), "window overshoot");
+                assert!(tx.send(seq).is_ok());
+            }
+        });
+        // Writer side: drain replies in order, releasing one slot each.
+        let mut pending = wmlp_serve::reorder::Reorder::new();
+        let mut emitted = Vec::new();
+        while let Some(seq) = rx.recv() {
+            pending.insert(seq, seq);
+            while let Some(s) = pending.pop_next() {
+                emitted.push(s);
+                window.release();
+            }
+        }
+        assert_eq!(emitted, vec![0, 1, 2], "in-order emission");
+        reader.join().expect("join reader");
+    });
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(!report.truncated);
+}
+
+/// Window poison: a dying writer must wave a blocked reader through
+/// rather than leaving it parked forever (the lost-wakeup shape of the
+/// early-exit path).
+#[test]
+fn window_poison_unblocks_a_parked_reader() {
+    let report = explore(cfg(), || {
+        let window = Arc::new(Window::new(1));
+        window.acquire(); // fill the window up front
+        let w2 = Arc::clone(&window);
+        let reader = spawn_named("conn-rd", move || {
+            w2.acquire(); // blocks until poison
+        });
+        window.poison();
+        reader.join().expect("join reader");
+    });
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(!report.truncated);
+}
+
+/// Property 6: graceful shutdown through the *real* shard worker — every
+/// job accepted into the ring before close is answered exactly once, and
+/// the queue gauge returns to zero. `run_shard` runs as a checked virtual
+/// thread (its engine work is pure compute; the reply mpsc never blocks).
+#[test]
+fn shutdown_never_drops_an_accepted_request() {
+    let report = explore(cfg(), || {
+        let inst =
+            MlInstance::from_rows(2, (0..3).map(|p| vec![10 + p as u64]).collect()).expect("inst");
+        let stats = Arc::new(ShardStats::default());
+        let (tx, rx) = spsc::channel::<ShardJob>(2);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let st2 = Arc::clone(&stats);
+        let inst2 = inst.clone();
+        let worker = spawn_named("shard-0", move || {
+            let mut policy = wmlp_algos::PolicyRegistry::standard()
+                .build("lru", &inst2, 0)
+                .expect("build lru");
+            run_shard(&inst2, policy.as_mut(), rx, &st2, 2);
+        });
+        for (seq, page) in [0u32, 1, 0].into_iter().enumerate() {
+            stats.note_enqueued();
+            assert!(
+                tx.send(ShardJob {
+                    req: Request::top(page),
+                    seq: seq as u64,
+                    reply: reply_tx.clone(),
+                })
+                .is_ok(),
+                "worker alive during send"
+            );
+        }
+        drop(tx); // close: the worker must drain, then exit
+        worker.join().expect("join shard worker");
+        drop(reply_tx);
+        let replies: Vec<u64> = reply_rx.try_iter().map(|(seq, _)| seq).collect();
+        assert_eq!(
+            replies,
+            vec![0, 1, 2],
+            "every accepted request answered once, in order"
+        );
+        assert_eq!(stats.load().queue_depth, 0, "queue gauge back to zero");
+        assert_eq!(stats.snapshot().requests, 3);
+    });
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(!report.truncated);
+}
+
+/// The explorer itself is deterministic on production code: the same
+/// fixture and bounds give the same schedule and prune counts.
+#[test]
+fn exploration_of_production_code_is_deterministic() {
+    let body = || {
+        let (tx, rx) = spsc::channel::<u32>(1);
+        let producer = spawn_named("producer", move || {
+            for i in 0..2u32 {
+                assert!(tx.send(i).is_ok());
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1]);
+        producer.join().expect("join producer");
+    };
+    let r1 = explore(cfg(), body);
+    let r2 = explore(cfg(), body);
+    assert!(r1.failure.is_none(), "{}", r1.failure.unwrap());
+    assert_eq!(
+        (r1.schedules, r1.pruned, r1.truncated),
+        (r2.schedules, r2.pruned, r2.truncated),
+        "same bounds must reproduce the same exploration"
+    );
+}

@@ -23,6 +23,11 @@
 //! the hash is hand-rolled FNV-1a rather than `std::hash::Hasher` — no
 //! dependence on std's unspecified hasher internals.
 
+// lint:orderings(Relaxed, SeqCst): hit/miss tallies are advisory counters
+// with no cross-thread invariant (Relaxed); the tests additionally count
+// solver invocations with SeqCst so assertion failures can't be blamed on
+// ordering.
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
