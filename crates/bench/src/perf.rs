@@ -18,6 +18,11 @@
 //!   (`s{N}c4p32`, a 32-deep per-connection window). `throughput_rps`
 //!   here includes protocol framing and socket round-trips, so it is the
 //!   serving-stack number, not the bare engine number of B1/B2.
+//! * **B6** — the physical storage tiers: identical per-operation mixes
+//!   driven through the in-memory `SimStorage` and the on-disk
+//!   `SegmentStore`, so the latency a policy action pays per level (put,
+//!   dirty writeback, promotion, deep-tier marker, warm-set replay) is a
+//!   measured number rather than folklore.
 //!
 //! # `BENCH.json` schema
 //!
@@ -61,12 +66,15 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 use wmlp_algos::{FracMultiplicative, PolicyRegistry};
 use wmlp_core::instance::MlInstance;
+use wmlp_core::storage::{SimStorage, Storage};
+use wmlp_core::types::PageId;
 use wmlp_flow::{weighted_paging_opt_with, PagingOptScratch};
 use wmlp_loadgen::{LoadgenConfig, Workload};
 use wmlp_lp::multilevel_paging_lp_opt;
 use wmlp_offline::{opt_multilevel, DpLimits};
 use wmlp_sim::engine::run_policy;
 use wmlp_sim::frac_engine::run_fractional;
+use wmlp_store::{SegmentStore, StoreOptions};
 use wmlp_workloads::{weights_pow2_classes, zipf_trace, LevelDist};
 
 /// Fixed seed for instance weights.
@@ -176,14 +184,33 @@ impl PerfConfig {
             10_000
         }
     }
+
+    /// Operations per B6 storage cell for the cheap (no-`fsync`) mixes.
+    fn b6_ops(&self) -> usize {
+        if self.smoke {
+            512
+        } else {
+            4_096
+        }
+    }
+
+    /// Operations per B6 storage cell for the `fsync`-per-op mixes (each
+    /// dirty writeback syncs, so the counts stay small).
+    fn b6_fsync_ops(&self) -> usize {
+        if self.smoke {
+            32
+        } else {
+            256
+        }
+    }
 }
 
 /// One timed grid cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchEntry {
     /// Grid group: `b1_zipf_policies`, `b2_waterfill_k_scaling`,
-    /// `b3_fractional_levels`, `b4_offline_solvers`, or
-    /// `b5_loopback_serve`.
+    /// `b3_fractional_levels`, `b4_offline_solvers`,
+    /// `b5_loopback_serve`, or `b6_storage_tiers`.
     pub group: String,
     /// Cell name, unique within the group (e.g. `lru/k128`).
     pub name: String,
@@ -524,6 +551,172 @@ fn b5_loopback_serve(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
     }
 }
 
+/// B6 universe size: small enough that the warm set fits in one segment,
+/// large enough that the round-robin mixes never reuse a page within a
+/// batch of operations.
+const B6_PAGES: usize = 256;
+/// B6 tier count (level 1 = warm, 2–3 = backing markers).
+const B6_LEVELS: u8 = 3;
+/// B6 value payload size, bytes.
+const B6_VALUE: usize = 64;
+
+/// B6: the physical storage tiers. The same per-operation mixes run
+/// through both [`Storage`] backends — the clock-free in-memory
+/// `SimStorage` and the on-disk `SegmentStore` — so the extra latency of
+/// making a level physical is measured per operation class:
+///
+/// * `put/*` — warm-tier writes (unbuffered log appends for disk).
+/// * `put_flush/*` — write-then-evict of a dirty page; the disk cell pays
+///   a real writeback `fsync` per op, so this is the slow path a policy
+///   eviction of a dirty page costs.
+/// * `promote_cycle/*` — cold→warm→cold churn of a clean page: the disk
+///   cell pays a log read per promotion plus two marker appends.
+/// * `promote_deep/*` — deep-tier residency bookkeeping (marker-only).
+/// * `warm_rebuild/disk` — `SegmentStore::open` replaying its log into a
+///   warm set, the restart-recovery path (no sim analog: `SimStorage`
+///   construction is trivially cheap and clock-free).
+///
+/// Disk cells run in fresh directories under the OS temp dir, removed
+/// when the group finishes; `throughput_rps` is operations per second.
+fn b6_storage_tiers(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
+    let ops = cfg.b6_ops();
+    let fsync_ops = cfg.b6_fsync_ops();
+    let rows: Vec<Vec<u64>> = (0..B6_PAGES).map(|_| vec![16, 4, 1]).collect();
+    let inst = MlInstance::from_rows(32, rows).expect("B6 instance tuple is feasible");
+    let value = vec![0xB6u8; B6_VALUE];
+
+    let tmp = std::env::temp_dir().join(format!("wmlp-b6-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create B6 store dir");
+    let open_disk = |cell: &str| -> SegmentStore {
+        let dir = tmp.join(cell);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = StoreOptions::new(B6_PAGES, B6_LEVELS);
+        opts.value_size = B6_VALUE;
+        SegmentStore::open(&dir, opts).expect("open B6 segment store")
+    };
+    let make = |backend: &str, cell: &str| -> Box<dyn Storage> {
+        if backend == "sim" {
+            Box::new(SimStorage::new(B6_PAGES, B6_LEVELS, B6_VALUE))
+        } else {
+            Box::new(open_disk(cell))
+        }
+    };
+
+    for backend in ["sim", "disk"] {
+        // put: warm-tier writes, round-robin over the universe.
+        let mut store = make(backend, "put");
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            for i in 0..ops {
+                let p = (i % B6_PAGES) as PageId;
+                store.put(p, &value).expect("B6 put");
+            }
+            store.snapshot().dirty
+        });
+        entries.push(entry(
+            "b6_storage_tiers",
+            format!("put/{backend}"),
+            backend,
+            &inst,
+            ops,
+            timing,
+        ));
+
+        // put_flush: dirty the page, then evict it — the writeback path.
+        let mut store = make(backend, "put_flush");
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            let mut writebacks = 0u64;
+            for i in 0..fsync_ops {
+                let p = (i % B6_PAGES) as PageId;
+                store.put(p, &value).expect("B6 put");
+                writebacks += u64::from(store.flush(p).expect("B6 dirty flush"));
+            }
+            assert_eq!(writebacks, fsync_ops as u64, "every flush wrote back");
+            writebacks
+        });
+        entries.push(entry(
+            "b6_storage_tiers",
+            format!("put_flush/{backend}"),
+            backend,
+            &inst,
+            fsync_ops,
+            timing,
+        ));
+
+        // promote_cycle: seed durable values once (cheap: one fsync via
+        // flush_all, then clean evictions), then churn cold→warm→cold.
+        let mut store = make(backend, "promote_cycle");
+        for p in 0..B6_PAGES as PageId {
+            store.put(p, &value).expect("B6 seed put");
+        }
+        store.flush_all().expect("B6 seed flush_all");
+        for p in 0..B6_PAGES as PageId {
+            store.flush(p).expect("B6 seed evict");
+        }
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            for i in 0..ops {
+                let p = (i % B6_PAGES) as PageId;
+                store.promote(p, 1).expect("B6 promote to warm");
+                store.flush(p).expect("B6 clean evict");
+            }
+        });
+        entries.push(entry(
+            "b6_storage_tiers",
+            format!("promote_cycle/{backend}"),
+            backend,
+            &inst,
+            ops,
+            timing,
+        ));
+
+        // promote_deep: residency markers only, no value movement.
+        let mut store = make(backend, "promote_deep");
+        let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+            for i in 0..ops {
+                let p = (i % B6_PAGES) as PageId;
+                store.promote(p, 2).expect("B6 deep promote");
+            }
+        });
+        entries.push(entry(
+            "b6_storage_tiers",
+            format!("promote_deep/{backend}"),
+            backend,
+            &inst,
+            ops,
+            timing,
+        ));
+    }
+
+    // warm_rebuild: seed a store whose whole universe is warm with durable
+    // values, then time the Warm-mode log replay on reopen.
+    {
+        let mut store = open_disk("warm_rebuild");
+        for p in 0..B6_PAGES as PageId {
+            store.promote(p, 1).expect("B6 rebuild seed promote");
+            store.put(p, &value).expect("B6 rebuild seed put");
+        }
+        store.flush_all().expect("B6 rebuild seed flush_all");
+    }
+    let dir = tmp.join("warm_rebuild");
+    let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+        let mut opts = StoreOptions::new(B6_PAGES, B6_LEVELS);
+        opts.value_size = B6_VALUE;
+        let store = SegmentStore::open(&dir, opts).expect("B6 warm reopen");
+        assert_eq!(store.warm_len(), B6_PAGES, "every seeded page recovered");
+        store.warm_len() as u64
+    });
+    entries.push(entry(
+        "b6_storage_tiers",
+        "warm_rebuild/disk".to_string(),
+        "disk",
+        &inst,
+        B6_PAGES,
+        timing,
+    ));
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
 /// One cell of a baseline-vs-current comparison ([`compare_reports`]).
 #[derive(Debug, Clone)]
 pub struct CompareRow {
@@ -611,6 +804,7 @@ pub fn run_perf(cfg: &PerfConfig) -> BenchReport {
     b3_fractional_levels(cfg, &mut entries);
     b4_offline_solvers(cfg, &mut entries);
     b5_loopback_serve(cfg, &mut entries);
+    b6_storage_tiers(cfg, &mut entries);
     BenchReport {
         schema_version: 1,
         config: cfg.clone(),
@@ -650,6 +844,24 @@ mod tests {
                 && e.throughput_rps > 0),
             "B5 pipelined serving cell missing or zero-throughput"
         );
+        for cell in [
+            "put/sim",
+            "put/disk",
+            "put_flush/sim",
+            "put_flush/disk",
+            "promote_cycle/sim",
+            "promote_cycle/disk",
+            "promote_deep/sim",
+            "promote_deep/disk",
+            "warm_rebuild/disk",
+        ] {
+            assert!(
+                report.entries.iter().any(|e| e.group == "b6_storage_tiers"
+                    && e.name == cell
+                    && e.throughput_rps > 0),
+                "B6 storage cell `{cell}` missing or zero-throughput"
+            );
+        }
 
         let text = report.to_json();
         let parsed = BenchReport::from_json(&text).expect("round-trip");

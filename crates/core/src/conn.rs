@@ -25,38 +25,84 @@ use std::io::{Read, Write};
 /// toward it and no further.
 const MAX_FRAME: usize = HEADER_LEN + MAX_PAYLOAD as usize;
 
-/// Why a read path stopped without a frame.
+/// Why a connection's read (or conversation) path failed, as a typed
+/// taxonomy instead of rendered strings: transport I/O, codec-level
+/// corruption, a protocol-version mismatch (split out of the codec
+/// errors because "old peer" wants different handling and reporting
+/// than "garbage bytes"), and the two EOF shapes.
 #[derive(Debug)]
-pub enum ReadError {
-    /// The underlying reader failed.
+pub enum ConnError {
+    /// The underlying transport failed.
     Io(std::io::Error),
-    /// The stream carried a corrupt frame.
-    Wire(WireError),
+    /// The stream carried a corrupt frame (bad magic, opcode, length or
+    /// payload).
+    Codec(WireError),
+    /// The peer speaks a different protocol version.
+    Version {
+        /// The version byte the peer sent.
+        got: u8,
+    },
     /// EOF in the middle of a frame.
     TruncatedEof,
+    /// Clean EOF where the conversation required another frame.
+    Closed,
 }
 
-impl std::fmt::Display for ReadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl ConnError {
+    /// Stable machine-readable category label, surfaced in reports:
+    /// `"io"`, `"codec"`, `"protocol-version"`, `"truncated-eof"` or
+    /// `"closed"`.
+    pub fn kind(&self) -> &'static str {
         match self {
-            ReadError::Io(e) => write!(f, "read failed: {e}"),
-            ReadError::Wire(e) => write!(f, "corrupt frame: {e}"),
-            ReadError::TruncatedEof => write!(f, "connection closed mid-frame"),
+            ConnError::Io(_) => "io",
+            ConnError::Codec(_) => "codec",
+            ConnError::Version { .. } => "protocol-version",
+            ConnError::TruncatedEof => "truncated-eof",
+            ConnError::Closed => "closed",
         }
     }
 }
 
-impl std::error::Error for ReadError {}
-
-impl From<std::io::Error> for ReadError {
-    fn from(e: std::io::Error) -> Self {
-        ReadError::Io(e)
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Io(e) => write!(f, "transport failed: {e}"),
+            ConnError::Codec(e) => write!(f, "corrupt frame: {e}"),
+            ConnError::Version { got } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {got}, this side speaks {}",
+                    crate::wire::VERSION
+                )
+            }
+            ConnError::TruncatedEof => write!(f, "connection closed mid-frame"),
+            ConnError::Closed => write!(f, "connection closed before the expected frame"),
+        }
     }
 }
 
-impl From<WireError> for ReadError {
+impl std::error::Error for ConnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConnError::Io(e) => Some(e),
+            ConnError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ConnError {
+    fn from(e: std::io::Error) -> Self {
+        ConnError::Io(e)
+    }
+}
+
+impl From<WireError> for ConnError {
     fn from(e: WireError) -> Self {
-        ReadError::Wire(e)
+        match e {
+            WireError::BadVersion(got) => ConnError::Version { got },
+            other => ConnError::Codec(other),
+        }
     }
 }
 
@@ -258,7 +304,7 @@ impl<R: Read> FrameReader<R> {
     /// The next frame, `Ok(None)` on a clean EOF (no partial frame
     /// buffered), or an error for I/O failure, corruption, or EOF
     /// mid-frame.
-    pub fn next_frame(&mut self) -> Result<Option<Frame>, ReadError> {
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ConnError> {
         loop {
             if let Some(frame) = self.buf.pop()? {
                 return Ok(Some(frame));
@@ -268,7 +314,7 @@ impl<R: Read> FrameReader<R> {
                 return if self.buf.buffered() == 0 {
                     Ok(None)
                 } else {
-                    Err(ReadError::TruncatedEof)
+                    Err(ConnError::TruncatedEof)
                 };
             }
             self.buf.commit(n);
@@ -292,17 +338,22 @@ mod tests {
     fn sample_frames() -> Vec<Frame> {
         vec![
             Frame::Get { page: 7, level: 2 },
-            Frame::Put { page: 123456 },
+            Frame::Put {
+                page: 123456,
+                value: b"payload bytes".to_vec(),
+            },
             Frame::Stats,
             Frame::Served {
                 hit: false,
                 level: 3,
                 cost: 987654321,
+                value: b"read back".to_vec(),
             },
             Frame::StatsReply(StatsPayload {
                 total: WireStats {
                     requests: 9,
                     hits: 5,
+                    hits_l1: 3,
                     fetches: 4,
                     evictions: 2,
                     cost: 31,
@@ -310,6 +361,7 @@ mod tests {
                 shards: vec![ShardLoad {
                     requests: 9,
                     hits: 5,
+                    hits_l1: 3,
                     queue_depth: 1,
                 }],
             }),
@@ -344,9 +396,29 @@ mod tests {
 
     #[test]
     fn reader_flags_eof_mid_frame() {
-        let bytes = encode_to_vec(&Frame::Put { page: 3 });
+        let bytes = encode_to_vec(&Frame::Put {
+            page: 3,
+            value: Vec::new(),
+        });
         let mut reader = FrameReader::new(Cursor::new(bytes[..6].to_vec()));
-        assert!(matches!(reader.next_frame(), Err(ReadError::TruncatedEof)));
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(err, ConnError::TruncatedEof));
+        assert_eq!(err.kind(), "truncated-eof");
+    }
+
+    #[test]
+    fn conn_error_classifies_version_skew_apart_from_corruption() {
+        let mut bytes = encode_to_vec(&Frame::Stats);
+        bytes[2] = 2; // previous protocol version
+        let mut reader = FrameReader::new(Cursor::new(bytes));
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(err, ConnError::Version { got: 2 }));
+        assert_eq!(err.kind(), "protocol-version");
+
+        let mut reader = FrameReader::new(Cursor::new(b"XY".to_vec()));
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(err, ConnError::Codec(WireError::BadMagic(_))));
+        assert_eq!(err.kind(), "codec");
     }
 
     /// The FrameReader split-boundary property: a stream of frames fed

@@ -22,7 +22,8 @@
 //! feasibility checking ([`cache`]), fractional cache states ([`fractional`]),
 //! cost accounting ([`cost`]), schedule validation ([`validate`]), the
 //! reductions between the problem variants ([`reduction`]), the traits
-//! implemented by online algorithms ([`policy`]), and the interchange
+//! implemented by online algorithms ([`policy`]), the physical storage
+//! boundary behind the engine ([`storage`]), and the interchange
 //! formats: a diff-friendly text codec ([`codec`]) and the binary wire
 //! protocol spoken by the serving stack — split into the pure frame
 //! codec ([`wire`]) and its transport adapters ([`conn`]).
@@ -39,6 +40,7 @@ pub mod fractional;
 pub mod instance;
 pub mod policy;
 pub mod reduction;
+pub mod storage;
 pub mod types;
 pub mod validate;
 pub mod weights;
@@ -47,12 +49,13 @@ pub mod writeback;
 
 pub use action::{Action, StepLog};
 pub use cache::CacheState;
-pub use conn::{Conn, FrameBuf, FrameReader};
+pub use conn::{Conn, ConnError, FrameBuf, FrameReader};
 pub use cost::{CostLedger, CostModel};
 pub use dense::{KeyedMinHeap, RecencyList};
 pub use fractional::FracState;
 pub use instance::{MlInstance, Request, Trace};
 pub use policy::{CacheTxn, FracDelta, FractionalPolicy, OnlinePolicy};
+pub use storage::{default_value, SimStorage, Storage, StorageError, StorageSnapshot, MAX_VALUE};
 pub use types::{weight_class, CopyRef, Level, PageId, Weight};
 pub use weights::WeightMatrix;
 pub use wire::{Frame, ShardLoad, StatsPayload, WireError, WireStats};

@@ -22,7 +22,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  "WM" (0x57 0x4D)
-//! 2       1     version (currently 2)
+//! 2       1     version (currently 3)
 //! 3       1     opcode
 //! 4       4     payload length, u32 little-endian
 //! 8       len   payload
@@ -33,9 +33,13 @@
 //! (0x83), `BYE` (0x84), `ERROR` (0xFF). All multi-byte integers are
 //! little-endian.
 //!
-//! Version 2 allows protocol pipelining (many request frames in flight
-//! per connection, responses in request order) and extends STATS_REPLY
-//! with per-shard load counters; see PROTOCOL.md.
+//! Version 2 allowed protocol pipelining (many request frames in flight
+//! per connection, responses in request order) and extended STATS_REPLY
+//! with per-shard load counters. Version 3 makes the levels physical:
+//! PUT carries the written value bytes, SERVED carries the read value
+//! back (empty for writes), and STATS_REPLY splits hit counts per level
+//! (`hits_l1` alongside the aggregate `hits`, both totalled and
+//! per-shard); see PROTOCOL.md.
 //!
 //! Decoding is incremental and allocation-light: [`decode`] returns
 //! `Ok(None)` when the buffer holds only a *truncated* frame (read more
@@ -44,14 +48,16 @@
 //! server can cleanly distinguish "not yet" from "never".
 
 use crate::instance::Request;
+use crate::storage::MAX_VALUE;
 use crate::types::{Level, PageId, Weight};
 
 /// Frame magic, the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"WM";
 
-/// Current protocol version, byte 2 of every frame. Version 2 permits
-/// pipelined requests and carries per-shard load counters in STATS_REPLY.
-pub const VERSION: u8 = 2;
+/// Current protocol version, byte 2 of every frame. Version 3 carries
+/// real value payloads on PUT/SERVED and per-level hit counts in
+/// STATS_REPLY (on top of version 2's pipelining and per-shard loads).
+pub const VERSION: u8 = 3;
 
 /// Header length in bytes (magic + version + opcode + payload length).
 pub const HEADER_LEN: usize = 8;
@@ -131,6 +137,9 @@ pub struct WireStats {
     pub requests: u64,
     /// Requests served from cache without a fetch.
     pub hits: u64,
+    /// The subset of `hits` served by a level-1 (warm tier) copy; the
+    /// remainder hit a lower tier.
+    pub hits_l1: u64,
     /// Copies fetched.
     pub fetches: u64,
     /// Copies evicted.
@@ -149,6 +158,8 @@ pub struct ShardLoad {
     pub requests: u64,
     /// Requests this shard served from cache.
     pub hits: u64,
+    /// The subset of `hits` served at level 1 (warm tier).
+    pub hits_l1: u64,
     /// Requests currently routed to this shard but not yet answered (its
     /// queue backlog plus any batch in progress) at snapshot time.
     pub queue_depth: u64,
@@ -174,10 +185,13 @@ pub enum Frame {
         /// Requested level (1-based).
         level: Level,
     },
-    /// Write `page`: a level-1 request (the most expensive copy).
+    /// Write `page`: a level-1 request (the most expensive copy),
+    /// carrying the value bytes to store.
     Put {
         /// Written page.
         page: PageId,
+        /// Value bytes landing in the warm tier (≤ [`MAX_VALUE`]).
+        value: Vec<u8>,
     },
     /// Request aggregate counters.
     Stats,
@@ -191,6 +205,8 @@ pub enum Frame {
         level: Level,
         /// Fetch cost paid by this request, in weight units.
         cost: Weight,
+        /// The page's value (reads); empty for writes.
+        value: Vec<u8>,
     },
     /// STATS response.
     StatsReply(StatsPayload),
@@ -262,32 +278,52 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             out.extend_from_slice(&page.to_le_bytes());
             out.push(*level);
         }
-        Frame::Put { page } => {
-            push_header(out, opcode::PUT, 4);
+        Frame::Put { page, value } => {
+            // Values beyond MAX_VALUE are clipped rather than emitting an
+            // undecodable frame; storage backends reject them upstream.
+            let value = &value[..value.len().min(MAX_VALUE)];
+            push_header(out, opcode::PUT, 8 + value.len());
             out.extend_from_slice(&page.to_le_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
         }
         Frame::Stats => push_header(out, opcode::STATS, 0),
         Frame::Shutdown => push_header(out, opcode::SHUTDOWN, 0),
-        Frame::Served { hit, level, cost } => {
-            push_header(out, opcode::SERVED, 10);
+        Frame::Served {
+            hit,
+            level,
+            cost,
+            value,
+        } => {
+            let value = &value[..value.len().min(MAX_VALUE)];
+            push_header(out, opcode::SERVED, 14 + value.len());
             out.push(*hit as u8);
             out.push(*level);
             out.extend_from_slice(&cost.to_le_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
         }
         Frame::StatsReply(s) => {
-            // Aggregate (40 bytes) + shard count (u32) + 24 bytes/shard.
+            // Aggregate (48 bytes) + shard count (u32) + 32 bytes/shard.
             // The MAX_PAYLOAD cap bounds the shard count; anything beyond
             // it is clipped rather than emitting an undecodable frame.
-            let max_shards = (MAX_PAYLOAD as usize - 44) / 24;
+            let max_shards = (MAX_PAYLOAD as usize - 52) / 32;
             let shards = &s.shards[..s.shards.len().min(max_shards)];
-            push_header(out, opcode::STATS_REPLY, 44 + 24 * shards.len());
+            push_header(out, opcode::STATS_REPLY, 52 + 32 * shards.len());
             let t = &s.total;
-            for v in [t.requests, t.hits, t.fetches, t.evictions, t.cost] {
+            for v in [
+                t.requests,
+                t.hits,
+                t.hits_l1,
+                t.fetches,
+                t.evictions,
+                t.cost,
+            ] {
                 out.extend_from_slice(&v.to_le_bytes());
             }
             out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
             for sh in shards {
-                for v in [sh.requests, sh.hits, sh.queue_depth] {
+                for v in [sh.requests, sh.hits, sh.hits_l1, sh.queue_depth] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
             }
@@ -358,10 +394,10 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
     // corrupt header is rejected without reading `len` more bytes.
     match op {
         opcode::GET => expect(len == 5)?,
-        opcode::PUT => expect(len == 4)?,
+        opcode::PUT => expect(len >= 8)?,
         opcode::STATS | opcode::SHUTDOWN | opcode::BYE => expect(len == 0)?,
-        opcode::SERVED => expect(len == 10)?,
-        opcode::STATS_REPLY => expect(len >= 44 && (len - 44) % 24 == 0)?,
+        opcode::SERVED => expect(len >= 14)?,
+        opcode::STATS_REPLY => expect(len >= 52 && (len - 52) % 32 == 0)?,
         opcode::ERROR => expect(len >= 1)?,
         other => return Err(WireError::BadOpcode(other)),
     }
@@ -379,9 +415,20 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
             }
             Frame::Get { page, level }
         }
-        opcode::PUT => Frame::Put {
-            page: read_u32(payload).ok_or(bad("missing page"))?,
-        },
+        opcode::PUT => {
+            let page = read_u32(payload).ok_or(bad("missing page"))?;
+            let vlen = read_u32(&payload[4..]).ok_or(bad("missing value length"))? as usize;
+            if vlen != payload.len() - 8 {
+                return Err(bad("value length disagrees with payload length"));
+            }
+            if vlen > MAX_VALUE {
+                return Err(bad("value exceeds the size cap"));
+            }
+            Frame::Put {
+                page,
+                value: payload[8..].to_vec(),
+            }
+        }
         opcode::STATS => Frame::Stats,
         opcode::SHUTDOWN => Frame::Shutdown,
         opcode::SERVED => {
@@ -392,10 +439,18 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
             if level == 0 {
                 return Err(bad("serve level must be ≥ 1"));
             }
+            let vlen = read_u32(&payload[10..]).ok_or(bad("missing value length"))? as usize;
+            if vlen != payload.len() - 14 {
+                return Err(bad("value length disagrees with payload length"));
+            }
+            if vlen > MAX_VALUE {
+                return Err(bad("value exceeds the size cap"));
+            }
             Frame::Served {
                 hit: payload[0] == 1,
                 level,
                 cost: read_u64(&payload[2..]).ok_or(bad("missing cost"))?,
+                value: payload[14..].to_vec(),
             }
         }
         opcode::STATS_REPLY => {
@@ -403,23 +458,25 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
             let total = WireStats {
                 requests: f(0)?,
                 hits: f(1)?,
-                fetches: f(2)?,
-                evictions: f(3)?,
-                cost: f(4)?,
+                hits_l1: f(2)?,
+                fetches: f(3)?,
+                evictions: f(4)?,
+                cost: f(5)?,
             };
-            let count = read_u32(&payload[40..]).ok_or(bad("missing shard count"))? as usize;
-            if payload.len() != 44 + 24 * count {
+            let count = read_u32(&payload[48..]).ok_or(bad("missing shard count"))? as usize;
+            if payload.len() != 52 + 32 * count {
                 return Err(bad("shard count disagrees with payload length"));
             }
             let mut shards = Vec::with_capacity(count);
             for s in 0..count {
                 let g = |i: usize| {
-                    read_u64(&payload[44 + 24 * s + 8 * i..]).ok_or(bad("short shard load"))
+                    read_u64(&payload[52 + 32 * s + 8 * i..]).ok_or(bad("short shard load"))
                 };
                 shards.push(ShardLoad {
                     requests: g(0)?,
                     hits: g(1)?,
-                    queue_depth: g(2)?,
+                    hits_l1: g(2)?,
+                    queue_depth: g(3)?,
                 });
             }
             Frame::StatsReply(StatsPayload { total, shards })
@@ -436,11 +493,15 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
 }
 
 /// The request frame a trace request maps to on the wire: level-1
-/// requests are writes (PUT), deeper levels are reads (GET), mirroring the
-/// RW-paging convention where level 1 is the write copy.
-pub fn request_frame(req: Request) -> Frame {
+/// requests are writes (PUT, carrying `value`), deeper levels are reads
+/// (GET, ignoring `value`), mirroring the RW-paging convention where
+/// level 1 is the write copy.
+pub fn request_frame(req: Request, value: &[u8]) -> Frame {
     if req.level == 1 {
-        Frame::Put { page: req.page }
+        Frame::Put {
+            page: req.page,
+            value: value.to_vec(),
+        }
     } else {
         Frame::Get {
             page: req.page,
@@ -456,23 +517,33 @@ mod tests {
     fn all_frames() -> Vec<Frame> {
         vec![
             Frame::Get { page: 7, level: 2 },
-            Frame::Put { page: 123456 },
+            Frame::Put {
+                page: 123456,
+                value: Vec::new(),
+            },
+            Frame::Put {
+                page: 9,
+                value: b"forty-two bytes of payload".to_vec(),
+            },
             Frame::Stats,
             Frame::Shutdown,
             Frame::Served {
                 hit: true,
                 level: 1,
                 cost: 0,
+                value: b"warm".to_vec(),
             },
             Frame::Served {
                 hit: false,
                 level: 3,
                 cost: 987654321,
+                value: Vec::new(),
             },
             Frame::StatsReply(StatsPayload {
                 total: WireStats {
                     requests: 1,
                     hits: 2,
+                    hits_l1: 1,
                     fetches: 3,
                     evictions: 4,
                     cost: 5,
@@ -483,6 +554,7 @@ mod tests {
                 total: WireStats {
                     requests: 10,
                     hits: 4,
+                    hits_l1: 2,
                     fetches: 6,
                     evictions: 3,
                     cost: 99,
@@ -491,11 +563,13 @@ mod tests {
                     ShardLoad {
                         requests: 7,
                         hits: 3,
+                        hits_l1: 2,
                         queue_depth: 2,
                     },
                     ShardLoad {
                         requests: 3,
                         hits: 1,
+                        hits_l1: 0,
                         queue_depth: 0,
                     },
                 ],
@@ -601,22 +675,61 @@ mod tests {
         });
         let mut bad = encode_to_vec(&frame);
         // Claim 3 shards while carrying bytes for 2.
-        bad[HEADER_LEN + 40..HEADER_LEN + 44].copy_from_slice(&3u32.to_le_bytes());
+        bad[HEADER_LEN + 48..HEADER_LEN + 52].copy_from_slice(&3u32.to_le_bytes());
         assert!(matches!(decode(&bad), Err(WireError::BadPayload(_))));
         // A payload length that cannot hold the aggregate + count is a
         // length error, not a payload error.
         let mut bad = encode_to_vec(&frame);
-        bad[4..8].copy_from_slice(&40u32.to_le_bytes());
+        bad[4..8].copy_from_slice(&48u32.to_le_bytes());
         assert!(matches!(decode(&bad), Err(WireError::BadLength { .. })));
     }
 
     #[test]
     fn request_frames_follow_rw_convention() {
-        assert_eq!(request_frame(Request::new(4, 1)), Frame::Put { page: 4 });
         assert_eq!(
-            request_frame(Request::new(4, 2)),
+            request_frame(Request::new(4, 1), b"v"),
+            Frame::Put {
+                page: 4,
+                value: b"v".to_vec()
+            }
+        );
+        assert_eq!(
+            request_frame(Request::new(4, 2), b"ignored"),
             Frame::Get { page: 4, level: 2 }
         );
+    }
+
+    #[test]
+    fn value_length_must_agree_with_payload_length() {
+        let mut bad = encode_to_vec(&Frame::Put {
+            page: 1,
+            value: b"abcd".to_vec(),
+        });
+        // Claim 5 value bytes while carrying 4.
+        bad[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(WireError::BadPayload(_))));
+        let mut bad = encode_to_vec(&Frame::Served {
+            hit: false,
+            level: 2,
+            cost: 7,
+            value: b"xy".to_vec(),
+        });
+        bad[HEADER_LEN + 10..HEADER_LEN + 14].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(WireError::BadPayload(_))));
+    }
+
+    #[test]
+    fn oversized_values_are_clipped_at_encode_time() {
+        let frame = Frame::Put {
+            page: 3,
+            value: vec![7u8; MAX_VALUE + 100],
+        };
+        let bytes = encode_to_vec(&frame);
+        let (back, _) = decode(&bytes).unwrap().expect("complete");
+        match back {
+            Frame::Put { value, .. } => assert_eq!(value.len(), MAX_VALUE),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

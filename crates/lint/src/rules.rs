@@ -152,7 +152,7 @@ const D1_CRATES: &[&str] = &["core", "sim", "algos", "offline"];
 /// it must stay `BTreeMap`-only even though the rest of `bench` is exempt.
 const D1_EXTRA_PATHS: &[&str] = &["crates/bench/src/opt.rs"];
 /// Crates whose library code must be panic-free: P1 applies.
-const P1_CRATES: &[&str] = &["core", "sim", "algos", "flow", "lp"];
+const P1_CRATES: &[&str] = &["core", "sim", "algos", "flow", "lp", "store"];
 /// Path prefixes allowed to read wall clocks: the benchmark timing loops,
 /// whose whole purpose is measuring elapsed time. Everything else —
 /// including the rest of the `bench` crate — needs a reasoned inline D2
@@ -164,6 +164,10 @@ const D2_ALLOWED_PATHS: &[&str] = &[
     // The load generator's one latency-measurement site; the rest of the
     // serving stack (including all of `wmlp-serve`) stays clock-free.
     "crates/loadgen/src/timing.rs",
+    // The segment store's one clock site, feeding the measured
+    // promotion/flush nanos in storage snapshots; fsync timing and
+    // everything else in `wmlp-store` stays clock-free.
+    "crates/store/src/timed.rs",
 ];
 /// Crates whose threads must be spawned through the named-thread helper
 /// (`wmlp_check::thread::spawn_named`): C4 applies.

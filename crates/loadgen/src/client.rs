@@ -26,13 +26,104 @@ use wmlp_check::sync::atomic::{AtomicBool, Ordering};
 use wmlp_check::sync::{Condvar, Mutex};
 use wmlp_check::thread::spawn_named;
 
-use wmlp_core::conn::{write_frame, FrameReader, ReadError};
+use wmlp_core::conn::{write_frame, ConnError, FrameReader};
 use wmlp_core::instance::Request;
 use wmlp_core::wire::{encode, request_frame, Frame, StatsPayload};
 use wmlp_sim::Histogram;
 
 use crate::report::Totals;
 use crate::timing::{Clock, Stopwatch};
+
+/// A client-side failure, classified for the SERVE.json
+/// `client_errors` array.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket setup or write-side failure.
+    Io {
+        /// What the client was doing.
+        what: String,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+    /// The read half failed (typed transport error, including version
+    /// skew and corrupt framing).
+    Conn(ConnError),
+    /// The server answered with a frame that makes no sense here.
+    Protocol(String),
+    /// Caller misuse (e.g. a schedule of the wrong length).
+    Config(String),
+}
+
+impl ClientError {
+    /// Stable failure class for the report: a [`ConnError::kind`] for
+    /// transport errors, `"io"`, `"protocol"`, or `"config"` otherwise.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClientError::Io { .. } => "io",
+            ClientError::Conn(e) => e.kind(),
+            ClientError::Protocol(_) => "protocol",
+            ClientError::Config(_) => "config",
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io { what, source } => write!(f, "{what}: {source}"),
+            ClientError::Conn(e) => write!(f, "{e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io { source, .. } => Some(source),
+            ClientError::Conn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConnError> for ClientError {
+    fn from(e: ConnError) -> Self {
+        ClientError::Conn(e)
+    }
+}
+
+/// Deterministic PUT payload generator: page `p` always writes the same
+/// `size` bytes for a given `seed`, on every connection and every
+/// repeat, so runs stay replayable and the server's stored values are a
+/// pure function of the config.
+#[derive(Debug, Clone, Copy)]
+pub struct PutValues {
+    /// Mixed into every byte, so different runs write different values.
+    pub seed: u64,
+    /// Bytes per payload.
+    pub size: usize,
+}
+
+impl PutValues {
+    /// Fill `out` with the payload for `page` (clears it first).
+    pub fn fill(&self, page: u32, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.size);
+        let mut x = self.seed ^ ((page as u64) << 1) ^ 0x9e37_79b9_7f4a_7c15;
+        while out.len() < self.size {
+            // SplitMix64, eight bytes per round.
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let need = self.size - out.len();
+            out.extend_from_slice(&z.to_le_bytes()[..need.min(8)]);
+        }
+    }
+}
 
 /// What one connection measured.
 #[derive(Debug, Default)]
@@ -48,44 +139,73 @@ pub struct ConnOutcome {
     pub totals: Totals,
 }
 
-fn read_reply(reader: &mut FrameReader<TcpStream>) -> Result<Frame, String> {
-    match reader.next_frame() {
-        Ok(Some(f)) => Ok(f),
-        Ok(None) => Err("server closed the connection".into()),
-        Err(ReadError::Io(e)) => Err(format!("read failed: {e}")),
-        Err(ReadError::Wire(e)) => Err(format!("corrupt reply: {e}")),
-        Err(ReadError::TruncatedEof) => Err("server closed mid-frame".into()),
+impl ConnOutcome {
+    fn record_reply(&mut self, reply: Frame) -> Result<(), ClientError> {
+        match reply {
+            Frame::Served {
+                hit,
+                level,
+                cost,
+                value,
+            } => {
+                self.totals.sent += 1;
+                self.totals.hits += hit as u64;
+                self.totals.hits_l1 += (hit && level == 1) as u64;
+                self.totals.cost += cost;
+                self.totals.value_bytes += value.len() as u64;
+                Ok(())
+            }
+            Frame::Error { .. } => {
+                self.totals.errors += 1;
+                Ok(())
+            }
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
     }
 }
 
-fn open(addr: &SocketAddr) -> Result<(BufWriter<TcpStream>, FrameReader<TcpStream>), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let write_half = stream
-        .try_clone()
-        .map_err(|e| format!("clone socket: {e}"))?;
+fn read_reply(reader: &mut FrameReader<TcpStream>) -> Result<Frame, ClientError> {
+    match reader.next_frame() {
+        Ok(Some(f)) => Ok(f),
+        Ok(None) => Err(ConnError::Closed.into()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn open(addr: &SocketAddr) -> Result<(BufWriter<TcpStream>, FrameReader<TcpStream>), ClientError> {
+    let io = |what: String| move |source: std::io::Error| ClientError::Io { what, source };
+    let stream = TcpStream::connect(addr).map_err(io(format!("connect {addr}")))?;
+    let write_half = stream.try_clone().map_err(io("clone socket".into()))?;
     Ok((BufWriter::new(write_half), FrameReader::new(stream)))
 }
 
+fn write_err(source: std::io::Error) -> ClientError {
+    ClientError::Io {
+        what: "write failed".into(),
+        source,
+    }
+}
+
 /// Replay `reqs` over one connection, closed-loop, timing every
-/// round-trip.
-pub fn run_requests(addr: &SocketAddr, reqs: &[Request]) -> Result<ConnOutcome, String> {
+/// round-trip. Level-1 requests become PUTs carrying `puts` payloads.
+pub fn run_requests(
+    addr: &SocketAddr,
+    reqs: &[Request],
+    puts: PutValues,
+) -> Result<ConnOutcome, ClientError> {
     let (mut writer, mut reader) = open(addr)?;
     let mut out = ConnOutcome::default();
+    let mut value = Vec::new();
     for &req in reqs {
-        let frame = request_frame(req);
+        if req.level == 1 {
+            puts.fill(req.page, &mut value);
+        }
+        let frame = request_frame(req, &value);
         let sw = Stopwatch::start();
-        write_frame(&mut writer, &frame).map_err(|e| format!("write failed: {e}"))?;
+        write_frame(&mut writer, &frame).map_err(write_err)?;
         let reply = read_reply(&mut reader)?;
         out.hist.record(sw.elapsed_nanos());
-        match reply {
-            Frame::Served { hit, cost, .. } => {
-                out.totals.sent += 1;
-                out.totals.hits += hit as u64;
-                out.totals.cost += cost;
-            }
-            Frame::Error { .. } => out.totals.errors += 1,
-            other => return Err(format!("unexpected reply {other:?}")),
-        }
+        out.record_reply(reply)?;
     }
     Ok(out)
 }
@@ -104,10 +224,11 @@ pub fn run_pipelined(
     window: usize,
     schedule: Option<&[u64]>,
     clock: Clock,
-) -> Result<ConnOutcome, String> {
+    puts: PutValues,
+) -> Result<ConnOutcome, ClientError> {
     if let Some(s) = schedule {
         if s.len() != reqs.len() {
-            return Err("schedule length mismatch".into());
+            return Err(ClientError::Config("schedule length mismatch".into()));
         }
     }
     let (mut writer, mut reader) = open(addr)?;
@@ -125,7 +246,7 @@ pub fn run_pipelined(
     let reader_thread = {
         let inflight = Arc::clone(&inflight);
         let dead = Arc::clone(&dead);
-        spawn_named("lg-reader", move || -> Result<ConnOutcome, String> {
+        spawn_named("lg-reader", move || -> Result<ConnOutcome, ClientError> {
             let mut out = ConnOutcome::default();
             let release = |k: &Arc<(Mutex<usize>, Condvar)>| {
                 let mut held = match k.0.lock() {
@@ -153,18 +274,10 @@ pub fn run_pipelined(
                 out.hist.record(now.saturating_sub(intended));
                 out.send_lag.record(actual.saturating_sub(intended));
                 release(&inflight);
-                match reply {
-                    Frame::Served { hit, cost, .. } => {
-                        out.totals.sent += 1;
-                        out.totals.hits += hit as u64;
-                        out.totals.cost += cost;
-                    }
-                    Frame::Error { .. } => out.totals.errors += 1,
-                    other => {
-                        dead.store(true, Ordering::SeqCst);
-                        inflight.1.notify_all();
-                        return Err(format!("unexpected reply {other:?}"));
-                    }
+                if let Err(e) = out.record_reply(reply) {
+                    dead.store(true, Ordering::SeqCst);
+                    inflight.1.notify_all();
+                    return Err(e);
                 }
             }
             Ok(out)
@@ -172,7 +285,8 @@ pub fn run_pipelined(
     };
 
     let mut scratch = Vec::new();
-    let mut send_err = None;
+    let mut value = Vec::new();
+    let mut send_err: Option<ClientError> = None;
     let mut written = 0usize;
     for (i, &req) in reqs.iter().enumerate() {
         if let Some(sched) = schedule {
@@ -187,8 +301,8 @@ pub fn run_pipelined(
             };
             if *held >= window {
                 drop(held);
-                if writer.flush().is_err() {
-                    send_err = Some("write failed: flush".to_string());
+                if let Err(e) = writer.flush() {
+                    send_err = Some(write_err(e));
                     break;
                 }
                 held = match inflight.0.lock() {
@@ -215,19 +329,24 @@ pub fn run_pipelined(
         if meta_tx.send((intended, actual)).is_err() {
             break;
         }
+        if req.level == 1 {
+            puts.fill(req.page, &mut value);
+        }
         scratch.clear();
-        encode(&request_frame(req), &mut scratch);
-        if writer.write_all(&scratch).is_err() {
-            send_err = Some("write failed".to_string());
+        encode(&request_frame(req, &value), &mut scratch);
+        if let Err(e) = writer.write_all(&scratch) {
+            send_err = Some(write_err(e));
             break;
         }
         written += 1;
         // Paced sends flush immediately — the schedule, not the buffer,
         // sets the batch size; windowed sends batch until the window
         // fills or the run ends.
-        if schedule.is_some() && writer.flush().is_err() {
-            send_err = Some("write failed: flush".to_string());
-            break;
+        if schedule.is_some() {
+            if let Err(e) = writer.flush() {
+                send_err = Some(write_err(e));
+                break;
+            }
         }
     }
     let _ = writer.flush();
@@ -239,7 +358,7 @@ pub fn run_pipelined(
     }
     let outcome = match reader_thread.join() {
         Ok(r) => r,
-        Err(_) => Err("reader thread panicked".into()),
+        Err(_) => Err(ClientError::Protocol("reader thread panicked".into())),
     };
     match (outcome, send_err) {
         (Err(e), _) => Err(e),
@@ -254,17 +373,21 @@ pub fn run_pipelined(
 pub fn stats_and_shutdown(
     addr: &SocketAddr,
     shutdown: bool,
-) -> Result<(StatsPayload, bool), String> {
+) -> Result<(StatsPayload, bool), ClientError> {
     let (mut writer, mut reader) = open(addr)?;
-    write_frame(&mut writer, &Frame::Stats).map_err(|e| format!("write failed: {e}"))?;
+    write_frame(&mut writer, &Frame::Stats).map_err(write_err)?;
     let stats = match read_reply(&mut reader)? {
         Frame::StatsReply(s) => s,
-        other => return Err(format!("unexpected STATS reply {other:?}")),
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "unexpected STATS reply {other:?}"
+            )))
+        }
     };
     if !shutdown {
         return Ok((stats, false));
     }
-    write_frame(&mut writer, &Frame::Shutdown).map_err(|e| format!("write failed: {e}"))?;
+    write_frame(&mut writer, &Frame::Shutdown).map_err(write_err)?;
     let clean = matches!(read_reply(&mut reader)?, Frame::Bye);
     Ok((stats, clean))
 }

@@ -27,7 +27,10 @@ use wmlp_serve::server::{start, ServeConfig, ServerHandle};
 use wmlp_sim::Histogram;
 use wmlp_workloads::{cyclic_trace, zipf_trace, LevelDist};
 
-use report::{LatencySummary, ReportConfig, ServeReport, SweepPoint, Totals, SCHEMA_VERSION};
+use client::PutValues;
+use report::{
+    ClientErrorEntry, LatencySummary, ReportConfig, ServeReport, SweepPoint, Totals, SCHEMA_VERSION,
+};
 use timing::{Clock, Stopwatch};
 
 /// The request mixes the generator can offer.
@@ -120,6 +123,9 @@ pub struct LoadgenConfig {
     /// (each point replays the trace open-loop at that rate); empty =
     /// no sweep.
     pub sweep: Vec<f64>,
+    /// Bytes per PUT payload (level-1 requests carry deterministic
+    /// values this big; ≥ 1).
+    pub value_size: usize,
     /// Send SHUTDOWN when done.
     pub shutdown: bool,
 }
@@ -141,6 +147,7 @@ impl Default for LoadgenConfig {
             pipeline: 1,
             rate: 0.0,
             sweep: Vec::new(),
+            value_size: 64,
             shutdown: true,
         }
     }
@@ -161,11 +168,14 @@ impl LoadgenConfig {
 }
 
 /// What one wave of connections (the main run, or one sweep point)
-/// measured, merged across connections.
+/// measured, merged across connections. Connections that died are
+/// classified into `client_errors` rather than aborting the wave — the
+/// survivors' measurements still stand, and the report says what broke.
 struct WaveOutcome {
     hist: Histogram,
     send_lag: Histogram,
     totals: Totals,
+    client_errors: Vec<ClientErrorEntry>,
     wall_nanos: u64,
 }
 
@@ -190,7 +200,8 @@ fn run_wave(
     slices: &[Vec<Request>],
     pipeline: usize,
     rate: f64,
-) -> Result<WaveOutcome, String> {
+    puts: PutValues,
+) -> WaveOutcome {
     let conns = slices.len().max(1);
     let schedules: Option<Vec<Vec<u64>>> = (rate > 0.0).then(|| {
         let interval = 1e9 / rate;
@@ -204,46 +215,67 @@ fn run_wave(
     });
     let clock = Clock::start();
     let wall = Stopwatch::start();
-    let outcomes: Vec<Result<client::ConnOutcome, String>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = slices
-            .iter()
-            .enumerate()
-            .map(|(c, slice)| {
-                let schedule = schedules.as_ref().map(|s| s[c].as_slice());
-                wmlp_check::thread::spawn_scoped_named(scope, format!("lg-conn-{c}"), move || {
-                    if pipeline <= 1 && schedule.is_none() {
-                        client::run_requests(&addr, slice)
-                    } else {
-                        client::run_pipelined(&addr, slice, pipeline.max(1), schedule, clock)
-                    }
+    let outcomes: Vec<Result<client::ConnOutcome, ClientErrorEntry>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = slices
+                .iter()
+                .enumerate()
+                .map(|(c, slice)| {
+                    let schedule = schedules.as_ref().map(|s| s[c].as_slice());
+                    wmlp_check::thread::spawn_scoped_named(
+                        scope,
+                        format!("lg-conn-{c}"),
+                        move || {
+                            if pipeline <= 1 && schedule.is_none() {
+                                client::run_requests(&addr, slice, puts)
+                            } else {
+                                client::run_pipelined(
+                                    &addr,
+                                    slice,
+                                    pipeline.max(1),
+                                    schedule,
+                                    clock,
+                                    puts,
+                                )
+                            }
+                        },
+                    )
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(_) => Err("connection thread panicked".into()),
-            })
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(Ok(o)) => Ok(o),
+                    Ok(Err(e)) => Err(ClientErrorEntry {
+                        kind: e.kind().into(),
+                        detail: e.to_string(),
+                    }),
+                    Err(_) => Err(ClientErrorEntry {
+                        kind: "panic".into(),
+                        detail: "connection thread panicked".into(),
+                    }),
+                })
+                .collect()
+        });
     let wall_nanos = wall.elapsed_nanos();
     let mut out = WaveOutcome {
         hist: Histogram::new(),
         send_lag: Histogram::new(),
         totals: Totals::default(),
+        client_errors: Vec::new(),
         wall_nanos,
     };
     for outcome in outcomes {
-        let o = outcome?;
-        out.hist.merge(&o.hist);
-        out.send_lag.merge(&o.send_lag);
-        out.totals.sent += o.totals.sent;
-        out.totals.hits += o.totals.hits;
-        out.totals.errors += o.totals.errors;
-        out.totals.cost += o.totals.cost;
+        match outcome {
+            Ok(o) => {
+                out.hist.merge(&o.hist);
+                out.send_lag.merge(&o.send_lag);
+                out.totals.merge(&o.totals);
+            }
+            Err(entry) => out.client_errors.push(entry),
+        }
     }
-    Ok(out)
+    out
 }
 
 /// Run the full load: (spawn and) target a server, replay the workload
@@ -286,7 +318,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
         .map(|c| trace.iter().copied().skip(c).step_by(conns).collect())
         .collect();
 
-    let main = run_wave(addr, &slices, cfg.pipeline, cfg.rate)?;
+    let puts = PutValues {
+        seed: cfg.seed,
+        size: cfg.value_size.max(1),
+    };
+    let mut main = run_wave(addr, &slices, cfg.pipeline, cfg.rate, puts);
+    let mut client_errors = std::mem::take(&mut main.client_errors);
 
     // The sweep replays the same trace open-loop at each offered rate,
     // against the same (now warm) server; each point is a fresh set of
@@ -296,7 +333,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
         if target <= 0.0 {
             continue;
         }
-        let w = run_wave(addr, &slices, cfg.pipeline.max(2), target)?;
+        let mut w = run_wave(addr, &slices, cfg.pipeline.max(2), target, puts);
+        client_errors.append(&mut w.client_errors);
         sweep.push(SweepPoint {
             target_rps: target,
             achieved_rps: w.throughput_rps(),
@@ -307,7 +345,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
         });
     }
 
-    let (server_stats, shutdown_clean) = client::stats_and_shutdown(&addr, cfg.shutdown)?;
+    let (server_stats, shutdown_clean) =
+        client::stats_and_shutdown(&addr, cfg.shutdown).map_err(|e| e.to_string())?;
     if let Some(handle) = spawned {
         // The SHUTDOWN frame (or its absence) decides the server's fate;
         // make sure a spawned one is fully drained before we report.
@@ -316,6 +355,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
 
     Ok(ServeReport {
         schema_version: SCHEMA_VERSION,
+        protocol_version: wmlp_core::wire::VERSION as u32,
         config: ReportConfig {
             addr: cfg
                 .addr
@@ -328,6 +368,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
             pipeline: cfg.pipeline.max(1) as u64,
             rate_rps: cfg.rate.max(0.0),
             requests: cfg.requests as u64,
+            value_size: cfg.value_size.max(1) as u64,
             pages: cfg.pages as u64,
             levels: cfg.levels as u64,
             k: cfg.k as u64,
@@ -341,6 +382,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
         throughput_rps: main.throughput_rps(),
         sweep,
         server: server_stats.into(),
+        client_errors,
         shutdown_clean,
     })
 }
@@ -397,9 +439,19 @@ mod tests {
         assert!(report.latency.p50 <= report.latency.p99);
         assert!(report.shutdown_clean);
         assert!(report.throughput_rps > 0.0);
-        // Client- and server-side cost accounting must agree exactly.
+        // Client- and server-side cost accounting must agree exactly,
+        // including the per-level hit split.
         assert_eq!(report.totals.cost, report.server.cost);
         assert_eq!(report.totals.hits, report.server.hits);
+        assert_eq!(report.totals.hits_l1, report.server.hits_l1);
+        assert!(report.totals.hits_l1 <= report.totals.hits);
+        let per_shard_l1: u64 = report.server.per_shard.iter().map(|s| s.hits_l1).sum();
+        assert_eq!(per_shard_l1, report.server.hits_l1);
+        // Reads carry value payloads back; a healthy run reports no
+        // transport failures and the current protocol version.
+        assert!(report.totals.value_bytes > 0);
+        assert!(report.client_errors.is_empty());
+        assert_eq!(report.protocol_version, wmlp_core::wire::VERSION as u32);
         // Closed-loop runs have no schedule, hence no send lag samples.
         assert_eq!(report.config.pipeline, 1);
         assert_eq!(report.send_lag.count, 0);

@@ -77,6 +77,7 @@ fn main() {
                 Err(e) => fail(&format!("--sweep {spec}: {e}")),
             },
         },
+        value_size: flag_parse(&args, "--value-size", base.value_size),
         shutdown: !switch(&args, "--no-shutdown"),
     };
 
@@ -88,6 +89,9 @@ fn main() {
         if let Err(e) = std::fs::write(path, report.to_json()) {
             fail(&format!("--out {path}: {e}"));
         }
+    }
+    for e in &report.client_errors {
+        eprintln!("wmlp-loadgen: connection failed ({}): {}", e.kind, e.detail);
     }
     println!(
         "{} served / {} errors | p50 {}ns p95 {}ns p99 {}ns max {}ns | {:.0} req/s | shutdown {}",
@@ -104,12 +108,13 @@ fn main() {
             "skipped"
         },
     );
-    // Smoke contract for CI: nonzero throughput, no errors, clean
-    // handshake when shutdown was requested.
+    // Smoke contract for CI: nonzero throughput, no errors, no dead
+    // connections, clean handshake when shutdown was requested.
     let ok = report.totals.sent > 0
         && report.totals.errors == 0
+        && report.client_errors.is_empty()
         && (!cfg.shutdown || report.shutdown_clean);
     if !ok {
-        fail("smoke contract violated (no throughput, errors, or unclean shutdown)");
+        fail("smoke contract violated (no throughput, errors, dead connections, or unclean shutdown)");
     }
 }

@@ -1,11 +1,12 @@
 //! The SERVE.json report schema.
 //!
 //! A load run emits exactly one [`ServeReport`], serialized with the
-//! workspace serde shim. Schema (`schema_version` 2):
+//! workspace serde shim. Schema (`schema_version` 3):
 //!
 //! ```text
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
+//!   "protocol_version": u64, // wire protocol the client spoke
 //!   "config": {             // what was run (replayable part)
 //!     "addr": str,          // server address ("in-process" when spawned)
 //!     "workload": str,      // "zipf(alpha=0.9)" | "cyclic" | "writeback(q=0.3)"
@@ -15,14 +16,17 @@
 //!     "pipeline": u64,      // per-connection in-flight window (1 = closed-loop)
 //!     "rate_rps": f64,      // open-loop target arrival rate (0 = unpaced)
 //!     "requests": u64,      // total requests attempted
+//!     "value_size": u64,    // bytes per PUT payload
 //!     "pages": u64, "levels": u64, "k": u64,
 //!     "seed": u64, "weight_seed": u64
 //!   },
 //!   "totals": {             // client-side outcome counts
 //!     "sent": u64,          // requests that received a Served reply
 //!     "hits": u64,          // ... that were cache hits
+//!     "hits_l1": u64,       // ... hits served from the level-1 (warm) tier
 //!     "errors": u64,        // Error replies (any code)
-//!     "cost": u64           // sum of reported fetch costs
+//!     "cost": u64,          // sum of reported fetch costs
+//!     "value_bytes": u64    // value payload bytes read back in Served replies
 //!   },
 //!   "latency": {            // per-request, nanoseconds: closed-loop
 //!     "count": u64,         // round-trips, or intended-start → completion
@@ -39,12 +43,17 @@
 //!       "p50": u64, "p99": u64, "sent": u64, "errors": u64 }, ...
 //!   ],
 //!   "server": {             // final STATS reply from the server
-//!     "requests": u64, "hits": u64, "fetches": u64,
+//!     "requests": u64, "hits": u64, "hits_l1": u64, "fetches": u64,
 //!     "evictions": u64, "cost": u64,
-//!     "per_shard": [        // protocol-v2 per-shard load triples
-//!       { "requests": u64, "hits": u64, "queue_depth": u64 }, ...
+//!     "per_shard": [        // protocol-v3 per-shard load quads
+//!       { "requests": u64, "hits": u64, "hits_l1": u64,
+//!         "queue_depth": u64 }, ...
 //!     ]
 //!   },
+//!   "client_errors": [      // typed per-connection transport failures
+//!     { "kind": str,        // "io" | "codec" | "protocol-version" | ...
+//!       "detail": str }, ...// (empty on a healthy run; the CI smoke
+//!   ],                      // contract requires it empty)
 //!   "shutdown_clean": bool  // server acknowledged SHUTDOWN with BYE
 //! }
 //! ```
@@ -56,6 +65,13 @@
 //! per-shard load counters). All v1 fields are unchanged in meaning,
 //! except that `latency` in a paced run now measures from the intended
 //! start rather than the actual send.
+//!
+//! **v2 → v3**: the protocol grew value payloads (wire v3) and the
+//! storage tier became physical. Added `protocol_version`,
+//! `config.value_size`, `totals.hits_l1`, `totals.value_bytes`,
+//! `server.hits_l1`, `hits_l1` in each `server.per_shard` entry, and
+//! `client_errors` (a run no longer aborts when one connection dies —
+//! the failure is classified and reported instead).
 //!
 //! Everything under `latency`, `send_lag`, `wall_nanos`,
 //! `throughput_rps` and `sweep` is machine-dependent; everything else is
@@ -85,6 +101,8 @@ pub struct ReportConfig {
     pub rate_rps: f64,
     /// Total requests attempted.
     pub requests: u64,
+    /// Bytes per PUT payload (level-1 requests carry values this big).
+    pub value_size: u64,
     /// Instance pages.
     pub pages: u64,
     /// Instance levels.
@@ -104,10 +122,37 @@ pub struct Totals {
     pub sent: u64,
     /// Served replies that were cache hits.
     pub hits: u64,
+    /// Served replies that hit in the level-1 (warm) tier.
+    pub hits_l1: u64,
     /// Requests answered with an `Error` frame.
     pub errors: u64,
     /// Sum of server-reported fetch costs.
     pub cost: u64,
+    /// Value payload bytes carried back in `Served` replies.
+    pub value_bytes: u64,
+}
+
+impl Totals {
+    /// Accumulate another connection's totals into this one.
+    pub fn merge(&mut self, other: &Totals) {
+        self.sent += other.sent;
+        self.hits += other.hits;
+        self.hits_l1 += other.hits_l1;
+        self.errors += other.errors;
+        self.cost += other.cost;
+        self.value_bytes += other.value_bytes;
+    }
+}
+
+/// One classified client-side transport failure (a connection that died
+/// mid-run); the run continues and reports what it lost.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientErrorEntry {
+    /// Stable failure class: `"io"`, `"codec"`, `"protocol-version"`,
+    /// `"truncated-eof"`, `"closed"`, `"protocol"`, or `"panic"`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
 }
 
 /// Latency quantiles in nanoseconds, extracted from a [`Histogram`].
@@ -151,6 +196,8 @@ pub struct ShardLoadStats {
     pub requests: u64,
     /// Requests this shard served from cache.
     pub hits: u64,
+    /// Requests this shard served from the level-1 (warm) tier.
+    pub hits_l1: u64,
     /// Requests routed but unanswered at snapshot time.
     pub queue_depth: u64,
 }
@@ -181,6 +228,8 @@ pub struct ServerStats {
     pub requests: u64,
     /// Cache hits.
     pub hits: u64,
+    /// Hits served from the level-1 (warm) tier.
+    pub hits_l1: u64,
     /// Fetches (misses).
     pub fetches: u64,
     /// Evicted copies.
@@ -196,6 +245,7 @@ impl From<StatsPayload> for ServerStats {
         ServerStats {
             requests: s.total.requests,
             hits: s.total.hits,
+            hits_l1: s.total.hits_l1,
             fetches: s.total.fetches,
             evictions: s.total.evictions,
             cost: s.total.cost,
@@ -205,6 +255,7 @@ impl From<StatsPayload> for ServerStats {
                 .map(|sh| ShardLoadStats {
                     requests: sh.requests,
                     hits: sh.hits,
+                    hits_l1: sh.hits_l1,
                     queue_depth: sh.queue_depth,
                 })
                 .collect(),
@@ -215,8 +266,11 @@ impl From<StatsPayload> for ServerStats {
 /// The complete SERVE.json document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
-    /// Schema version of this document (currently 1).
+    /// Schema version of this document (see [`SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Wire protocol version the client spoke
+    /// ([`wmlp_core::wire::VERSION`]).
+    pub protocol_version: u32,
     /// What was run.
     pub config: ReportConfig,
     /// Client-side outcome counts.
@@ -235,14 +289,18 @@ pub struct ServeReport {
     pub sweep: Vec<SweepPoint>,
     /// The server's final STATS counters.
     pub server: ServerStats,
+    /// Classified per-connection transport failures (empty on a healthy
+    /// run; the CI smoke contract requires it empty).
+    pub client_errors: Vec<ClientErrorEntry>,
     /// Whether SHUTDOWN was acknowledged with BYE.
     pub shutdown_clean: bool,
 }
 
 /// Current `schema_version` written by this crate. Bumped 1 → 2 when the
-/// pipelined/open-loop loadgen landed; see the module docs for the field
-/// diff.
-pub const SCHEMA_VERSION: u32 = 2;
+/// pipelined/open-loop loadgen landed, 2 → 3 when the wire protocol grew
+/// value payloads and per-level hit accounting; see the module docs for
+/// the field diffs.
+pub const SCHEMA_VERSION: u32 = 3;
 
 impl ServeReport {
     /// Pretty-printed JSON (the SERVE.json bytes).
@@ -267,6 +325,7 @@ mod tests {
         }
         ServeReport {
             schema_version: SCHEMA_VERSION,
+            protocol_version: 3,
             config: ReportConfig {
                 addr: "in-process".into(),
                 workload: "zipf(alpha=0.9)".into(),
@@ -276,6 +335,7 @@ mod tests {
                 pipeline: 32,
                 rate_rps: 50_000.0,
                 requests: 5,
+                value_size: 64,
                 pages: 1024,
                 levels: 3,
                 k: 128,
@@ -285,8 +345,10 @@ mod tests {
             totals: Totals {
                 sent: 5,
                 hits: 2,
+                hits_l1: 1,
                 errors: 0,
                 cost: 91,
+                value_bytes: 320,
             },
             latency: LatencySummary::from_histogram(&h),
             send_lag: LatencySummary::default(),
@@ -303,6 +365,7 @@ mod tests {
             server: ServerStats {
                 requests: 5,
                 hits: 2,
+                hits_l1: 1,
                 fetches: 3,
                 evictions: 1,
                 cost: 91,
@@ -310,15 +373,21 @@ mod tests {
                     ShardLoadStats {
                         requests: 3,
                         hits: 1,
+                        hits_l1: 1,
                         queue_depth: 0,
                     },
                     ShardLoadStats {
                         requests: 2,
                         hits: 1,
+                        hits_l1: 0,
                         queue_depth: 0,
                     },
                 ],
             },
+            client_errors: vec![ClientErrorEntry {
+                kind: "io".into(),
+                detail: "connection reset by peer".into(),
+            }],
             shutdown_clean: true,
         }
     }

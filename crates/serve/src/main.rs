@@ -7,6 +7,10 @@
 //!            --levels 3 --policy "landlord(eta=0.5)" --seed 42 \
 //!            --batch 64 --max-inflight 256
 //!
+//! # tiered on-disk storage: segment logs under ./tier, warm tier
+//! # rebuilt from the logs on restart (--recover cold drops it)
+//! wmlp-serve --store ./tier --recover warm --value-size 64 ...
+//!
 //! # canonical replay: single engine, byte-stable JSON manifest
 //! wmlp-serve --replay trace.txt --policy lru --out manifest.json
 //! ```
@@ -22,6 +26,7 @@ use wmlp_core::codec;
 use wmlp_core::instance::MlInstance;
 use wmlp_serve::cli::{flag, flag_parse};
 use wmlp_serve::{default_instance, replay_manifest, server, ServeConfig};
+use wmlp_store::RecoverMode;
 
 fn fail(msg: &str) -> ! {
     eprintln!("wmlp-serve: {msg}");
@@ -85,6 +90,11 @@ fn main() {
         return;
     }
 
+    let recover = match flag(&args, "--recover").unwrap_or("warm") {
+        "warm" => RecoverMode::Warm,
+        "cold" => RecoverMode::Cold,
+        other => fail(&format!("--recover {other}: expected warm or cold")),
+    };
     let cfg = ServeConfig {
         addr: flag(&args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
         shards: flag_parse(&args, "--shards", 1usize),
@@ -93,11 +103,23 @@ fn main() {
         seed,
         batch: flag_parse(&args, "--batch", 64usize),
         max_inflight: flag_parse(&args, "--max-inflight", 256usize),
+        store_dir: flag(&args, "--store").map(str::to_string),
+        recover,
+        value_size: flag_parse(&args, "--value-size", 64usize),
     };
     let handle = match server::start(inst, &cfg) {
         Ok(h) => h,
         Err(e) => fail(&e.to_string()),
     };
+    if cfg.store_dir.is_some() {
+        // The restart smoke test greps this line to check cold vs warm
+        // recovery, so keep its shape stable too.
+        println!(
+            "store: {} warm pages recovered ({})",
+            handle.warm_recovered(),
+            recover.label()
+        );
+    }
     // Scripts (and the loadgen --wait-banner mode) parse this line for
     // the resolved port, so keep its shape stable.
     println!("listening on {}", handle.addr());

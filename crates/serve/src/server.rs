@@ -48,9 +48,11 @@ use wmlp_algos::PolicyRegistry;
 use wmlp_check::sync::atomic::{AtomicBool, Ordering};
 use wmlp_check::sync::{Mutex, MutexGuard};
 use wmlp_check::thread::{spawn_named, JoinHandle};
-use wmlp_core::conn::{FrameReader, ReadError};
+use wmlp_core::conn::{ConnError, FrameReader};
 use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::storage::{SimStorage, Storage};
 use wmlp_core::wire::{encode, ErrorCode, Frame, WireStats};
+use wmlp_store::{RecoverMode, SegmentStore, StoreOptions};
 
 use crate::reorder::Reorder;
 use crate::shard::{run_shard, shard_instances, ShardJob, ShardMap, ShardStats};
@@ -79,6 +81,17 @@ pub struct ServeConfig {
     /// Per-connection cap on pipelined requests awaiting responses
     /// (≥ 1); a reader at the cap blocks until its writer catches up.
     pub max_inflight: usize,
+    /// Directory for the tiered on-disk segment store; `None` keeps the
+    /// levels simulated in memory ([`SimStorage`]). Each shard owns the
+    /// `shard-{s}` subdirectory, so the same `--store` path reopened with
+    /// the same shard count finds each shard's own log.
+    pub store_dir: Option<String>,
+    /// How an on-disk store treats the warm tier found in its segment
+    /// logs at startup (ignored without [`ServeConfig::store_dir`]).
+    pub recover: RecoverMode,
+    /// Byte size of the default value synthesized for pages never
+    /// written (≥ 1).
+    pub value_size: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +104,9 @@ impl Default for ServeConfig {
             seed: 0,
             batch: 64,
             max_inflight: 256,
+            store_dir: None,
+            recover: RecoverMode::Warm,
+            value_size: 64,
         }
     }
 }
@@ -104,6 +120,8 @@ pub enum ServeError {
     BadConfig(String),
     /// The policy spec was rejected by the registry.
     Policy(String),
+    /// The on-disk segment store failed to open or recover.
+    Store(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -112,6 +130,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::BadConfig(m) => write!(f, "bad config: {m}"),
             ServeError::Policy(m) => write!(f, "bad policy: {m}"),
+            ServeError::Store(m) => write!(f, "store error: {m}"),
         }
     }
 }
@@ -138,6 +157,9 @@ struct Inner {
     /// clients waiting on EOF).
     conns: Mutex<Vec<(u64, TcpStream)>>,
     stats: Vec<Arc<ShardStats>>,
+    /// Warm pages rebuilt from segment logs at startup, summed over
+    /// shards; always 0 for in-memory storage and cold recovery.
+    warm_recovered: u64,
 }
 
 fn lock_conns(inner: &Inner) -> MutexGuard<'_, Vec<(u64, TcpStream)>> {
@@ -181,6 +203,12 @@ impl ServerHandle {
     /// Aggregate stats across shards, racy but monotone.
     pub fn stats(&self) -> WireStats {
         ShardStats::aggregate(&self.inner.stats)
+    }
+
+    /// Warm pages recovered from on-disk segment logs at startup, summed
+    /// over shards (0 for in-memory storage or cold recovery).
+    pub fn warm_recovered(&self) -> u64 {
+        self.inner.warm_recovered
     }
 
     /// Request shutdown without blocking; idempotent.
@@ -230,6 +258,34 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
             .map_err(ServeError::Policy)?;
     }
 
+    // Storage backends, one per shard, built before binding so a corrupt
+    // or unopenable store fails fast instead of inside a worker thread.
+    // Opening an on-disk store replays its segment logs here, so the warm
+    // count is known before the first request arrives.
+    let mut stores: Vec<Box<dyn Storage + Send>> = Vec::with_capacity(shard_insts.len());
+    let mut warm_recovered = 0u64;
+    for (s, si) in shard_insts.iter().enumerate() {
+        match &cfg.store_dir {
+            None => {
+                stores.push(Box::new(SimStorage::new(
+                    si.n(),
+                    si.max_levels(),
+                    cfg.value_size.max(1),
+                )));
+            }
+            Some(dir) => {
+                let path = std::path::Path::new(dir).join(format!("shard-{s}"));
+                let mut opts = StoreOptions::new(si.n(), si.max_levels());
+                opts.value_size = cfg.value_size.max(1);
+                opts.recover = cfg.recover;
+                let store = SegmentStore::open(&path, opts)
+                    .map_err(|e| ServeError::Store(format!("{}: {e}", path.display())))?;
+                warm_recovered += store.warm_len() as u64;
+                stores.push(Box::new(store));
+            }
+        }
+    }
+
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let stats: Vec<Arc<ShardStats>> = shard_insts
@@ -244,12 +300,13 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         stats: stats.clone(),
+        warm_recovered,
     });
 
-    // Shard workers, each on its own ring.
+    // Shard workers, each on its own ring, each owning its storage.
     let mut rings = Vec::with_capacity(shard_insts.len());
     let mut shard_handles = Vec::with_capacity(shard_insts.len());
-    for (s, (si, st)) in shard_insts.into_iter().zip(stats).enumerate() {
+    for (s, ((si, st), mut store)) in shard_insts.into_iter().zip(stats).zip(stores).enumerate() {
         let (tx, rx) = spsc::channel(cfg.queue_depth.max(1));
         rings.push(tx);
         let spec = cfg.policy.clone();
@@ -259,7 +316,7 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
             // Already validated above; a failure here would be a
             // non-deterministic registry, which none of the policies are.
             if let Ok(mut policy) = PolicyRegistry::standard().build(&spec, &si, seed) {
-                run_shard(&si, policy.as_mut(), rx, &st, batch);
+                run_shard(&si, policy.as_mut(), rx, &st, batch, store.as_mut());
             }
         }));
     }
@@ -345,9 +402,10 @@ fn serve_connection(
         let frame = match reader.next_frame() {
             Ok(Some(f)) => f,
             Ok(None) => break, // clean EOF
-            Err(ReadError::Wire(e)) => {
-                // Protocol violation: explain, then hang up (framing is
-                // unrecoverable once the byte stream is off the rails).
+            Err(e @ (ConnError::Codec(_) | ConnError::Version { .. })) => {
+                // Protocol violation (corrupt framing or version skew):
+                // explain, then hang up — the byte stream is off the
+                // rails and nothing downstream is trustworthy.
                 window.acquire();
                 let _ = reply_tx.send((
                     next_seq,
@@ -358,14 +416,14 @@ fn serve_connection(
                 ));
                 break;
             }
-            Err(_) => break, // io error or truncated EOF
+            Err(_) => break, // io error, truncated EOF, or closed
         };
         window.acquire();
         let seq = next_seq;
         next_seq += 1;
-        let req = match frame {
-            Frame::Get { page, level } => Request::new(page, level),
-            Frame::Put { page } => Request::new(page, 1),
+        let (req, put) = match frame {
+            Frame::Get { page, level } => (Request::new(page, level), None),
+            Frame::Put { page, value } => (Request::new(page, 1), Some(value)),
             Frame::Stats => {
                 let _ = reply_tx.send((seq, Frame::StatsReply(ShardStats::payload(&inner.stats))));
                 continue;
@@ -414,6 +472,7 @@ fn serve_connection(
             inner.stats[shard].note_enqueued();
             let job = ShardJob {
                 req: inner.map.localize(req),
+                put,
                 seq,
                 reply: reply_tx.clone(),
             };

@@ -24,8 +24,9 @@ use wmlp_check::sync::atomic::{AtomicU64, Ordering};
 
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::policy::OnlinePolicy;
+use wmlp_core::storage::Storage;
 use wmlp_core::wire::{ErrorCode, Frame, ShardLoad, StatsPayload, WireStats};
-use wmlp_sim::engine::{BatchLog, SimSession};
+use wmlp_sim::engine::{BatchLog, SimSession, StoreRequest};
 
 use crate::spsc;
 
@@ -106,6 +107,9 @@ pub fn shard_instances(global: &MlInstance, shards: usize) -> Result<Vec<MlInsta
 pub struct ShardStats {
     requests: AtomicU64,
     hits: AtomicU64,
+    /// Hits served out of the level-1 (warm) tier — the requests that
+    /// never touch anything slower than RAM.
+    hits_l1: AtomicU64,
     fetches: AtomicU64,
     evictions: AtomicU64,
     cost: AtomicU64,
@@ -123,6 +127,7 @@ impl ShardStats {
         WireStats {
             requests: self.requests.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            hits_l1: self.hits_l1.load(Ordering::Relaxed),
             fetches: self.fetches.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             cost: self.cost.load(Ordering::Relaxed),
@@ -161,6 +166,7 @@ impl ShardStats {
         ShardLoad {
             requests: self.requests.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            hits_l1: self.hits_l1.load(Ordering::Relaxed),
             queue_depth: self.queued.load(Ordering::Relaxed),
         }
     }
@@ -172,6 +178,7 @@ impl ShardStats {
             let snap = s.snapshot();
             total.requests += snap.requests;
             total.hits += snap.hits;
+            total.hits_l1 += snap.hits_l1;
             total.fetches += snap.fetches;
             total.evictions += snap.evictions;
             total.cost += snap.cost;
@@ -195,6 +202,9 @@ impl ShardStats {
 pub struct ShardJob {
     /// The request, already rewritten into the shard's local id space.
     pub req: Request,
+    /// Value bytes for a PUT (`None` for GETs); handed to the shard's
+    /// storage backend once the engine has made room at level 1.
+    pub put: Option<Vec<u8>>,
     /// Position in the originating connection's response order; the
     /// connection's writer emits replies in `seq` order regardless of
     /// shard completion order.
@@ -205,34 +215,51 @@ pub struct ShardJob {
 
 /// The shard worker loop: drain a *batch* of jobs per ring wakeup (up to
 /// `batch_max`), step the engine over the whole batch with
-/// [`SimSession::step_batch`], then reply per job with a
-/// [`Frame::Served`] (or [`Frame::Error`] if the policy misbehaves) and
-/// publish counters. Returns when the ring closes and every queued job
-/// has been served — the graceful-shutdown drain.
+/// [`SimSession::step_batch_store`] — every miss pays a measured
+/// promotion out of `store` and every eviction of a dirty page pays a
+/// real flush — then reply per job with a [`Frame::Served`] carrying the
+/// read value (or [`Frame::Error`] if the policy misbehaves) and publish
+/// counters. Returns when the ring closes and every queued job has been
+/// served — the graceful-shutdown drain, which ends with a
+/// [`Storage::flush_all`] so a clean stop leaves no dirty bytes behind.
 pub fn run_shard(
     inst: &MlInstance,
     policy: &mut dyn OnlinePolicy,
     rx: spsc::Receiver<ShardJob>,
     stats: &ShardStats,
     batch_max: usize,
+    store: &mut dyn Storage,
 ) {
     let mut session = SimSession::new(inst);
     let mut jobs: Vec<ShardJob> = Vec::with_capacity(batch_max.max(1));
-    let mut reqs: Vec<Request> = Vec::with_capacity(batch_max.max(1));
     let mut log = BatchLog::new();
     loop {
         jobs.clear();
         if rx.recv_batch(&mut jobs, batch_max.max(1)) == 0 {
+            // Graceful drain: write back whatever is still dirty so a
+            // clean shutdown loses nothing (crash recovery is the store's
+            // problem; losing unflushed dirty bytes there is by design).
+            let _ = store.flush_all();
             return;
         }
-        reqs.clear();
-        reqs.extend(jobs.iter().map(|j| j.req));
-        session.step_batch(inst, policy, &reqs, &mut log);
-        for (job, outcome) in jobs.drain(..).zip(log.outcomes()) {
+        let reqs: Vec<StoreRequest<'_>> = jobs
+            .iter()
+            .map(|j| StoreRequest {
+                req: j.req,
+                put: j.put.as_deref(),
+            })
+            .collect();
+        session.step_batch_store(inst, policy, &reqs, store, &mut log);
+        drop(reqs);
+        let values = log.take_values();
+        for ((job, outcome), value) in jobs.drain(..).zip(log.outcomes()).zip(values) {
             let frame = match outcome {
                 Ok(out) => {
                     stats.requests.fetch_add(1, Ordering::Relaxed);
                     stats.hits.fetch_add(out.hit as u64, Ordering::Relaxed);
+                    stats
+                        .hits_l1
+                        .fetch_add((out.hit && out.serve_level == 1) as u64, Ordering::Relaxed);
                     stats
                         .fetches
                         .fetch_add((!out.hit) as u64, Ordering::Relaxed);
@@ -244,6 +271,7 @@ pub fn run_shard(
                         hit: out.hit,
                         level: out.serve_level,
                         cost: out.fetch_cost,
+                        value,
                     }
                 }
                 Err(e) => {
@@ -322,8 +350,10 @@ mod tests {
     #[test]
     fn worker_serves_jobs_and_drains_on_close() {
         use wmlp_algos::PolicyRegistry;
+        use wmlp_core::storage::SimStorage;
         let inst = global();
         let mut policy = PolicyRegistry::standard().build("lru", &inst, 0).unwrap();
+        let mut store = SimStorage::new(inst.n(), inst.max_levels(), 16);
         let stats = ShardStats::default();
         let (tx, rx) = spsc::channel(8);
         let (reply_tx, reply_rx) = mpsc::channel();
@@ -332,13 +362,14 @@ mod tests {
             assert!(tx
                 .send(ShardJob {
                     req: Request::top(page),
+                    put: if seq == 1 { Some(b"v1".to_vec()) } else { None },
                     seq: seq as u64,
                     reply: reply_tx.clone(),
                 })
                 .is_ok());
         }
         drop(tx);
-        run_shard(&inst, policy.as_mut(), rx, &stats, 64);
+        run_shard(&inst, policy.as_mut(), rx, &stats, 64, &mut store);
         let frames: Vec<(u64, Frame)> = reply_rx.try_iter().collect();
         assert_eq!(frames.len(), 4);
         // Replies are tagged with their request's sequence slot, in order.
@@ -348,28 +379,47 @@ mod tests {
             Frame::Served {
                 hit: false,
                 level: 1,
-                cost: 10
+                cost: 10,
+                ..
             }
         ));
-        assert!(matches!(frames[2].1, Frame::Served { hit: true, .. }));
+        // Page 0's second request hits at level 1 and reads its default
+        // value back out of the warm tier.
+        match &frames[2].1 {
+            Frame::Served {
+                hit: true, value, ..
+            } => assert_eq!(value.len(), 16),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        // The PUT reply carries no value; the bytes landed dirty instead.
+        assert!(matches!(
+            &frames[1].1,
+            Frame::Served { value, .. } if value.is_empty()
+        ));
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 4);
         assert_eq!(snap.hits, 1);
+        assert_eq!(snap.hits_l1, 1);
         assert_eq!(snap.cost, 10 + 11 + 19);
         assert_eq!(stats.errors(), 0);
         // The queue gauge returns to zero once everything is answered.
         assert_eq!(stats.load().queue_depth, 0);
         assert_eq!(stats.load().requests, 4);
         assert_eq!(stats.load().hits, 1);
+        assert_eq!(stats.load().hits_l1, 1);
+        // The drain flushed the dirty PUT: nothing dirty survives.
+        assert_eq!(store.snapshot().dirty, 0);
     }
 
     #[test]
     fn worker_batches_match_one_at_a_time_stepping() {
         use wmlp_algos::PolicyRegistry;
+        use wmlp_core::storage::SimStorage;
         let inst = global();
         let pages = [0u32, 1, 2, 0, 3, 1, 0, 2, 3, 1, 0, 2];
         let collect = |batch_max: usize, ring_cap: usize| -> Vec<Frame> {
             let mut policy = PolicyRegistry::standard().build("lru", &inst, 0).unwrap();
+            let mut store = SimStorage::new(inst.n(), inst.max_levels(), 8);
             let stats = ShardStats::default();
             let (tx, rx) = spsc::channel(ring_cap);
             let (reply_tx, reply_rx) = mpsc::channel();
@@ -378,13 +428,14 @@ mod tests {
                 assert!(tx
                     .send(ShardJob {
                         req: Request::top(page),
+                        put: None,
                         seq: seq as u64,
                         reply: reply_tx.clone(),
                     })
                     .is_ok());
             }
             drop(tx);
-            run_shard(&inst, policy.as_mut(), rx, &stats, batch_max);
+            run_shard(&inst, policy.as_mut(), rx, &stats, batch_max, &mut store);
             reply_rx.try_iter().map(|(_, f)| f).collect()
         };
         let one_at_a_time = collect(1, 16);

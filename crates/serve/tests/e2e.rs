@@ -46,6 +46,7 @@ fn serve_cfg(shards: usize) -> ServeConfig {
         seed: 5,
         batch: 4,
         max_inflight: 16,
+        ..ServeConfig::default()
     }
 }
 
@@ -59,7 +60,7 @@ fn sharded_server_serves_gets_puts_stats_and_shuts_down() {
     let mut cost_sum = 0u64;
     for page in 0..64u32 {
         let level = 1 + (page % u32::from(inst.levels(page))) as u8;
-        let reply = client.roundtrip(&request_frame(Request::new(page, level)));
+        let reply = client.roundtrip(&request_frame(Request::new(page, level), b""));
         match reply {
             Frame::Served { level: l, cost, .. } => {
                 assert!(l >= 1 && l <= level, "served deeper than requested");
@@ -70,7 +71,7 @@ fn sharded_server_serves_gets_puts_stats_and_shuts_down() {
         }
     }
     // A repeat of the last page must be a hit somewhere in the cache.
-    match client.roundtrip(&request_frame(Request::new(63, 3))) {
+    match client.roundtrip(&request_frame(Request::new(63, 3), b"")) {
         Frame::Served { hit, cost, .. } => {
             assert!(hit);
             assert_eq!(cost, 0);
@@ -100,7 +101,7 @@ fn sharded_server_serves_gets_puts_stats_and_shuts_down() {
     // Out-of-universe page and out-of-range level are rejected without
     // touching any shard.
     for bad in [Request::new(9999, 1), Request::new(0, 9)] {
-        match client.roundtrip(&request_frame(bad)) {
+        match client.roundtrip(&request_frame(bad, b"")) {
             Frame::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
             other => panic!("unexpected reply {other:?}"),
         }
@@ -130,7 +131,7 @@ fn pipelined_requests_get_in_order_replies_matching_closed_loop() {
     let mut closed = Client::connect(handle.addr());
     let reference: Vec<Frame> = reqs
         .iter()
-        .map(|&r| closed.roundtrip(&request_frame(r)))
+        .map(|&r| closed.roundtrip(&request_frame(r, b"")))
         .collect();
     assert!(matches!(closed.roundtrip(&Frame::Shutdown), Frame::Bye));
     handle.join();
@@ -152,7 +153,7 @@ fn pipelined_requests_get_in_order_replies_matching_closed_loop() {
     });
     let mut writer = BufWriter::new(stream);
     for &r in &reqs {
-        write_frame(&mut writer, &request_frame(r)).unwrap();
+        write_frame(&mut writer, &request_frame(r, b"")).unwrap();
     }
     writer.flush().unwrap();
     let got = reader.join().unwrap();
@@ -160,7 +161,7 @@ fn pipelined_requests_get_in_order_replies_matching_closed_loop() {
 
     // Control frames are sequenced with the stream: STATS pipelined
     // behind requests answers after them, in order.
-    write_frame(&mut writer, &request_frame(reqs[0])).unwrap();
+    write_frame(&mut writer, &request_frame(reqs[0], b"")).unwrap();
     write_frame(&mut writer, &Frame::Stats).unwrap();
     let mut reader = FrameReader::new(writer.get_ref().try_clone().unwrap());
     assert!(matches!(
@@ -206,14 +207,14 @@ fn requests_after_shutdown_are_refused_but_drained_work_completes() {
     let mut a = Client::connect(handle.addr());
     let mut b = Client::connect(handle.addr());
     assert!(matches!(
-        a.roundtrip(&request_frame(Request::top(3))),
+        a.roundtrip(&request_frame(Request::top(3), b"")),
         Frame::Served { .. }
     ));
     assert!(matches!(b.roundtrip(&Frame::Shutdown), Frame::Bye));
     // `a`'s next request races the shutdown flag: it must be either
     // refused (ShuttingDown) or fail at the socket — never hang, never
     // be half-served.
-    write_frame(&mut a.writer, &request_frame(Request::top(4))).ok();
+    write_frame(&mut a.writer, &request_frame(Request::top(4), b"")).ok();
     match a.reader.next_frame() {
         Ok(Some(Frame::Error { code, .. })) => assert_eq!(code, ErrorCode::ShuttingDown),
         Ok(Some(Frame::Served { .. })) | Ok(None) | Err(_) => {}
@@ -270,5 +271,73 @@ fn replay_binary_is_byte_identical_across_runs_and_shard_counts() {
         String::from_utf8(first).unwrap().trim_end(),
         json.trim_end()
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tiered on-disk store across server lifetimes: a value PUT before
+/// a graceful shutdown reads back byte-identical after a warm restart
+/// (warm tier rebuilt from the segment logs) and after a cold restart
+/// (warm tier dropped, durable tier intact).
+#[test]
+fn on_disk_store_survives_restart_warm_and_cold() {
+    use wmlp_store::RecoverMode;
+    let dir = std::env::temp_dir().join(format!("wmlp-serve-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let inst = Arc::new(default_instance(256, 3, 32, 7).unwrap());
+    let cfg_with = |recover| ServeConfig {
+        store_dir: Some(dir.to_str().unwrap().to_string()),
+        recover,
+        value_size: 32,
+        ..serve_cfg(2)
+    };
+
+    // First life: write a value, read it back, shut down gracefully.
+    let handle = start(Arc::clone(&inst), &cfg_with(RecoverMode::Warm)).unwrap();
+    assert_eq!(handle.warm_recovered(), 0, "fresh store recovers nothing");
+    let mut client = Client::connect(handle.addr());
+    assert!(matches!(
+        client.roundtrip(&request_frame(
+            Request::new(17, 1),
+            b"written before restart"
+        )),
+        Frame::Served { .. }
+    ));
+    match client.roundtrip(&request_frame(Request::new(17, 2), b"")) {
+        Frame::Served { value, .. } => assert_eq!(value, b"written before restart"),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert!(matches!(client.roundtrip(&Frame::Shutdown), Frame::Bye));
+    handle.join();
+
+    // Warm restart: the warm tier is rebuilt from the segment logs and
+    // the value still reads back byte-identical.
+    let handle = start(Arc::clone(&inst), &cfg_with(RecoverMode::Warm)).unwrap();
+    assert!(handle.warm_recovered() > 0, "warm tier must be rebuilt");
+    let mut client = Client::connect(handle.addr());
+    match client.roundtrip(&request_frame(Request::new(17, 2), b"")) {
+        Frame::Served { value, .. } => assert_eq!(value, b"written before restart"),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert!(matches!(client.roundtrip(&Frame::Shutdown), Frame::Bye));
+    handle.join();
+
+    // Cold restart: the warm tier is dropped, but the durable value
+    // survives in the deeper tier.
+    let handle = start(Arc::clone(&inst), &cfg_with(RecoverMode::Cold)).unwrap();
+    assert_eq!(
+        handle.warm_recovered(),
+        0,
+        "cold recovery drops the warm tier"
+    );
+    let mut client = Client::connect(handle.addr());
+    match client.roundtrip(&request_frame(Request::new(17, 2), b"")) {
+        Frame::Served { hit, value, .. } => {
+            assert!(!hit, "a cold restart cannot hit");
+            assert_eq!(value, b"written before restart");
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert!(matches!(client.roundtrip(&Frame::Shutdown), Frame::Bye));
+    handle.join();
     std::fs::remove_dir_all(&dir).ok();
 }

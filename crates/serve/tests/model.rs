@@ -26,6 +26,7 @@ use wmlp_serve::window::Window;
 
 use wmlp_check::thread::spawn_named;
 use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::storage::SimStorage;
 
 fn cfg() -> Config {
     Config::default()
@@ -193,13 +194,15 @@ fn shutdown_never_drops_an_accepted_request() {
             let mut policy = wmlp_algos::PolicyRegistry::standard()
                 .build("lru", &inst2, 0)
                 .expect("build lru");
-            run_shard(&inst2, policy.as_mut(), rx, &st2, 2);
+            let mut store = SimStorage::new(inst2.n(), inst2.max_levels(), 8);
+            run_shard(&inst2, policy.as_mut(), rx, &st2, 2, &mut store);
         });
         for (seq, page) in [0u32, 1, 0].into_iter().enumerate() {
             stats.note_enqueued();
             assert!(
                 tx.send(ShardJob {
                     req: Request::top(page),
+                    put: None,
                     seq: seq as u64,
                     reply: reply_tx.clone(),
                 })

@@ -7,6 +7,7 @@ use wmlp_core::cache::CacheState;
 use wmlp_core::cost::CostLedger;
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::policy::{CacheTxn, OnlinePolicy, PolicyCtx};
+use wmlp_core::storage::{Storage, StorageError};
 use wmlp_core::types::{Level, Weight};
 
 use crate::stats::RunCounters;
@@ -40,6 +41,13 @@ pub enum SimError {
         /// The offending request.
         req: Request,
     },
+    /// The physical storage backend failed while mirroring the step.
+    Storage {
+        /// Time step.
+        t: usize,
+        /// Rendered [`StorageError`].
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -61,6 +69,9 @@ impl std::fmt::Display for SimError {
                     "trace request ({},{}) invalid at t={t}",
                     req.page, req.level
                 )
+            }
+            SimError::Storage { t, detail } => {
+                write!(f, "storage backend failed at t={t}: {detail}")
             }
         }
     }
@@ -94,6 +105,21 @@ pub struct StepOutcome {
     pub fetch_cost: Weight,
     /// Copies evicted by this step.
     pub evictions: u32,
+    /// Dirty writebacks the step's evictions forced out of the storage
+    /// backend — always 0 for the storage-less [`SimSession::step`].
+    pub flushes: u32,
+}
+
+/// One request of a storage-backed batch: the paging request plus, for
+/// writes, the value bytes to store (reads pass `put: None` and receive
+/// the page's value back through the [`BatchLog`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreRequest<'a> {
+    /// The paging request.
+    pub req: Request,
+    /// Value to write (`Some` makes this a write landing dirty in the
+    /// warm tier).
+    pub put: Option<&'a [u8]>,
 }
 
 /// Per-request results of one [`SimSession::step_batch`] call.
@@ -109,6 +135,7 @@ pub struct StepOutcome {
 pub struct BatchLog {
     outcomes: Vec<Result<StepOutcome, SimError>>,
     steps: Option<Vec<StepLog>>,
+    values: Vec<Vec<u8>>,
 }
 
 impl BatchLog {
@@ -124,6 +151,7 @@ impl BatchLog {
         BatchLog {
             outcomes: Vec::new(),
             steps: Some(Vec::new()),
+            values: Vec::new(),
         }
     }
 
@@ -133,6 +161,7 @@ impl BatchLog {
         if let Some(s) = self.steps.as_mut() {
             s.clear();
         }
+        self.values.clear();
     }
 
     /// One entry per request of the last batch, in request order.
@@ -144,6 +173,20 @@ impl BatchLog {
     /// log (a failed step records an empty log for its slot).
     pub fn steps(&self) -> Option<&[StepLog]> {
         self.steps.as_deref()
+    }
+
+    /// Per-request read values from the last
+    /// [`SimSession::step_batch_store`] call, index-aligned with
+    /// [`BatchLog::outcomes`] (empty slots for writes and failed steps).
+    /// The storage-less [`SimSession::step_batch`] records no values.
+    pub fn values(&self) -> &[Vec<u8>] {
+        &self.values
+    }
+
+    /// Move the read values out (e.g. into reply frames), leaving the
+    /// log with empty slots.
+    pub fn take_values(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.values)
     }
 
     /// Entries recorded by the last batch.
@@ -280,7 +323,82 @@ impl SimSession {
             serve_level,
             fetch_cost,
             evictions,
+            flushes: 0,
         })
+    }
+
+    /// Serve one request with a physical [`Storage`] backend mirroring
+    /// the policy's actions: first the request is stepped exactly as in
+    /// [`SimSession::step`] (identical ledger, counters, and cache — a
+    /// storage-backed run stays byte-identical in its manifest), then
+    /// every logged action is applied to `store` in order — a `Fetch`
+    /// becomes a [`Storage::promote`] (a *measured* read for an on-disk
+    /// backend) and an `Evict` becomes a [`Storage::flush`] (a
+    /// *measured* dirty writeback, counted in
+    /// [`StepOutcome::flushes`]) — and finally the request itself
+    /// touches its value: a write (`put = Some(bytes)`) lands in the
+    /// warm tier dirty, a read appends the page's current value to
+    /// `value_out`.
+    ///
+    /// A storage failure surfaces as [`SimError::Storage`]; the engine
+    /// state has already stepped at that point, so callers should treat
+    /// the session as poisoned for determinism purposes.
+    pub fn step_store(
+        &mut self,
+        inst: &MlInstance,
+        policy: &mut dyn OnlinePolicy,
+        req: Request,
+        put: Option<&[u8]>,
+        store: &mut dyn Storage,
+        value_out: &mut Vec<u8>,
+    ) -> Result<StepOutcome, SimError> {
+        let mut out = self.step(inst, policy, req)?;
+        let t = self.t - 1;
+        let storage_err = |e: StorageError| SimError::Storage {
+            t,
+            detail: e.to_string(),
+        };
+        for a in &self.log.actions {
+            match a {
+                Action::Fetch(c) => store.promote(c.page, c.level).map_err(storage_err)?,
+                Action::Evict(c) => {
+                    if store.flush(c.page).map_err(storage_err)? {
+                        out.flushes += 1;
+                    }
+                }
+            }
+        }
+        match put {
+            Some(v) => store.put(req.page, v).map_err(storage_err)?,
+            None => {
+                store.get(req.page, value_out).map_err(storage_err)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The storage-backed batch path: [`SimSession::step_batch`] with a
+    /// [`Storage`] mirrored behind each step (see
+    /// [`SimSession::step_store`]). Read values are recorded into
+    /// `out`'s value slots, index-aligned with its outcomes.
+    pub fn step_batch_store(
+        &mut self,
+        inst: &MlInstance,
+        policy: &mut dyn OnlinePolicy,
+        reqs: &[StoreRequest<'_>],
+        store: &mut dyn Storage,
+        out: &mut BatchLog,
+    ) {
+        out.clear();
+        for sr in reqs {
+            let mut value = Vec::new();
+            let outcome = self.step_store(inst, policy, sr.req, sr.put, store, &mut value);
+            if let Some(steps) = out.steps.as_mut() {
+                steps.push(self.log.clone());
+            }
+            out.outcomes.push(outcome);
+            out.values.push(value);
+        }
     }
 
     /// Requests stepped so far (including failed ones).
@@ -613,6 +731,156 @@ mod tests {
             .iter()
             .all(|o| matches!(o, Err(SimError::NotServed { .. }))));
         assert_eq!(session.time(), 2);
+    }
+
+    #[test]
+    fn step_store_mirrors_policy_actions_onto_storage() {
+        use wmlp_core::storage::{SimStorage, Storage as _};
+        let inst = inst(); // n = 3, k = 2, levels = 2
+        let mut session = SimSession::new(&inst);
+        let mut store = SimStorage::new(inst.n(), inst.max_levels(), 8);
+        let mut val = Vec::new();
+
+        // Write to page 0: fetch (0,1) promotes, put lands dirty.
+        let out = session
+            .step_store(
+                &inst,
+                &mut Demand,
+                Request::new(0, 1),
+                Some(b"zero"),
+                &mut store,
+                &mut val,
+            )
+            .unwrap();
+        assert!(!out.hit);
+        assert_eq!(out.flushes, 0);
+        let snap = store.snapshot();
+        assert_eq!(snap.dirty, 1);
+        assert_eq!(snap.promotions, 1);
+
+        // Read it back: level-1 hit, value served from the warm tier.
+        val.clear();
+        let out = session
+            .step_store(
+                &inst,
+                &mut Demand,
+                Request::new(0, 2),
+                None,
+                &mut store,
+                &mut val,
+            )
+            .unwrap();
+        assert!(out.hit);
+        assert_eq!(out.serve_level, 1);
+        assert_eq!(val, b"zero");
+
+        // Fill the cache past k: the forced eviction of dirty page 0
+        // must count as a real writeback.
+        session
+            .step_store(
+                &inst,
+                &mut Demand,
+                Request::new(1, 1),
+                Some(b"one"),
+                &mut store,
+                &mut val,
+            )
+            .unwrap();
+        val.clear();
+        let out = session
+            .step_store(
+                &inst,
+                &mut Demand,
+                Request::new(2, 1),
+                Some(b"two"),
+                &mut store,
+                &mut val,
+            )
+            .unwrap();
+        assert_eq!(out.evictions, 1);
+        assert_eq!(out.flushes, 1, "evicting a dirty page writes it back");
+        // The written-back value survives at the backing tier.
+        val.clear();
+        let mut probe = store.clone();
+        let level = probe.get(0, &mut val).unwrap();
+        assert_eq!(level, inst.max_levels());
+        assert_eq!(val, b"zero");
+    }
+
+    #[test]
+    fn storage_backed_run_matches_plain_run_exactly() {
+        use wmlp_core::storage::SimStorage;
+        let inst = inst();
+        let trace = [
+            Request::new(0, 2),
+            Request::new(1, 1),
+            Request::new(0, 1),
+            Request::new(2, 2),
+            Request::new(1, 1),
+            Request::new(0, 2),
+        ];
+        let mut plain = SimSession::new(&inst);
+        let plain_outcomes: Vec<_> = trace
+            .iter()
+            .map(|&r| plain.step(&inst, &mut Demand, r).unwrap())
+            .collect();
+        let mut stored = SimSession::new(&inst);
+        let mut store = SimStorage::new(inst.n(), inst.max_levels(), 8);
+        let mut val = Vec::new();
+        let stored_outcomes: Vec<_> = trace
+            .iter()
+            .map(|&r| {
+                val.clear();
+                let put = (r.level == 1).then_some(b"w".as_slice());
+                stored
+                    .step_store(&inst, &mut Demand, r, put, &mut store, &mut val)
+                    .unwrap()
+            })
+            .collect();
+        // Identical except for the flush counts the plain path cannot see.
+        for (p, s) in plain_outcomes.iter().zip(&stored_outcomes) {
+            assert_eq!(
+                (p.hit, p.serve_level, p.fetch_cost, p.evictions),
+                (s.hit, s.serve_level, s.fetch_cost, s.evictions)
+            );
+            assert_eq!(p.flushes, 0);
+        }
+        assert_eq!(plain.ledger(), stored.ledger());
+        assert_eq!(plain.cache().to_vec(), stored.cache().to_vec());
+        assert_eq!(plain.counters().hits, stored.counters().hits);
+    }
+
+    #[test]
+    fn step_batch_store_records_values_aligned_with_outcomes() {
+        use wmlp_core::storage::SimStorage;
+        let inst = inst();
+        let mut session = SimSession::new(&inst);
+        let mut store = SimStorage::new(inst.n(), inst.max_levels(), 8);
+        let mut log = BatchLog::new();
+        let reqs = [
+            StoreRequest {
+                req: Request::new(0, 1),
+                put: Some(b"abc"),
+            },
+            StoreRequest {
+                req: Request::new(0, 2),
+                put: None,
+            },
+            StoreRequest {
+                req: Request::new(9, 1), // invalid
+                put: None,
+            },
+        ];
+        session.step_batch_store(&inst, &mut Demand, &reqs, &mut store, &mut log);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.values().len(), 3);
+        assert!(log.values()[0].is_empty(), "writes return no value");
+        assert_eq!(log.values()[1], b"abc", "read sees the prior write");
+        assert!(log.outcomes()[2].is_err());
+        assert!(log.values()[2].is_empty(), "failed steps return no value");
+        let values = log.take_values();
+        assert_eq!(values.len(), 3);
+        assert!(log.values().is_empty());
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod sweep;
 pub use adversary::adaptive_trace;
 pub use opt_cache::{opt_key, OptCache};
 
-pub use engine::{run_policy, RunResult, SimError, SimSession, StepOutcome};
+pub use engine::{
+    run_policy, BatchLog, RunResult, SimError, SimSession, StepOutcome, StoreRequest,
+};
 pub use frac_engine::{run_fractional, FracRunResult};
 pub use runner::{Manifest, RunRecord, Runner, Scenario};
 pub use stats::{miss_timeline, ClassBreakdown, Histogram, RunCounters};

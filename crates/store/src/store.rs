@@ -1,0 +1,489 @@
+//! The append-only tiered segment store.
+//!
+//! A [`SegmentStore`] keeps a directory of segment files
+//! (`seg-000000.log`, `seg-000001.log`, …) holding CRC-checked records
+//! ([`crate::segment`]), plus an in-memory warm tier:
+//!
+//! * **Warm tier (level 1)** — values held in RAM. Writes land here and
+//!   are *dirty* until flushed; a policy `Evict` writes a dirty page
+//!   back as a `PUT` record (followed by `fsync`) before dropping it.
+//! * **Backing tiers (levels ≥ 2)** — the segment log. The latest `PUT`
+//!   record per page is the page's durable value; a page with no `PUT`
+//!   reads as its synthesized [`default_value`].
+//!
+//! Residency changes are logged as `PROMOTE`/`EVICT` marker records, so
+//! opening a store replays the log and — in [`RecoverMode::Warm`] — can
+//! rebuild the warm set a crashed process had promoted: warm = pages
+//! whose last marker is `PROMOTE(p, 1)`. Marker and data records are
+//! appended straight to the kernel (no user-space buffering), so they
+//! survive a `kill -9`; only `fsync` (on dirty writebacks) is reserved
+//! for power-loss durability.
+//!
+//! Recovery invariants:
+//!
+//! 1. A torn or corrupt record suffix in the **final** segment is
+//!    truncated at the last complete record boundary; anywhere else it
+//!    is a hard [`StorageError::Corrupt`].
+//! 2. Replay is deterministic: same bytes on disk → same index, warm
+//!    set, and residency, independent of directory iteration order.
+//! 3. Rebuilt warm values are the *durable* values (last flushed `PUT`
+//!    or the default) — un-flushed dirty bytes are honestly lost.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use wmlp_core::storage::{default_value, Storage, StorageError, StorageSnapshot, MAX_VALUE};
+use wmlp_core::types::{Level, PageId};
+
+use crate::segment::{decode_record, encode_record, Decoded, Record, VALUE_OFFSET};
+use crate::timed::OpTimer;
+
+/// What to rebuild from the segment log when opening a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverMode {
+    /// Ignore residency markers: every page starts cold.
+    Cold,
+    /// Rebuild the warm set from `PROMOTE`/`EVICT` markers and load its
+    /// durable values into RAM.
+    Warm,
+}
+
+impl RecoverMode {
+    /// CLI/stdout label: `"cold"` or `"warm"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoverMode::Cold => "cold",
+            RecoverMode::Warm => "warm",
+        }
+    }
+}
+
+/// Configuration for [`SegmentStore::open`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Page universe: valid ids are `0..n`.
+    pub n: usize,
+    /// Number of tiers (level 1 = warm RAM, deeper = segment log).
+    pub levels: Level,
+    /// Size of the synthesized default value for never-written pages.
+    pub value_size: usize,
+    /// Rotate to a new segment file once the current one reaches this
+    /// many bytes.
+    pub segment_bytes: u64,
+    /// Warm-set recovery mode.
+    pub recover: RecoverMode,
+}
+
+impl StoreOptions {
+    /// Defaults: 4 MiB segments, warm recovery, 64-byte default values.
+    pub fn new(n: usize, levels: Level) -> StoreOptions {
+        StoreOptions {
+            n,
+            levels: levels.max(1),
+            value_size: 64,
+            segment_bytes: 4 << 20,
+            recover: RecoverMode::Warm,
+        }
+    }
+}
+
+/// Location of the latest durable value of a page.
+#[derive(Debug, Clone, Copy)]
+struct ValueLoc {
+    seg: u64,
+    offset: u64,
+    len: u32,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    promotions: u64,
+    flushes: u64,
+    promote_nanos: u64,
+    flush_nanos: u64,
+}
+
+/// Replay state accumulated while scanning segments on open.
+#[derive(Debug, Default)]
+struct Replay {
+    index: BTreeMap<PageId, ValueLoc>,
+    warm_ids: BTreeSet<PageId>,
+    resident: BTreeMap<PageId, Level>,
+}
+
+impl Replay {
+    fn apply(&mut self, rec: &Record, seg: u64, offset: u64) {
+        match rec {
+            Record::Put { page, value } => {
+                self.index.insert(
+                    *page,
+                    ValueLoc {
+                        seg,
+                        offset: offset + VALUE_OFFSET as u64,
+                        len: value.len() as u32,
+                    },
+                );
+            }
+            Record::Promote { page, level } => {
+                if *level == 1 {
+                    self.warm_ids.insert(*page);
+                } else {
+                    self.warm_ids.remove(page);
+                }
+                self.resident.insert(*page, *level);
+            }
+            Record::Evict { page } => {
+                self.warm_ids.remove(page);
+                self.resident.remove(page);
+            }
+        }
+    }
+}
+
+/// The on-disk implementation of [`Storage`]. See the module docs for
+/// the format and recovery contract.
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+    opts: StoreOptions,
+    seg_id: u64,
+    seg_file: File,
+    seg_len: u64,
+    index: BTreeMap<PageId, ValueLoc>,
+    warm: BTreeMap<PageId, Vec<u8>>,
+    dirty: BTreeSet<PageId>,
+    resident: BTreeMap<PageId, Level>,
+    scratch: Vec<u8>,
+    counters: Counters,
+}
+
+fn io_err(op: &'static str, source: std::io::Error) -> StorageError {
+    StorageError::Io { op, source }
+}
+
+fn segment_name(id: u64) -> String {
+    format!("seg-{id:06}.log")
+}
+
+impl SegmentStore {
+    /// Open (or create) the store in `dir`, replaying the segment log.
+    pub fn open(dir: &Path, opts: StoreOptions) -> Result<SegmentStore, StorageError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create store dir", e))?;
+        let mut seg_ids = Vec::new();
+        for entry in fs::read_dir(dir).map_err(|e| io_err("list store dir", e))? {
+            let entry = entry.map_err(|e| io_err("list store dir", e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                seg_ids.push(id);
+            }
+        }
+        // Directory iteration order is platform-dependent; replay order
+        // must not be.
+        seg_ids.sort_unstable();
+
+        let mut replay = Replay::default();
+        let mut last_len = 0u64;
+        for (i, &id) in seg_ids.iter().enumerate() {
+            let last = i + 1 == seg_ids.len();
+            last_len = Self::replay_segment(dir, id, last, &mut replay)?;
+        }
+
+        let seg_id = seg_ids.last().copied().unwrap_or(0);
+        let path = dir.join(segment_name(seg_id));
+        let seg_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("open segment", e))?;
+        let seg_len = if seg_ids.is_empty() { 0 } else { last_len };
+
+        let mut store = SegmentStore {
+            dir: dir.to_path_buf(),
+            opts,
+            seg_id,
+            seg_file,
+            seg_len,
+            index: replay.index,
+            warm: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            resident: replay.resident,
+            scratch: Vec::new(),
+            counters: Counters::default(),
+        };
+        match store.opts.recover {
+            RecoverMode::Warm => {
+                for page in replay.warm_ids {
+                    let mut value = Vec::new();
+                    store.read_durable(page, &mut value)?;
+                    store.warm.insert(page, value);
+                    store.resident.insert(page, 1);
+                }
+            }
+            RecoverMode::Cold => {
+                // Nothing was in RAM: drop the warm markers' residency
+                // claims; deeper (on-disk) tiers survive as-is.
+                for page in replay.warm_ids {
+                    store.resident.remove(&page);
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Replay one segment into `replay`; truncates a torn/corrupt tail
+    /// when `last`, errors otherwise. Returns the valid length.
+    fn replay_segment(
+        dir: &Path,
+        id: u64,
+        last: bool,
+        replay: &mut Replay,
+    ) -> Result<u64, StorageError> {
+        let path = dir.join(segment_name(id));
+        let data = fs::read(&path).map_err(|e| io_err("read segment", e))?;
+        let mut off = 0usize;
+        while off < data.len() {
+            match decode_record(&data[off..]) {
+                Decoded::Complete(rec, used) => {
+                    replay.apply(&rec, id, off as u64);
+                    off += used;
+                }
+                bad @ (Decoded::Truncated | Decoded::Bad(_)) => {
+                    if last {
+                        // Torn write at the log tail: discard the
+                        // incomplete suffix and carry on.
+                        let f = OpenOptions::new()
+                            .write(true)
+                            .open(&path)
+                            .map_err(|e| io_err("open segment for truncation", e))?;
+                        f.set_len(off as u64)
+                            .map_err(|e| io_err("truncate torn tail", e))?;
+                        return Ok(off as u64);
+                    }
+                    return Err(StorageError::Corrupt {
+                        segment: path.to_string_lossy().into_owned(),
+                        offset: off as u64,
+                        why: match bad {
+                            Decoded::Bad(why) => why,
+                            _ => "record runs past the end of a non-final segment",
+                        },
+                    });
+                }
+            }
+        }
+        Ok(data.len() as u64)
+    }
+
+    fn check_page(&self, page: PageId) -> Result<(), StorageError> {
+        if (page as usize) < self.opts.n {
+            Ok(())
+        } else {
+            Err(StorageError::UnknownPage(page))
+        }
+    }
+
+    /// Append one record to the current segment, optionally fsyncing,
+    /// then rotate if the segment is full. Returns `(segment, offset)`
+    /// of the record.
+    fn append_record(&mut self, rec: &Record, sync: bool) -> Result<(u64, u64), StorageError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        encode_record(rec, &mut scratch);
+        // Straight to the kernel, record-at-a-time: no user-space buffer
+        // means markers survive a SIGKILL (though not power loss — that
+        // is what the writeback fsync below is for).
+        let res = self.seg_file.write_all(&scratch);
+        let written = scratch.len() as u64;
+        self.scratch = scratch;
+        res.map_err(|e| io_err("append record", e))?;
+        let at = (self.seg_id, self.seg_len);
+        self.seg_len += written;
+        if sync {
+            self.seg_file.sync_data().map_err(|e| io_err("fsync", e))?;
+        }
+        if self.seg_len >= self.opts.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(at)
+    }
+
+    fn rotate(&mut self) -> Result<(), StorageError> {
+        self.seg_id += 1;
+        let path = self.dir.join(segment_name(self.seg_id));
+        self.seg_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("rotate segment", e))?;
+        self.seg_len = 0;
+        Ok(())
+    }
+
+    /// Append the page's durable value — last flushed `PUT`, read back
+    /// from its segment, or the synthesized default.
+    fn read_durable(&self, page: PageId, out: &mut Vec<u8>) -> Result<(), StorageError> {
+        let Some(loc) = self.index.get(&page).copied() else {
+            default_value(page, self.opts.value_size, out);
+            return Ok(());
+        };
+        let path = self.dir.join(segment_name(loc.seg));
+        let mut f = File::open(path).map_err(|e| io_err("open segment for read", e))?;
+        f.seek(SeekFrom::Start(loc.offset))
+            .map_err(|e| io_err("seek value", e))?;
+        let start = out.len();
+        out.resize(start + loc.len as usize, 0);
+        f.read_exact(&mut out[start..])
+            .map_err(|e| io_err("read value", e))?;
+        Ok(())
+    }
+
+    /// Write `page` back if dirty (PUT record + fsync). Returns whether
+    /// a writeback happened. Leaves warm membership untouched.
+    fn writeback(&mut self, page: PageId, sync: bool) -> Result<bool, StorageError> {
+        if !self.dirty.remove(&page) {
+            return Ok(false);
+        }
+        let value = self.warm.get(&page).cloned().unwrap_or_default();
+        let vlen = value.len() as u32;
+        let (seg, offset) = self.append_record(&Record::Put { page, value }, sync)?;
+        self.index.insert(
+            page,
+            ValueLoc {
+                seg,
+                offset: offset + VALUE_OFFSET as u64,
+                len: vlen,
+            },
+        );
+        self.counters.flushes += 1;
+        Ok(true)
+    }
+
+    /// Number of warm (level-1 resident) pages.
+    pub fn warm_len(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// The warm page ids, ascending.
+    pub fn warm_pages(&self) -> Vec<PageId> {
+        self.warm.keys().copied().collect()
+    }
+
+    /// Number of segment files written so far (current one included).
+    pub fn segment_count(&self) -> u64 {
+        self.seg_id + 1
+    }
+}
+
+impl Storage for SegmentStore {
+    fn get(&mut self, page: PageId, out: &mut Vec<u8>) -> Result<Level, StorageError> {
+        self.check_page(page)?;
+        if let Some(v) = self.warm.get(&page) {
+            out.extend_from_slice(v);
+            return Ok(1);
+        }
+        self.read_durable(page, out)?;
+        Ok(self
+            .resident
+            .get(&page)
+            .copied()
+            .unwrap_or(self.opts.levels))
+    }
+
+    fn put(&mut self, page: PageId, value: &[u8]) -> Result<(), StorageError> {
+        self.check_page(page)?;
+        if value.len() > MAX_VALUE {
+            return Err(StorageError::ValueTooLarge(value.len()));
+        }
+        // The write lands in RAM only; it becomes durable at flush time.
+        // (The PROMOTE marker the engine logged just before this is what
+        // puts the page in a rebuilt warm set.)
+        self.warm.insert(page, value.to_vec());
+        self.dirty.insert(page);
+        self.resident.insert(page, 1);
+        Ok(())
+    }
+
+    fn promote(&mut self, page: PageId, level: Level) -> Result<(), StorageError> {
+        self.check_page(page)?;
+        if level == 0 || level > self.opts.levels {
+            return Err(StorageError::BadLevel(level));
+        }
+        self.counters.promotions += 1;
+        if level == 1 {
+            if !self.warm.contains_key(&page) {
+                let timer = OpTimer::start();
+                let mut value = Vec::new();
+                self.read_durable(page, &mut value)?;
+                self.counters.promote_nanos += timer.elapsed_nanos();
+                self.warm.insert(page, value);
+            }
+        } else {
+            // Demotion out of the warm tier: the dirty bytes must reach
+            // the log before the RAM copy goes away.
+            let timer = OpTimer::start();
+            let wrote = self.writeback(page, true)?;
+            if wrote {
+                self.counters.flush_nanos += timer.elapsed_nanos();
+            }
+            self.warm.remove(&page);
+        }
+        self.append_record(&Record::Promote { page, level }, false)?;
+        self.resident.insert(page, level);
+        Ok(())
+    }
+
+    fn flush(&mut self, page: PageId) -> Result<bool, StorageError> {
+        self.check_page(page)?;
+        let timer = OpTimer::start();
+        let wrote = self.writeback(page, true)?;
+        if wrote {
+            self.counters.flush_nanos += timer.elapsed_nanos();
+        }
+        if self.warm.remove(&page).is_some() || self.resident.contains_key(&page) {
+            self.append_record(&Record::Evict { page }, false)?;
+        }
+        self.resident.remove(&page);
+        Ok(wrote)
+    }
+
+    fn flush_all(&mut self) -> Result<u64, StorageError> {
+        let dirty: Vec<PageId> = self.dirty.iter().copied().collect();
+        let timer = OpTimer::start();
+        let mut wrote = 0u64;
+        for page in dirty {
+            // One fsync at the end covers the batch (modulo rotation,
+            // which syncs implicitly rarely enough not to matter).
+            wrote += u64::from(self.writeback(page, false)?);
+        }
+        if wrote > 0 {
+            self.seg_file.sync_data().map_err(|e| io_err("fsync", e))?;
+            self.counters.flush_nanos += timer.elapsed_nanos();
+        }
+        Ok(wrote)
+    }
+
+    fn snapshot(&self) -> StorageSnapshot {
+        let mut resident = vec![0u64; usize::from(self.opts.levels)];
+        let mut tracked = 0u64;
+        for &level in self.resident.values() {
+            resident[usize::from(level.clamp(1, self.opts.levels)) - 1] += 1;
+            tracked += 1;
+        }
+        let deepest = usize::from(self.opts.levels) - 1;
+        resident[deepest] += (self.opts.n as u64).saturating_sub(tracked);
+        StorageSnapshot {
+            resident,
+            dirty: self.dirty.len() as u64,
+            promotions: self.counters.promotions,
+            flushes: self.counters.flushes,
+            promote_nanos: self.counters.promote_nanos,
+            flush_nanos: self.counters.flush_nanos,
+        }
+    }
+}

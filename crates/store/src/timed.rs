@@ -1,0 +1,27 @@
+//! Wall-clock measurement of storage operations.
+//!
+//! This is the **only** file in `wmlp-store` allowed to touch a clock
+//! (`wmlp-lint` D2 allowlists exactly this path): promotions and dirty
+//! flushes have real I/O latency and the store accounts it in its
+//! [`StorageSnapshot`](wmlp_core::storage::StorageSnapshot). The
+//! measured nanoseconds are observability output only — they never feed
+//! a canonical manifest, and the store's visible state (values,
+//! residency, dirty set) is identical however long the clock says an
+//! operation took.
+
+use std::time::Instant;
+
+/// Times one storage operation.
+pub(crate) struct OpTimer(Instant);
+
+impl OpTimer {
+    /// Start timing.
+    pub(crate) fn start() -> OpTimer {
+        OpTimer(Instant::now())
+    }
+
+    /// Nanoseconds since [`OpTimer::start`], saturating at `u64::MAX`.
+    pub(crate) fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}

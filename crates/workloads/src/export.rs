@@ -11,11 +11,15 @@ use wmlp_core::instance::Request;
 use wmlp_core::wire::{decode, encode, request_frame, Frame, WireError};
 
 /// Encode `trace` as a concatenation of request frames, in trace order.
+/// Exported PUT frames carry empty values (the canned-fixture shape);
+/// clients that write real payloads build their frames via
+/// [`request_frame`] directly.
 pub fn trace_wire_bytes(trace: &[Request]) -> Vec<u8> {
-    // GET frames are 13 bytes, PUT frames 12 — reserve for the larger.
-    let mut out = Vec::with_capacity(trace.len() * 13);
+    // GET frames are 13 bytes, empty-value PUT frames 16 — reserve for
+    // the larger.
+    let mut out = Vec::with_capacity(trace.len() * 16);
     for &req in trace {
-        encode(&request_frame(req), &mut out);
+        encode(&request_frame(req, &[]), &mut out);
     }
     out
 }
@@ -30,7 +34,7 @@ pub fn trace_from_wire(mut bytes: &[u8]) -> Result<Vec<Request>, WireError> {
                 out.push(Request::new(page, level));
                 bytes = &bytes[used..];
             }
-            Some((Frame::Put { page }, used)) => {
+            Some((Frame::Put { page, .. }, used)) => {
                 out.push(Request::new(page, 1));
                 bytes = &bytes[used..];
             }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Kill-and-restart recovery smoke for wmlp-serve's on-disk segment store.
+#
+# Life 1: fresh store, write-heavy load over real sockets, then `kill -9`
+#         mid-life — durability must come from the per-record appends
+#         alone, never from a graceful flush.
+# Life 2: `--recover cold` must ignore the residency markers and report
+#         zero warm pages.
+# Life 3: `--recover warm` must rebuild a non-empty warm set from the
+#         same segment log.
+#
+# Usage: scripts/serve_store_smoke.sh [wmlp-serve-bin [wmlp-loadgen-bin]]
+# (defaults assume `cargo build --release` has run from the repo root)
+set -euo pipefail
+
+SERVE_BIN=${1:-target/release/wmlp-serve}
+LOADGEN_BIN=${2:-target/release/wmlp-loadgen}
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# The same instance tuple must be passed to both sides of the socket.
+TUPLE=(--pages 512 --levels 3 --k 64 --weight-seed 7 --policy lru --shards 2)
+
+die() {
+    cat "$1" >&2
+    echo "serve-store-smoke: $2" >&2
+    exit 1
+}
+
+start_server() { # $1 = recover mode, $2 = log file
+    "$SERVE_BIN" --addr 127.0.0.1:0 "${TUPLE[@]}" \
+        --store "$WORK/tier" --value-size 32 --recover "$1" >"$2" 2>&1 &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$2"; then return 0; fi
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            die "$2" "server died during startup"
+        fi
+        sleep 0.1
+    done
+    die "$2" "server never printed its listen banner"
+}
+
+kill_server() {
+    kill -9 "$SERVER_PID"
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+}
+
+# --- life 1: fresh store, load, kill -9 ---------------------------------
+start_server warm "$WORK/life1.log"
+grep -q "store: 0 warm pages recovered (warm)" "$WORK/life1.log" ||
+    die "$WORK/life1.log" "life 1 must start from an empty store"
+ADDR=$(sed -n 's/^listening on //p' "$WORK/life1.log")
+"$LOADGEN_BIN" --addr "$ADDR" --no-shutdown --requests 2000 --conns 2 \
+    --workload zipf --alpha 0.9 --seed 11 --value-size 32 "${TUPLE[@]}" \
+    --out "$WORK/SERVE.store.json"
+kill_server
+
+# --- life 2: cold restart ignores the markers ---------------------------
+start_server cold "$WORK/life2.log"
+grep -q "store: 0 warm pages recovered (cold)" "$WORK/life2.log" ||
+    die "$WORK/life2.log" "cold recovery must report zero warm pages"
+kill_server
+
+# --- life 3: warm restart rebuilds the warm set -------------------------
+start_server warm "$WORK/life3.log"
+grep -Eq "store: [1-9][0-9]* warm pages recovered \(warm\)" "$WORK/life3.log" ||
+    die "$WORK/life3.log" "warm recovery must rebuild a non-empty warm set"
+kill_server
+
+echo "serve-store-smoke: ok (cold=0, warm>0 after kill -9)"
