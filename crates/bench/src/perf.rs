@@ -23,6 +23,12 @@
 //!   `SegmentStore`, so the latency a policy action pays per level (put,
 //!   dirty writeback, promotion, deep-tier marker, warm-set replay) is a
 //!   measured number rather than folklore.
+//! * **B7** — skew-aware partitioning: the pipelined loopback stack
+//!   under Zipf skew `θ ∈ {0.9, 1.1, 1.3}`, per partition mode
+//!   (`hash` / `replicate` / `migrate`). Each cell also records the
+//!   measured max/mean shard imbalance in its name-adjacent log line;
+//!   `BENCH.json` keeps the throughput number, and the imbalance
+//!   comparison lives in the loadgen report and EXPERIMENTS.md B7.
 //!
 //! # `BENCH.json` schema
 //!
@@ -203,6 +209,44 @@ impl PerfConfig {
             256
         }
     }
+
+    /// B7 shard count: the acceptance grid runs 8 shards; smoke keeps it
+    /// at 2 so the cell finishes in CI time.
+    fn b7_shards(&self) -> usize {
+        if self.smoke {
+            2
+        } else {
+            8
+        }
+    }
+
+    /// B7 Zipf skew exponents.
+    fn b7_thetas(&self) -> &'static [f64] {
+        if self.smoke {
+            &[1.1]
+        } else {
+            &[0.9, 1.1, 1.3]
+        }
+    }
+
+    /// Requests per B7 run.
+    fn b7_requests(&self) -> usize {
+        if self.smoke {
+            1_000
+        } else {
+            10_000
+        }
+    }
+
+    /// Partition-plan epoch length for B7: short enough that the router
+    /// recomputes its plan several times within one run.
+    fn b7_epoch_len(&self) -> u64 {
+        if self.smoke {
+            256
+        } else {
+            1_024
+        }
+    }
 }
 
 /// One timed grid cell.
@@ -210,7 +254,8 @@ impl PerfConfig {
 pub struct BenchEntry {
     /// Grid group: `b1_zipf_policies`, `b2_waterfill_k_scaling`,
     /// `b3_fractional_levels`, `b4_offline_solvers`,
-    /// `b5_loopback_serve`, or `b6_storage_tiers`.
+    /// `b5_loopback_serve`, `b6_storage_tiers`, or
+    /// `b7_skew_partitioning`.
     pub group: String,
     /// Cell name, unique within the group (e.g. `lru/k128`).
     pub name: String,
@@ -551,6 +596,56 @@ fn b5_loopback_serve(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
     }
 }
 
+/// B7: skew-aware partitioning under Zipf skew. Every cell is the full
+/// pipelined loopback stack (as B5's `p32` cells), differing only in the
+/// offered skew `θ` and the router's partition mode. Comparing
+/// `hash/t1.1` against `replicate/t1.1` and `migrate/t1.1` answers the
+/// acceptance question directly: does spreading or moving the hot head
+/// of the distribution buy throughput once a single shard saturates?
+/// The measured per-shard imbalance for each cell is printed alongside
+/// the timing (it is a property of the run, not a wall-clock number).
+fn b7_skew_partitioning(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
+    let requests = cfg.b7_requests();
+    let shards = cfg.b7_shards();
+    for &theta in cfg.b7_thetas() {
+        for mode in ["hash", "replicate", "migrate"] {
+            let lg = LoadgenConfig {
+                conns: 4,
+                requests,
+                workload: Workload::Zipf { alpha: theta },
+                seed: TRACE_SEED + 30,
+                pages: 4_096,
+                levels: 3,
+                k: 512,
+                weight_seed: WEIGHT_SEED + 30,
+                policy: "landlord".into(),
+                shards,
+                partition: mode.into(),
+                epoch_len: cfg.b7_epoch_len(),
+                pipeline: 32,
+                ..LoadgenConfig::default()
+            };
+            let inst = wmlp_serve::default_instance(lg.pages, lg.levels, lg.k, lg.weight_seed)
+                .expect("B7 instance tuple is feasible");
+            let mut imbalance = 0.0f64;
+            let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+                let report = wmlp_loadgen::run(&lg).expect("B7 loopback run");
+                imbalance = report.totals.imbalance;
+                report
+            });
+            println!("b7_skew_partitioning {mode}/t{theta}: imbalance {imbalance:.2}");
+            entries.push(entry(
+                "b7_skew_partitioning",
+                format!("{mode}/t{theta}"),
+                mode,
+                &inst,
+                requests,
+                timing,
+            ));
+        }
+    }
+}
+
 /// B6 universe size: small enough that the warm set fits in one segment,
 /// large enough that the round-robin mixes never reuse a page within a
 /// batch of operations.
@@ -805,6 +900,7 @@ pub fn run_perf(cfg: &PerfConfig) -> BenchReport {
     b4_offline_solvers(cfg, &mut entries);
     b5_loopback_serve(cfg, &mut entries);
     b6_storage_tiers(cfg, &mut entries);
+    b7_skew_partitioning(cfg, &mut entries);
     BenchReport {
         schema_version: 1,
         config: cfg.clone(),
@@ -860,6 +956,18 @@ mod tests {
                     && e.name == cell
                     && e.throughput_rps > 0),
                 "B6 storage cell `{cell}` missing or zero-throughput"
+            );
+        }
+
+        for mode in ["hash", "replicate", "migrate"] {
+            assert!(
+                report
+                    .entries
+                    .iter()
+                    .any(|e| e.group == "b7_skew_partitioning"
+                        && e.policy == mode
+                        && e.throughput_rps > 0),
+                "B7 skew cell for `{mode}` missing or zero-throughput"
             );
         }
 

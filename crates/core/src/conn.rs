@@ -363,6 +363,7 @@ mod tests {
                     hits: 5,
                     hits_l1: 3,
                     queue_depth: 1,
+                    queue_hwm: 4,
                 }],
             }),
             Frame::Error {

@@ -22,7 +22,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  "WM" (0x57 0x4D)
-//! 2       1     version (currently 3)
+//! 2       1     version (currently 4)
 //! 3       1     opcode
 //! 4       4     payload length, u32 little-endian
 //! 8       len   payload
@@ -39,7 +39,10 @@
 //! PUT carries the written value bytes, SERVED carries the read value
 //! back (empty for writes), and STATS_REPLY splits hit counts per level
 //! (`hits_l1` alongside the aggregate `hits`, both totalled and
-//! per-shard); see PROTOCOL.md.
+//! per-shard). Version 4 widens each per-shard STATS_REPLY entry with a
+//! `queue_hwm` gauge (high-water mark of the shard's queue backlog), so
+//! queue imbalance under skewed load is visible from a single STATS
+//! probe; see PROTOCOL.md.
 //!
 //! Decoding is incremental and allocation-light: [`decode`] returns
 //! `Ok(None)` when the buffer holds only a *truncated* frame (read more
@@ -54,10 +57,11 @@ use crate::types::{Level, PageId, Weight};
 /// Frame magic, the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"WM";
 
-/// Current protocol version, byte 2 of every frame. Version 3 carries
-/// real value payloads on PUT/SERVED and per-level hit counts in
-/// STATS_REPLY (on top of version 2's pipelining and per-shard loads).
-pub const VERSION: u8 = 3;
+/// Current protocol version, byte 2 of every frame. Version 4 adds the
+/// per-shard `queue_hwm` gauge to STATS_REPLY (on top of version 3's
+/// value payloads and per-level hit counts, and version 2's pipelining
+/// and per-shard loads).
+pub const VERSION: u8 = 4;
 
 /// Header length in bytes (magic + version + opcode + payload length).
 pub const HEADER_LEN: usize = 8;
@@ -163,6 +167,11 @@ pub struct ShardLoad {
     /// Requests currently routed to this shard but not yet answered (its
     /// queue backlog plus any batch in progress) at snapshot time.
     pub queue_depth: u64,
+    /// High-water mark of `queue_depth` over the shard's lifetime,
+    /// sampled at both enqueue and batch-drain time (since protocol
+    /// version 4). A skewed workload shows up as one shard's mark far
+    /// above its siblings' even after the queues drain.
+    pub queue_hwm: u64,
 }
 
 /// The full STATS_REPLY payload: aggregate counters plus one
@@ -304,12 +313,12 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             out.extend_from_slice(value);
         }
         Frame::StatsReply(s) => {
-            // Aggregate (48 bytes) + shard count (u32) + 32 bytes/shard.
+            // Aggregate (48 bytes) + shard count (u32) + 40 bytes/shard.
             // The MAX_PAYLOAD cap bounds the shard count; anything beyond
             // it is clipped rather than emitting an undecodable frame.
-            let max_shards = (MAX_PAYLOAD as usize - 52) / 32;
+            let max_shards = (MAX_PAYLOAD as usize - 52) / 40;
             let shards = &s.shards[..s.shards.len().min(max_shards)];
-            push_header(out, opcode::STATS_REPLY, 52 + 32 * shards.len());
+            push_header(out, opcode::STATS_REPLY, 52 + 40 * shards.len());
             let t = &s.total;
             for v in [
                 t.requests,
@@ -323,7 +332,13 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             }
             out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
             for sh in shards {
-                for v in [sh.requests, sh.hits, sh.hits_l1, sh.queue_depth] {
+                for v in [
+                    sh.requests,
+                    sh.hits,
+                    sh.hits_l1,
+                    sh.queue_depth,
+                    sh.queue_hwm,
+                ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
             }
@@ -397,7 +412,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
         opcode::PUT => expect(len >= 8)?,
         opcode::STATS | opcode::SHUTDOWN | opcode::BYE => expect(len == 0)?,
         opcode::SERVED => expect(len >= 14)?,
-        opcode::STATS_REPLY => expect(len >= 52 && (len - 52) % 32 == 0)?,
+        opcode::STATS_REPLY => expect(len >= 52 && (len - 52) % 40 == 0)?,
         opcode::ERROR => expect(len >= 1)?,
         other => return Err(WireError::BadOpcode(other)),
     }
@@ -464,19 +479,20 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
                 cost: f(5)?,
             };
             let count = read_u32(&payload[48..]).ok_or(bad("missing shard count"))? as usize;
-            if payload.len() != 52 + 32 * count {
+            if payload.len() != 52 + 40 * count {
                 return Err(bad("shard count disagrees with payload length"));
             }
             let mut shards = Vec::with_capacity(count);
             for s in 0..count {
                 let g = |i: usize| {
-                    read_u64(&payload[52 + 32 * s + 8 * i..]).ok_or(bad("short shard load"))
+                    read_u64(&payload[52 + 40 * s + 8 * i..]).ok_or(bad("short shard load"))
                 };
                 shards.push(ShardLoad {
                     requests: g(0)?,
                     hits: g(1)?,
                     hits_l1: g(2)?,
                     queue_depth: g(3)?,
+                    queue_hwm: g(4)?,
                 });
             }
             Frame::StatsReply(StatsPayload { total, shards })
@@ -565,12 +581,14 @@ mod tests {
                         hits: 3,
                         hits_l1: 2,
                         queue_depth: 2,
+                        queue_hwm: 5,
                     },
                     ShardLoad {
                         requests: 3,
                         hits: 1,
                         hits_l1: 0,
                         queue_depth: 0,
+                        queue_hwm: 1,
                     },
                 ],
             }),

@@ -145,14 +145,19 @@ impl FileScope {
     }
 }
 
-/// Crates whose output feeds manifests/CSV tables: D1 applies.
-const D1_CRATES: &[&str] = &["core", "sim", "algos", "offline"];
+/// Crates whose output feeds manifests/CSV tables: D1 applies. The
+/// router is here because its partition-plan traces are pinned into
+/// replay manifests — iteration order over its override maps is
+/// byte-visible output.
+const D1_CRATES: &[&str] = &["core", "sim", "algos", "offline", "router"];
 /// Path-scoped D1 extensions outside those crates: the bench-side OPT
 /// memo cache hands values straight to manifest-producing experiments, so
 /// it must stay `BTreeMap`-only even though the rest of `bench` is exempt.
 const D1_EXTRA_PATHS: &[&str] = &["crates/bench/src/opt.rs"];
-/// Crates whose library code must be panic-free: P1 applies.
-const P1_CRATES: &[&str] = &["core", "sim", "algos", "flow", "lp", "store"];
+/// Crates whose library code must be panic-free: P1 applies. The router
+/// sits on the per-request serving path, so a panic there takes the
+/// whole server's routing thread down.
+const P1_CRATES: &[&str] = &["core", "sim", "algos", "flow", "lp", "store", "router"];
 /// Path prefixes allowed to read wall clocks: the benchmark timing loops,
 /// whose whole purpose is measuring elapsed time. Everything else —
 /// including the rest of the `bench` crate — needs a reasoned inline D2
@@ -171,7 +176,7 @@ const D2_ALLOWED_PATHS: &[&str] = &[
 ];
 /// Crates whose threads must be spawned through the named-thread helper
 /// (`wmlp_check::thread::spawn_named`): C4 applies.
-const C4_CRATES: &[&str] = &["serve", "loadgen"];
+const C4_CRATES: &[&str] = &["serve", "loadgen", "router"];
 /// The `std::sync::atomic::Ordering` variants C3 recognises. (`cmp::
 /// Ordering` variants — `Less`/`Equal`/`Greater` — are not in this list,
 /// so comparison code never trips the rule.)

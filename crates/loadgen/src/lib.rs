@@ -113,6 +113,16 @@ pub struct LoadgenConfig {
     pub policy: String,
     /// Shard count for a spawned server (recorded either way).
     pub shards: usize,
+    /// Partition mode for a spawned server: `"hash"`, `"replicate"`, or
+    /// `"migrate"` (recorded either way).
+    pub partition: String,
+    /// Hot-key detector capacity for a spawned server's router.
+    pub detector_capacity: usize,
+    /// Hot-key override budget per epoch for a spawned server's router.
+    pub hot_k: usize,
+    /// Requests per partition-plan epoch for a spawned server's router
+    /// (0 = never recompute).
+    pub epoch_len: u64,
     /// Per-connection in-flight window; 1 = classic closed-loop, > 1 =
     /// pipelined.
     pub pipeline: usize,
@@ -144,6 +154,10 @@ impl Default for LoadgenConfig {
             weight_seed: 7,
             policy: "lru".into(),
             shards: 4,
+            partition: "hash".into(),
+            detector_capacity: 256,
+            hot_k: 64,
+            epoch_len: 4096,
             pipeline: 1,
             rate: 0.0,
             sweep: Vec::new(),
@@ -165,6 +179,29 @@ impl LoadgenConfig {
             ..LoadgenConfig::default()
         }
     }
+}
+
+/// Theoretical fraction of a Zipf(`theta`) request stream landing on the
+/// `m` most popular of `n` pages: `H(m, theta) / H(n, theta)` with
+/// `H(x, t) = sum_{i=1..x} i^-t`. This is the head mass a hot-key
+/// detector is chasing — at `theta` ≈ 1 the top handful of pages carry a
+/// constant fraction of all traffic no matter how large `n` grows, which
+/// is exactly why hash placement alone cannot balance a skewed stream.
+pub fn zipf_head_mass(n: usize, theta: f64, m: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let m = m.min(n);
+    let mut head = 0.0;
+    let mut total = 0.0;
+    for i in 1..=n {
+        let w = (i as f64).powf(-theta);
+        total += w;
+        if i <= m {
+            head += w;
+        }
+    }
+    head / total
 }
 
 /// What one wave of connections (the main run, or one sweep point)
@@ -298,6 +335,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
                     queue_depth: 64,
                     policy: cfg.policy.clone(),
                     seed: cfg.seed,
+                    partition: cfg.partition.clone(),
+                    detector_capacity: cfg.detector_capacity,
+                    hot_k: cfg.hot_k,
+                    epoch_len: cfg.epoch_len,
                     ..ServeConfig::default()
                 },
             )
@@ -353,6 +394,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
         handle.shutdown_and_join();
     }
 
+    // The skew summary comes from the server's per-shard counters: they
+    // see what actually landed on each worker after the router's
+    // replicate/migrate decisions, which the client cannot observe.
+    let per_shard_requests: Vec<u64> = server_stats.shards.iter().map(|s| s.requests).collect();
+    main.totals.set_shard_share(&per_shard_requests);
+    let throughput_rps = main.throughput_rps();
+
     Ok(ServeReport {
         schema_version: SCHEMA_VERSION,
         protocol_version: wmlp_core::wire::VERSION as u32,
@@ -364,6 +412,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
             workload: cfg.workload.label(),
             policy: cfg.policy.clone(),
             shards: cfg.shards as u64,
+            partition: cfg.partition.clone(),
             conns: conns as u64,
             pipeline: cfg.pipeline.max(1) as u64,
             rate_rps: cfg.rate.max(0.0),
@@ -375,11 +424,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
             seed: cfg.seed,
             weight_seed: cfg.weight_seed,
         },
-        totals: main.totals,
         latency: LatencySummary::from_histogram(&main.hist),
         send_lag: LatencySummary::from_histogram(&main.send_lag),
         wall_nanos: main.wall_nanos,
-        throughput_rps: main.throughput_rps(),
+        throughput_rps,
+        totals: main.totals,
         sweep,
         server: server_stats.into(),
         client_errors,
@@ -456,10 +505,70 @@ mod tests {
         assert_eq!(report.config.pipeline, 1);
         assert_eq!(report.send_lag.count, 0);
         assert!(report.sweep.is_empty());
-        // Per-shard load triples cover the spawned server's shards.
+        // Per-shard load entries cover the spawned server's shards.
         assert_eq!(report.server.per_shard.len(), 2);
         let per_shard_reqs: u64 = report.server.per_shard.iter().map(|s| s.requests).sum();
         assert_eq!(per_shard_reqs, 500);
+        // The skew summary is filled in from those same counters.
+        assert_eq!(report.totals.shard_share.len(), 2);
+        let share_sum: f64 = report.totals.shard_share.iter().sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        assert!(report.totals.imbalance >= 1.0);
+        assert_eq!(report.config.partition, "hash");
+        // Work flowed through the queues, so every shard saw depth ≥ 1
+        // at some point.
+        assert!(report.server.per_shard.iter().all(|s| s.queue_hwm >= 1));
+    }
+
+    /// A skewed stream through a replicating router: every request still
+    /// gets exactly one reply (fan-out PUTs are acked once, from the
+    /// home copy), the report records the mode, and spreading hot-key
+    /// reads strictly lowers the max/mean shard imbalance versus hash.
+    #[test]
+    fn replicated_run_reports_partition_and_lower_imbalance() {
+        let base = LoadgenConfig {
+            requests: 3_000,
+            conns: 2,
+            shards: 4,
+            pages: 1_024,
+            k: 128,
+            workload: Workload::Zipf { alpha: 1.3 },
+            // Several epoch boundaries inside the 3 000-request run, so
+            // the router actually adapts to the stream it is seeing.
+            epoch_len: 500,
+            ..LoadgenConfig::default()
+        };
+        let hash = run(&base).unwrap();
+        let replicated = run(&LoadgenConfig {
+            partition: "replicate".into(),
+            ..base
+        })
+        .unwrap();
+        assert_eq!(hash.config.partition, "hash");
+        assert_eq!(replicated.config.partition, "replicate");
+        assert_eq!(replicated.totals.errors, 0);
+        assert_eq!(replicated.totals.sent, 3_000);
+        assert!(replicated.client_errors.is_empty());
+        // θ=1.3 on 4 shards leaves hash badly skewed; spreading hot-key
+        // reads must strictly lower max/mean.
+        assert!(hash.totals.imbalance > 1.2, "{}", hash.totals.imbalance);
+        assert!(
+            replicated.totals.imbalance < hash.totals.imbalance,
+            "replicate {} !< hash {}",
+            replicated.totals.imbalance,
+            hash.totals.imbalance
+        );
+    }
+
+    #[test]
+    fn zipf_head_mass_is_monotone_and_bounded() {
+        let m64 = zipf_head_mass(16_384, 1.1, 64);
+        assert!(m64 > 0.0 && m64 < 1.0);
+        assert!(zipf_head_mass(16_384, 1.1, 128) > m64);
+        // More skew concentrates more mass in the same head.
+        assert!(zipf_head_mass(16_384, 1.3, 64) > m64);
+        assert_eq!(zipf_head_mass(16_384, 1.1, 16_384), 1.0);
+        assert_eq!(zipf_head_mass(0, 1.1, 64), 0.0);
     }
 
     /// Pipelined and closed-loop runs see the same deterministic request

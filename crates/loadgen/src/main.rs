@@ -8,6 +8,11 @@
 //! # self-contained: spawn an in-process server on a loopback port
 //! wmlp-loadgen --spawn --policy "landlord(eta=0.5)" --shards 8
 //!
+//! # skewed workload against a skew-aware server; the report records
+//! # per-shard request shares and the max/mean imbalance
+//! wmlp-loadgen --spawn --workload zipf --alpha 1.1 --shards 8 \
+//!              --partition migrate --out SERVE.json
+//!
 //! # pipelined: keep up to 64 requests in flight per connection
 //! wmlp-loadgen --spawn --conns 8 --pipeline 64
 //!
@@ -21,7 +26,7 @@
 //! wmlp-loadgen --smoke --pipeline 16 --out SERVE.json
 //! ```
 
-use wmlp_loadgen::{run, LoadgenConfig, Workload};
+use wmlp_loadgen::{run, zipf_head_mass, LoadgenConfig, Workload};
 use wmlp_serve::cli::{flag, flag_parse, switch};
 
 fn fail(msg: &str) -> ! {
@@ -64,6 +69,12 @@ fn main() {
         weight_seed: flag_parse(&args, "--weight-seed", base.weight_seed),
         policy: flag(&args, "--policy").unwrap_or(&base.policy).to_string(),
         shards: flag_parse(&args, "--shards", base.shards),
+        partition: flag(&args, "--partition")
+            .unwrap_or(&base.partition)
+            .to_string(),
+        detector_capacity: flag_parse(&args, "--detector", base.detector_capacity),
+        hot_k: flag_parse(&args, "--hot-k", base.hot_k),
+        epoch_len: flag_parse(&args, "--epoch-len", base.epoch_len),
         pipeline: flag_parse(&args, "--pipeline", base.pipeline),
         rate: flag_parse(&args, "--rate", base.rate),
         sweep: match flag(&args, "--sweep") {
@@ -81,6 +92,21 @@ fn main() {
         shutdown: !switch(&args, "--no-shutdown"),
     };
 
+    // For Zipf-family workloads, say up front how concentrated the
+    // offered stream is in theory — the yardstick the measured per-shard
+    // imbalance should be read against.
+    match cfg.workload {
+        Workload::Zipf { alpha } | Workload::Writeback { alpha, .. } => {
+            let head = cfg.shards.max(1).min(cfg.pages);
+            println!(
+                "zipf theta={alpha}: top-{head} of {} pages carry {:.1}% of requests in theory",
+                cfg.pages,
+                100.0 * zipf_head_mass(cfg.pages, alpha, head)
+            );
+        }
+        Workload::Cyclic => {}
+    }
+
     let report = match run(&cfg) {
         Ok(r) => r,
         Err(e) => fail(&e),
@@ -94,7 +120,7 @@ fn main() {
         eprintln!("wmlp-loadgen: connection failed ({}): {}", e.kind, e.detail);
     }
     println!(
-        "{} served / {} errors | p50 {}ns p95 {}ns p99 {}ns max {}ns | {:.0} req/s | shutdown {}",
+        "{} served / {} errors | p50 {}ns p95 {}ns p99 {}ns max {}ns | {:.0} req/s | imbalance {:.2} ({}) | shutdown {}",
         report.totals.sent,
         report.totals.errors,
         report.latency.p50,
@@ -102,6 +128,8 @@ fn main() {
         report.latency.p99,
         report.latency.max,
         report.throughput_rps,
+        report.totals.imbalance,
+        report.config.partition,
         if report.shutdown_clean {
             "clean"
         } else {

@@ -1,17 +1,18 @@
 //! The SERVE.json report schema.
 //!
 //! A load run emits exactly one [`ServeReport`], serialized with the
-//! workspace serde shim. Schema (`schema_version` 3):
+//! workspace serde shim. Schema (`schema_version` 4):
 //!
 //! ```text
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "protocol_version": u64, // wire protocol the client spoke
 //!   "config": {             // what was run (replayable part)
 //!     "addr": str,          // server address ("in-process" when spawned)
 //!     "workload": str,      // "zipf(alpha=0.9)" | "cyclic" | "writeback(q=0.3)"
 //!     "policy": str,        // server policy spec (informational)
 //!     "shards": u64,        // server shard count (informational)
+//!     "partition": str,     // "hash" | "replicate" | "migrate"
 //!     "conns": u64,         // client connections
 //!     "pipeline": u64,      // per-connection in-flight window (1 = closed-loop)
 //!     "rate_rps": f64,      // open-loop target arrival rate (0 = unpaced)
@@ -26,7 +27,9 @@
 //!     "hits_l1": u64,       // ... hits served from the level-1 (warm) tier
 //!     "errors": u64,        // Error replies (any code)
 //!     "cost": u64,          // sum of reported fetch costs
-//!     "value_bytes": u64    // value payload bytes read back in Served replies
+//!     "value_bytes": u64,   // value payload bytes read back in Served replies
+//!     "shard_share": [f64], // per-shard fraction of all served requests
+//!     "imbalance": f64      // max shard share / mean shard share (1.0 = even)
 //!   },
 //!   "latency": {            // per-request, nanoseconds: closed-loop
 //!     "count": u64,         // round-trips, or intended-start → completion
@@ -45,9 +48,9 @@
 //!   "server": {             // final STATS reply from the server
 //!     "requests": u64, "hits": u64, "hits_l1": u64, "fetches": u64,
 //!     "evictions": u64, "cost": u64,
-//!     "per_shard": [        // protocol-v3 per-shard load quads
+//!     "per_shard": [        // protocol-v4 per-shard load entries
 //!       { "requests": u64, "hits": u64, "hits_l1": u64,
-//!         "queue_depth": u64 }, ...
+//!         "queue_depth": u64, "queue_hwm": u64 }, ...
 //!     ]
 //!   },
 //!   "client_errors": [      // typed per-connection transport failures
@@ -73,6 +76,14 @@
 //! `client_errors` (a run no longer aborts when one connection dies —
 //! the failure is classified and reported instead).
 //!
+//! **v3 → v4**: the server grew skew-aware partitioning (a router that
+//! can replicate or migrate hot keys) and queue high-water marks.
+//! Added `config.partition`, `totals.shard_share`, `totals.imbalance`,
+//! and `queue_hwm` in each `server.per_shard` entry. Shard shares and
+//! imbalance are computed from the server's per-shard STATS counters at
+//! the end of the run, so they cover everything the server served
+//! (including sweep replays).
+//!
 //! Everything under `latency`, `send_lag`, `wall_nanos`,
 //! `throughput_rps` and `sweep` is machine-dependent; everything else is
 //! deterministic for a fixed config.
@@ -92,6 +103,9 @@ pub struct ReportConfig {
     pub policy: String,
     /// Server shard count (informational).
     pub shards: u64,
+    /// Partition mode of a spawned server: `"hash"`, `"replicate"`, or
+    /// `"migrate"` (informational for an external server).
+    pub partition: String,
     /// Concurrent client connections.
     pub conns: u64,
     /// Per-connection in-flight window (1 = closed-loop).
@@ -115,8 +129,8 @@ pub struct ReportConfig {
     pub weight_seed: u64,
 }
 
-/// Client-side outcome counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Client-side outcome counts, plus the run-level skew summary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Totals {
     /// Requests answered with a `Served` frame.
     pub sent: u64,
@@ -130,10 +144,20 @@ pub struct Totals {
     pub cost: u64,
     /// Value payload bytes carried back in `Served` replies.
     pub value_bytes: u64,
+    /// Per-shard fraction of all served requests, in shard order
+    /// (computed from the server's final per-shard STATS counters;
+    /// empty until the run ends).
+    pub shard_share: Vec<f64>,
+    /// Max shard share over mean shard share (1.0 = perfectly even;
+    /// `shards` = everything on one shard).
+    pub imbalance: f64,
 }
 
 impl Totals {
-    /// Accumulate another connection's totals into this one.
+    /// Accumulate another connection's totals into this one. The skew
+    /// summary (`shard_share`, `imbalance`) is a run-level quantity
+    /// derived from server counters, not a per-connection one, so it is
+    /// deliberately not merged here.
     pub fn merge(&mut self, other: &Totals) {
         self.sent += other.sent;
         self.hits += other.hits;
@@ -141,6 +165,23 @@ impl Totals {
         self.errors += other.errors;
         self.cost += other.cost;
         self.value_bytes += other.value_bytes;
+    }
+
+    /// Fill in the skew summary from final per-shard request counts.
+    pub fn set_shard_share(&mut self, per_shard_requests: &[u64]) {
+        let total: u64 = per_shard_requests.iter().sum();
+        if total == 0 || per_shard_requests.is_empty() {
+            self.shard_share = vec![0.0; per_shard_requests.len()];
+            self.imbalance = 0.0;
+            return;
+        }
+        self.shard_share = per_shard_requests
+            .iter()
+            .map(|&r| r as f64 / total as f64)
+            .collect();
+        let mean = total as f64 / per_shard_requests.len() as f64;
+        let max = per_shard_requests.iter().copied().max().unwrap_or(0) as f64;
+        self.imbalance = max / mean;
     }
 }
 
@@ -189,7 +230,7 @@ impl LatencySummary {
     }
 }
 
-/// One shard's load triple, mirrored from the protocol-v2 STATS reply.
+/// One shard's load entry, mirrored from the protocol-v4 STATS reply.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardLoadStats {
     /// Requests this shard served.
@@ -200,6 +241,9 @@ pub struct ShardLoadStats {
     pub hits_l1: u64,
     /// Requests routed but unanswered at snapshot time.
     pub queue_depth: u64,
+    /// High-water mark of the shard's input queue depth, sampled at
+    /// enqueue and batch-drain time (protocol v4).
+    pub queue_hwm: u64,
 }
 
 /// One point of the throughput-vs-latency sweep: an open-loop run at
@@ -257,6 +301,7 @@ impl From<StatsPayload> for ServerStats {
                     hits: sh.hits,
                     hits_l1: sh.hits_l1,
                     queue_depth: sh.queue_depth,
+                    queue_hwm: sh.queue_hwm,
                 })
                 .collect(),
         }
@@ -298,9 +343,10 @@ pub struct ServeReport {
 
 /// Current `schema_version` written by this crate. Bumped 1 → 2 when the
 /// pipelined/open-loop loadgen landed, 2 → 3 when the wire protocol grew
-/// value payloads and per-level hit accounting; see the module docs for
-/// the field diffs.
-pub const SCHEMA_VERSION: u32 = 3;
+/// value payloads and per-level hit accounting, 3 → 4 when skew-aware
+/// partitioning and queue high-water marks landed; see the module docs
+/// for the field diffs.
+pub const SCHEMA_VERSION: u32 = 4;
 
 impl ServeReport {
     /// Pretty-printed JSON (the SERVE.json bytes).
@@ -325,12 +371,13 @@ mod tests {
         }
         ServeReport {
             schema_version: SCHEMA_VERSION,
-            protocol_version: 3,
+            protocol_version: 4,
             config: ReportConfig {
                 addr: "in-process".into(),
                 workload: "zipf(alpha=0.9)".into(),
                 policy: "landlord".into(),
                 shards: 8,
+                partition: "replicate".into(),
                 conns: 4,
                 pipeline: 32,
                 rate_rps: 50_000.0,
@@ -349,6 +396,8 @@ mod tests {
                 errors: 0,
                 cost: 91,
                 value_bytes: 320,
+                shard_share: vec![0.6, 0.4],
+                imbalance: 1.2,
             },
             latency: LatencySummary::from_histogram(&h),
             send_lag: LatencySummary::default(),
@@ -375,12 +424,14 @@ mod tests {
                         hits: 1,
                         hits_l1: 1,
                         queue_depth: 0,
+                        queue_hwm: 2,
                     },
                     ShardLoadStats {
                         requests: 2,
                         hits: 1,
                         hits_l1: 0,
                         queue_depth: 0,
+                        queue_hwm: 1,
                     },
                 ],
             },
@@ -397,6 +448,22 @@ mod tests {
         let r = sample();
         let back = ServeReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn shard_share_and_imbalance_from_counts() {
+        let mut t = Totals::default();
+        t.set_shard_share(&[30, 10, 10, 10]);
+        assert_eq!(t.shard_share, vec![0.5, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0]);
+        // max 30 / mean 15 = 2.0
+        assert!((t.imbalance - 2.0).abs() < 1e-12);
+        // A perfectly even split is exactly 1.0.
+        t.set_shard_share(&[5, 5, 5, 5]);
+        assert!((t.imbalance - 1.0).abs() < 1e-12);
+        // No traffic degenerates to zeros, not NaN.
+        t.set_shard_share(&[0, 0]);
+        assert_eq!(t.shard_share, vec![0.0, 0.0]);
+        assert_eq!(t.imbalance, 0.0);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Router hot-path microbenchmark: ns/route for bare hash routing vs
+//! the full skew-aware path (detector sample + override lookup) on a
+//! seeded Zipf(1.1) page stream. Run with
+//! `cargo run --release -p wmlp-router --example bench_observe`; the
+//! numbers back the sampling-stride discussion in EXPERIMENTS.md (B7).
+
+use std::time::Instant;
+use wmlp_router::{PartitionMode, PartitionSpec, Partitioner};
+
+fn main() {
+    let n = 4096usize;
+    let theta = 1.1f64;
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for i in 1..=n {
+        acc += (i as f64).powf(-theta);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut x = 42u64;
+    let mut rng = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pages: Vec<u32> = (0..1_000_000)
+        .map(|_| {
+            let u = rng() * total;
+            cdf.partition_point(|&c| c < u) as u32
+        })
+        .collect();
+    for mode in [PartitionMode::Hash, PartitionMode::Migrate] {
+        let spec = PartitionSpec {
+            epoch_len: 1024,
+            ..PartitionSpec::new(mode, 8)
+        };
+        let mut p = Partitioner::new(spec);
+        // lint:allow(D2): microbenchmark — wall time is the output,
+        // printed to stderr, never serialized.
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for &pg in &pages {
+            if p.epoch_due() {
+                p.advance_epoch();
+            }
+            acc += match p.route(pg, false) {
+                wmlp_router::Route::One(s) => s,
+                _ => 0,
+            };
+        }
+        let el = t.elapsed();
+        println!(
+            "{mode:?}: {:.1} ns/route (sum {acc})",
+            el.as_nanos() as f64 / pages.len() as f64
+        );
+    }
+}

@@ -9,14 +9,17 @@
 //!
 //! * [`spsc`] — the bounded single-producer/single-consumer rings feeding
 //!   each shard worker.
-//! * [`shard`] — the page → shard map, per-shard instance splitting, the
-//!   worker loop, and lock-free stat counters.
+//! * [`shard`] — full-universe per-shard instances, the worker loop
+//!   (with epoch drain markers and replicated-PUT fan-out acks), and
+//!   lock-free stat counters.
 //! * [`window`] — the per-connection in-flight window bounding pipelined
 //!   requests awaiting responses.
 //! * [`reorder`] — the sequence-order reorder buffer connection writers
 //!   drain shard replies through.
 //! * [`server`] — acceptor, per-connection reader/writer thread pairs
-//!   with pipelined in-order replies, the router, graceful shutdown with
+//!   with pipelined in-order replies, the skew-aware router (a
+//!   `wmlp-router` [`wmlp_router::Partitioner`] deciding hash /
+//!   replicate / migrate placement per request), graceful shutdown with
 //!   in-flight draining, and the [`server::ServerHandle`] lifecycle.
 //!
 //! All synchronisation (and thread spawning) goes through the
@@ -41,9 +44,9 @@ pub mod shard;
 pub mod spsc;
 pub mod window;
 
-pub use replay::replay_manifest;
+pub use replay::{replay_manifest, replay_manifest_with_plan};
 pub use server::{start, ServeConfig, ServeError, ServerHandle};
-pub use shard::{shard_instances, ShardMap, ShardStats};
+pub use shard::{shard_instances, FanoutAck, ReplyTo, ShardJob, ShardMap, ShardMsg, ShardStats};
 
 use wmlp_core::instance::MlInstance;
 use wmlp_workloads::ml_rows_geometric;

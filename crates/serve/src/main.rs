@@ -13,6 +13,11 @@
 //!
 //! # canonical replay: single engine, byte-stable JSON manifest
 //! wmlp-serve --replay trace.txt --policy lru --out manifest.json
+//!
+//! # skew-aware partitioning: hot keys replicated (or migrated) at
+//! # request-count epochs; replay pins the derived plan in the manifest
+//! wmlp-serve --partition replicate --hot-k 64 --epoch-len 4096 ...
+//! wmlp-serve --replay trace.txt --partition migrate --plan-shards 8 ...
 //! ```
 //!
 //! The instance is read from `--instance <file>` (wmlp-instance v1
@@ -24,8 +29,9 @@ use std::sync::Arc;
 
 use wmlp_core::codec;
 use wmlp_core::instance::MlInstance;
+use wmlp_router::{PartitionMode, PartitionSpec};
 use wmlp_serve::cli::{flag, flag_parse};
-use wmlp_serve::{default_instance, replay_manifest, server, ServeConfig};
+use wmlp_serve::{default_instance, replay_manifest_with_plan, server, ServeConfig};
 use wmlp_store::RecoverMode;
 
 fn fail(msg: &str) -> ! {
@@ -74,7 +80,24 @@ fn main() {
         if let Err(e) = inst.validate_trace(&trace) {
             fail(&format!("--replay {trace_path}: {e}"));
         }
-        let json = match replay_manifest(inst, trace, &policy, seed) {
+        // A non-hash --partition pins the derived plan in the manifest.
+        // The plan's shard count comes from --plan-shards (default 8),
+        // NOT --shards, so pinned manifests stay byte-identical no
+        // matter how many shards the live server would run.
+        let plan = match flag(&args, "--partition").unwrap_or("hash") {
+            "hash" => None,
+            other => match PartitionMode::parse(other) {
+                Ok(mode) => Some(PartitionSpec {
+                    shards: flag_parse(&args, "--plan-shards", 8usize).max(1),
+                    detector_capacity: flag_parse(&args, "--detector", 256usize).max(1),
+                    hot_k: flag_parse(&args, "--hot-k", 64usize),
+                    epoch_len: flag_parse(&args, "--epoch-len", 4096u64),
+                    ..PartitionSpec::new(mode, 8)
+                }),
+                Err(e) => fail(&e),
+            },
+        };
+        let json = match replay_manifest_with_plan(inst, trace, &policy, seed, plan) {
             Ok(j) => j,
             Err(e) => fail(&e),
         };
@@ -106,6 +129,10 @@ fn main() {
         store_dir: flag(&args, "--store").map(str::to_string),
         recover,
         value_size: flag_parse(&args, "--value-size", 64usize),
+        partition: flag(&args, "--partition").unwrap_or("hash").to_string(),
+        detector_capacity: flag_parse(&args, "--detector", 256usize),
+        hot_k: flag_parse(&args, "--hot-k", 64usize),
+        epoch_len: flag_parse(&args, "--epoch-len", 4096u64),
     };
     let handle = match server::start(inst, &cfg) {
         Ok(h) => h,

@@ -8,11 +8,22 @@
 //! different machines, and different `--shards` values all produce
 //! byte-identical bytes. This is the ground truth a sharded deployment
 //! can be audited against.
+//!
+//! With a pinned [`PartitionSpec`] (`--partition replicate|migrate` plus
+//! `--plan-shards`), the replay additionally re-derives the partition
+//! plan trace the skew-aware router would have produced for this request
+//! stream — epochs are counted in requests, the detector holds no clock
+//! or entropy, so the trace is a pure function of (trace, spec) — and
+//! appends it as a `"partition"` section in the manifest. The spec
+//! carries its *own* shard count (`--plan-shards`, independent of
+//! `--shards`), so the pinned manifest stays byte-identical whether the
+//! server would have run 1, 2, or 8 shards.
 
 use std::sync::Arc;
 
 use wmlp_algos::PolicyRegistry;
 use wmlp_core::instance::{MlInstance, Request};
+use wmlp_router::{Override, PartitionSpec, Partitioner};
 use wmlp_sim::runner::{Runner, Scenario};
 
 /// Run `trace` through `policy` on one engine and return the canonical
@@ -24,6 +35,35 @@ pub fn replay_manifest(
     policy: &str,
     seed: u64,
 ) -> Result<String, String> {
+    replay_manifest_with_plan(inst, trace, policy, seed, None)
+}
+
+/// [`replay_manifest`], optionally pinning the partition plan a
+/// skew-aware router would derive from this trace under `plan`. With
+/// `None` the output is byte-identical to [`replay_manifest`].
+pub fn replay_manifest_with_plan(
+    inst: Arc<MlInstance>,
+    trace: Vec<Request>,
+    policy: &str,
+    seed: u64,
+    plan: Option<PartitionSpec>,
+) -> Result<String, String> {
+    // Pin the plan first: feed the whole trace through a trace-recording
+    // partitioner exactly as the serve router would (epoch check before
+    // each route), before the trace moves into the scenario.
+    let partition = plan.map(|spec| {
+        let mut partitioner = Partitioner::with_trace(spec);
+        for req in &trace {
+            if partitioner.epoch_due() {
+                partitioner.advance_epoch();
+            }
+            // Level-1 requests are PUTs on the wire; the plan's
+            // read/write split must see the same ops the live router
+            // would.
+            partitioner.route(req.page, req.level == 1);
+        }
+        partition_section(&partitioner)
+    });
     let registry = PolicyRegistry::standard();
     let runner = Runner::new(
         |spec: &str, inst: &MlInstance, seed: u64| -> Result<_, String> {
@@ -36,7 +76,61 @@ pub fn replay_manifest(
     let manifest = runner
         .run("replay", &[scenario])
         .map_err(|e| e.to_string())?;
-    Ok(manifest.canonical().to_json())
+    let canonical = manifest.canonical();
+    Ok(match partition {
+        None => canonical.to_json(),
+        Some(section) => canonical.to_json_with(vec![("partition".to_string(), section)]),
+    })
+}
+
+/// The manifest's `"partition"` section: the pinned spec plus every
+/// epoch's full override set, all derived from request counts.
+fn partition_section(partitioner: &Partitioner) -> serde::Value {
+    use serde::{Serialize, Value};
+    let spec = partitioner.spec();
+    let epochs: Vec<Value> = partitioner
+        .trace()
+        .iter()
+        .map(|entry| {
+            let overrides: Vec<Value> = entry
+                .overrides
+                .iter()
+                .map(|(page, ov)| {
+                    let mut fields = vec![("page".to_string(), page.to_value())];
+                    match ov {
+                        Override::Replicated => {
+                            fields.push(("override".to_string(), Value::Str("replicated".into())));
+                        }
+                        Override::Moved(shard) => {
+                            fields.push(("override".to_string(), Value::Str("moved".into())));
+                            fields.push(("shard".to_string(), shard.to_value()));
+                        }
+                    }
+                    Value::Object(fields)
+                })
+                .collect();
+            Value::Object(vec![
+                ("epoch".to_string(), entry.epoch.to_value()),
+                ("at_request".to_string(), entry.at_request.to_value()),
+                ("overrides".to_string(), Value::Array(overrides)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "mode".to_string(),
+            Value::Str(spec.mode.label().to_string()),
+        ),
+        ("plan_shards".to_string(), spec.shards.to_value()),
+        (
+            "detector_capacity".to_string(),
+            spec.detector_capacity.to_value(),
+        ),
+        ("hot_k".to_string(), spec.hot_k.to_value()),
+        ("epoch_len".to_string(), spec.epoch_len.to_value()),
+        ("sample_every".to_string(), spec.sample_every.to_value()),
+        ("epochs".to_string(), Value::Array(epochs)),
+    ])
 }
 
 #[cfg(test)]
@@ -66,5 +160,35 @@ mod tests {
         let (inst, trace) = setup();
         let err = replay_manifest(inst, trace, "definitely-not-a-policy", 0).unwrap_err();
         assert!(err.contains("definitely-not-a-policy"), "{err}");
+    }
+
+    #[test]
+    fn pinned_plan_extends_the_manifest_without_perturbing_it() {
+        use wmlp_router::{PartitionMode, PartitionSpec};
+        let (inst, trace) = setup();
+        let plain = replay_manifest(Arc::clone(&inst), trace.clone(), "lru", 0).unwrap();
+        let spec = PartitionSpec {
+            epoch_len: 100,
+            ..PartitionSpec::new(PartitionMode::Migrate, 8)
+        };
+        let pinned = replay_manifest_with_plan(
+            Arc::clone(&inst),
+            trace.clone(),
+            "lru",
+            0,
+            Some(spec.clone()),
+        )
+        .unwrap();
+        // The pinned run is itself deterministic and strictly additive.
+        let again = replay_manifest_with_plan(inst, trace, "lru", 0, Some(spec)).unwrap();
+        assert_eq!(pinned, again);
+        assert_ne!(pinned, plain);
+        assert!(pinned.contains("\"partition\""));
+        assert!(pinned.contains("\"plan_shards\": 8"));
+        // 400 requests at epoch_len 100 → epochs advanced past 1.
+        assert!(pinned.contains("\"at_request\": 100"));
+        let doc = serde::json::parse(&pinned).unwrap();
+        assert!(doc.field("partition").is_ok());
+        assert!(doc.field("runs").is_ok());
     }
 }

@@ -8,9 +8,11 @@
 //!
 //! ```text
 //! acceptor ──spawns──▶ connection reader + writer thread pairs
-//!                         │  (shard_idx, ShardJob) over a shared mpsc
+//!                         │  ShardJob (global page ids) over a shared mpsc
 //!                         ▼
-//!                      router ──SPSC ring per shard──▶ shard workers
+//!                      router (owns the Partitioner)
+//!                         │  consults the partition plan per job
+//!                         ├──SPSC ring per shard──▶ shard workers
 //!                         ▲                                │
 //!                         └── per-connection reply mpsc ◀──┘
 //! ```
@@ -27,6 +29,17 @@
 //! rings be true SPSC with blocking backpressure, and shards drain a
 //! batch of jobs per ring wakeup into [`wmlp_sim::engine::
 //! SimSession::step_batch`].
+//!
+//! The router owns the skew-aware [`Partitioner`] (`wmlp-router`): under
+//! `--partition replicate|migrate` it feeds every routed page to the
+//! hot-key detector, and at epoch boundaries (counted in routed
+//! requests, never wall time) recomputes per-key overrides. When the
+//! override set changes, the router pushes a [`ShardMsg::Drain`] marker
+//! down every ring and blocks on a [`DrainGate`] until all shards have
+//! served everything routed under the old plan — so a key's requests
+//! are never reordered by a re-homing. Replicated PUTs fan out to every
+//! shard through a [`FanoutAck`] that forwards the home shard's reply
+//! only after the last replica has written.
 //!
 //! Graceful shutdown (a SHUTDOWN frame or [`ServerHandle::shutdown`])
 //! sets a flag, wakes the acceptor with a loopback connection, and
@@ -52,10 +65,13 @@ use wmlp_core::conn::{ConnError, FrameReader};
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::storage::{SimStorage, Storage};
 use wmlp_core::wire::{encode, ErrorCode, Frame, WireStats};
+use wmlp_router::{DrainGate, PartitionMode, PartitionSpec, Partitioner, Route};
 use wmlp_store::{RecoverMode, SegmentStore, StoreOptions};
 
 use crate::reorder::Reorder;
-use crate::shard::{run_shard, shard_instances, ShardJob, ShardMap, ShardStats};
+use crate::shard::{
+    run_shard, shard_instances, FanoutAck, ReplyTo, ShardJob, ShardMsg, ShardStats,
+};
 use crate::spsc;
 use crate::window::Window;
 
@@ -92,6 +108,16 @@ pub struct ServeConfig {
     /// Byte size of the default value synthesized for pages never
     /// written (≥ 1).
     pub value_size: usize,
+    /// Partitioning strategy: `hash`, `replicate`, or `migrate` (the
+    /// `--partition` flag; parsed by [`PartitionMode::parse`]).
+    pub partition: String,
+    /// Counter budget for the hot-key detector (non-hash modes).
+    pub detector_capacity: usize,
+    /// Maximum number of per-key overrides per plan epoch.
+    pub hot_k: usize,
+    /// Routed requests per plan epoch; 0 freezes the plan at the hash
+    /// baseline even in non-hash modes.
+    pub epoch_len: u64,
 }
 
 impl Default for ServeConfig {
@@ -107,7 +133,26 @@ impl Default for ServeConfig {
             store_dir: None,
             recover: RecoverMode::Warm,
             value_size: 64,
+            partition: "hash".into(),
+            detector_capacity: 256,
+            hot_k: 64,
+            epoch_len: 4096,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The partition spec this config describes for `shards` shards.
+    pub fn partition_spec(&self, shards: usize) -> Result<PartitionSpec, String> {
+        let mode = PartitionMode::parse(&self.partition)?;
+        Ok(PartitionSpec {
+            detector_capacity: self.detector_capacity.max(1),
+            hot_k: self.hot_k,
+            epoch_len: self.epoch_len,
+            // sample_every stays at the spec default: sampling is a
+            // router implementation detail, not a deployment knob.
+            ..PartitionSpec::new(mode, shards)
+        })
     }
 }
 
@@ -147,7 +192,6 @@ impl From<std::io::Error> for ServeError {
 struct Inner {
     addr: SocketAddr,
     inst: Arc<MlInstance>,
-    map: ShardMap,
     max_inflight: usize,
     shutdown: AtomicBool,
     /// Handles to live client sockets keyed by connection id, half-closed
@@ -249,6 +293,9 @@ impl ServerHandle {
 /// policy spec is invalid.
 pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, ServeError> {
     let shard_insts = shard_instances(&inst, cfg.shards).map_err(ServeError::BadConfig)?;
+    let partition_spec = cfg
+        .partition_spec(shard_insts.len())
+        .map_err(ServeError::BadConfig)?;
     // Validate the spec against every shard instance up front (policies
     // are not Send, so the real builds happen inside the shard threads).
     let registry = PolicyRegistry::standard();
@@ -295,7 +342,6 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
     let inner = Arc::new(Inner {
         addr,
         inst,
-        map: ShardMap::new(shard_insts.len()),
         max_inflight: cfg.max_inflight.max(1),
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
@@ -321,17 +367,17 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
         }));
     }
 
-    // Router: sole producer into every ring.
-    let (route_tx, route_rx) = mpsc::channel::<(usize, ShardJob)>();
-    let router = spawn_named("router", move || {
-        while let Ok((s, job)) = route_rx.recv() {
-            if rings[s].send(job).is_err() {
-                break; // shard died; nothing sensible left to do
-            }
-        }
-        // Dropping `rings` here closes the shard rings; workers drain
-        // whatever is queued and exit.
-    });
+    // Router: sole producer into every ring; owns the partitioner.
+    let (route_tx, route_rx) = mpsc::channel::<ShardJob>();
+    let router = {
+        let stats = inner.stats.clone();
+        spawn_named("router", move || {
+            let mut partitioner = Partitioner::new(partition_spec);
+            run_router(&mut partitioner, &route_rx, &rings, &stats);
+            // Dropping `rings` here closes the shard rings; workers drain
+            // whatever is queued and exit.
+        })
+    };
 
     // Acceptor: owns the listener and every connection handle.
     let acceptor = {
@@ -372,18 +418,93 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
     })
 }
 
+/// The router loop: consult the partition plan per job, enqueue on the
+/// chosen ring(s), and run the epoch drain handshake whenever the plan's
+/// override set changes.
+///
+/// Exposed to the crate's model tests, which drive it (and [`run_shard`])
+/// as virtual threads under the `wmlp-check` scheduler.
+pub(crate) fn run_router(
+    partitioner: &mut Partitioner,
+    route_rx: &mpsc::Receiver<ShardJob>,
+    rings: &[spsc::Sender<ShardMsg>],
+    stats: &[Arc<ShardStats>],
+) {
+    while let Ok(job) = route_rx.recv() {
+        if partitioner.epoch_due() && partitioner.advance_epoch().changed {
+            // The new plan may re-home keys. Quiesce every ring before
+            // routing anything under it: the drain markers sit behind
+            // all old-plan jobs (rings are FIFO), so the gate opening
+            // means no shard still holds old-plan work.
+            let gate = DrainGate::new(rings.len());
+            let mut dead = false;
+            for ring in rings {
+                if ring.send(ShardMsg::Drain(gate.clone())).is_err() {
+                    dead = true;
+                }
+            }
+            if dead {
+                // A shard died mid-teardown; its marker will never ack,
+                // so waiting would deadlock the drain.
+                return;
+            }
+            gate.wait_zero();
+        }
+        let is_put = job.put.is_some();
+        match partitioner.route(job.req.page, is_put) {
+            Route::One(shard) => {
+                stats[shard].note_enqueued();
+                if rings[shard].send(ShardMsg::Job(job)).is_err() {
+                    return; // shard died; nothing sensible left to do
+                }
+            }
+            Route::Fanout { home } => match job.reply {
+                ReplyTo::Conn(reply) => {
+                    // Replicated PUT: one copy per shard; the last
+                    // completion forwards the home shard's reply.
+                    let ack = FanoutAck::new(rings.len(), job.seq, reply);
+                    for (shard, ring) in rings.iter().enumerate() {
+                        stats[shard].note_enqueued();
+                        let copy = ShardJob {
+                            req: job.req,
+                            put: job.put.clone(),
+                            seq: job.seq,
+                            reply: ReplyTo::Fanout {
+                                ack: Arc::clone(&ack),
+                                home: shard == home,
+                            },
+                        };
+                        if ring.send(ShardMsg::Job(copy)).is_err() {
+                            stats[shard].note_done();
+                            return;
+                        }
+                    }
+                }
+                // Already a fan-out reply (cannot happen for jobs from
+                // connection readers): serve single-copy at home rather
+                // than nest countdowns.
+                other => {
+                    stats[home].note_enqueued();
+                    let copy = ShardJob {
+                        reply: other,
+                        ..job
+                    };
+                    if rings[home].send(ShardMsg::Job(copy)).is_err() {
+                        return;
+                    }
+                }
+            },
+        }
+    }
+}
+
 /// One client connection, pipelined: this (reader) thread decodes and
 /// routes frames, assigning each a sequence number; a paired writer
 /// thread reorders replies by sequence and writes them back in request
 /// order. Control frames (STATS, SHUTDOWN, protocol errors) are answered
 /// inline but still sequenced, so every response leaves in the order its
 /// request arrived.
-fn serve_connection(
-    inner: &Inner,
-    id: u64,
-    stream: TcpStream,
-    route_tx: &mpsc::Sender<(usize, ShardJob)>,
-) {
+fn serve_connection(inner: &Inner, id: u64, stream: TcpStream, route_tx: &mpsc::Sender<ShardJob>) {
     let Ok(write_half) = stream.try_clone() else {
         lock_conns(inner).retain(|(cid, _)| *cid != id);
         return;
@@ -468,18 +589,18 @@ fn serve_connection(
                 },
             ));
         } else {
-            let shard = inner.map.shard_of(req.page);
-            inner.stats[shard].note_enqueued();
+            // Global page ids end-to-end; the router thread picks the
+            // shard(s) against the current partition plan and bumps the
+            // target's queue gauge at enqueue time.
             let job = ShardJob {
-                req: inner.map.localize(req),
+                req,
                 put,
                 seq,
-                reply: reply_tx.clone(),
+                reply: ReplyTo::Conn(reply_tx.clone()),
             };
-            if route_tx.send((shard, job)).is_err() {
+            if route_tx.send(job).is_err() {
                 // Router gone: server is tearing down. The job (and its
                 // reply sender) died inside the failed send.
-                inner.stats[shard].note_done();
                 break;
             }
         }

@@ -1,36 +1,46 @@
 //! Key-space sharding and the shard worker loop.
 //!
-//! The server hash-shards pages across `N` independent shard workers with
-//! the deterministic map `shard(p) = p mod N`, `local(p) = p div N` — each
-//! shard owns an [`MlInstance`] over its slice of the page universe plus
-//! its slice `k_s` of the total cache capacity, and drives its own policy
-//! through an incremental [`SimSession`]. Shards share nothing but their
-//! input ring and a snapshot-friendly [`ShardStats`] block, so they scale
-//! without synchronization on the eviction hot path.
+//! The server routes pages across `N` independent shard workers; the
+//! baseline map is `shard(p) = p mod N`, with the skew-aware router
+//! (`wmlp-router`) layering per-key overrides on top. Each shard owns a
+//! *full-universe* [`MlInstance`] — every global page id, priced with
+//! its global weight row, over the shard's slice `k_s` of the total
+//! cache capacity — and drives its own policy through an incremental
+//! [`SimSession`]. Full-universe instances are what make replication
+//! and migration possible: any shard can serve any page, and a key
+//! re-homed by the partitioner needs no id rewriting. Shards share
+//! nothing but their input ring and a snapshot-friendly [`ShardStats`]
+//! block, so they scale without synchronization on the eviction hot
+//! path.
 //!
 //! Sharded capacity is *partitioned*, not pooled: `N` shards of capacity
 //! `k/N` behave like `N` small caches, not one big one. The canonical
 //! single-engine semantics (what `--replay` reports) are those of shard
 //! count 1.
 
-// lint:orderings(Relaxed): every atomic here is an independent monotonic
-// stats counter (or the queue-depth gauge, whose pairing is enforced by
-// a debug assertion, not by ordering); no cross-counter invariant exists
-// for readers, so snapshots are advisory and Relaxed is sufficient.
+// lint:orderings(Relaxed, AcqRel): the Relaxed atomics are independent
+// monotonic stats counters (or the queue-depth gauge and its high-water
+// mark, whose pairing is enforced by a debug assertion, not by
+// ordering); no cross-counter invariant exists for readers, so
+// snapshots are advisory. The one AcqRel site is the fan-out ack
+// countdown: each shard's decrement releases its preceding home-frame
+// store and the final decrement acquires them all, so the last shard to
+// finish observes the home shard's reply frame (the Arc-drop pattern).
 
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 
-use wmlp_check::sync::atomic::{AtomicU64, Ordering};
+use wmlp_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use wmlp_core::instance::{MlInstance, Request};
 use wmlp_core::policy::OnlinePolicy;
 use wmlp_core::storage::Storage;
 use wmlp_core::wire::{ErrorCode, Frame, ShardLoad, StatsPayload, WireStats};
+use wmlp_router::DrainGate;
 use wmlp_sim::engine::{BatchLog, SimSession, StoreRequest};
 
 use crate::spsc;
 
-/// The deterministic page → shard map.
+/// The deterministic page → shard baseline map (`p mod N`).
 #[derive(Debug, Clone, Copy)]
 pub struct ShardMap {
     shards: usize,
@@ -50,31 +60,18 @@ impl ShardMap {
         self.shards
     }
 
-    /// The shard owning `page`.
+    /// The hash-home shard of `page`.
     #[inline]
     pub fn shard_of(&self, page: u32) -> usize {
         page as usize % self.shards
     }
-
-    /// The page id of `page` within its owning shard's instance.
-    #[inline]
-    pub fn local_of(&self, page: u32) -> u32 {
-        page / self.shards as u32
-    }
-
-    /// Rewrite a global request into the owning shard's id space.
-    #[inline]
-    pub fn localize(&self, req: Request) -> Request {
-        Request {
-            page: self.local_of(req.page),
-            level: req.level,
-        }
-    }
 }
 
-/// Split a global instance into per-shard instances: shard `s` owns the
-/// pages `p ≡ s (mod N)` (with their global weight rows) and capacity
-/// `⌊k/N⌋` plus one of the `k mod N` remainder slots. Errors if any shard
+/// Build per-shard instances: every shard covers the *full* global page
+/// universe (each page priced with its global weight row) but owns only
+/// its slice `⌊k/N⌋` (+ one of the `k mod N` remainder slots) of the
+/// total cache capacity, so requests carry global page ids end-to-end
+/// and the router may send any page to any shard. Errors if any shard
 /// would violate the `n > k` instance invariant.
 pub fn shard_instances(global: &MlInstance, shards: usize) -> Result<Vec<MlInstance>, String> {
     let map = ShardMap::new(shards);
@@ -83,14 +80,13 @@ pub fn shard_instances(global: &MlInstance, shards: usize) -> Result<Vec<MlInsta
     if shards > k {
         return Err(format!("{shards} shards need k ≥ {shards}, got k = {k}"));
     }
+    let rows: Vec<Vec<u64>> = (0..n)
+        .map(|p| global.weights().row(p as u32).to_vec())
+        .collect();
     let mut out = Vec::with_capacity(map.shards());
     for s in 0..map.shards() {
-        let rows: Vec<Vec<u64>> = (s..n)
-            .step_by(map.shards())
-            .map(|p| global.weights().row(p as u32).to_vec())
-            .collect();
         let k_s = k / map.shards() + usize::from(s < k % map.shards());
-        let inst = MlInstance::from_rows(k_s, rows).map_err(|e| {
+        let inst = MlInstance::from_rows(k_s, rows.clone()).map_err(|e| {
             format!(
                 "shard {s}/{shards} is infeasible (local k = {k_s}): {e}; \
                  use more pages or fewer shards"
@@ -119,6 +115,10 @@ pub struct ShardStats {
     /// answered. Incremented by the router side on enqueue, decremented
     /// by the worker after replying.
     queued: AtomicU64,
+    /// High-water mark of `queued`, sampled at enqueue time and again at
+    /// batch-drain time (so a backlog that built up while the worker
+    /// slept inside one ring wakeup is still recorded).
+    queue_hwm: AtomicU64,
 }
 
 impl ShardStats {
@@ -139,9 +139,28 @@ impl ShardStats {
         self.errors.load(Ordering::Relaxed)
     }
 
-    /// Record a request routed toward this shard (bumps the queue gauge).
+    /// Record a request routed toward this shard (bumps the queue gauge
+    /// and its high-water mark).
     pub fn note_enqueued(&self) {
-        self.queued.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.raise_hwm(depth);
+    }
+
+    /// Re-sample the queue gauge into the high-water mark; the worker
+    /// calls this once per batch drain so backlog peaks between enqueues
+    /// are captured too.
+    pub fn sample_queue_hwm(&self) {
+        self.raise_hwm(self.queued.load(Ordering::Relaxed));
+    }
+
+    fn raise_hwm(&self, depth: u64) {
+        // fetch_update in place of fetch_max: the model-checker shim
+        // exposes the former. Err just means the mark already covers us.
+        let _ = self
+            .queue_hwm
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |hwm| {
+                (hwm < depth).then_some(depth)
+            });
     }
 
     /// Record a routed request answered (drops the queue gauge).
@@ -160,14 +179,15 @@ impl ShardStats {
         );
     }
 
-    /// The per-shard load triple carried in STATS_REPLY since protocol
-    /// version 2.
+    /// The per-shard load entry carried in STATS_REPLY since protocol
+    /// version 2 (`queue_hwm` since version 4).
     pub fn load(&self) -> ShardLoad {
         ShardLoad {
             requests: self.requests.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             hits_l1: self.hits_l1.load(Ordering::Relaxed),
             queue_depth: self.queued.load(Ordering::Relaxed),
+            queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
         }
     }
 
@@ -196,11 +216,90 @@ impl ShardStats {
     }
 }
 
-/// One unit of work routed to a shard: a shard-local request plus the
-/// originating connection's reply channel and the sequence slot the
-/// reply must fill on that connection.
+/// Sequenced completion for a replicated PUT fanned out to every shard.
+///
+/// The router enqueues one copy of the PUT per shard; each shard calls
+/// [`FanoutAck::complete`] when its copy is served, and the *last*
+/// completion forwards the home shard's reply frame to the client. The
+/// client therefore sees exactly one reply, in its connection's normal
+/// sequence order, only after every replica holds the written value.
+pub struct FanoutAck {
+    remaining: AtomicUsize,
+    seq: u64,
+    reply: mpsc::Sender<(u64, Frame)>,
+    /// The home shard's reply frame, parked until the countdown ends.
+    home_frame: Mutex<Option<Frame>>,
+}
+
+impl FanoutAck {
+    /// An ack waiting for `fanout` shard completions, forwarding the
+    /// home frame to `reply` under sequence slot `seq`.
+    pub fn new(fanout: usize, seq: u64, reply: mpsc::Sender<(u64, Frame)>) -> Arc<Self> {
+        Arc::new(FanoutAck {
+            remaining: AtomicUsize::new(fanout.max(1)),
+            seq,
+            reply,
+            home_frame: Mutex::new(None),
+        })
+    }
+
+    /// Record one shard's completion; `home` marks the copy whose reply
+    /// frame answers the client. The final completion sends the reply.
+    pub fn complete(&self, frame: Frame, home: bool) {
+        if home {
+            let mut slot = match self.home_frame.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *slot = Some(frame);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let frame = match self.home_frame.lock() {
+                Ok(mut g) => g.take(),
+                Err(poisoned) => poisoned.into_inner().take(),
+            }
+            .unwrap_or(Frame::Error {
+                code: ErrorCode::Internal,
+                detail: "replicated PUT completed without a home reply".to_string(),
+            });
+            // A send failure just means the connection hung up.
+            let _ = self.reply.send((self.seq, frame));
+        }
+    }
+}
+
+/// Where a served job's reply frame goes.
+pub enum ReplyTo {
+    /// Straight to the originating connection's writer inbox.
+    Conn(mpsc::Sender<(u64, Frame)>),
+    /// Into a replicated-PUT countdown; `home` marks the copy whose
+    /// frame answers the client.
+    Fanout {
+        /// The shared countdown across all shards' copies.
+        ack: Arc<FanoutAck>,
+        /// Whether this shard is the key's home.
+        home: bool,
+    },
+}
+
+impl ReplyTo {
+    /// Deliver `frame` for the job holding sequence slot `seq`.
+    pub fn deliver(&self, seq: u64, frame: Frame) {
+        match self {
+            // A send failure just means the connection hung up before
+            // its response; the step itself is already accounted.
+            ReplyTo::Conn(tx) => {
+                let _ = tx.send((seq, frame));
+            }
+            ReplyTo::Fanout { ack, home } => ack.complete(frame, *home),
+        }
+    }
+}
+
+/// One unit of work routed to a shard: a global-id request plus where
+/// its reply goes and the sequence slot the reply must fill.
 pub struct ShardJob {
-    /// The request, already rewritten into the shard's local id space.
+    /// The request, in global page ids (shards are full-universe).
     pub req: Request,
     /// Value bytes for a PUT (`None` for GETs); handed to the shard's
     /// storage backend once the engine has made room at level 1.
@@ -209,87 +308,148 @@ pub struct ShardJob {
     /// connection's writer emits replies in `seq` order regardless of
     /// shard completion order.
     pub seq: u64,
-    /// Where the response frame goes (the connection's writer inbox).
-    pub reply: mpsc::Sender<(u64, Frame)>,
+    /// Where the response frame goes.
+    pub reply: ReplyTo,
 }
 
-/// The shard worker loop: drain a *batch* of jobs per ring wakeup (up to
-/// `batch_max`), step the engine over the whole batch with
+/// What flows down a shard's input ring: work, or a drain marker.
+pub enum ShardMsg {
+    /// A routed request.
+    Job(ShardJob),
+    /// Epoch-boundary drain marker: the worker serves everything that
+    /// arrived before this marker, then arrives at the gate. Because the
+    /// ring is FIFO, the router's [`DrainGate::wait_zero`] returning
+    /// means no shard still holds work routed under the old plan.
+    Drain(DrainGate),
+}
+
+/// Step one accumulated batch of jobs through the engine and deliver
+/// the replies. Shared by every [`run_shard`] wakeup (and by each
+/// segment between drain markers within one wakeup).
+fn serve_batch(
+    inst: &MlInstance,
+    session: &mut SimSession,
+    policy: &mut dyn OnlinePolicy,
+    jobs: &mut Vec<ShardJob>,
+    stats: &ShardStats,
+    store: &mut dyn Storage,
+    log: &mut BatchLog,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let reqs: Vec<StoreRequest<'_>> = jobs
+        .iter()
+        .map(|j| StoreRequest {
+            req: j.req,
+            put: j.put.as_deref(),
+        })
+        .collect();
+    session.step_batch_store(inst, policy, &reqs, store, log);
+    drop(reqs);
+    let values = log.take_values();
+    for ((job, outcome), value) in jobs.drain(..).zip(log.outcomes()).zip(values) {
+        let frame = match outcome {
+            Ok(out) => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                stats.hits.fetch_add(out.hit as u64, Ordering::Relaxed);
+                stats
+                    .hits_l1
+                    .fetch_add((out.hit && out.serve_level == 1) as u64, Ordering::Relaxed);
+                stats
+                    .fetches
+                    .fetch_add((!out.hit) as u64, Ordering::Relaxed);
+                stats
+                    .evictions
+                    .fetch_add(out.evictions as u64, Ordering::Relaxed);
+                stats.cost.fetch_add(out.fetch_cost, Ordering::Relaxed);
+                Frame::Served {
+                    hit: out.hit,
+                    level: out.serve_level,
+                    cost: out.fetch_cost,
+                    value,
+                }
+            }
+            Err(e) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                Frame::Error {
+                    code: ErrorCode::Internal,
+                    detail: e.to_string(),
+                }
+            }
+        };
+        // Decrement the queue gauge *before* the reply leaves: a
+        // client that has read reply i must never observe request i
+        // still queued in a STATS snapshot.
+        stats.note_done();
+        job.reply.deliver(job.seq, frame);
+    }
+}
+
+/// The shard worker loop: drain a *batch* of messages per ring wakeup
+/// (up to `batch_max`), step the engine over each run of jobs with
 /// [`SimSession::step_batch_store`] — every miss pays a measured
 /// promotion out of `store` and every eviction of a dirty page pays a
 /// real flush — then reply per job with a [`Frame::Served`] carrying the
 /// read value (or [`Frame::Error`] if the policy misbehaves) and publish
-/// counters. Returns when the ring closes and every queued job has been
-/// served — the graceful-shutdown drain, which ends with a
-/// [`Storage::flush_all`] so a clean stop leaves no dirty bytes behind.
+/// counters. A [`ShardMsg::Drain`] marker cuts the batch: everything
+/// before it is served, then the worker arrives at the marker's gate so
+/// the router can install a new partition plan. Returns when the ring
+/// closes and every queued job has been served — the graceful-shutdown
+/// drain, which ends with a [`Storage::flush_all`] so a clean stop
+/// leaves no dirty bytes behind.
 pub fn run_shard(
     inst: &MlInstance,
     policy: &mut dyn OnlinePolicy,
-    rx: spsc::Receiver<ShardJob>,
+    rx: spsc::Receiver<ShardMsg>,
     stats: &ShardStats,
     batch_max: usize,
     store: &mut dyn Storage,
 ) {
     let mut session = SimSession::new(inst);
+    let mut msgs: Vec<ShardMsg> = Vec::with_capacity(batch_max.max(1));
     let mut jobs: Vec<ShardJob> = Vec::with_capacity(batch_max.max(1));
     let mut log = BatchLog::new();
     loop {
-        jobs.clear();
-        if rx.recv_batch(&mut jobs, batch_max.max(1)) == 0 {
+        msgs.clear();
+        if rx.recv_batch(&mut msgs, batch_max.max(1)) == 0 {
             // Graceful drain: write back whatever is still dirty so a
             // clean shutdown loses nothing (crash recovery is the store's
             // problem; losing unflushed dirty bytes there is by design).
             let _ = store.flush_all();
             return;
         }
-        let reqs: Vec<StoreRequest<'_>> = jobs
-            .iter()
-            .map(|j| StoreRequest {
-                req: j.req,
-                put: j.put.as_deref(),
-            })
-            .collect();
-        session.step_batch_store(inst, policy, &reqs, store, &mut log);
-        drop(reqs);
-        let values = log.take_values();
-        for ((job, outcome), value) in jobs.drain(..).zip(log.outcomes()).zip(values) {
-            let frame = match outcome {
-                Ok(out) => {
-                    stats.requests.fetch_add(1, Ordering::Relaxed);
-                    stats.hits.fetch_add(out.hit as u64, Ordering::Relaxed);
-                    stats
-                        .hits_l1
-                        .fetch_add((out.hit && out.serve_level == 1) as u64, Ordering::Relaxed);
-                    stats
-                        .fetches
-                        .fetch_add((!out.hit) as u64, Ordering::Relaxed);
-                    stats
-                        .evictions
-                        .fetch_add(out.evictions as u64, Ordering::Relaxed);
-                    stats.cost.fetch_add(out.fetch_cost, Ordering::Relaxed);
-                    Frame::Served {
-                        hit: out.hit,
-                        level: out.serve_level,
-                        cost: out.fetch_cost,
-                        value,
-                    }
+        // The backlog peak for this wakeup: everything still queued now,
+        // before this batch is served.
+        stats.sample_queue_hwm();
+        for msg in msgs.drain(..) {
+            match msg {
+                ShardMsg::Job(job) => jobs.push(job),
+                ShardMsg::Drain(gate) => {
+                    // Serve everything routed before the marker, then
+                    // tell the router this shard is quiescent.
+                    serve_batch(
+                        inst,
+                        &mut session,
+                        policy,
+                        &mut jobs,
+                        stats,
+                        store,
+                        &mut log,
+                    );
+                    gate.arrive();
                 }
-                Err(e) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    Frame::Error {
-                        code: ErrorCode::Internal,
-                        detail: e.to_string(),
-                    }
-                }
-            };
-            // Decrement the queue gauge *before* the reply leaves: a
-            // client that has read reply i must never observe request i
-            // still queued in a STATS snapshot.
-            stats.note_done();
-            // A send failure just means the connection hung up before its
-            // response; the step itself is already accounted.
-            let _ = job.reply.send((job.seq, frame));
+            }
         }
+        serve_batch(
+            inst,
+            &mut session,
+            policy,
+            &mut jobs,
+            stats,
+            store,
+            &mut log,
+        );
     }
 }
 
@@ -302,35 +462,32 @@ mod tests {
     }
 
     #[test]
-    fn map_partitions_the_page_space() {
+    fn map_gives_the_hash_home() {
         let map = ShardMap::new(3);
         for p in 0..30u32 {
             assert_eq!(map.shard_of(p), p as usize % 3);
         }
-        // local ids are dense per shard: 0,1,2,… in global page order.
-        assert_eq!(map.local_of(0), 0);
-        assert_eq!(map.local_of(3), 1);
-        assert_eq!(map.local_of(7), 2);
-        let r = map.localize(Request::new(7, 2));
-        assert_eq!((r.page, r.level), (2, 2));
     }
 
     #[test]
-    fn shard_instances_split_pages_and_capacity() {
+    fn shard_instances_cover_the_universe_and_split_capacity() {
         let g = global();
         let shards = shard_instances(&g, 3).unwrap();
         assert_eq!(shards.len(), 3);
-        // 10 pages → 4/3/3; k = 4 → 2/1/1.
-        assert_eq!(shards[0].n(), 4);
-        assert_eq!(shards[1].n(), 3);
-        assert_eq!(shards[2].n(), 3);
+        // Full universe on every shard; only capacity is partitioned:
+        // k = 4 → 2/1/1.
+        for sh in &shards {
+            assert_eq!(sh.n(), 10);
+        }
         assert_eq!(shards[0].k(), 2);
         assert_eq!(shards[1].k(), 1);
         assert_eq!(shards[2].k(), 1);
-        // Shard 1 owns global pages 1, 4, 7 with their global weights.
-        assert_eq!(shards[1].weight(0, 1), 11);
-        assert_eq!(shards[1].weight(1, 1), 14);
-        assert_eq!(shards[1].weight(2, 1), 17);
+        // Global page ids carry their global weight rows everywhere.
+        for sh in &shards {
+            assert_eq!(sh.weight(1, 1), 11);
+            assert_eq!(sh.weight(4, 1), 14);
+            assert_eq!(sh.weight(7, 1), 17);
+        }
         // One shard is the identity split.
         let one = shard_instances(&g, 1).unwrap();
         assert_eq!(one[0], g);
@@ -341,10 +498,6 @@ mod tests {
         let g = global();
         // More shards than capacity slots.
         assert!(shard_instances(&g, 5).is_err());
-        // A 5-page universe over 4 shards gives some shard n = 1 = k.
-        let small = MlInstance::from_rows(4, (0..5).map(|_| vec![4]).collect()).unwrap();
-        let err = shard_instances(&small, 4).unwrap_err();
-        assert!(err.contains("infeasible"), "{err}");
     }
 
     #[test]
@@ -360,12 +513,12 @@ mod tests {
         for (seq, page) in [0u32, 1, 0, 9].into_iter().enumerate() {
             stats.note_enqueued();
             assert!(tx
-                .send(ShardJob {
+                .send(ShardMsg::Job(ShardJob {
                     req: Request::top(page),
                     put: if seq == 1 { Some(b"v1".to_vec()) } else { None },
                     seq: seq as u64,
-                    reply: reply_tx.clone(),
-                })
+                    reply: ReplyTo::Conn(reply_tx.clone()),
+                }))
                 .is_ok());
         }
         drop(tx);
@@ -402,8 +555,10 @@ mod tests {
         assert_eq!(snap.hits_l1, 1);
         assert_eq!(snap.cost, 10 + 11 + 19);
         assert_eq!(stats.errors(), 0);
-        // The queue gauge returns to zero once everything is answered.
+        // The queue gauge returns to zero once everything is answered,
+        // but the high-water mark remembers the 4-deep backlog.
         assert_eq!(stats.load().queue_depth, 0);
+        assert_eq!(stats.load().queue_hwm, 4);
         assert_eq!(stats.load().requests, 4);
         assert_eq!(stats.load().hits, 1);
         assert_eq!(stats.load().hits_l1, 1);
@@ -426,12 +581,12 @@ mod tests {
             for (seq, &page) in pages.iter().enumerate() {
                 stats.note_enqueued();
                 assert!(tx
-                    .send(ShardJob {
+                    .send(ShardMsg::Job(ShardJob {
                         req: Request::top(page),
                         put: None,
                         seq: seq as u64,
-                        reply: reply_tx.clone(),
-                    })
+                        reply: ReplyTo::Conn(reply_tx.clone()),
+                    }))
                     .is_ok());
             }
             drop(tx);
@@ -442,5 +597,65 @@ mod tests {
         for batch_max in [2, 5, 64] {
             assert_eq!(collect(batch_max, 16), one_at_a_time, "batch {batch_max}");
         }
+    }
+
+    #[test]
+    fn drain_marker_serves_prefix_before_arriving() {
+        use wmlp_algos::PolicyRegistry;
+        use wmlp_core::storage::SimStorage;
+        let inst = global();
+        let mut policy = PolicyRegistry::standard().build("lru", &inst, 0).unwrap();
+        let mut store = SimStorage::new(inst.n(), inst.max_levels(), 16);
+        let stats = ShardStats::default();
+        let (tx, rx) = spsc::channel(8);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let gate = DrainGate::new(1);
+        stats.note_enqueued();
+        assert!(tx
+            .send(ShardMsg::Job(ShardJob {
+                req: Request::top(3),
+                put: None,
+                seq: 0,
+                reply: ReplyTo::Conn(reply_tx.clone()),
+            }))
+            .is_ok());
+        assert!(tx.send(ShardMsg::Drain(gate.clone())).is_ok());
+        stats.note_enqueued();
+        assert!(tx
+            .send(ShardMsg::Job(ShardJob {
+                req: Request::top(5),
+                put: None,
+                seq: 1,
+                reply: ReplyTo::Conn(reply_tx),
+            }))
+            .is_ok());
+        drop(tx);
+        run_shard(&inst, policy.as_mut(), rx, &stats, 64, &mut store);
+        // The marker's gate opened, and both jobs (before and after the
+        // marker) were served in order.
+        assert_eq!(gate.remaining(), 0);
+        let seqs: Vec<u64> = reply_rx.try_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(stats.snapshot().requests, 2);
+    }
+
+    #[test]
+    fn fanout_ack_forwards_the_home_frame_last() {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let ack = FanoutAck::new(3, 7, reply_tx);
+        let frame = |level: u8| Frame::Served {
+            hit: false,
+            level,
+            cost: level as u64,
+            value: Vec::new(),
+        };
+        ack.complete(frame(2), false);
+        assert!(reply_rx.try_recv().is_err(), "reply before all shards ack");
+        ack.complete(frame(1), true);
+        assert!(reply_rx.try_recv().is_err(), "reply before all shards ack");
+        ack.complete(frame(3), false);
+        let (seq, got) = reply_rx.try_recv().expect("final ack sends the reply");
+        assert_eq!(seq, 7);
+        assert_eq!(got, frame(1), "the home shard's frame answers the client");
     }
 }

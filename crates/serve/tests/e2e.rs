@@ -237,20 +237,22 @@ fn replay_binary_is_byte_identical_across_runs_and_shard_counts() {
     std::fs::write(&inst_path, codec::write_instance(&inst)).unwrap();
     std::fs::write(&trace_path, codec::write_trace(&trace)).unwrap();
 
-    let run = |shards: &str| {
+    let run = |shards: &str, partition: &[&str]| {
+        let mut args = vec![
+            "--replay",
+            trace_path.to_str().unwrap(),
+            "--instance",
+            inst_path.to_str().unwrap(),
+            "--policy",
+            "landlord",
+            "--seed",
+            "3",
+            "--shards",
+            shards,
+        ];
+        args.extend_from_slice(partition);
         let out = std::process::Command::new(env!("CARGO_BIN_EXE_wmlp-serve"))
-            .args([
-                "--replay",
-                trace_path.to_str().unwrap(),
-                "--instance",
-                inst_path.to_str().unwrap(),
-                "--policy",
-                "landlord",
-                "--seed",
-                "3",
-                "--shards",
-                shards,
-            ])
+            .args(&args)
             .output()
             .expect("run wmlp-serve --replay");
         assert!(
@@ -260,10 +262,45 @@ fn replay_binary_is_byte_identical_across_runs_and_shard_counts() {
         );
         out.stdout
     };
-    let first = run("1");
-    assert_eq!(first, run("1"), "repeat run diverged");
-    assert_eq!(first, run("2"), "shard count leaked into replay output");
-    assert_eq!(first, run("8"), "shard count leaked into replay output");
+    let first = run("1", &[]);
+    assert_eq!(first, run("1", &[]), "repeat run diverged");
+    assert_eq!(
+        first,
+        run("2", &[]),
+        "shard count leaked into replay output"
+    );
+    assert_eq!(
+        first,
+        run("8", &[]),
+        "shard count leaked into replay output"
+    );
+
+    // A pinned partition plan (--plan-shards, not --shards, names the
+    // plan's shard count) must stay byte-identical across server shard
+    // counts too, and must extend — not perturb — the plain manifest.
+    let pin = [
+        "--partition",
+        "migrate",
+        "--plan-shards",
+        "8",
+        "--epoch-len",
+        "100",
+    ];
+    let pinned = run("1", &pin);
+    assert_eq!(
+        pinned,
+        run("2", &pin),
+        "shard count leaked into pinned plan"
+    );
+    assert_eq!(
+        pinned,
+        run("8", &pin),
+        "shard count leaked into pinned plan"
+    );
+    assert_ne!(pinned, first, "pinned plan must add a partition section");
+    let pinned_text = String::from_utf8(pinned).unwrap();
+    assert!(pinned_text.contains("\"partition\""));
+    assert!(pinned_text.contains("\"plan_shards\": 8"));
 
     // And the library path agrees with the binary's payload.
     let json = replay_manifest(Arc::new(inst), trace, "landlord", 3).unwrap();

@@ -11,6 +11,10 @@
 //! 5. in-flight never exceeds the window cap
 //! 6. shutdown never drops an accepted request (ring drain through the
 //!    real `run_shard` worker)
+//! 7. the migration drain handshake (router + two shard workers through
+//!    `DrainGate` markers) preserves per-key ordering in every schedule
+//!    and never deadlocks — and the seeded mutant that bumps the epoch
+//!    *without* draining is caught by the checker
 //!
 //! Fixtures are deliberately tiny (ring capacities 1–2, ≤ 3 threads,
 //! 2–4 items) — exhaustive exploration is exponential in yield points —
@@ -20,7 +24,8 @@
 use std::sync::{mpsc, Arc};
 
 use wmlp_check::{explore, Config};
-use wmlp_serve::shard::{run_shard, ShardJob, ShardStats};
+use wmlp_router::DrainGate;
+use wmlp_serve::shard::{run_shard, ReplyTo, ShardJob, ShardMsg, ShardStats};
 use wmlp_serve::spsc;
 use wmlp_serve::window::Window;
 
@@ -186,7 +191,7 @@ fn shutdown_never_drops_an_accepted_request() {
         let inst =
             MlInstance::from_rows(2, (0..3).map(|p| vec![10 + p as u64]).collect()).expect("inst");
         let stats = Arc::new(ShardStats::default());
-        let (tx, rx) = spsc::channel::<ShardJob>(2);
+        let (tx, rx) = spsc::channel::<ShardMsg>(2);
         let (reply_tx, reply_rx) = mpsc::channel();
         let st2 = Arc::clone(&stats);
         let inst2 = inst.clone();
@@ -200,12 +205,12 @@ fn shutdown_never_drops_an_accepted_request() {
         for (seq, page) in [0u32, 1, 0].into_iter().enumerate() {
             stats.note_enqueued();
             assert!(
-                tx.send(ShardJob {
+                tx.send(ShardMsg::Job(ShardJob {
                     req: Request::top(page),
                     put: None,
                     seq: seq as u64,
-                    reply: reply_tx.clone(),
-                })
+                    reply: ReplyTo::Conn(reply_tx.clone()),
+                }))
                 .is_ok(),
                 "worker alive during send"
             );
@@ -224,6 +229,93 @@ fn shutdown_never_drops_an_accepted_request() {
     });
     assert!(report.failure.is_none(), "{}", report.failure.unwrap());
     assert!(!report.truncated);
+}
+
+/// The migration drain fixture: the main thread plays the router, two
+/// real `run_shard` workers play the shards, and page 0 is re-homed
+/// from shard 0 to shard 1 mid-stream. With `drain: true` the router
+/// runs the production handshake (a [`DrainGate`] marker down every
+/// ring, then `wait_zero`) before routing under the new plan; with
+/// `drain: false` it is the seeded mutant — epoch bump without drain —
+/// which can serve the re-homed request before the old-plan one.
+///
+/// Returns the reply arrival order observed for the two page-0 requests.
+fn migration_fixture(drain: bool) {
+    let inst =
+        MlInstance::from_rows(2, (0..3).map(|p| vec![10 + p as u64]).collect()).expect("inst");
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut rings = Vec::new();
+    let mut workers = Vec::new();
+    let mut stats = Vec::new();
+    for s in 0..2 {
+        let (tx, rx) = spsc::channel::<ShardMsg>(2);
+        rings.push(tx);
+        let st = Arc::new(ShardStats::default());
+        stats.push(Arc::clone(&st));
+        let inst2 = inst.clone();
+        workers.push(spawn_named(format!("shard-{s}"), move || {
+            let mut policy = wmlp_algos::PolicyRegistry::standard()
+                .build("lru", &inst2, 0)
+                .expect("build lru");
+            let mut store = SimStorage::new(inst2.n(), inst2.max_levels(), 8);
+            run_shard(&inst2, policy.as_mut(), rx, &st, 2, &mut store);
+        }));
+    }
+    let job = |seq: u64| {
+        ShardMsg::Job(ShardJob {
+            req: Request::top(0),
+            put: None,
+            seq,
+            reply: ReplyTo::Conn(reply_tx.clone()),
+        })
+    };
+    // Old plan: page 0 lives on shard 0.
+    stats[0].note_enqueued();
+    assert!(rings[0].send(job(0)).is_ok());
+    if drain {
+        // Epoch boundary: quiesce both rings before the new plan routes.
+        let gate = DrainGate::new(2);
+        for ring in &rings {
+            assert!(ring.send(ShardMsg::Drain(gate.clone())).is_ok());
+        }
+        gate.wait_zero();
+    }
+    // New plan: page 0 re-homed to shard 1.
+    stats[1].note_enqueued();
+    assert!(rings[1].send(job(1)).is_ok());
+    drop(rings);
+    for w in workers {
+        w.join().expect("join shard worker");
+    }
+    drop(reply_tx);
+    let order: Vec<u64> = reply_rx.try_iter().map(|(seq, _)| seq).collect();
+    assert_eq!(
+        order,
+        vec![0, 1],
+        "page 0's requests must complete in route order across the re-homing"
+    );
+}
+
+/// Property 7 (correct protocol): with the drain handshake, per-key
+/// completion order matches route order in *every* schedule, and the
+/// handshake itself never loses a wakeup or deadlocks.
+#[test]
+fn migration_drain_preserves_per_key_ordering() {
+    let report = explore(cfg(), || migration_fixture(true));
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(!report.truncated, "fixture must be exhaustively explored");
+}
+
+/// Property 7 (seeded mutant): bumping the epoch *without* draining lets
+/// shard 1 answer the re-homed request before shard 0 answers the
+/// old-plan one — the checker must find that schedule.
+#[test]
+fn epoch_bump_without_drain_is_caught() {
+    let report = explore(cfg(), || migration_fixture(false));
+    assert!(
+        report.failure.is_some(),
+        "the undrained mutant must reorder page 0 in some schedule"
+    );
 }
 
 /// The explorer itself is deterministic on production code: the same

@@ -312,6 +312,20 @@ impl Manifest {
         serde::json::to_string_pretty(self)
     }
 
+    /// Pretty-printed JSON with extra top-level sections appended after
+    /// the manifest's own fields, in the order given. With no extras the
+    /// output is byte-identical to [`Manifest::to_json`], so optional
+    /// sections (e.g. a pinned partition-plan trace) never perturb
+    /// existing manifest bytes.
+    pub fn to_json_with(&self, extra: Vec<(String, serde::Value)>) -> String {
+        let mut fields = match serde::Serialize::to_value(self) {
+            serde::Value::Object(fields) => fields,
+            other => vec![("manifest".to_string(), other)],
+        };
+        fields.extend(extra);
+        serde::json::to_string_pretty(&serde::Value::Object(fields))
+    }
+
     /// Parse a manifest back from [`Manifest::to_json`] output.
     pub fn from_json(text: &str) -> Result<Manifest, serde::Error> {
         serde::json::from_str(text)
@@ -414,6 +428,31 @@ mod tests {
         let text = m.to_json();
         let back = Manifest::from_json(&text).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn to_json_with_extras_extends_without_perturbing_base_bytes() {
+        let runner = Runner::new(factory);
+        let m = runner.run("t", &[scenario()]).unwrap().canonical();
+        // No extras ⇒ byte-identical to the plain emitter.
+        assert_eq!(m.to_json_with(Vec::new()), m.to_json());
+        let extended = m.to_json_with(vec![(
+            "partition".to_string(),
+            serde::Value::Object(vec![(
+                "mode".to_string(),
+                serde::Value::Str("migrate".into()),
+            )]),
+        )]);
+        // The base document is a prefix (modulo the closing brace): every
+        // original field survives unchanged and the extra section lands
+        // at the end.
+        let base = m.to_json();
+        let base_prefix = base.trim_end().trim_end_matches('}');
+        assert!(extended.starts_with(base_prefix.trim_end_matches(['\n', ' '])));
+        assert!(extended.contains("\"partition\""));
+        let parsed = serde::json::parse(&extended).unwrap();
+        assert!(parsed.field("partition").is_ok());
+        assert!(parsed.field("runs").is_ok());
     }
 
     #[test]

@@ -205,6 +205,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+/// A [`Value`] serializes as itself, so callers can splice hand-built
+/// trees (extra manifest sections, dynamic fields) into the JSON
+/// emitters alongside derived types.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())

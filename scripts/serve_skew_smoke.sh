@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Skew-mitigation smoke for wmlp-serve's partition router.
+#
+# Two runs of the same Zipf(θ=1.2) stream against freshly spawned
+# servers, differing only in --partition:
+#   run 1: hash       — the baseline placement; heavy skew lands the hot
+#                       head of the distribution on one shard.
+#   run 2: replicate  — hot-key reads spread round-robin across shards.
+# The smoke fails unless the mitigated run's max/mean shard imbalance is
+# strictly lower than the hash baseline's (both read from the SERVE.json
+# the loadgen writes, schema v4 `totals.imbalance`).
+#
+# Usage: scripts/serve_skew_smoke.sh [wmlp-serve-bin [wmlp-loadgen-bin]]
+# (defaults assume `cargo build --release` has run from the repo root)
+set -euo pipefail
+
+SERVE_BIN=${1:-target/release/wmlp-serve}
+LOADGEN_BIN=${2:-target/release/wmlp-loadgen}
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# The same instance tuple must be passed to both sides of the socket.
+# The epoch length is well under the request count so the router's plan
+# actually adapts within the run.
+TUPLE=(--pages 2048 --levels 3 --k 256 --weight-seed 7 --policy lru --shards 4)
+ROUTER=(--epoch-len 500 --hot-k 32 --detector 128)
+LOAD=(--requests 4000 --conns 2 --pipeline 16 --workload zipf --alpha 1.2 --seed 11)
+
+die() {
+    cat "$1" >&2
+    echo "serve-skew-smoke: $2" >&2
+    exit 1
+}
+
+run_mode() { # $1 = partition mode; echoes the measured imbalance
+    local log="$WORK/$1.log" out="$WORK/SERVE.$1.json"
+    "$SERVE_BIN" --addr 127.0.0.1:0 "${TUPLE[@]}" "${ROUTER[@]}" \
+        --partition "$1" >"$log" 2>&1 &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$log"; then break; fi
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            die "$log" "server ($1) died during startup"
+        fi
+        sleep 0.1
+    done
+    grep -q "listening on" "$log" || die "$log" "server ($1) never printed its listen banner"
+    local addr
+    addr=$(sed -n 's/^listening on //p' "$log")
+    "$LOADGEN_BIN" --addr "$addr" "${TUPLE[@]}" "${LOAD[@]}" \
+        --out "$out" >>"$log" 2>&1 ||
+        die "$log" "loadgen ($1) failed"
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+    sed -n 's/^[[:space:]]*"imbalance": \([0-9.]*\).*/\1/p' "$out" | head -1
+}
+
+HASH_IMB=$(run_mode hash)
+REPL_IMB=$(run_mode replicate)
+[ -n "$HASH_IMB" ] || die "$WORK/hash.log" "no imbalance field in the hash SERVE.json"
+[ -n "$REPL_IMB" ] || die "$WORK/replicate.log" "no imbalance field in the replicate SERVE.json"
+
+echo "serve-skew-smoke: hash imbalance $HASH_IMB, replicate imbalance $REPL_IMB"
+# Strictly lower, via awk (no bc dependency).
+awk -v h="$HASH_IMB" -v r="$REPL_IMB" 'BEGIN { exit !(r < h) }' ||
+    die /dev/null "replication did not reduce imbalance ($REPL_IMB !< $HASH_IMB)"
+echo "serve-skew-smoke: ok (replicate strictly beats hash under zipf 1.2)"
