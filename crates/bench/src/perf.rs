@@ -29,6 +29,13 @@
 //!   measured max/mean shard imbalance in its name-adjacent log line;
 //!   `BENCH.json` keeps the throughput number, and the imbalance
 //!   comparison lives in the loadgen report and EXPERIMENTS.md B7.
+//! * **B8** — connection scaling: the high-fan-in loadgen client
+//!   (`--connections N` over 2 event-driven client threads) against both
+//!   server connection planes (`threads` / `epoll`), per connection
+//!   count `N ∈ {32, 256, 1024, 4096}`. Each cell's p99 latency is
+//!   printed alongside the timing; `BENCH.json` keeps the throughput
+//!   number. The `threads/c32` vs `epoll/c32` pair is the low-fan-in
+//!   parity check; the high-`N` epoll cells are the C10K story.
 //!
 //! # `BENCH.json` schema
 //!
@@ -245,6 +252,39 @@ impl PerfConfig {
             256
         } else {
             1_024
+        }
+    }
+
+    /// B8 connection counts. The full grid climbs to 4096 — past the
+    /// point where a thread-per-connection plane is spending its time in
+    /// the scheduler — while smoke stops at 256 so the CI job doesn't
+    /// spawn thousands of threads for the `threads`-plane cells.
+    fn b8_connections(&self) -> &'static [usize] {
+        if self.smoke {
+            &[32, 256]
+        } else {
+            &[32, 256, 1024, 4096]
+        }
+    }
+
+    /// B8 shard count (matches B7: the acceptance grid serves from 8
+    /// shards, smoke from 2).
+    fn b8_shards(&self) -> usize {
+        if self.smoke {
+            2
+        } else {
+            8
+        }
+    }
+
+    /// Requests per B8 run, split across the connections — sized so even
+    /// the 4096-connection cell keeps a pipeline's worth of requests per
+    /// connection.
+    fn b8_requests(&self) -> usize {
+        if self.smoke {
+            2_048
+        } else {
+            65_536
         }
     }
 }
@@ -646,6 +686,56 @@ fn b7_skew_partitioning(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
     }
 }
 
+/// B8: connection-count scaling across both server connection planes.
+/// Every cell is the same Zipf mix offered through the high-fan-in
+/// client (`connections` pipelined sockets multiplexed over 2 reactor
+/// threads), so the client never becomes the thread-count bottleneck and
+/// the measured difference between the `threads` and `epoll` cells is
+/// the server's. The per-cell p99 is printed next to the timing (like
+/// B7's imbalance, it is a property of the run rather than a wall-clock
+/// aggregate, and `BENCH.json`'s schema stays unchanged).
+fn b8_connection_scaling(cfg: &PerfConfig, entries: &mut Vec<BenchEntry>) {
+    let requests = cfg.b8_requests();
+    let shards = cfg.b8_shards();
+    for io_mode in ["threads", "epoll"] {
+        for &connections in cfg.b8_connections() {
+            let lg = LoadgenConfig {
+                connections,
+                client_threads: 2,
+                io_mode: io_mode.into(),
+                pipeline: 8,
+                requests,
+                workload: Workload::Zipf { alpha: 0.9 },
+                seed: TRACE_SEED + 40,
+                pages: 4_096,
+                levels: 3,
+                k: 512,
+                weight_seed: WEIGHT_SEED + 40,
+                policy: "landlord".into(),
+                shards,
+                ..LoadgenConfig::default()
+            };
+            let inst = wmlp_serve::default_instance(lg.pages, lg.levels, lg.k, lg.weight_seed)
+                .expect("B8 instance tuple is feasible");
+            let mut p99 = 0u64;
+            let timing = time_best_of(cfg.warmup_iters, cfg.measure_iters, || {
+                let report = wmlp_loadgen::run(&lg).expect("B8 fan-in run");
+                p99 = report.latency.p99;
+                report
+            });
+            println!("b8_connection_scaling {io_mode}/c{connections}: p99 {p99}ns");
+            entries.push(entry(
+                "b8_connection_scaling",
+                format!("{io_mode}/c{connections}"),
+                io_mode,
+                &inst,
+                requests,
+                timing,
+            ));
+        }
+    }
+}
+
 /// B6 universe size: small enough that the warm set fits in one segment,
 /// large enough that the round-robin mixes never reuse a page within a
 /// batch of operations.
@@ -901,6 +991,7 @@ pub fn run_perf(cfg: &PerfConfig) -> BenchReport {
     b5_loopback_serve(cfg, &mut entries);
     b6_storage_tiers(cfg, &mut entries);
     b7_skew_partitioning(cfg, &mut entries);
+    b8_connection_scaling(cfg, &mut entries);
     BenchReport {
         schema_version: 1,
         config: cfg.clone(),
@@ -969,6 +1060,20 @@ mod tests {
                         && e.throughput_rps > 0),
                 "B7 skew cell for `{mode}` missing or zero-throughput"
             );
+        }
+
+        for io_mode in ["threads", "epoll"] {
+            for conns in [32, 256] {
+                assert!(
+                    report
+                        .entries
+                        .iter()
+                        .any(|e| e.group == "b8_connection_scaling"
+                            && e.name == format!("{io_mode}/c{conns}")
+                            && e.throughput_rps > 0),
+                    "B8 cell `{io_mode}/c{conns}` missing or zero-throughput"
+                );
+            }
         }
 
         let text = report.to_json();

@@ -26,7 +26,9 @@
 //! boundary behind the engine ([`storage`]), and the interchange
 //! formats: a diff-friendly text codec ([`codec`]) and the binary wire
 //! protocol spoken by the serving stack — split into the pure frame
-//! codec ([`wire`]) and its transport adapters ([`conn`]).
+//! codec ([`wire`]) and its transport adapters ([`conn`]), plus the
+//! dependency-free epoll reactor behind the event-driven connection
+//! plane ([`net`]).
 
 #![warn(missing_docs)]
 
@@ -38,6 +40,7 @@ pub mod cost;
 pub mod dense;
 pub mod fractional;
 pub mod instance;
+pub mod net;
 pub mod policy;
 pub mod reduction;
 pub mod storage;

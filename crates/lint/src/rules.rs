@@ -13,6 +13,7 @@
 //! | C2 | `.lock().unwrap()`/`.expect(` (poison cascades) | all non-test code |
 //! | C3 | `Ordering::X` not declared in a `lint:orderings` header | everywhere, tests included |
 //! | C4 | bare `spawn(` instead of the named-thread helper | non-test code of `serve`/`loadgen` |
+//! | U1 | `unsafe` outside the audited reactor module, or inside it without a reasoned allow | everywhere, tests included |
 //!
 //! A violation is suppressed by a comment on the same line, or by a
 //! comment (possibly spanning several lines) immediately preceding the
@@ -80,6 +81,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "C4",
         summary: "threads in serve/loadgen must be spawned via `wmlp_check::thread::spawn_named` (named + model-checkable), not bare `spawn(`",
+    },
+    RuleInfo {
+        id: "U1",
+        summary: "`unsafe` only in the audited reactor module (crates/core/src/net.rs), and every block there needs a reasoned `// lint:allow(U1): why`; elsewhere it is unsuppressible",
     },
 ];
 
@@ -177,6 +182,12 @@ const D2_ALLOWED_PATHS: &[&str] = &[
 /// Crates whose threads must be spawned through the named-thread helper
 /// (`wmlp_check::thread::spawn_named`): C4 applies.
 const C4_CRATES: &[&str] = &["serve", "loadgen", "router"];
+/// The only modules allowed to contain `unsafe` at all: the epoll/eventfd
+/// reactor, whose whole point is to be the one audited syscall surface.
+/// Inside the allowlist each block still needs a reasoned U1 suppression;
+/// outside it the rule is unsuppressible — move the code into the audited
+/// module instead of arguing with the linter.
+const U1_ALLOWED_PATHS: &[&str] = &["crates/core/src/net.rs"];
 /// The `std::sync::atomic::Ordering` variants C3 recognises. (`cmp::
 /// Ordering` variants — `Less`/`Equal`/`Greater` — are not in this list,
 /// so comparison code never trips the rule.)
@@ -201,6 +212,9 @@ fn rule_applies(rule: &str, scope: &FileScope, in_test_region: bool) -> bool {
         // the wrong ordering documents the wrong contract.
         "C3" => true,
         "C4" => C4_CRATES.contains(&krate) && !is_test,
+        // `unsafe` is load-bearing everywhere, tests included: a test that
+        // needs raw pointers is auditing territory too.
+        "U1" => true,
         _ => false,
     }
 }
@@ -440,13 +454,20 @@ pub fn scan_source(rel_path: &str, src: &str, scope: &FileScope) -> Vec<Diagnost
         })
         .collect();
 
+    // U1 suppressions only work inside the audited-module allowlist;
+    // everywhere else a U1 allow comment is ignored so the only fix is
+    // moving the unsafe code into the audited module.
+    let u1_allowlisted = U1_ALLOWED_PATHS.contains(&scope.rel.as_str());
     let mut push = |rule: &'static str, tok: &Token, message: String| {
         if !rule_applies(rule, scope, in_regions(&regions, tok.start)) {
             return;
         }
-        if sups.iter().any(|(r, reason, own, target)| {
-            *reason && r == rule && (*own == tok.line || *target == tok.line)
-        }) {
+        let suppressible = rule != "U1" || u1_allowlisted;
+        if suppressible
+            && sups.iter().any(|(r, reason, own, target)| {
+                *reason && r == rule && (*own == tok.line || *target == tok.line)
+            })
+        {
             return;
         }
         diags.push(Diagnostic {
@@ -574,6 +595,15 @@ pub fn scan_source(rel_path: &str, src: &str, scope: &FileScope) -> Vec<Diagnost
                             format!("`{text}!` in library code; return an error instead"),
                         )
                     }
+                    "unsafe" => push(
+                        "U1",
+                        tok,
+                        if u1_allowlisted {
+                            "`unsafe` in the audited reactor module without a reasoned `// lint:allow(U1): why` on the block".into()
+                        } else {
+                            "`unsafe` outside the audited reactor module (crates/core/src/net.rs); move the raw-syscall code there — this finding cannot be suppressed".into()
+                        },
+                    ),
                     name if MEMORY_ORDERINGS.contains(&name)
                         && prev(1).map(|t| t.kind) == Some(TokenKind::Punct(b':'))
                         && prev(2).map(|t| t.kind) == Some(TokenKind::Punct(b':'))
@@ -800,6 +830,49 @@ mod tests {
         // Scoped spawns count too.
         let src = "fn f(s: &Scope) { s.spawn(|| {}); }\n";
         assert_eq!(scan("loadgen", src)[0].rule, "C4");
+    }
+
+    #[test]
+    fn u1_unsafe_is_unsuppressible_outside_the_audited_module() {
+        // Anywhere but the reactor module: flagged, and a reasoned
+        // suppression does not help.
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let d = scan("serve", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "U1");
+        assert!(d[0].message.contains("cannot be suppressed"));
+        let src =
+            "// lint:allow(U1): I promise this one is fine\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let d = scan("serve", src);
+        assert_eq!(d.len(), 1, "allow outside the allowlist is ignored: {d:?}");
+        assert_eq!(d[0].rule, "U1");
+        // Tests are not exempt: unsafe in a #[cfg(test)] region still fires.
+        let src = "#[cfg(test)]\nmod tests { fn f(p: *const u8) -> u8 { unsafe { *p } } }\n";
+        assert_eq!(scan("core", src)[0].rule, "U1");
+        // `unsafe_code` (as in `#![forbid(unsafe_code)]`) is a different
+        // identifier: clean.
+        let src = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert!(scan("router", src).is_empty());
+    }
+
+    #[test]
+    fn u1_audited_module_needs_a_reasoned_allow_per_block() {
+        let rel = "crates/core/src/net.rs";
+        let scope = FileScope::from_rel_path(rel).unwrap();
+        // Bare unsafe in the audited module: still flagged…
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let d = scan_source(rel, src, &scope);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "U1");
+        assert!(d[0].message.contains("reasoned"));
+        // …but a reasoned allow on the preceding line clears it.
+        let src = "// lint:allow(U1): read of a caller-guaranteed-live frame pointer\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert!(scan_source(rel, src, &scope).is_empty());
+        // A reasonless allow clears nothing (and is itself an S1 error).
+        let src = "// lint:allow(U1)\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let d = scan_source(rel, src, &scope);
+        assert!(d.iter().any(|d| d.rule == "S1"));
+        assert!(d.iter().any(|d| d.rule == "U1"));
     }
 
     #[test]

@@ -140,7 +140,7 @@ pub struct ConnOutcome {
 }
 
 impl ConnOutcome {
-    fn record_reply(&mut self, reply: Frame) -> Result<(), ClientError> {
+    pub(crate) fn record_reply(&mut self, reply: Frame) -> Result<(), ClientError> {
         match reply {
             Frame::Served {
                 hit,

@@ -2,9 +2,11 @@
 //!
 //! Replays seeded `wmlp-workloads` traces against a server over real
 //! sockets — closed-loop, pipelined (a bounded window of requests in
-//! flight per connection), or open-loop against an arrival schedule with
-//! coordinated-omission-corrected latency — measures per-request latency
-//! into the log-bucketed [`wmlp_sim::Histogram`], and emits a
+//! flight per connection), open-loop against an arrival schedule with
+//! coordinated-omission-corrected latency, or high-fan-in
+//! (`--connections N`: thousands of pipelined connections multiplexed
+//! over a few event-driven client threads) — measures per-request
+//! latency into the log-bucketed [`wmlp_sim::Histogram`], and emits a
 //! schema-documented SERVE.json report ([`report`]), optionally with a
 //! throughput-vs-p99 sweep across offered rates.
 //!
@@ -16,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod fanin;
 pub mod report;
 pub mod timing;
 
@@ -23,7 +26,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 
 use wmlp_core::instance::{MlInstance, Request};
-use wmlp_serve::server::{start, ServeConfig, ServerHandle};
+use wmlp_serve::server::{start, IoMode, ServeConfig, ServerHandle};
 use wmlp_sim::Histogram;
 use wmlp_workloads::{cyclic_trace, zipf_trace, LevelDist};
 
@@ -126,6 +129,17 @@ pub struct LoadgenConfig {
     /// Per-connection in-flight window; 1 = classic closed-loop, > 1 =
     /// pipelined.
     pub pipeline: usize,
+    /// High-fan-in mode: when > 0, open this many pipelined connections
+    /// multiplexed over [`LoadgenConfig::client_threads`] event-driven
+    /// client threads instead of a thread per connection (`--conns` is
+    /// ignored). Requires enough file descriptors — checked against
+    /// `RLIMIT_NOFILE` up front — and excludes `--rate`/`--sweep`.
+    pub connections: usize,
+    /// Event-driven client threads in fan-in mode (≥ 1).
+    pub client_threads: usize,
+    /// Connection plane for a spawned server: `"threads"` or `"epoll"`
+    /// (the server's `--io-mode`; ignored with an external `addr`).
+    pub io_mode: String,
     /// Open-loop target arrival rate across all connections, requests
     /// per second; 0 = unpaced (the window alone sets the load).
     pub rate: f64,
@@ -159,6 +173,9 @@ impl Default for LoadgenConfig {
             hot_k: 64,
             epoch_len: 4096,
             pipeline: 1,
+            connections: 0,
+            client_threads: 2,
+            io_mode: "threads".into(),
             rate: 0.0,
             sweep: Vec::new(),
             value_size: 64,
@@ -315,9 +332,104 @@ fn run_wave(
     out
 }
 
+/// One fan-in wave: `slices` (one per connection) dealt round-robin
+/// across `client_threads` event-driven threads, each multiplexing its
+/// share of the connections over one reactor (see [`fanin`]).
+fn run_fanin_wave(
+    addr: SocketAddr,
+    slices: &[Vec<Request>],
+    window: usize,
+    puts: PutValues,
+    client_threads: usize,
+) -> WaveOutcome {
+    let nthreads = client_threads.max(1).min(slices.len().max(1));
+    let clock = Clock::start();
+    let wall = Stopwatch::start();
+    let outcomes: Vec<Result<client::ConnOutcome, ClientErrorEntry>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|t| {
+                    let my: Vec<&[Request]> = slices
+                        .iter()
+                        .skip(t)
+                        .step_by(nthreads)
+                        .map(Vec::as_slice)
+                        .collect();
+                    wmlp_check::thread::spawn_scoped_named(scope, format!("lg-io-{t}"), move || {
+                        fanin::run_thread(addr, &my, window, puts, clock)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(results) => results
+                        .into_iter()
+                        .map(|r| {
+                            r.map_err(|e| ClientErrorEntry {
+                                kind: e.kind().into(),
+                                detail: e.to_string(),
+                            })
+                        })
+                        .collect::<Vec<_>>(),
+                    Err(_) => vec![Err(ClientErrorEntry {
+                        kind: "panic".into(),
+                        detail: "fan-in client thread panicked".into(),
+                    })],
+                })
+                .collect()
+        });
+    let wall_nanos = wall.elapsed_nanos();
+    let mut out = WaveOutcome {
+        hist: Histogram::new(),
+        send_lag: Histogram::new(),
+        totals: Totals::default(),
+        client_errors: Vec::new(),
+        wall_nanos,
+    };
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => {
+                out.hist.merge(&o.hist);
+                out.send_lag.merge(&o.send_lag);
+                out.totals.merge(&o.totals);
+            }
+            Err(entry) => out.client_errors.push(entry),
+        }
+    }
+    out
+}
+
 /// Run the full load: (spawn and) target a server, replay the workload
 /// over `conns` connections, and assemble the report.
 pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
+    if cfg.connections > 0 && (cfg.rate > 0.0 || !cfg.sweep.is_empty()) {
+        return Err(
+            "--connections fan-in mode is about connection scaling, not pacing; \
+             it does not combine with --rate or --sweep"
+                .into(),
+        );
+    }
+    if cfg.connections > 0 {
+        // Fail fast with a clear message instead of EMFILE mid-run: the
+        // connections plus headroom for the server side (when spawned
+        // in-process, every accepted socket costs fds here too).
+        let headroom = 128;
+        let server_side = if cfg.addr.is_none() {
+            2 * cfg.connections as u64 // accepted socket + registry dup
+        } else {
+            0
+        };
+        let needed = cfg.connections as u64 + server_side + headroom;
+        let limit = wmlp_core::net::rlimit_nofile().map_err(|e| format!("rlimit: {e}"))?;
+        if limit < needed {
+            return Err(format!(
+                "--connections {}: needs ~{needed} file descriptors but RLIMIT_NOFILE \
+                 is {limit}; raise it (e.g. `ulimit -n {needed}`) or lower --connections",
+                cfg.connections
+            ));
+        }
+    }
     let inst = Arc::new(wmlp_serve::default_instance(
         cfg.pages,
         cfg.levels,
@@ -339,6 +451,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
                     detector_capacity: cfg.detector_capacity,
                     hot_k: cfg.hot_k,
                     epoch_len: cfg.epoch_len,
+                    io_mode: IoMode::parse(&cfg.io_mode)?,
                     ..ServeConfig::default()
                 },
             )
@@ -351,7 +464,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
         .ok_or_else(|| "no server address".to_string())?;
 
     let trace = cfg.workload.trace(&inst, cfg.requests, cfg.seed);
-    let conns = cfg.conns.max(1);
+    let conns = if cfg.connections > 0 {
+        cfg.connections
+    } else {
+        cfg.conns.max(1)
+    };
     // Round-robin partition: connection c replays requests c, c+conns, …
     // in trace order, so the union of what the server sees is the trace
     // (interleaved by scheduling, as real concurrent clients would be).
@@ -363,7 +480,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<ServeReport, String> {
         seed: cfg.seed,
         size: cfg.value_size.max(1),
     };
-    let mut main = run_wave(addr, &slices, cfg.pipeline, cfg.rate, puts);
+    let mut main = if cfg.connections > 0 {
+        run_fanin_wave(addr, &slices, cfg.pipeline, puts, cfg.client_threads)
+    } else {
+        run_wave(addr, &slices, cfg.pipeline, cfg.rate, puts)
+    };
     let mut client_errors = std::mem::take(&mut main.client_errors);
 
     // The sweep replays the same trace open-loop at each offered rate,
@@ -599,6 +720,86 @@ mod tests {
         // Windowed-but-unpaced: intended = actual send, so lag is
         // recorded (count > 0) but tiny.
         assert_eq!(piped.send_lag.count, 600);
+    }
+
+    /// Fan-in mode end-to-end: 64 multiplexed connections over 2 client
+    /// threads against a spawned epoll-mode server, every request
+    /// answered, accounting exact.
+    #[test]
+    fn fanin_mode_serves_many_connections_over_few_threads() {
+        let report = run(&LoadgenConfig {
+            requests: 2_000,
+            connections: 64,
+            client_threads: 2,
+            pipeline: 8,
+            io_mode: "epoll".into(),
+            ..LoadgenConfig::smoke()
+        })
+        .unwrap();
+        assert_eq!(report.totals.sent, 2_000);
+        assert_eq!(report.totals.errors, 0);
+        assert!(report.client_errors.is_empty());
+        assert_eq!(report.server.requests, 2_000);
+        assert_eq!(report.totals.cost, report.server.cost);
+        assert_eq!(report.totals.hits, report.server.hits);
+        assert_eq!(report.config.conns, 64);
+        assert!(report.shutdown_clean);
+        assert!(report.latency.count == 2_000);
+        // Fan-in has no arrival schedule, hence no send-lag samples.
+        assert_eq!(report.send_lag.count, 0);
+    }
+
+    /// A single fan-in connection replays the identical request sequence
+    /// a thread-per-connection pipelined client does, so all
+    /// deterministic outcomes must agree across client architectures
+    /// (and across server io modes).
+    #[test]
+    fn fanin_single_connection_matches_pipelined_accounting() {
+        let base = LoadgenConfig {
+            requests: 600,
+            conns: 1,
+            shards: 2,
+            ..LoadgenConfig::smoke()
+        };
+        let piped = run(&LoadgenConfig {
+            pipeline: 32,
+            ..base.clone()
+        })
+        .unwrap();
+        let fanin = run(&LoadgenConfig {
+            connections: 1,
+            client_threads: 1,
+            pipeline: 32,
+            io_mode: "epoll".into(),
+            ..base
+        })
+        .unwrap();
+        assert_eq!(fanin.totals.sent, 600);
+        assert_eq!(fanin.totals.errors, 0);
+        assert_eq!(fanin.totals, piped.totals);
+        assert_eq!(fanin.server.requests, piped.server.requests);
+        assert_eq!(fanin.server.cost, piped.server.cost);
+    }
+
+    /// The RLIMIT_NOFILE gate: a connection count no fd table holds is
+    /// refused up front with an actionable message, not a mid-run EMFILE.
+    #[test]
+    fn fanin_rlimit_check_fails_fast() {
+        let err = run(&LoadgenConfig {
+            connections: 1 << 29,
+            ..LoadgenConfig::smoke()
+        })
+        .unwrap_err();
+        assert!(err.contains("RLIMIT_NOFILE"), "{err}");
+        assert!(err.contains("ulimit"), "{err}");
+        // And pacing flags are rejected in fan-in mode, not ignored.
+        let err = run(&LoadgenConfig {
+            connections: 8,
+            rate: 1000.0,
+            ..LoadgenConfig::smoke()
+        })
+        .unwrap_err();
+        assert!(err.contains("--rate"), "{err}");
     }
 
     #[test]

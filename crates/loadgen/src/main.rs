@@ -16,6 +16,11 @@
 //! # pipelined: keep up to 64 requests in flight per connection
 //! wmlp-loadgen --spawn --conns 8 --pipeline 64
 //!
+//! # high fan-in: 1024 pipelined connections over 2 event-driven client
+//! # threads, against a spawned epoll-mode server (C10K smoke)
+//! wmlp-loadgen --spawn --io-mode epoll --connections 1024 \
+//!              --client-threads 2 --pipeline 8
+//!
 //! # open-loop at 200K req/s with coordinated-omission-corrected
 //! # latency, then sweep offered rates for the throughput-vs-p99 curve
 //! wmlp-loadgen --spawn --pipeline 64 --rate 200000 \
@@ -76,6 +81,11 @@ fn main() {
         hot_k: flag_parse(&args, "--hot-k", base.hot_k),
         epoch_len: flag_parse(&args, "--epoch-len", base.epoch_len),
         pipeline: flag_parse(&args, "--pipeline", base.pipeline),
+        connections: flag_parse(&args, "--connections", base.connections),
+        client_threads: flag_parse(&args, "--client-threads", base.client_threads),
+        io_mode: flag(&args, "--io-mode")
+            .unwrap_or(&base.io_mode)
+            .to_string(),
         rate: flag_parse(&args, "--rate", base.rate),
         sweep: match flag(&args, "--sweep") {
             None => base.sweep.clone(),

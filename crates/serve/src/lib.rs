@@ -21,6 +21,11 @@
 //!   `wmlp-router` [`wmlp_router::Partitioner`] deciding hash /
 //!   replicate / migrate placement per request), graceful shutdown with
 //!   in-flight draining, and the [`server::ServerHandle`] lifecycle.
+//! * [`notify`] — the publish-then-ring completion handshake between
+//!   shard workers and event loops (`--io-mode epoll`).
+//! * `event_loop` (crate-private) — the event-driven connection plane:
+//!   epoll reactor loops owning all client sockets with non-blocking
+//!   I/O, selected by [`server::IoMode::Epoll`].
 //!
 //! All synchronisation (and thread spawning) goes through the
 //! `wmlp_check` shim layer — a passthrough to `std` in normal builds —
@@ -37,6 +42,8 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+mod event_loop;
+pub mod notify;
 pub mod reorder;
 pub mod replay;
 pub mod server;
@@ -45,7 +52,7 @@ pub mod spsc;
 pub mod window;
 
 pub use replay::{replay_manifest, replay_manifest_with_plan};
-pub use server::{start, ServeConfig, ServeError, ServerHandle};
+pub use server::{start, IoMode, ServeConfig, ServeError, ServerHandle};
 pub use shard::{shard_instances, FanoutAck, ReplyTo, ShardJob, ShardMap, ShardMsg, ShardStats};
 
 use wmlp_core::instance::MlInstance;

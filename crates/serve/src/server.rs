@@ -1,10 +1,18 @@
 //! The TCP server: acceptor, router, connection handlers, and lifecycle.
 //!
-//! Thread topology (plain threads, no async runtime; every thread is
-//! named via `wmlp_check::thread::spawn_named` — `acceptor`, `router`,
-//! `shard-{i}`, `conn-{id}-rd`, `conn-{id}-wr` — so panics and `/proc`
-//! identify the actor, and all synchronisation goes through the
-//! `wmlp_check` shim so the same code runs under the model checker):
+//! The connection plane comes in two interchangeable flavours selected
+//! by [`ServeConfig::io_mode`]: the thread-per-connection topology below
+//! (`threads`, the differential reference), and the event-driven plane
+//! in [`crate::event_loop`] (`epoll`), where `io_threads` reactor loops
+//! own every client socket and no per-connection threads exist. Router,
+//! shard workers, and the wire protocol are identical in both modes.
+//!
+//! Thread topology in `threads` mode (plain threads, no async runtime;
+//! every thread is named via `wmlp_check::thread::spawn_named` —
+//! `acceptor`, `router`, `shard-{i}`, `conn-{id}-rd`, `conn-{id}-wr` —
+//! so panics and `/proc` identify the actor, and all synchronisation
+//! goes through the `wmlp_check` shim so the same code runs under the
+//! model checker):
 //!
 //! ```text
 //! acceptor ──spawns──▶ connection reader + writer thread pairs
@@ -63,17 +71,58 @@ use wmlp_check::sync::{Mutex, MutexGuard};
 use wmlp_check::thread::{spawn_named, JoinHandle};
 use wmlp_core::conn::{ConnError, FrameReader};
 use wmlp_core::instance::{MlInstance, Request};
+use wmlp_core::net::{EventFd, Reactor};
 use wmlp_core::storage::{SimStorage, Storage};
 use wmlp_core::wire::{encode, ErrorCode, Frame, WireStats};
 use wmlp_router::{DrainGate, PartitionMode, PartitionSpec, Partitioner, Route};
 use wmlp_store::{RecoverMode, SegmentStore, StoreOptions};
 
+use crate::event_loop::{run_io_loop, LoopShared};
 use crate::reorder::Reorder;
 use crate::shard::{
     run_shard, shard_instances, FanoutAck, ReplyTo, ShardJob, ShardMsg, ShardStats,
 };
 use crate::spsc;
 use crate::window::Window;
+
+/// Which machinery owns client sockets (the `--io-mode` flag). Both
+/// modes speak the same wire protocol with the same semantics — the e2e
+/// suite runs against both and `--replay` output is byte-identical
+/// across them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Thread-per-connection: a reader/writer thread pair per client
+    /// with blocking sockets. Simple, debuggable, and the differential
+    /// reference for the event-driven plane; scales to hundreds of
+    /// connections.
+    Threads,
+    /// Event-driven: [`ServeConfig::io_threads`] epoll reactor loops own
+    /// all client sockets with non-blocking I/O (see
+    /// [`crate::event_loop`]). Scales to thousands of connections.
+    Epoll,
+}
+
+impl IoMode {
+    /// Parse a `--io-mode` flag value.
+    pub fn parse(s: &str) -> Result<IoMode, String> {
+        match s {
+            "threads" => Ok(IoMode::Threads),
+            "epoll" => Ok(IoMode::Epoll),
+            other => Err(format!(
+                "unknown io mode `{other}` (expected `threads` or `epoll`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoMode::Threads => "threads",
+            IoMode::Epoll => "epoll",
+        })
+    }
+}
 
 /// Everything the server needs besides the instance itself.
 #[derive(Debug, Clone)]
@@ -118,6 +167,13 @@ pub struct ServeConfig {
     /// Routed requests per plan epoch; 0 freezes the plan at the hash
     /// baseline even in non-hash modes.
     pub epoch_len: u64,
+    /// Connection plane: thread-per-connection or event-driven epoll
+    /// loops (the `--io-mode` flag).
+    pub io_mode: IoMode,
+    /// Number of event-loop threads in [`IoMode::Epoll`] (≥ 1; ignored
+    /// in [`IoMode::Threads`]). Two loops saturate most NICs; the loops
+    /// only shuffle bytes, the shards do the work.
+    pub io_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -137,6 +193,8 @@ impl Default for ServeConfig {
             detector_capacity: 256,
             hot_k: 64,
             epoch_len: 4096,
+            io_mode: IoMode::Threads,
+            io_threads: 2,
         }
     }
 }
@@ -188,25 +246,29 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
-/// State shared between the handle, acceptor, and connection threads.
-struct Inner {
-    addr: SocketAddr,
-    inst: Arc<MlInstance>,
-    max_inflight: usize,
-    shutdown: AtomicBool,
+/// State shared between the handle, the connection plane (acceptor and
+/// connection threads, or the event loops), and the SHUTDOWN handler.
+pub(crate) struct Inner {
+    pub(crate) addr: SocketAddr,
+    pub(crate) inst: Arc<MlInstance>,
+    pub(crate) max_inflight: usize,
+    pub(crate) shutdown: AtomicBool,
     /// Handles to live client sockets keyed by connection id, half-closed
-    /// on shutdown to unblock their reads. Connection threads deregister
-    /// themselves on exit (and fully close the socket then — the
+    /// on shutdown to unblock their reads. The owning plane deregisters
+    /// a connection on close (and fully closes the socket then — the
     /// registered duplicate fd would otherwise hold it open and starve
     /// clients waiting on EOF).
-    conns: Mutex<Vec<(u64, TcpStream)>>,
-    stats: Vec<Arc<ShardStats>>,
+    pub(crate) conns: Mutex<Vec<(u64, TcpStream)>>,
+    pub(crate) stats: Vec<Arc<ShardStats>>,
     /// Warm pages rebuilt from segment logs at startup, summed over
     /// shards; always 0 for in-memory storage and cold recovery.
-    warm_recovered: u64,
+    pub(crate) warm_recovered: u64,
+    /// Doorbells of the event loops (empty in thread mode), rung on
+    /// shutdown so loops parked in `epoll_wait` observe the flag.
+    pub(crate) bells: Vec<Arc<EventFd>>,
 }
 
-fn lock_conns(inner: &Inner) -> MutexGuard<'_, Vec<(u64, TcpStream)>> {
+pub(crate) fn lock_conns(inner: &Inner) -> MutexGuard<'_, Vec<(u64, TcpStream)>> {
     match inner.conns.lock() {
         Ok(g) => g,
         Err(p) => p.into_inner(),
@@ -214,16 +276,20 @@ fn lock_conns(inner: &Inner) -> MutexGuard<'_, Vec<(u64, TcpStream)>> {
 }
 
 impl Inner {
-    /// Flip the shutdown flag; on the first call, wake the acceptor and
-    /// unblock every connection's pending read.
-    fn trigger_shutdown(&self) {
+    /// Flip the shutdown flag; on the first call, wake the acceptor (or
+    /// the event loops) and unblock every connection's pending read.
+    pub(crate) fn trigger_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor out of `accept` with a throwaway connection.
+        // Wake the acceptor out of `accept` with a throwaway connection
+        // (in epoll mode this also pokes loop 0's listener readiness).
         let _ = TcpStream::connect(self.addr);
         for (_, c) in lock_conns(self).iter() {
             let _ = c.shutdown(std::net::Shutdown::Read);
+        }
+        for bell in &self.bells {
+            let _ = bell.ring();
         }
     }
 }
@@ -233,7 +299,10 @@ impl Inner {
 /// and then [`ServerHandle::join`]).
 pub struct ServerHandle {
     inner: Arc<Inner>,
-    acceptor: Option<JoinHandle<()>>,
+    /// The connection plane: the single acceptor in thread mode, the
+    /// event loops in epoll mode. Either way, these threads own every
+    /// client socket and their exit means all connections have drained.
+    io: Vec<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<()>>,
 }
@@ -264,11 +333,13 @@ impl ServerHandle {
     /// [`ServerHandle::shutdown`] call) and return the final aggregate
     /// stats after every shard has drained.
     pub fn join(mut self) -> WireStats {
-        // The acceptor joins its connection threads before returning,
-        // which drops the last router sender; the router then exits,
-        // closing the shard rings; the shards drain and exit. This
-        // ordering is what guarantees in-flight requests are served.
-        if let Some(h) = self.acceptor.take() {
+        // The connection plane exits only after every connection drains
+        // (the acceptor joins its connection threads; an event loop exits
+        // once its last connection closes), which drops the last router
+        // sender; the router then exits, closing the shard rings; the
+        // shards drain and exit. This ordering is what guarantees
+        // in-flight requests are served.
+        for h in self.io.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.router.take() {
@@ -335,6 +406,21 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
 
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+
+    // The event-loop plane's kernel resources (epoll instances and
+    // doorbell eventfds) are created before any thread spawns, so an
+    // fd-limit failure surfaces here instead of inside a worker.
+    let io_threads = cfg.io_threads.max(1);
+    let mut io_shareds: Vec<Arc<LoopShared>> = Vec::new();
+    let mut reactors: Vec<Reactor> = Vec::new();
+    if cfg.io_mode == IoMode::Epoll {
+        listener.set_nonblocking(true)?;
+        for _ in 0..io_threads {
+            io_shareds.push(LoopShared::new()?);
+            reactors.push(Reactor::new()?);
+        }
+    }
+
     let stats: Vec<Arc<ShardStats>> = shard_insts
         .iter()
         .map(|_| Arc::new(ShardStats::default()))
@@ -347,6 +433,7 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
         conns: Mutex::new(Vec::new()),
         stats: stats.clone(),
         warm_recovered,
+        bells: io_shareds.iter().map(|s| Arc::clone(&s.bell)).collect(),
     });
 
     // Shard workers, each on its own ring, each owning its storage.
@@ -379,40 +466,65 @@ pub fn start(inst: Arc<MlInstance>, cfg: &ServeConfig) -> Result<ServerHandle, S
         })
     };
 
-    // Acceptor: owns the listener and every connection handle.
-    let acceptor = {
-        let inner = Arc::clone(&inner);
-        spawn_named("acceptor", move || {
-            let mut conn_handles = Vec::new();
-            let mut next_id = 0u64;
-            for stream in listener.incoming() {
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    break; // the wake connection, or a late client
+    // The connection plane. Either way, the threads spawned here hold
+    // every clone of `route_tx`, so their collective exit closes the
+    // router's channel only once all in-flight requests are routed.
+    let io_handles = match cfg.io_mode {
+        IoMode::Threads => {
+            // Acceptor: owns the listener and every connection handle.
+            let inner = Arc::clone(&inner);
+            vec![spawn_named("acceptor", move || {
+                let mut conn_handles = Vec::new();
+                let mut next_id = 0u64;
+                for stream in listener.incoming() {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        break; // the wake connection, or a late client
+                    }
+                    let Ok(stream) = stream else { continue };
+                    next_id += 1;
+                    let id = next_id;
+                    if let Ok(registered) = stream.try_clone() {
+                        lock_conns(&inner).push((id, registered));
+                    }
+                    let inner = Arc::clone(&inner);
+                    let route_tx = route_tx.clone();
+                    conn_handles.push(spawn_named(format!("conn-{id}-rd"), move || {
+                        serve_connection(&inner, id, stream, &route_tx);
+                    }));
                 }
-                let Ok(stream) = stream else { continue };
-                next_id += 1;
-                let id = next_id;
-                if let Ok(registered) = stream.try_clone() {
-                    lock_conns(&inner).push((id, registered));
+                for h in conn_handles {
+                    let _ = h.join();
                 }
-                let inner = Arc::clone(&inner);
-                let route_tx = route_tx.clone();
-                conn_handles.push(spawn_named(format!("conn-{id}-rd"), move || {
-                    serve_connection(&inner, id, stream, &route_tx);
-                }));
-            }
-            for h in conn_handles {
-                let _ = h.join();
-            }
-            // `route_tx` (the original) drops here, after every clone in
-            // the connection threads — the router sees the channel close
-            // only once all in-flight requests have been routed.
-        })
+                // `route_tx` (the original) drops here, after every clone
+                // in the connection threads.
+            })]
+        }
+        IoMode::Epoll => {
+            let peers = Arc::new(io_shareds);
+            let mut listener = Some(listener); // loop 0 owns it
+            let handles: Vec<JoinHandle<()>> = reactors
+                .into_iter()
+                .enumerate()
+                .map(|(i, reactor)| {
+                    let inner = Arc::clone(&inner);
+                    let peers = Arc::clone(&peers);
+                    let route_tx = route_tx.clone();
+                    let listener = listener.take();
+                    spawn_named(format!("io-{i}"), move || {
+                        run_io_loop(inner, i, reactor, peers, listener, route_tx);
+                    })
+                })
+                .collect();
+            // Loops hold clones; drop the original so the router's
+            // channel closes when the last loop exits.
+            drop(route_tx);
+            handles
+        }
     };
 
     Ok(ServerHandle {
         inner,
-        acceptor: Some(acceptor),
+        io: io_handles,
         router: Some(router),
         shards: shard_handles,
     })
@@ -459,9 +571,12 @@ pub(crate) fn run_router(
                 }
             }
             Route::Fanout { home } => match job.reply {
-                ReplyTo::Conn(reply) => {
+                reply @ (ReplyTo::Conn(_) | ReplyTo::Sink { .. }) => {
                     // Replicated PUT: one copy per shard; the last
-                    // completion forwards the home shard's reply.
+                    // completion forwards the home shard's reply (to the
+                    // connection's writer inbox or the owning event
+                    // loop's completion queue, whichever the job came
+                    // with).
                     let ack = FanoutAck::new(rings.len(), job.seq, reply);
                     for (shard, ring) in rings.iter().enumerate() {
                         stats[shard].note_enqueued();

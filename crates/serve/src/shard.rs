@@ -226,7 +226,11 @@ impl ShardStats {
 pub struct FanoutAck {
     remaining: AtomicUsize,
     seq: u64,
-    reply: mpsc::Sender<(u64, Frame)>,
+    /// Where the final (home) frame goes — a connection writer inbox in
+    /// `--io-mode threads`, an event-loop completion queue in
+    /// `--io-mode epoll`. Never itself a [`ReplyTo::Fanout`]; the router
+    /// guards against nesting countdowns.
+    reply: ReplyTo,
     /// The home shard's reply frame, parked until the countdown ends.
     home_frame: Mutex<Option<Frame>>,
 }
@@ -234,7 +238,7 @@ pub struct FanoutAck {
 impl FanoutAck {
     /// An ack waiting for `fanout` shard completions, forwarding the
     /// home frame to `reply` under sequence slot `seq`.
-    pub fn new(fanout: usize, seq: u64, reply: mpsc::Sender<(u64, Frame)>) -> Arc<Self> {
+    pub fn new(fanout: usize, seq: u64, reply: ReplyTo) -> Arc<Self> {
         Arc::new(FanoutAck {
             remaining: AtomicUsize::new(fanout.max(1)),
             seq,
@@ -262,16 +266,35 @@ impl FanoutAck {
                 code: ErrorCode::Internal,
                 detail: "replicated PUT completed without a home reply".to_string(),
             });
-            // A send failure just means the connection hung up.
-            let _ = self.reply.send((self.seq, frame));
+            self.reply.deliver(self.seq, frame);
         }
     }
 }
 
+/// A destination for completed frames from connections owned by an event
+/// loop rather than a dedicated writer thread: shard workers (and the
+/// router's fan-out countdown) hand `(connection, seq, frame)` triples to
+/// the loop without blocking, and the implementation is responsible for
+/// waking the loop (the epoll plane uses an `eventfd` doorbell; see the
+/// `notify` module for the model-checked handshake).
+pub trait CompletionSink: Send + Sync {
+    /// Deliver `frame` for sequence slot `seq` of connection `conn`.
+    fn complete(&self, conn: u64, seq: u64, frame: Frame);
+}
+
 /// Where a served job's reply frame goes.
 pub enum ReplyTo {
-    /// Straight to the originating connection's writer inbox.
+    /// Straight to the originating connection's writer inbox
+    /// (`--io-mode threads`).
     Conn(mpsc::Sender<(u64, Frame)>),
+    /// Into the completion queue of the event loop owning the connection
+    /// (`--io-mode epoll`).
+    Sink {
+        /// The owning event loop's completion queue.
+        sink: Arc<dyn CompletionSink>,
+        /// The loop-local connection id the frame belongs to.
+        conn: u64,
+    },
     /// Into a replicated-PUT countdown; `home` marks the copy whose
     /// frame answers the client.
     Fanout {
@@ -291,6 +314,7 @@ impl ReplyTo {
             ReplyTo::Conn(tx) => {
                 let _ = tx.send((seq, frame));
             }
+            ReplyTo::Sink { sink, conn } => sink.complete(*conn, seq, frame),
             ReplyTo::Fanout { ack, home } => ack.complete(frame, *home),
         }
     }
@@ -642,7 +666,7 @@ mod tests {
     #[test]
     fn fanout_ack_forwards_the_home_frame_last() {
         let (reply_tx, reply_rx) = mpsc::channel();
-        let ack = FanoutAck::new(3, 7, reply_tx);
+        let ack = FanoutAck::new(3, 7, ReplyTo::Conn(reply_tx));
         let frame = |level: u8| Frame::Served {
             hit: false,
             level,

@@ -1,6 +1,11 @@
 //! End-to-end tests: a real server on a loopback socket driven by a
 //! hand-rolled protocol client, plus replay-mode determinism through the
 //! actual `wmlp-serve` binary.
+//!
+//! The behavioral tests run against both connection planes (`--io-mode
+//! threads|epoll`), and the pipelined test uses the thread plane as the
+//! differential reference for the event-driven one: identical requests
+//! must produce byte-identical reply sequences in either mode.
 
 use std::io::{BufWriter, Write};
 use std::net::TcpStream;
@@ -10,7 +15,7 @@ use wmlp_core::codec;
 use wmlp_core::conn::{write_frame, FrameReader};
 use wmlp_core::instance::Request;
 use wmlp_core::wire::{request_frame, ErrorCode, Frame};
-use wmlp_serve::server::{start, ServeConfig};
+use wmlp_serve::server::{start, IoMode, ServeConfig};
 use wmlp_serve::{default_instance, replay_manifest};
 
 struct Client {
@@ -50,10 +55,26 @@ fn serve_cfg(shards: usize) -> ServeConfig {
     }
 }
 
+fn serve_cfg_io(shards: usize, io_mode: IoMode) -> ServeConfig {
+    ServeConfig {
+        io_mode,
+        ..serve_cfg(shards)
+    }
+}
+
 #[test]
 fn sharded_server_serves_gets_puts_stats_and_shuts_down() {
+    sharded_server_case(IoMode::Threads);
+}
+
+#[test]
+fn sharded_server_epoll_mode_behaves_identically() {
+    sharded_server_case(IoMode::Epoll);
+}
+
+fn sharded_server_case(io_mode: IoMode) {
     let inst = Arc::new(default_instance(256, 3, 32, 7).unwrap());
-    let handle = start(Arc::clone(&inst), &serve_cfg(4)).unwrap();
+    let handle = start(Arc::clone(&inst), &serve_cfg_io(4, io_mode)).unwrap();
     let mut client = Client::connect(handle.addr());
 
     let mut served = 0u64;
@@ -118,6 +139,18 @@ fn sharded_server_serves_gets_puts_stats_and_shuts_down() {
 /// request order, and must match what a closed-loop client sees.
 #[test]
 fn pipelined_requests_get_in_order_replies_matching_closed_loop() {
+    pipelined_case(IoMode::Threads);
+}
+
+/// The differential check across planes: the closed-loop reference runs
+/// on the thread plane, the pipelined run on the event-driven one; the
+/// reply sequences must be identical frame for frame.
+#[test]
+fn pipelined_epoll_replies_match_thread_plane_reference() {
+    pipelined_case(IoMode::Epoll);
+}
+
+fn pipelined_case(io_mode: IoMode) {
     let inst = Arc::new(default_instance(256, 3, 32, 7).unwrap());
     let reqs: Vec<Request> = (0..200u32)
         .map(|i| {
@@ -139,7 +172,7 @@ fn pipelined_requests_get_in_order_replies_matching_closed_loop() {
     // Pipelined run: write everything, reader thread collects replies
     // concurrently (the bounded in-flight window would otherwise
     // deadlock a writer that never drains responses).
-    let handle = start(Arc::clone(&inst), &serve_cfg(4)).unwrap();
+    let handle = start(Arc::clone(&inst), &serve_cfg_io(4, io_mode)).unwrap();
     let stream = TcpStream::connect(handle.addr()).unwrap();
     let read_half = stream.try_clone().unwrap();
     let n = reqs.len();
@@ -184,8 +217,17 @@ fn pipelined_requests_get_in_order_replies_matching_closed_loop() {
 
 #[test]
 fn corrupt_bytes_get_an_error_then_disconnect() {
+    corrupt_bytes_case(IoMode::Threads);
+}
+
+#[test]
+fn corrupt_bytes_epoll_mode_errors_then_disconnects() {
+    corrupt_bytes_case(IoMode::Epoll);
+}
+
+fn corrupt_bytes_case(io_mode: IoMode) {
     let inst = Arc::new(default_instance(64, 2, 8, 7).unwrap());
-    let handle = start(inst, &serve_cfg(1)).unwrap();
+    let handle = start(inst, &serve_cfg_io(1, io_mode)).unwrap();
     let stream = TcpStream::connect(handle.addr()).unwrap();
     let mut writer = stream.try_clone().unwrap();
     writer.write_all(b"GET / HTTP/1.1\r\n").unwrap(); // wrong protocol
@@ -202,8 +244,17 @@ fn corrupt_bytes_get_an_error_then_disconnect() {
 
 #[test]
 fn requests_after_shutdown_are_refused_but_drained_work_completes() {
+    shutdown_refusal_case(IoMode::Threads);
+}
+
+#[test]
+fn requests_after_shutdown_epoll_mode_refused_but_drained() {
+    shutdown_refusal_case(IoMode::Epoll);
+}
+
+fn shutdown_refusal_case(io_mode: IoMode) {
     let inst = Arc::new(default_instance(64, 2, 8, 7).unwrap());
-    let handle = start(inst, &serve_cfg(2)).unwrap();
+    let handle = start(inst, &serve_cfg_io(2, io_mode)).unwrap();
     let mut a = Client::connect(handle.addr());
     let mut b = Client::connect(handle.addr());
     assert!(matches!(
@@ -273,6 +324,13 @@ fn replay_binary_is_byte_identical_across_runs_and_shard_counts() {
         first,
         run("8", &[]),
         "shard count leaked into replay output"
+    );
+    // The connection plane cannot leak into replay output either: replay
+    // is a single canonical engine, io mode or not.
+    assert_eq!(
+        first,
+        run("8", &["--io-mode", "epoll"]),
+        "io mode leaked into replay output"
     );
 
     // A pinned partition plan (--plan-shards, not --shards, names the
@@ -346,9 +404,17 @@ fn on_disk_store_survives_restart_warm_and_cold() {
     assert!(matches!(client.roundtrip(&Frame::Shutdown), Frame::Bye));
     handle.join();
 
-    // Warm restart: the warm tier is rebuilt from the segment logs and
-    // the value still reads back byte-identical.
-    let handle = start(Arc::clone(&inst), &cfg_with(RecoverMode::Warm)).unwrap();
+    // Warm restart — on the event-driven plane, so the store round-trips
+    // across io modes too: the warm tier is rebuilt from the segment
+    // logs and the value still reads back byte-identical.
+    let handle = start(
+        Arc::clone(&inst),
+        &ServeConfig {
+            io_mode: IoMode::Epoll,
+            ..cfg_with(RecoverMode::Warm)
+        },
+    )
+    .unwrap();
     assert!(handle.warm_recovered() > 0, "warm tier must be rebuilt");
     let mut client = Client::connect(handle.addr());
     match client.roundtrip(&request_frame(Request::new(17, 2), b"")) {
@@ -377,4 +443,66 @@ fn on_disk_store_survives_restart_warm_and_cold() {
     assert!(matches!(client.roundtrip(&Frame::Shutdown), Frame::Bye));
     handle.join();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The event-driven plane under fan-in: far more connections than event
+/// loops (or than the thread plane would want to carry), all pipelining
+/// concurrently from a single client thread. Every connection must get
+/// its own replies, in its own request order.
+#[test]
+fn epoll_plane_serves_many_concurrent_pipelined_connections() {
+    const CONNS: usize = 192;
+    const PER_CONN: usize = 8; // stays under max_inflight = 16
+    let inst = Arc::new(default_instance(256, 3, 32, 7).unwrap());
+    let cfg = ServeConfig {
+        io_threads: 2,
+        ..serve_cfg_io(4, IoMode::Epoll)
+    };
+    let handle = start(Arc::clone(&inst), &cfg).unwrap();
+
+    // Open every connection first, then write every request, then read
+    // every reply — maximal concurrency without a client thread per
+    // connection.
+    let mut streams: Vec<TcpStream> = (0..CONNS)
+        .map(|_| TcpStream::connect(handle.addr()).expect("connect"))
+        .collect();
+    for (c, stream) in streams.iter_mut().enumerate() {
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        for i in 0..PER_CONN {
+            let page = ((c * PER_CONN + i) % 256) as u32;
+            let level = 1 + (page % u32::from(inst.levels(page))) as u8;
+            write_frame(&mut w, &request_frame(Request::new(page, level), b"")).unwrap();
+        }
+        w.flush().unwrap();
+    }
+    for stream in &streams {
+        let mut reader = FrameReader::new(stream.try_clone().unwrap());
+        for _ in 0..PER_CONN {
+            match reader.next_frame().expect("read").expect("reply") {
+                Frame::Served { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+    // Replies must be per-connection in order; spot-check with a marker
+    // PUT/GET pair on one connection while the rest stay open.
+    let mut client = Client::connect(handle.addr());
+    assert!(matches!(
+        client.roundtrip(&request_frame(Request::new(7, 1), b"fan-in marker")),
+        Frame::Served { .. }
+    ));
+    match client.roundtrip(&request_frame(Request::new(7, 2), b"")) {
+        Frame::Served { value, .. } => assert_eq!(value, b"fan-in marker"),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    match client.roundtrip(&Frame::Stats) {
+        Frame::StatsReply(stats) => {
+            assert!(stats.total.requests >= (CONNS * PER_CONN) as u64);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert!(matches!(client.roundtrip(&Frame::Shutdown), Frame::Bye));
+    drop(streams);
+    let stats = handle.join();
+    assert!(stats.requests >= (CONNS * PER_CONN) as u64);
 }

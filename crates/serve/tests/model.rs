@@ -15,16 +15,29 @@
 //!    `DrainGate` markers) preserves per-key ordering in every schedule
 //!    and never deadlocks — and the seeded mutant that bumps the epoch
 //!    *without* draining is caught by the checker
+//! 8. the epoll plane's eventfd wakeup handshake (per ISSUE 10): the real
+//!    `CompletionQueue` over a model doorbell with eventfd *counting*
+//!    semantics loses no wakeup in any schedule, a completion racing a
+//!    shutdown ring is never stranded, and the seeded dropped-notify
+//!    mutant (a bell that publishes its count but never notifies) is
+//!    caught as a deadlock
 //!
 //! Fixtures are deliberately tiny (ring capacities 1–2, ≤ 3 threads,
 //! 2–4 items) — exhaustive exploration is exponential in yield points —
 //! and each test also asserts determinism where the schedule count is part
 //! of the contract.
 
+// lint:orderings(SeqCst): the shutdown-race fixture publishes a flag
+// before ringing its bell; the strongest ordering keeps the model's
+// publish-then-ring story identical to production's.
+
 use std::sync::{mpsc, Arc};
 
+use wmlp_check::sync::atomic::AtomicBool;
+use wmlp_check::sync::{Condvar, Mutex};
 use wmlp_check::{explore, Config};
 use wmlp_router::DrainGate;
+use wmlp_serve::notify::{CompletionQueue, Doorbell};
 use wmlp_serve::shard::{run_shard, ReplyTo, ShardJob, ShardMsg, ShardStats};
 use wmlp_serve::spsc;
 use wmlp_serve::window::Window;
@@ -315,6 +328,153 @@ fn epoch_bump_without_drain_is_caught() {
     assert!(
         report.failure.is_some(),
         "the undrained mutant must reorder page 0 in some schedule"
+    );
+}
+
+/// A model doorbell with `eventfd` counting semantics: each ring bumps a
+/// counter, and a wait blocks until the counter is nonzero then consumes
+/// it whole — exactly what `epoll_wait` + `EventFd::drain` do in the
+/// production event loop. With `drop_notify` it becomes the seeded
+/// mutant: the count is still published, but the sleeping consumer is
+/// never woken — the dropped-notification bug the counting contract is
+/// supposed to make impossible.
+struct ModelBell {
+    count: Mutex<u64>,
+    ready: Condvar,
+    drop_notify: bool,
+}
+
+impl ModelBell {
+    fn new(drop_notify: bool) -> Self {
+        ModelBell {
+            count: Mutex::new(0),
+            ready: Condvar::new(),
+            drop_notify,
+        }
+    }
+
+    /// Block until at least one ring has landed, then consume all of
+    /// them — the model analogue of one `epoll_wait` wakeup followed by
+    /// `EventFd::drain`.
+    fn wait(&self) {
+        let mut g = match self.count.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        while *g == 0 {
+            g = match self.ready.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        *g = 0;
+    }
+}
+
+impl Doorbell for ModelBell {
+    fn ring(&self) {
+        let mut g = match self.count.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *g += 1;
+        if !self.drop_notify {
+            self.ready.notify_one();
+        }
+    }
+}
+
+/// Property 8 (no lost wakeup): two shard workers push completions onto
+/// the real [`CompletionQueue`] while the event loop waits on the model
+/// bell. In every schedule the loop collects both completions — a ring
+/// landing between the loop's drain and its next wait is accumulated by
+/// the counter, never lost.
+#[test]
+fn eventfd_handshake_never_loses_a_wakeup() {
+    let report = explore(cfg(), || {
+        let bell = Arc::new(ModelBell::new(false));
+        let q = Arc::new(CompletionQueue::<u64>::new(
+            Arc::clone(&bell) as Arc<dyn Doorbell>
+        ));
+        let workers: Vec<_> = [0u64, 1]
+            .into_iter()
+            .map(|seq| {
+                let q2 = Arc::clone(&q);
+                spawn_named(format!("shard-{seq}"), move || q2.push(seq))
+            })
+            .collect();
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            bell.wait();
+            q.drain_into(&mut got);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1], "every published completion surfaces");
+        for w in workers {
+            w.join().expect("join shard worker");
+        }
+    });
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(!report.truncated, "fixture must be exhaustively explored");
+}
+
+/// Property 8 (concurrent close): a shard completion races
+/// `trigger_shutdown`'s ring. The loop keeps waiting until it has seen
+/// *both* the shutdown flag and the in-flight completion — mirroring the
+/// production loop, which only exits once its connections have drained.
+/// No schedule strands the completion in the queue or wedges the loop.
+#[test]
+fn completion_racing_a_shutdown_ring_is_never_stranded() {
+    let report = explore(cfg(), || {
+        let bell = Arc::new(ModelBell::new(false));
+        let q = Arc::new(CompletionQueue::<u64>::new(
+            Arc::clone(&bell) as Arc<dyn Doorbell>
+        ));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let q2 = Arc::clone(&q);
+        let worker = spawn_named("shard-0", move || q2.push(7));
+        let (b2, s2) = (Arc::clone(&bell), Arc::clone(&shutdown));
+        let closer = spawn_named("closer", move || {
+            // trigger_shutdown's discipline: publish the flag, then ring.
+            s2.store(true, std::sync::atomic::Ordering::SeqCst);
+            b2.ring();
+        });
+        let mut got = Vec::new();
+        while !shutdown.load(std::sync::atomic::Ordering::SeqCst) || got.is_empty() {
+            bell.wait();
+            q.drain_into(&mut got);
+        }
+        assert_eq!(got, vec![7], "the in-flight completion survives the race");
+        worker.join().expect("join shard worker");
+        closer.join().expect("join closer");
+    });
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(!report.truncated);
+}
+
+/// Property 8 (seeded mutant): a bell that publishes its count but never
+/// notifies. The checker must find the schedule where the loop parks on
+/// the condvar *before* the worker rings — a consumer asleep with work
+/// published and nobody left to wake it, reported as a deadlock.
+#[test]
+fn dropped_notify_mutant_is_caught() {
+    let report = explore(cfg(), || {
+        let bell = Arc::new(ModelBell::new(true));
+        let q = Arc::new(CompletionQueue::<u64>::new(
+            Arc::clone(&bell) as Arc<dyn Doorbell>
+        ));
+        let q2 = Arc::clone(&q);
+        let worker = spawn_named("shard-0", move || q2.push(0));
+        let mut got = Vec::new();
+        while got.is_empty() {
+            bell.wait();
+            q.drain_into(&mut got);
+        }
+        worker.join().expect("join shard worker");
+    });
+    assert!(
+        report.failure.is_some(),
+        "the dropped-notify mutant must deadlock in some schedule"
     );
 }
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# High-fan-in smoke for wmlp-serve's epoll connection plane.
+#
+# A standalone server started with `--io-mode epoll --io-threads 2` is
+# driven by the loadgen's fan-in client: CONNS pipelined connections
+# (default 256) multiplexed over 2 event-driven client threads. The smoke
+# fails unless every connection completes its slice with zero errors and
+# the shutdown handshake lands cleanly (the loadgen's own smoke contract),
+# and the server process exits 0 after the drain.
+#
+# Usage: CONNS=1024 scripts/serve_epoll_smoke.sh [wmlp-serve-bin [wmlp-loadgen-bin]]
+# (defaults assume `cargo build --release` has run from the repo root)
+set -euo pipefail
+
+SERVE_BIN=${1:-target/release/wmlp-serve}
+LOADGEN_BIN=${2:-target/release/wmlp-loadgen}
+CONNS=${CONNS:-256}
+SMOKE_NAME=serve-epoll-smoke
+. "$(dirname "$0")/serve_smoke_lib.sh"
+
+# The same instance tuple must be passed to both sides of the socket.
+TUPLE=(--pages 1024 --levels 3 --k 128 --weight-seed 7 --policy lru --shards 4)
+
+LOG="$WORK/epoll.log"
+"$SERVE_BIN" --addr 127.0.0.1:0 "${TUPLE[@]}" \
+    --io-mode epoll --io-threads 2 >"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_for_banner "$LOG" "epoll"
+ADDR=$(server_addr "$LOG")
+
+# 16 requests per connection: enough that every connection pipelines past
+# its 8-deep window at least once.
+"$LOADGEN_BIN" --addr "$ADDR" "${TUPLE[@]}" \
+    --requests $((CONNS * 16)) --connections "$CONNS" --client-threads 2 \
+    --pipeline 8 --workload zipf --alpha 0.9 --seed 11 \
+    --out "$WORK/SERVE.epoll.json" ||
+    die "$LOG" "fan-in loadgen failed against the epoll plane"
+reap_server "$LOG" "epoll"
+
+grep -q "\"conns\": $CONNS" "$WORK/SERVE.epoll.json" ||
+    die "$LOG" "SERVE.json does not record $CONNS connections"
+echo "serve-epoll-smoke: ok ($CONNS pipelined connections over 2 io threads)"

@@ -16,13 +16,8 @@ set -euo pipefail
 
 SERVE_BIN=${1:-target/release/wmlp-serve}
 LOADGEN_BIN=${2:-target/release/wmlp-loadgen}
-WORK=$(mktemp -d)
-SERVER_PID=""
-cleanup() {
-    if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi
-    rm -rf "$WORK"
-}
-trap cleanup EXIT
+SMOKE_NAME=serve-skew-smoke
+. "$(dirname "$0")/serve_smoke_lib.sh"
 
 # The same instance tuple must be passed to both sides of the socket.
 # The epoch length is well under the request count so the router's plan
@@ -31,32 +26,18 @@ TUPLE=(--pages 2048 --levels 3 --k 256 --weight-seed 7 --policy lru --shards 4)
 ROUTER=(--epoch-len 500 --hot-k 32 --detector 128)
 LOAD=(--requests 4000 --conns 2 --pipeline 16 --workload zipf --alpha 1.2 --seed 11)
 
-die() {
-    cat "$1" >&2
-    echo "serve-skew-smoke: $2" >&2
-    exit 1
-}
-
 run_mode() { # $1 = partition mode; echoes the measured imbalance
     local log="$WORK/$1.log" out="$WORK/SERVE.$1.json"
     "$SERVE_BIN" --addr 127.0.0.1:0 "${TUPLE[@]}" "${ROUTER[@]}" \
         --partition "$1" >"$log" 2>&1 &
     SERVER_PID=$!
-    for _ in $(seq 1 100); do
-        if grep -q "listening on" "$log"; then break; fi
-        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-            die "$log" "server ($1) died during startup"
-        fi
-        sleep 0.1
-    done
-    grep -q "listening on" "$log" || die "$log" "server ($1) never printed its listen banner"
+    wait_for_banner "$log" "$1"
     local addr
-    addr=$(sed -n 's/^listening on //p' "$log")
+    addr=$(server_addr "$log")
     "$LOADGEN_BIN" --addr "$addr" "${TUPLE[@]}" "${LOAD[@]}" \
         --out "$out" >>"$log" 2>&1 ||
         die "$log" "loadgen ($1) failed"
-    wait "$SERVER_PID" 2>/dev/null || true
-    SERVER_PID=""
+    reap_server "$log" "$1"
     sed -n 's/^[[:space:]]*"imbalance": \([0-9.]*\).*/\1/p' "$out" | head -1
 }
 

@@ -1,0 +1,60 @@
+# Shared helpers for the serve smoke scripts. Source after setting
+# SMOKE_NAME (used in error messages):
+#
+#   SMOKE_NAME=serve-foo-smoke
+#   . "$(dirname "$0")/serve_smoke_lib.sh"
+#
+# Provides:
+#   WORK              per-run temp dir, removed on exit (along with any
+#                     server still running under SERVER_PID)
+#   SERVER_PID        set by the caller after backgrounding a server
+#   die LOG MSG       dump LOG to stderr, print "SMOKE_NAME: MSG", exit 1
+#   wait_for_banner LOG WHAT
+#                     poll until the server's "listening on" banner shows
+#                     up in LOG; dies if the process exits first (WHAT
+#                     names the server in the error message)
+#   server_addr LOG   echo the bound address parsed from the banner
+#   kill_server       kill -9 + reap (the crash-recovery scripts' path)
+#   reap_server       wait for a graceful exit; dies on nonzero status
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+smoke_cleanup() {
+    if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi
+    rm -rf "$WORK"
+}
+trap smoke_cleanup EXIT
+
+die() {
+    [ -f "$1" ] && cat "$1" >&2
+    echo "$SMOKE_NAME: $2" >&2
+    exit 1
+}
+
+wait_for_banner() { # $1 = log file, $2 = server description
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$1"; then return 0; fi
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            die "$1" "server ($2) died during startup"
+        fi
+        sleep 0.1
+    done
+    die "$1" "server ($2) never printed its listen banner"
+}
+
+server_addr() { # $1 = log file
+    sed -n 's/^listening on //p' "$1"
+}
+
+kill_server() {
+    kill -9 "$SERVER_PID"
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+}
+
+reap_server() { # $1 = log file, $2 = server description
+    local status=0
+    wait "$SERVER_PID" || status=$?
+    SERVER_PID=""
+    [ "$status" -eq 0 ] || die "$1" "server ($2) exited with status $status"
+}

@@ -15,48 +15,24 @@ set -euo pipefail
 
 SERVE_BIN=${1:-target/release/wmlp-serve}
 LOADGEN_BIN=${2:-target/release/wmlp-loadgen}
-WORK=$(mktemp -d)
-SERVER_PID=""
-cleanup() {
-    if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi
-    rm -rf "$WORK"
-}
-trap cleanup EXIT
+SMOKE_NAME=serve-store-smoke
+. "$(dirname "$0")/serve_smoke_lib.sh"
 
 # The same instance tuple must be passed to both sides of the socket.
 TUPLE=(--pages 512 --levels 3 --k 64 --weight-seed 7 --policy lru --shards 2)
-
-die() {
-    cat "$1" >&2
-    echo "serve-store-smoke: $2" >&2
-    exit 1
-}
 
 start_server() { # $1 = recover mode, $2 = log file
     "$SERVE_BIN" --addr 127.0.0.1:0 "${TUPLE[@]}" \
         --store "$WORK/tier" --value-size 32 --recover "$1" >"$2" 2>&1 &
     SERVER_PID=$!
-    for _ in $(seq 1 100); do
-        if grep -q "listening on" "$2"; then return 0; fi
-        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-            die "$2" "server died during startup"
-        fi
-        sleep 0.1
-    done
-    die "$2" "server never printed its listen banner"
-}
-
-kill_server() {
-    kill -9 "$SERVER_PID"
-    wait "$SERVER_PID" 2>/dev/null || true
-    SERVER_PID=""
+    wait_for_banner "$2" "$1"
 }
 
 # --- life 1: fresh store, load, kill -9 ---------------------------------
 start_server warm "$WORK/life1.log"
 grep -q "store: 0 warm pages recovered (warm)" "$WORK/life1.log" ||
     die "$WORK/life1.log" "life 1 must start from an empty store"
-ADDR=$(sed -n 's/^listening on //p' "$WORK/life1.log")
+ADDR=$(server_addr "$WORK/life1.log")
 "$LOADGEN_BIN" --addr "$ADDR" --no-shutdown --requests 2000 --conns 2 \
     --workload zipf --alpha 0.9 --seed 11 --value-size 32 "${TUPLE[@]}" \
     --out "$WORK/SERVE.store.json"
